@@ -1,0 +1,51 @@
+//! Offline-path benchmarks: ingestion, the Eq. 12 interval intersection,
+//! and RVAQ versus the baselines on a movie catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use svq_core::offline::{ingest, FaTopK, PqTraverse, Rvaq, RvaqOptions};
+use svq_core::online::OnlineConfig;
+use svq_eval::workloads::movies_workload;
+use svq_storage::SequenceSet;
+use svq_types::{ClipId, ClipInterval, Interval, PaperScoring};
+use svq_vision::models::ModelSuite;
+
+fn bench_offline(c: &mut Criterion) {
+    let movies = movies_workload(0.1, 7);
+    let case = &movies[0];
+    let oracle = case.video.oracle(ModelSuite::accurate());
+
+    c.bench_function("ingest_10min_movie", |b| {
+        b.iter(|| ingest(&oracle, &PaperScoring, &OnlineConfig::default()))
+    });
+
+    let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
+    c.bench_function("rvaq_top5", |b| {
+        b.iter(|| Rvaq::run(&catalog, &case.query, &PaperScoring, RvaqOptions::new(5)))
+    });
+    c.bench_function("pq_traverse_top5", |b| {
+        b.iter(|| PqTraverse::run(&catalog, &case.query, &PaperScoring, 5))
+    });
+    c.bench_function("fa_top5", |b| {
+        b.iter(|| FaTopK::run(&catalog, &case.query, &PaperScoring, 5))
+    });
+
+    // Eq. 12 interval sweep on synthetic interval sets.
+    let mk = |offset: u64, step: u64, len: u64, n: u64| {
+        SequenceSet::new(
+            (0..n)
+                .map(|i| {
+                    let s = offset + i * step;
+                    Interval::new(ClipId::new(s), ClipId::new(s + len)) as ClipInterval
+                })
+                .collect(),
+        )
+    };
+    let a = mk(0, 20, 8, 2_000);
+    let b2 = mk(5, 17, 6, 2_000);
+    c.bench_function("interval_sweep_2k_x_2k", |b| {
+        b.iter(|| a.intersect(&b2))
+    });
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

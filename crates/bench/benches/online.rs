@@ -1,0 +1,35 @@
+//! Online-path throughput: clips per second through SVAQ and SVAQD
+//! (excluding simulated model cost — the pure query-algorithm overhead the
+//! paper reports as <2 % of latency).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use svq_core::online::{OnlineConfig, Svaq, Svaqd};
+use svq_eval::workloads::youtube_query_set;
+use svq_vision::models::ModelSuite;
+use svq_vision::VideoStream;
+
+fn bench_online(c: &mut Criterion) {
+    let set = youtube_query_set(1, 0.1, 7);
+    let video = &set.videos[0];
+    let oracle = video.oracle(ModelSuite::accurate());
+    let clips = video.truth.geometry.clip_count(video.truth.total_frames);
+
+    let mut group = c.benchmark_group("online");
+    group.throughput(Throughput::Elements(clips));
+    group.bench_function("svaq_full_video", |b| {
+        b.iter(|| {
+            let mut stream = VideoStream::new(&oracle);
+            Svaq::run(set.query.clone(), &mut stream, OnlineConfig::default(), 1e-2, 1e-2)
+        })
+    });
+    group.bench_function("svaqd_full_video", |b| {
+        b.iter(|| {
+            let mut stream = VideoStream::new(&oracle);
+            Svaqd::run(set.query.clone(), &mut stream, OnlineConfig::default(), 1e-4, 1e-4)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--scale S] [--seed N] [--out DIR]
+//! ```
+//!
+//! Experiments: fig2 fig3 table3 table4 table5 fig4 fig5 runtime table6
+//! table7 table8 rvaq-accuracy ablation.
+
+use svq_bench::experiments::{ExpContext, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpContext::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args[i].parse().expect("--scale takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir = args[i].clone().into();
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--scale S] [--seed N] [--out DIR]");
+        eprintln!(
+            "experiments: {}",
+            EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    }
+    let run_all = targets.iter().any(|t| t == "all");
+    for (name, run) in EXPERIMENTS {
+        if run_all || targets.iter().any(|t| t == name) {
+            let start = std::time::Instant::now();
+            run(&ctx);
+            eprintln!("[{name}] done in {:.1}s", start.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 2: F1 of SVAQ vs SVAQD under varying initial background
+//! probability, for the queries {a=blowing leaves; o1=car} and
+//! {a=washing dishes; o1=faucet}.
+
+use super::ExpContext;
+use crate::Table;
+use svq_core::online::OnlineConfig;
+use svq_eval::runner::{run_videos, OnlineAlgorithm};
+use svq_eval::workloads::youtube_query_set;
+use svq_types::ActionQuery;
+
+/// The swept initial background probabilities.
+pub const P0_SWEEP: [f64; 6] = [1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 1e-2];
+
+pub fn run(ctx: &ExpContext) {
+    let config = OnlineConfig::default();
+    let mut table = Table::new(&["query", "p0", "SVAQ F1", "SVAQD F1"]);
+    // (a): blowing leaves + car over the q2 footage.
+    // (b): washing dishes + faucet over the q1 footage.
+    let cases = [
+        (1usize, ActionQuery::named("blowing leaves", &["car"]), "a"),
+        (0usize, ActionQuery::named("washing dishes", &["faucet"]), "b"),
+    ];
+    for (set_idx, query, tag) in cases {
+        let set = youtube_query_set(set_idx, ctx.scale, ctx.seed);
+        for p0 in P0_SWEEP {
+            let svaq = run_videos(
+                &set.videos,
+                &query,
+                OnlineAlgorithm::Svaq { p0 },
+                svq_vision::models::ModelSuite::accurate(),
+                config,
+            );
+            let svaqd = run_videos(
+                &set.videos,
+                &query,
+                OnlineAlgorithm::Svaqd { p0 },
+                svq_vision::models::ModelSuite::accurate(),
+                config,
+            );
+            table.row(vec![
+                format!("({tag}) {query}"),
+                format!("{p0:.0e}"),
+                format!("{:.3}", svaq.f1()),
+                format!("{:.3}", svaqd.f1()),
+            ]);
+        }
+    }
+    ctx.emit("fig2", &table.render());
+}

@@ -1,0 +1,64 @@
+//! Figure 3: F1 of SVAQ and SVAQD for all twelve YouTube queries.
+//!
+//! The paper fixes SVAQ's background probability to its Figure 2 peak
+//! (`1e-4` there). On our calibrated substrate the post-threshold noise
+//! floor is higher, so the peak sits near `1e-2`; we report SVAQ at *both*
+//! values. The reproduction target: SVAQD dominates SVAQ at any non-oracle
+//! `p0` (the paper's central claim — `p0` cannot be known a priori), and at
+//! the oracle peak the two are comparable.
+
+use super::ExpContext;
+use crate::Table;
+use svq_core::online::OnlineConfig;
+use svq_eval::runner::{run_query_set, OnlineAlgorithm};
+use svq_eval::workloads::youtube_workload;
+use svq_vision::models::ModelSuite;
+
+/// The Figure 2 peak on this substrate (see module docs).
+pub const SVAQ_P0: f64 = 1e-2;
+
+pub fn run(ctx: &ExpContext) {
+    let config = OnlineConfig::default();
+    let sets = youtube_workload(ctx.scale, ctx.seed);
+    let mut table = Table::new(&[
+        "query",
+        "action",
+        "SVAQ (p0=1e-4, paper's)",
+        "SVAQ (p0=1e-2, our peak)",
+        "SVAQD",
+    ]);
+    let mut svaqd_beats_paper_p0 = 0u32;
+    for set in &sets {
+        let svaq_paper = run_query_set(
+            set,
+            OnlineAlgorithm::Svaq { p0: 1e-4 },
+            ModelSuite::accurate(),
+            config,
+        );
+        let svaq_peak = run_query_set(
+            set,
+            OnlineAlgorithm::Svaq { p0: SVAQ_P0 },
+            ModelSuite::accurate(),
+            config,
+        );
+        let svaqd = run_query_set(
+            set,
+            OnlineAlgorithm::Svaqd { p0: 1e-4 },
+            ModelSuite::accurate(),
+            config,
+        );
+        svaqd_beats_paper_p0 += (svaqd.f1() >= svaq_paper.f1()) as u32;
+        table.row(vec![
+            set.id.to_string(),
+            set.query.to_string(),
+            format!("{:.3}", svaq_paper.f1()),
+            format!("{:.3}", svaq_peak.f1()),
+            format!("{:.3}", svaqd.f1()),
+        ]);
+    }
+    let mut report = table.render();
+    report.push_str(&format!(
+        "\nSVAQD >= SVAQ(p0=1e-4) on {svaqd_beats_paper_p0}/12 queries\n"
+    ));
+    ctx.emit("fig3", &report);
+}

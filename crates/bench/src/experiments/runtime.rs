@@ -1,0 +1,58 @@
+//! §5.2 "Runtime Superiority": online query latency is dominated by model
+//! inference (>98 % in the paper), and the end-to-end-model alternative is
+//! orders of magnitude more expensive.
+
+use super::ExpContext;
+use crate::Table;
+use svq_core::online::OnlineConfig;
+use svq_eval::runner::{run_query_set, OnlineAlgorithm};
+use svq_eval::workloads::youtube_query_set;
+use svq_vision::models::ModelSuite;
+
+/// Published fine-tuning + inference time of the end-to-end alternative
+/// (the paper trains an I3D-style network per query: > 60 hours).
+const END_TO_END_HOURS: f64 = 60.0;
+
+pub fn run(ctx: &ExpContext) {
+    let config = OnlineConfig::default();
+    let set = youtube_query_set(0, ctx.scale, ctx.seed); // q1
+    let outcome = run_query_set(
+        &set,
+        OnlineAlgorithm::Svaqd { p0: 1e-4 },
+        ModelSuite::accurate(),
+        config,
+    );
+    let cost = outcome.cost;
+    let mut table = Table::new(&["component", "time", "share"]);
+    let total = cost.total_ms();
+    table.row(vec![
+        "object detection + tracking".into(),
+        format!("{:.1} min", cost.object_ms / 60_000.0),
+        format!("{:.1} %", 100.0 * cost.object_ms / total),
+    ]);
+    table.row(vec![
+        "action recognition".into(),
+        format!("{:.1} min", cost.action_ms / 60_000.0),
+        format!("{:.1} %", 100.0 * cost.action_ms / total),
+    ]);
+    table.row(vec![
+        "query algorithm (SVAQD)".into(),
+        format!("{:.3} min", cost.algorithm_ms / 60_000.0),
+        format!("{:.2} %", 100.0 * cost.algorithm_ms / total),
+    ]);
+    table.row(vec![
+        "total".into(),
+        format!("{:.1} min", total / 60_000.0),
+        "100 %".into(),
+    ]);
+    let mut report = table.render();
+    report.push_str(&format!(
+        "\ninference fraction: {:.1} % (paper: >98 %)\n\
+         end-to-end model alternative: > {END_TO_END_HOURS} h training per query \
+         vs {:.1} min total here ({:.0}x)\n",
+        100.0 * cost.inference_fraction(),
+        total / 60_000.0,
+        END_TO_END_HOURS * 60.0 / (total / 60_000.0),
+    ));
+    ctx.emit("runtime", &report);
+}

@@ -1,0 +1,41 @@
+//! Table 4: F1 under different detection-model suites for the query
+//! {a=blowing leaves; o1=car}. Expected ladder: Ideal = 1.0 >
+//! MaskRCNN+I3D > YOLOv3+I3D.
+
+use super::ExpContext;
+use crate::Table;
+use svq_core::online::OnlineConfig;
+use svq_eval::runner::{run_videos, OnlineAlgorithm};
+use svq_eval::workloads::youtube_query_set;
+use svq_types::ActionQuery;
+use svq_vision::models::ModelSuite;
+
+pub fn run(ctx: &ExpContext) {
+    let config = OnlineConfig::default();
+    let set = youtube_query_set(1, ctx.scale, ctx.seed); // q2 footage
+    let query = ActionQuery::named("blowing leaves", &["car"]);
+    let suites = [ModelSuite::accurate(), ModelSuite::fast(), ModelSuite::ideal()];
+    let mut table = Table::new(&["models", "SVAQ F1", "SVAQD F1"]);
+    for suite in suites {
+        let svaq = run_videos(
+            &set.videos,
+            &query,
+            OnlineAlgorithm::Svaq { p0: 1e-4 },
+            suite,
+            config,
+        );
+        let svaqd = run_videos(
+            &set.videos,
+            &query,
+            OnlineAlgorithm::Svaqd { p0: 1e-4 },
+            suite,
+            config,
+        );
+        table.row(vec![
+            suite.name(),
+            format!("{:.2}", svaq.f1()),
+            format!("{:.2}", svaqd.f1()),
+        ]);
+    }
+    ctx.emit("table4", &table.render());
+}

@@ -1,0 +1,20 @@
+//! # svq-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's §5,
+//! each regenerating the corresponding rows/series from the synthetic
+//! workloads. Run them through the `repro` binary:
+//!
+//! ```text
+//! cargo run -p svq-bench --release --bin repro -- fig2
+//! cargo run -p svq-bench --release --bin repro -- all --scale 0.3
+//! ```
+//!
+//! Absolute numbers are not expected to match the paper (our substrate is a
+//! calibrated simulator, not the authors' GPU testbed); the *shape* — who
+//! wins, by what factor, where crossovers fall — is the reproduction target
+//! recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

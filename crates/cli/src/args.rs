@@ -1,0 +1,85 @@
+//! Minimal `--flag value` argument parsing (the sanctioned dependency set
+//! has no CLI parser; the surface here is small enough not to need one).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parse a flat `--key value` list; positional or dangling arguments
+    /// are errors.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", argv[i]))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            values.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Self { values })
+    }
+
+    /// A required flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional flag parsed into `T`.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} has invalid value {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = Flags::parse(&argv(&["--a", "1", "--b", "two"])).unwrap();
+        assert_eq!(f.require("a").unwrap(), "1");
+        assert_eq!(f.get("b"), Some("two"));
+        assert_eq!(f.get("c"), None);
+        assert_eq!(f.get_parsed("a", 0u32).unwrap(), 1);
+        assert_eq!(f.get_parsed("missing", 9u32).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Flags::parse(&argv(&["positional"])).is_err());
+        assert!(Flags::parse(&argv(&["--dangling"])).is_err());
+        let f = Flags::parse(&argv(&["--n", "abc"])).unwrap();
+        assert!(f.get_parsed("n", 0u32).is_err());
+        assert!(f.require("absent").is_err());
+    }
+}

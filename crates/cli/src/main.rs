@@ -1,0 +1,58 @@
+//! `svqact` — the SVQ-ACT command line.
+//!
+//! ```text
+//! svqact synth   --minutes 5 --action volleyball --objects tree --seed 7 --out scene.json
+//! svqact ingest  --scene scene.json --models accurate --out catalog.json
+//! svqact query   --catalog catalog.json --sql "SELECT … ORDER BY RANK(act,obj) LIMIT 3"
+//! svqact query   --scene scene.json --sql "SELECT … WHERE act='…'"
+//! svqact explain --sql "SELECT …"
+//! svqact labels  objects|actions
+//! ```
+//!
+//! Scenes are synthetic scenarios (the simulated substrate of this
+//! reproduction, see DESIGN.md); catalogs are §4.2 ingestion outputs and
+//! can be queried any number of times.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&argv) {
+        eprintln!("svqact: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(command) = argv.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "synth" => commands::synth(&args::Flags::parse(rest)?),
+        "ingest" => commands::ingest(&args::Flags::parse(rest)?),
+        "query" => commands::query(&args::Flags::parse(rest)?),
+        "explain" => commands::explain(&args::Flags::parse(rest)?),
+        "labels" => commands::labels(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `svqact help`").into()),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "svqact — declarative action queries over (simulated) videos\n\n\
+         commands:\n\
+         \u{20}  synth   --minutes M --action NAME [--objects a,b] [--seed N] \
+         [--occupancy F] --out scene.json\n\
+         \u{20}  ingest  --scene scene.json [--models accurate|fast|ideal] --out catalog.json\n\
+         \u{20}  query   (--catalog catalog.json | --scene scene.json) --sql STATEMENT\n\
+         \u{20}  explain --sql STATEMENT\n\
+         \u{20}  labels  objects|actions"
+    );
+}

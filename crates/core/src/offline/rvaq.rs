@@ -1,0 +1,413 @@
+//! RVAQ — Algorithm 4.
+//!
+//! Top-K result sequences for a query over an ingested video:
+//!
+//! 1. `P_q = P_a ⊗ P_{o_1} ⊗ … ⊗ P_{o_I}` (Eq. 12, interval sweep).
+//! 2. Drive the [`TbClip`] iterator; each delivered clip tightens every
+//!    active sequence's score bounds (Eqs. 13-14).
+//! 3. Maintain the `PQ_lo^K` / `PQ_up^¬K` split: the K sequences with the
+//!    highest lower bounds versus the rest. Stop when
+//!    `B_lo^K ≥ B_up^¬K` (Eq. 15).
+//! 4. Sequences whose upper bound falls below `B_lo^K` are conclusively
+//!    out; sequences whose lower bound exceeds `B_up^¬K` are conclusively
+//!    in. Either way their clips join `C_skip` and stop costing accesses
+//!    (the *skip mechanism* — disabled in the `RVAQ-noSkip` baseline).
+//!
+//! Implementation note on the priority queues: Eq. 13 re-estimates the
+//! upper bound of *every* sequence whenever `c_top` advances, so incremental
+//! heaps would be rebuilt wholesale each iteration anyway; we keep the PQ
+//! *semantics* (top-K by lower bound, max of the rest by upper bound) with
+//! a selection scan per iteration, which is `O(|P_q|)` — result-sequence
+//! counts are tens, not millions.
+
+use super::bounds::SequenceBounds;
+use super::skip::SkipSet;
+use super::tbclip::TbClip;
+use std::collections::HashSet;
+use std::time::Instant;
+use svq_storage::{DiskStats, IngestedVideo};
+use svq_types::{ActionQuery, ClipId, ClipInterval, ScoringFunctions};
+
+/// Options for one RVAQ execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RvaqOptions {
+    /// Number of results requested.
+    pub k: usize,
+    /// Compute exact scores for the top-K (costs the accesses the paper
+    /// describes for large K; off by default, as in §4.3's skip rule).
+    pub exact_scores: bool,
+    /// Enable the skip mechanism (`false` reproduces the RVAQ-noSkip
+    /// baseline).
+    pub use_skip: bool,
+}
+
+impl RvaqOptions {
+    /// Standard options for `k` results.
+    pub fn new(k: usize) -> Self {
+        Self { k, exact_scores: false, use_skip: true }
+    }
+
+    /// Request exact scores.
+    pub fn with_exact_scores(mut self) -> Self {
+        self.exact_scores = true;
+        self
+    }
+
+    /// Disable the skip mechanism.
+    pub fn without_skip(mut self) -> Self {
+        self.use_skip = false;
+        self
+    }
+}
+
+/// One ranked result sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedSequence {
+    pub interval: ClipInterval,
+    /// Lower bound on the sequence score at stopping time.
+    pub lower: f64,
+    /// Upper bound at stopping time.
+    pub upper: f64,
+    /// Exact score, when requested or when bounds met.
+    pub exact: Option<f64>,
+}
+
+/// Outcome of a top-K query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The top-K sequences, best first.
+    pub ranked: Vec<RankedSequence>,
+    /// Disk accesses attributable to this query.
+    pub disk: DiskStats,
+    /// Wall-clock of the algorithm itself, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated I/O latency of the accesses, milliseconds.
+    pub io_ms: f64,
+    /// Iterator invocations performed.
+    pub iterations: u64,
+    /// Total result sequences `|P_q|` before ranking.
+    pub total_sequences: usize,
+}
+
+impl TopKResult {
+    /// Simulated end-to-end latency (algorithm + I/O), milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.wall_ms + self.io_ms
+    }
+}
+
+/// Algorithm 4.
+pub struct Rvaq;
+
+impl Rvaq {
+    /// Run a top-K query against one ingested video.
+    pub fn run(
+        catalog: &IngestedVideo,
+        query: &ActionQuery,
+        scoring: &dyn ScoringFunctions,
+        options: RvaqOptions,
+    ) -> TopKResult {
+        let start = Instant::now();
+        let disk_before = catalog.disk().stats();
+
+        let pq = catalog.result_sequences(query);
+        let total_sequences = pq.len();
+        let k = options.k.min(total_sequences);
+        let mut skip = if options.use_skip {
+            SkipSet::new(pq.clone())
+        } else {
+            SkipSet::disabled(pq.clone())
+        };
+        let mut bounds: Vec<SequenceBounds> = pq
+            .intervals()
+            .iter()
+            .map(|iv| SequenceBounds::new(*iv, scoring))
+            .collect();
+        let mut tb = TbClip::new(catalog, query, scoring);
+        let mut absorbed: HashSet<ClipId> = HashSet::new();
+        let mut iterations = 0u64;
+
+        if k > 0 {
+            loop {
+                iterations += 1;
+                let step = tb.next(&skip);
+                let exhausted = step.top.is_none() && step.bottom.is_none();
+
+                // Absorb delivered clips into their sequences.
+                for delivered in [step.top, step.bottom].into_iter().flatten() {
+                    let (clip, score) = delivered;
+                    if absorbed.insert(clip) {
+                        if let Some(i) = pq.find_index(clip) {
+                            bounds[i].absorb(score, scoring);
+                        }
+                    }
+                }
+                // Refresh bounds of active sequences (Eqs. 13-14). A `None`
+                // side is exhausted: every non-skipped clip is absorbed, so
+                // the refreshed bound is exact regardless of the bound
+                // score used.
+                let top_score = step.top.map_or(0.0, |(_, s)| s);
+                let btm_score = step.bottom.map_or(0.0, |(_, s)| s);
+                for b in bounds.iter_mut().filter(|b| b.active()) {
+                    b.refresh_upper(top_score, scoring);
+                    b.refresh_lower(btm_score, scoring);
+                }
+
+                // PQ_lo^K / PQ_up^¬K: split non-excluded sequences by lower
+                // bound.
+                let mut order: Vec<usize> = (0..bounds.len())
+                    .filter(|&i| !bounds[i].resolved_out)
+                    .collect();
+                order.sort_by(|&a, &b| {
+                    bounds[b]
+                        .b_lo
+                        .partial_cmp(&bounds[a].b_lo)
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+                let in_k: HashSet<usize> = order.iter().take(k).copied().collect();
+                let b_lo_k = order
+                    .get(k - 1)
+                    .map_or(f64::NEG_INFINITY, |&i| bounds[i].b_lo);
+                let b_up_not_k = order
+                    .iter()
+                    .skip(k)
+                    .map(|&i| bounds[i].b_up)
+                    .fold(f64::NEG_INFINITY, f64::max);
+
+                // Conclusive exclusion (Algorithm 4 lines 13-14).
+                for i in 0..bounds.len() {
+                    if bounds[i].active() && bounds[i].b_up < b_lo_k {
+                        bounds[i].resolved_out = true;
+                        if options.use_skip {
+                            skip.skip_sequence(i);
+                        }
+                    }
+                }
+                // Conclusive inclusion (lines 19-20).
+                for &i in &in_k {
+                    if bounds[i].active() && bounds[i].b_lo > b_up_not_k {
+                        bounds[i].resolved_in = true;
+                        if options.use_skip && !options.exact_scores {
+                            skip.skip_sequence(i);
+                        }
+                    }
+                }
+
+                // Stopping condition (Eq. 15), or nothing left to refine.
+                if b_lo_k >= b_up_not_k || exhausted {
+                    break;
+                }
+            }
+        }
+
+        // Select the final top-K by lower bound.
+        let mut order: Vec<usize> = (0..bounds.len())
+            .filter(|&i| !bounds[i].resolved_out)
+            .collect();
+        order.sort_by(|&a, &b| {
+            bounds[b]
+                .b_lo
+                .partial_cmp(&bounds[a].b_lo)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+
+        // Optional exact-score pass over the winners.
+        if options.exact_scores {
+            for &i in &order {
+                let interval = bounds[i].interval;
+                for clip in interval.iter() {
+                    if absorbed.insert(clip) {
+                        let s = tb.score_of(clip);
+                        bounds[i].absorb(s, scoring);
+                    }
+                }
+                debug_assert_eq!(bounds[i].remaining, 0);
+                bounds[i].b_up = bounds[i].s_known;
+                bounds[i].b_lo = bounds[i].s_known;
+            }
+            order.sort_by(|&a, &b| {
+                bounds[b]
+                    .s_known
+                    .partial_cmp(&bounds[a].s_known)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+
+        let ranked = order
+            .iter()
+            .map(|&i| RankedSequence {
+                interval: bounds[i].interval,
+                lower: bounds[i].b_lo,
+                upper: bounds[i].b_up,
+                exact: bounds[i].exact(),
+            })
+            .collect();
+
+        let disk = catalog.disk().since(disk_before);
+        TopKResult {
+            ranked,
+            disk,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            io_ms: catalog.disk().simulated_ms_of(disk),
+            iterations,
+            total_sequences,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::offline::tbclip::tests::catalog;
+    use svq_types::{Interval, PaperScoring};
+
+    fn iv(s: u64, e: u64) -> ClipInterval {
+        Interval::new(ClipId::new(s), ClipId::new(e))
+    }
+
+    /// Exact sequence score under the toy catalog of `tbclip::tests`:
+    /// clip i scores (i+1)(10-i); additive f.
+    fn exact(interval: ClipInterval) -> f64 {
+        interval
+            .iter()
+            .map(|c| (c.raw() as f64 + 1.0) * (10.0 - c.raw() as f64))
+            .sum()
+    }
+
+    /// Shared with the baselines tests.
+    pub(crate) fn split_catalog_for_baselines() -> IngestedVideo {
+        split_catalog()
+    }
+
+    /// A catalog whose P_q splits into several sequences, by restricting
+    /// the car sequences.
+    fn split_catalog() -> IngestedVideo {
+        use svq_storage::{SequenceSet, SimulatedDisk};
+        use svq_types::{ObjectClass, VideoGeometry, VideoId, Vocabulary};
+        let base = catalog();
+        // Rebuild with fragmented car sequences: [0,1], [3,5], [7,9].
+        let disk = SimulatedDisk::new();
+        let car = ObjectClass::named("car");
+        let jumping = svq_types::ActionClass::named("jumping");
+        let mut object_tables: Vec<_> = (0..ObjectClass::cardinality())
+            .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
+            .collect();
+        let mut action_tables: Vec<_> =
+            (0..svq_types::ActionClass::cardinality())
+                .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
+                .collect();
+        object_tables[car.index()] = svq_storage::ClipScoreTable::new(
+            base.object_table(car).iter_sorted().collect(),
+            disk.clone(),
+        );
+        action_tables[jumping.index()] = svq_storage::ClipScoreTable::new(
+            base.action_table(jumping).iter_sorted().collect(),
+            disk.clone(),
+        );
+        let mut object_sequences =
+            vec![SequenceSet::empty(); ObjectClass::cardinality()];
+        let mut action_sequences =
+            vec![SequenceSet::empty(); svq_types::ActionClass::cardinality()];
+        object_sequences[car.index()] =
+            SequenceSet::new(vec![iv(0, 1), iv(3, 5), iv(7, 9)]);
+        action_sequences[jumping.index()] = SequenceSet::new(vec![iv(0, 9)]);
+        IngestedVideo::new(
+            VideoId::new(0),
+            VideoGeometry::default(),
+            10,
+            object_tables,
+            action_tables,
+            object_sequences,
+            action_sequences,
+            disk,
+        )
+    }
+
+    #[test]
+    fn top1_is_the_best_sequence() {
+        let cat = split_catalog();
+        let q = svq_types::ActionQuery::named("jumping", &["car"]);
+        // P_q = [0,1], [3,5], [7,9]; exact scores: 10+18=28, 28+30+30=88,
+        // 24+18+10=52. Top-1 = [3,5].
+        let result = Rvaq::run(&cat, &q, &PaperScoring, RvaqOptions::new(1));
+        assert_eq!(result.total_sequences, 3);
+        assert_eq!(result.ranked.len(), 1);
+        assert_eq!(result.ranked[0].interval, iv(3, 5));
+        assert!(result.ranked[0].lower <= exact(iv(3, 5)) + 1e-9);
+        assert!(result.ranked[0].upper + 1e-9 >= exact(iv(3, 5)));
+    }
+
+    #[test]
+    fn top2_in_exact_order_with_exact_scores() {
+        let cat = split_catalog();
+        let q = svq_types::ActionQuery::named("jumping", &["car"]);
+        let result = Rvaq::run(
+            &cat,
+            &q,
+            &PaperScoring,
+            RvaqOptions::new(2).with_exact_scores(),
+        );
+        assert_eq!(result.ranked.len(), 2);
+        assert_eq!(result.ranked[0].interval, iv(3, 5));
+        assert_eq!(result.ranked[0].exact, Some(exact(iv(3, 5))));
+        assert_eq!(result.ranked[1].interval, iv(7, 9));
+        assert_eq!(result.ranked[1].exact, Some(exact(iv(7, 9))));
+    }
+
+    #[test]
+    fn k_larger_than_sequences_returns_all() {
+        let cat = split_catalog();
+        let q = svq_types::ActionQuery::named("jumping", &["car"]);
+        let result = Rvaq::run(
+            &cat,
+            &q,
+            &PaperScoring,
+            RvaqOptions::new(10).with_exact_scores(),
+        );
+        assert_eq!(result.ranked.len(), 3);
+        let scores: Vec<f64> = result.ranked.iter().map(|r| r.exact.unwrap()).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_pq_yields_empty_result() {
+        let cat = split_catalog();
+        let q = svq_types::ActionQuery::named("jumping", &["dog"]);
+        let result = Rvaq::run(&cat, &q, &PaperScoring, RvaqOptions::new(3));
+        assert!(result.ranked.is_empty());
+        assert_eq!(result.total_sequences, 0);
+    }
+
+    #[test]
+    fn skip_reduces_random_accesses() {
+        let q = svq_types::ActionQuery::named("jumping", &["car"]);
+        let cat_a = split_catalog();
+        let with_skip = Rvaq::run(&cat_a, &q, &PaperScoring, RvaqOptions::new(1));
+        let cat_b = split_catalog();
+        let no_skip =
+            Rvaq::run(&cat_b, &q, &PaperScoring, RvaqOptions::new(1).without_skip());
+        assert_eq!(with_skip.ranked[0].interval, no_skip.ranked[0].interval);
+        assert!(
+            with_skip.disk.random_accesses <= no_skip.disk.random_accesses,
+            "skip {} vs noskip {}",
+            with_skip.disk.random_accesses,
+            no_skip.disk.random_accesses
+        );
+    }
+
+    #[test]
+    fn single_sequence_query_short_circuits() {
+        let cat = catalog(); // P_q = [0,9], one sequence
+        let q = svq_types::ActionQuery::named("jumping", &["car"]);
+        let result = Rvaq::run(&cat, &q, &PaperScoring, RvaqOptions::new(1));
+        assert_eq!(result.ranked.len(), 1);
+        assert_eq!(result.ranked[0].interval, iv(0, 9));
+        // With K = |P_q| = 1 the stopping condition fires immediately
+        // (B_up^¬K over the empty set): one iteration.
+        assert_eq!(result.iterations, 1);
+    }
+}

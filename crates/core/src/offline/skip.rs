@@ -1,0 +1,117 @@
+//! The skip set `C_skip` of §4.3.
+//!
+//! Clips the TBClip iterator may safely ignore: everything outside `P_q`
+//! (initialised at query start), plus the clips of sequences that become
+//! conclusively ranked as RVAQ's bounds tighten. Because skips always
+//! arrive as whole sequences of `P_q`, membership is tracked per sequence —
+//! a bitmap over `P_q`'s intervals — rather than per clip.
+
+use svq_storage::SequenceSet;
+use svq_types::ClipId;
+
+/// Dynamic skip set over the result sequences of one query.
+#[derive(Debug, Clone)]
+pub struct SkipSet {
+    /// The query's result sequences `P_q` (sorted, disjoint).
+    pq: SequenceSet,
+    /// Per-sequence skip flags, indexed like `pq.intervals()`.
+    skipped: Vec<bool>,
+    /// When set, nothing is skipped (the noSkip baseline).
+    disabled: bool,
+}
+
+impl SkipSet {
+    /// Initialise from `P_q`: every clip outside `P_q` is already skipped
+    /// (Algorithm 4 line 2, `C_skip = C(X) \ C(P_q)`).
+    pub fn new(pq: SequenceSet) -> Self {
+        let skipped = vec![false; pq.len()];
+        Self { pq, skipped, disabled: false }
+    }
+
+    /// A skip set with the whole mechanism disabled — nothing is ever
+    /// skipped, not even clips outside `P_q` (the RVAQ-noSkip baseline:
+    /// "without activating the skip mechanism").
+    pub fn disabled(pq: SequenceSet) -> Self {
+        let skipped = vec![false; pq.len()];
+        Self { pq, skipped, disabled: true }
+    }
+
+    /// The result sequences this skip set is defined over.
+    pub fn pq(&self) -> &SequenceSet {
+        &self.pq
+    }
+
+    /// Mark one sequence (by index into `P_q`) as skippable.
+    pub fn skip_sequence(&mut self, index: usize) {
+        self.skipped[index] = true;
+    }
+
+    /// Whether a sequence is skipped.
+    pub fn sequence_skipped(&self, index: usize) -> bool {
+        self.skipped[index]
+    }
+
+    /// Whether the iterator should skip this clip: outside `P_q`, or inside
+    /// a conclusively ranked sequence.
+    pub fn contains(&self, clip: ClipId) -> bool {
+        if self.disabled {
+            return false;
+        }
+        match self.pq.find_index(clip) {
+            None => true,
+            Some(i) => self.skipped[i],
+        }
+    }
+
+    /// Index of the sequence holding `clip`, if it is an active member.
+    pub fn active_sequence(&self, clip: ClipId) -> Option<usize> {
+        self.pq
+            .find_index(clip)
+            .filter(|&i| !self.skipped[i])
+    }
+
+    /// Number of sequences not yet skipped.
+    pub fn active_count(&self) -> usize {
+        self.skipped.iter().filter(|s| !**s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svq_types::{ClipInterval, Interval};
+
+    fn iv(s: u64, e: u64) -> ClipInterval {
+        Interval::new(ClipId::new(s), ClipId::new(e))
+    }
+
+    #[test]
+    fn outside_pq_is_always_skipped() {
+        let skip = SkipSet::new(SequenceSet::new(vec![iv(2, 4), iv(8, 9)]));
+        assert!(skip.contains(ClipId::new(0)));
+        assert!(!skip.contains(ClipId::new(3)));
+        assert!(skip.contains(ClipId::new(5)));
+        assert!(!skip.contains(ClipId::new(8)));
+        assert!(skip.contains(ClipId::new(10)));
+    }
+
+    #[test]
+    fn skipping_a_sequence_removes_its_clips() {
+        let mut skip = SkipSet::new(SequenceSet::new(vec![iv(2, 4), iv(8, 9)]));
+        assert_eq!(skip.active_count(), 2);
+        skip.skip_sequence(0);
+        assert!(skip.contains(ClipId::new(3)));
+        assert!(!skip.contains(ClipId::new(9)));
+        assert!(skip.sequence_skipped(0));
+        assert_eq!(skip.active_count(), 1);
+        assert_eq!(skip.active_sequence(ClipId::new(3)), None);
+        assert_eq!(skip.active_sequence(ClipId::new(9)), Some(1));
+    }
+
+    #[test]
+    fn empty_pq_skips_everything() {
+        let skip = SkipSet::new(SequenceSet::empty());
+        assert!(skip.contains(ClipId::new(0)));
+        assert_eq!(skip.active_count(), 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! The TBClip iterator — Algorithm 5.
+//!
+//! Each invocation delivers the next *top* clip (highest-scoring clip of
+//! `P_q` not yet processed from the top) and the next *bottom* clip
+//! (lowest-scoring not yet processed from the bottom), with scores computed
+//! by the clip scoring function `g` over random accesses to the per-class
+//! tables.
+//!
+//! The top side is Fagin's algorithm: sorted access in parallel over the
+//! query's tables until at least one *new* clip has been seen in all of
+//! them (step 1); then the scores of seen candidate clips are completed by
+//! random access and the maximum is returned (step 2). By FA's classic
+//! guarantee, once a clip has appeared in every list under sorted access,
+//! the highest-scoring fully-scored candidate is the global maximum of the
+//! remaining clips — `g` is monotone. The bottom side mirrors this with
+//! reverse sorted access (steps 3-4).
+//!
+//! Differences from a textbook FA, per §4.4: clips in `C_skip` — outside
+//! `P_q`, or in conclusively ranked sequences — are touched at most once by
+//! sorted access and never random-accessed; completed clip scores are
+//! memoised, so no clip's tables are random-accessed twice; and candidate
+//! scoring applies the threshold-algorithm refinement — a seen clip is
+//! random-accessed only when its optimistic bound (its seen table scores,
+//! with unseen coordinates replaced by the table's current sorted-access
+//! frontier) can beat the best fully-scored candidate of the call. `g` is
+//! monotone, so the bound is sound and the delivered clip is still the true
+//! maximum.
+
+use super::skip::SkipSet;
+use std::collections::{HashMap, HashSet};
+use svq_storage::{ClipScoreTable, IngestedVideo};
+use svq_types::{ActionQuery, ClipId, ScoringFunctions};
+
+/// One delivery of the iterator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbClipStep {
+    /// Highest-scoring unprocessed clip, if the top side is not exhausted.
+    pub top: Option<(ClipId, f64)>,
+    /// Lowest-scoring unprocessed clip, if the bottom side is not exhausted.
+    pub bottom: Option<(ClipId, f64)>,
+}
+
+/// Algorithm 5, operating over the tables of one query.
+pub struct TbClip<'a> {
+    tables: Vec<&'a ClipScoreTable>,
+    scoring: &'a dyn ScoringFunctions,
+    /// How many object tables precede the action table in `tables`.
+    n_objects: usize,
+    // --- top-side state.
+    stamp_top: usize,
+    seen_top: Vec<HashMap<ClipId, f64>>,
+    frontier_top: Vec<f64>,
+    processed_top: HashSet<ClipId>,
+    // --- bottom-side state.
+    stamp_btm: usize,
+    seen_btm: Vec<HashMap<ClipId, f64>>,
+    frontier_btm: Vec<f64>,
+    processed_btm: HashSet<ClipId>,
+    /// Memoised complete clip scores (g over all queried tables).
+    scores: HashMap<ClipId, f64>,
+}
+
+impl<'a> TbClip<'a> {
+    /// Open the iterator over a catalog for one query.
+    pub fn new(
+        catalog: &'a IngestedVideo,
+        query: &ActionQuery,
+        scoring: &'a dyn ScoringFunctions,
+    ) -> Self {
+        let mut tables: Vec<&'a ClipScoreTable> =
+            query.objects.iter().map(|&o| catalog.object_table(o)).collect();
+        tables.push(catalog.action_table(query.action));
+        let n = tables.len();
+        Self {
+            tables,
+            scoring,
+            n_objects: query.objects.len(),
+            stamp_top: 0,
+            seen_top: vec![HashMap::new(); n],
+            frontier_top: vec![f64::INFINITY; n],
+            processed_top: HashSet::new(),
+            stamp_btm: 0,
+            seen_btm: vec![HashMap::new(); n],
+            frontier_btm: vec![0.0; n],
+            processed_btm: HashSet::new(),
+            scores: HashMap::new(),
+        }
+    }
+
+    /// The memoised complete score of a clip: random-accesses each queried
+    /// table once, ever.
+    pub fn score_of(&mut self, clip: ClipId) -> f64 {
+        if let Some(&s) = self.scores.get(&clip) {
+            return s;
+        }
+        let mut object_scores = Vec::with_capacity(self.n_objects);
+        for t in &self.tables[..self.n_objects] {
+            object_scores.push(t.random_score(clip));
+        }
+        let action_score = self.tables[self.n_objects].random_score(clip);
+        let s = self.scoring.g(&object_scores, action_score);
+        self.scores.insert(clip, s);
+        s
+    }
+
+    /// Whether a clip's score has already been memoised (no access charge).
+    pub fn score_cached(&self, clip: ClipId) -> bool {
+        self.scores.contains_key(&clip)
+    }
+
+    /// Advance the top side: sorted access in parallel until a new
+    /// non-skipped candidate appears in all tables (step 1), then return
+    /// the max-scoring candidate (step 2).
+    fn next_top(&mut self, skip: &SkipSet) -> Option<(ClipId, f64)> {
+        // Step 1 (loop guard): sorted access until the *intersection*
+        // `C_∩^top` of the seen sets holds a fresh, unskipped clip — FA's
+        // guarantee that the true maximum of the remaining clips is among
+        // the clips seen so far.
+        loop {
+            let has_fresh_intersection = self.seen_top[0].keys().any(|c| {
+                self.seen_top[1..].iter().all(|s| s.contains_key(c))
+                    && !self.processed_top.contains(c)
+                    && !skip.contains(*c)
+            });
+            if has_fresh_intersection {
+                break;
+            }
+            // Parallel sorted access on row `stamp_top` of every table.
+            let mut any_row = false;
+            for (i, t) in self.tables.iter().enumerate() {
+                if let Some((cid, s)) = t.sorted_row(self.stamp_top) {
+                    self.seen_top[i].insert(cid, s);
+                    self.frontier_top[i] = s;
+                    any_row = true;
+                }
+            }
+            self.stamp_top += 1;
+            if !any_row {
+                // Every table exhausted: no further top clips exist.
+                return None;
+            }
+        }
+        // Step 2: candidates are the *union* `C_∪^top` of seen clips (minus
+        // processed and skipped). TA refinement: score candidates in
+        // decreasing optimistic-bound order and stop once the bound cannot
+        // beat the best completed score.
+        let mut candidates: Vec<(ClipId, f64)> = Vec::new();
+        let mut bound_scratch = vec![0.0f64; self.tables.len()];
+        for (i, seen) in self.seen_top.iter().enumerate() {
+            for (&c, &s) in seen {
+                if self.processed_top.contains(&c) || skip.contains(c) {
+                    continue;
+                }
+                if i > 0 && self.seen_top[..i].iter().any(|m| m.contains_key(&c)) {
+                    continue; // already contributed by an earlier table
+                }
+                // Optimistic bound: seen coordinates, frontier elsewhere.
+                for (j, slot) in bound_scratch.iter_mut().enumerate() {
+                    *slot = self.seen_top[j].get(&c).copied().unwrap_or_else(|| {
+                        if self.frontier_top[j].is_finite() {
+                            self.frontier_top[j]
+                        } else {
+                            s // no frontier yet: fall back to own coordinate
+                        }
+                    });
+                }
+                let bound = self
+                    .scoring
+                    .g(&bound_scratch[..self.n_objects], bound_scratch[self.n_objects]);
+                candidates.push((c, bound));
+            }
+        }
+        candidates
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let mut best: Option<(ClipId, f64)> = None;
+        for (c, bound) in candidates {
+            if let Some((_, bs)) = best {
+                if bound <= bs {
+                    break; // no remaining candidate can beat the best
+                }
+            }
+            let s = if self.scores.contains_key(&c) || bound > best.map_or(f64::NEG_INFINITY, |(_, bs)| bs) {
+                self.score_of(c)
+            } else {
+                continue;
+            };
+            if best.map_or(true, |(bc, bs)| s > bs || (s == bs && c < bc)) {
+                best = Some((c, s));
+            }
+        }
+        let best = best?;
+        self.processed_top.insert(best.0);
+        Some(best)
+    }
+
+    /// Mirror of [`Self::next_top`] from the bottom (steps 3-4).
+    fn next_bottom(&mut self, skip: &SkipSet) -> Option<(ClipId, f64)> {
+        loop {
+            let has_fresh_intersection = self.seen_btm[0].keys().any(|c| {
+                self.seen_btm[1..].iter().all(|s| s.contains_key(c))
+                    && !self.processed_btm.contains(c)
+                    && !skip.contains(*c)
+            });
+            if has_fresh_intersection {
+                break;
+            }
+            let mut any_row = false;
+            for (i, t) in self.tables.iter().enumerate() {
+                if let Some((cid, s)) = t.reverse_row(self.stamp_btm) {
+                    self.seen_btm[i].insert(cid, s);
+                    self.frontier_btm[i] = s;
+                    any_row = true;
+                }
+            }
+            self.stamp_btm += 1;
+            if !any_row {
+                return None;
+            }
+        }
+        // Mirror of the top side: pessimistic (lower) bounds — a clip's
+        // unseen coordinates are at least the bottom frontier; clips whose
+        // lower bound already exceeds the best minimum cannot win.
+        let mut candidates: Vec<(ClipId, f64)> = Vec::new();
+        let mut bound_scratch = vec![0.0f64; self.tables.len()];
+        for (i, seen) in self.seen_btm.iter().enumerate() {
+            for (&c, &s) in seen {
+                if self.processed_btm.contains(&c) || skip.contains(c) {
+                    continue;
+                }
+                if i > 0 && self.seen_btm[..i].iter().any(|m| m.contains_key(&c)) {
+                    continue;
+                }
+                let _ = s;
+                for (j, slot) in bound_scratch.iter_mut().enumerate() {
+                    *slot = self.seen_btm[j]
+                        .get(&c)
+                        .copied()
+                        .unwrap_or(self.frontier_btm[j]);
+                }
+                let bound = self
+                    .scoring
+                    .g(&bound_scratch[..self.n_objects], bound_scratch[self.n_objects]);
+                candidates.push((c, bound));
+            }
+        }
+        candidates
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let mut best: Option<(ClipId, f64)> = None;
+        for (c, bound) in candidates {
+            if let Some((_, bs)) = best {
+                if bound >= bs {
+                    break;
+                }
+            }
+            let s = self.score_of(c);
+            if best.map_or(true, |(bc, bs)| s < bs || (s == bs && c < bc)) {
+                best = Some((c, s));
+            }
+        }
+        let best = best?;
+        self.processed_btm.insert(best.0);
+        Some(best)
+    }
+
+    /// One invocation of the iterator: the next top and bottom clips.
+    pub fn next(&mut self, skip: &SkipSet) -> TbClipStep {
+        TbClipStep { top: self.next_top(skip), bottom: self.next_bottom(skip) }
+    }
+
+    /// The set of clips processed from the top (`C_top`).
+    pub fn processed_top(&self) -> &HashSet<ClipId> {
+        &self.processed_top
+    }
+
+    /// The set of clips processed from the bottom (`C_btm`).
+    pub fn processed_bottom(&self) -> &HashSet<ClipId> {
+        &self.processed_btm
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use svq_storage::{SequenceSet, SimulatedDisk};
+    use svq_types::{
+        ActionClass, ClipInterval, Interval, ObjectClass, PaperScoring,
+        VideoGeometry, VideoId, Vocabulary,
+    };
+
+    fn iv(s: u64, e: u64) -> ClipInterval {
+        Interval::new(ClipId::new(s), ClipId::new(e))
+    }
+
+    /// Catalog with known scores: clips 0..10.
+    /// car:     clip i has score 10 - i  (i in 0..10)
+    /// jumping: clip i has score i + 1   (i in 0..10)
+    /// g = S_a * sum(S_o):  score(i) = (i+1) * (10-i).
+    pub(crate) fn catalog() -> IngestedVideo {
+        let disk = SimulatedDisk::new();
+        let car = ObjectClass::named("car");
+        let jumping = ActionClass::named("jumping");
+        let mut object_tables: Vec<_> = (0..ObjectClass::cardinality())
+            .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
+            .collect();
+        let mut action_tables: Vec<_> = (0..ActionClass::cardinality())
+            .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
+            .collect();
+        object_tables[car.index()] = svq_storage::ClipScoreTable::new(
+            (0..10).map(|i| (ClipId::new(i), (10 - i) as f64)).collect(),
+            disk.clone(),
+        );
+        action_tables[jumping.index()] = svq_storage::ClipScoreTable::new(
+            (0..10).map(|i| (ClipId::new(i), (i + 1) as f64)).collect(),
+            disk.clone(),
+        );
+        let mut object_sequences =
+            vec![SequenceSet::empty(); ObjectClass::cardinality()];
+        let mut action_sequences =
+            vec![SequenceSet::empty(); ActionClass::cardinality()];
+        object_sequences[car.index()] = SequenceSet::new(vec![iv(0, 9)]);
+        action_sequences[jumping.index()] = SequenceSet::new(vec![iv(0, 9)]);
+        IngestedVideo::new(
+            VideoId::new(0),
+            VideoGeometry::default(),
+            10,
+            object_tables,
+            action_tables,
+            object_sequences,
+            action_sequences,
+            disk,
+        )
+    }
+
+    fn g(i: u64) -> f64 {
+        (i as f64 + 1.0) * (10.0 - i as f64)
+    }
+
+    #[test]
+    fn delivers_clips_in_score_order_from_both_ends() {
+        let cat = catalog();
+        let query = ActionQuery::named("jumping", &["car"]);
+        let skip = SkipSet::new(cat.result_sequences(&query));
+        let mut tb = TbClip::new(&cat, &query, &PaperScoring);
+
+        // Expected order: scores (i+1)(10-i) peak at i=4,5 (30), fall to 10
+        // at i=0 and i=9.
+        let mut tops = Vec::new();
+        let mut btms = Vec::new();
+        for _ in 0..5 {
+            let step = tb.next(&skip);
+            if let Some((c, s)) = step.top {
+                assert!((s - g(c.raw())).abs() < 1e-9);
+                tops.push(s);
+            }
+            if let Some((c, s)) = step.bottom {
+                assert!((s - g(c.raw())).abs() < 1e-9);
+                btms.push(s);
+            }
+        }
+        // Tops non-increasing, bottoms non-decreasing.
+        assert!(tops.windows(2).all(|w| w[0] >= w[1]), "{tops:?}");
+        assert!(btms.windows(2).all(|w| w[0] <= w[1]), "{btms:?}");
+        assert_eq!(tops[0], 30.0);
+        assert_eq!(btms[0], 10.0);
+    }
+
+    #[test]
+    fn exhausts_after_all_clips_processed() {
+        let cat = catalog();
+        let query = ActionQuery::named("jumping", &["car"]);
+        let skip = SkipSet::new(cat.result_sequences(&query));
+        let mut tb = TbClip::new(&cat, &query, &PaperScoring);
+        let mut produced = HashSet::new();
+        for _ in 0..20 {
+            let step = tb.next(&skip);
+            if let Some((c, _)) = step.top {
+                produced.insert(c);
+            }
+            if let Some((c, _)) = step.bottom {
+                produced.insert(c);
+            }
+            if step.top.is_none() && step.bottom.is_none() {
+                break;
+            }
+        }
+        // Every clip eventually delivered by one side or the other.
+        assert_eq!(produced.len(), 10);
+    }
+
+    #[test]
+    fn skipped_sequences_are_never_random_accessed() {
+        let cat = catalog();
+        let query = ActionQuery::named("jumping", &["car"]);
+        let mut skip = SkipSet::new(SequenceSet::new(vec![iv(0, 4), iv(6, 9)]));
+        skip.skip_sequence(0); // clips 0..=4 conclusively ranked
+        cat.disk().reset();
+        let mut tb = TbClip::new(&cat, &query, &PaperScoring);
+        let mut produced = Vec::new();
+        loop {
+            let step = tb.next(&skip);
+            if let Some((c, _)) = step.top {
+                produced.push(c.raw());
+            }
+            if step.top.is_none() && step.bottom.is_none() {
+                break;
+            }
+        }
+        assert!(produced.iter().all(|c| (6..=9).contains(c)), "{produced:?}");
+        // Random accesses only for clips 6..=9 (2 tables each) = 8.
+        assert_eq!(cat.disk().stats().random_accesses, 8);
+    }
+
+    #[test]
+    fn scores_memoised_across_calls() {
+        let cat = catalog();
+        let query = ActionQuery::named("jumping", &["car"]);
+        let skip = SkipSet::new(cat.result_sequences(&query));
+        let mut tb = TbClip::new(&cat, &query, &PaperScoring);
+        for _ in 0..10 {
+            tb.next(&skip);
+        }
+        // 10 clips x 2 tables = at most 20 random accesses ever.
+        assert!(cat.disk().stats().random_accesses <= 20);
+        assert!(tb.score_cached(ClipId::new(4)));
+    }
+
+    #[test]
+    fn absent_clip_scores_zero() {
+        let cat = catalog();
+        let query = ActionQuery::named("jumping", &["car"]);
+        let mut tb = TbClip::new(&cat, &query, &PaperScoring);
+        assert_eq!(tb.score_of(ClipId::new(99)), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! SVAQ — Algorithm 1.
+//!
+//! The static online algorithm: critical values are derived once (Eq. 5)
+//! from an a-priori background probability and never change. Its accuracy
+//! therefore depends on how well `p0` matches the stream's true noise floor
+//! — the sensitivity Figure 2 demonstrates and SVAQD removes.
+
+use super::config::OnlineConfig;
+use super::indicator::{evaluate_clip, ClipEvaluation, CriticalValues};
+use super::merger::SequenceMerger;
+use super::OnlineResult;
+use std::time::Instant;
+use svq_scanstats::critical_value;
+use svq_types::{ActionQuery, ClipInterval, VideoGeometry};
+use svq_vision::stream::ClipView;
+use svq_vision::VideoStream;
+
+/// Algorithm 1: streaming action-query processing with static critical
+/// values.
+#[derive(Debug)]
+pub struct Svaq {
+    query: ActionQuery,
+    config: OnlineConfig,
+    criticals: CriticalValues,
+    merger: SequenceMerger,
+    evaluations: Vec<ClipEvaluation>,
+}
+
+impl Svaq {
+    /// Initialise from background probabilities: `p_obj` for every object
+    /// predicate and `p_act` for the action (the paper's
+    /// `k_crit_o_init` / `k_crit_a_init` derivation of §3.2).
+    pub fn new(
+        query: ActionQuery,
+        geometry: VideoGeometry,
+        config: OnlineConfig,
+        p_obj: f64,
+        p_act: f64,
+    ) -> Self {
+        let w_obj = geometry.frames_per_clip();
+        let w_act = geometry.shots_per_clip;
+        let k_obj = critical_value(p_obj, w_obj, config.horizon_windows, config.alpha);
+        let k_act = critical_value(p_act, w_act, config.horizon_windows, config.alpha);
+        let criticals = CriticalValues {
+            objects: vec![k_obj; query.objects.len()],
+            action: k_act,
+        };
+        Self::with_criticals(query, config, criticals)
+    }
+
+    /// Initialise with explicit critical values (each predicate may have its
+    /// own, as the paper notes below Algorithm 1).
+    pub fn with_criticals(
+        query: ActionQuery,
+        config: OnlineConfig,
+        criticals: CriticalValues,
+    ) -> Self {
+        assert_eq!(
+            criticals.objects.len(),
+            query.objects.len(),
+            "one critical value per object predicate"
+        );
+        Self {
+            query,
+            config,
+            criticals,
+            merger: SequenceMerger::new(),
+            evaluations: Vec::new(),
+        }
+    }
+
+    /// The critical values in force.
+    pub fn criticals(&self) -> &CriticalValues {
+        &self.criticals
+    }
+
+    /// Process the next clip; returns a result sequence if this clip closed
+    /// one (results stream out with bounded delay).
+    pub fn push_clip(&mut self, view: &mut ClipView<'_>) -> Option<ClipInterval> {
+        let eval = evaluate_clip(view, &self.query, &self.criticals, &self.config);
+        let closed = self.merger.push(eval.clip, eval.positive);
+        self.evaluations.push(eval);
+        closed
+    }
+
+    /// End of stream: all result sequences plus the evaluation trace.
+    pub fn finish(self) -> (Vec<ClipInterval>, Vec<ClipEvaluation>) {
+        (self.merger.finish(), self.evaluations)
+    }
+
+    /// Convenience: run over a whole stream and collect the result.
+    pub fn run(
+        query: ActionQuery,
+        stream: &mut VideoStream<'_>,
+        config: OnlineConfig,
+        p_obj: f64,
+        p_act: f64,
+    ) -> OnlineResult {
+        let mut svaq = Svaq::new(query, stream.geometry(), config, p_obj, p_act);
+        let start = Instant::now();
+        while let Some(mut view) = stream.next_clip() {
+            svaq.push_clip(&mut view);
+        }
+        stream.ledger_mut().charge_algorithm(start.elapsed());
+        let (sequences, evaluations) = svaq.finish();
+        OnlineResult { sequences, cost: *stream.ledger(), evaluations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use svq_types::{
+        ActionClass, BBox, FrameId, Interval, ObjectClass, TrackId, VideoId,
+    };
+    use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
+    use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
+
+    /// 20 clips; car & jumping together on clips 5..=9.
+    fn oracle(suite: ModelSuite) -> DetectionOracle {
+        let mut gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 1_000);
+        gt.tracks.push(ObjectTrack {
+            class: ObjectClass::named("car"),
+            track: TrackId::new(1),
+            frames: Interval::new(FrameId::new(250), FrameId::new(499)),
+            visibility: 1.0,
+            bbox: BBox::FULL,
+        });
+        gt.actions.push(ActionSpan {
+            class: ActionClass::named("jumping"),
+            frames: Interval::new(FrameId::new(250), FrameId::new(499)),
+            salience: 1.0,
+        });
+        let confusion = SceneConfusion {
+            objects: vec![(ObjectClass::named("car"), 1.0)],
+            actions: vec![(ActionClass::named("jumping"), 1.0)],
+        };
+        DetectionOracle::new(Arc::new(gt), suite, &confusion, 21)
+    }
+
+    #[test]
+    fn ideal_models_recover_exact_truth() {
+        let oracle = oracle(ModelSuite::ideal());
+        let mut stream = VideoStream::new(&oracle);
+        let result = Svaq::run(
+            ActionQuery::named("jumping", &["car"]),
+            &mut stream,
+            OnlineConfig::default(),
+            1e-4,
+            1e-4,
+        );
+        assert_eq!(
+            result.sequences,
+            vec![Interval::new(svq_types::ClipId::new(5), svq_types::ClipId::new(9))]
+        );
+        assert_eq!(result.positive_clips(), 5);
+    }
+
+    #[test]
+    fn realistic_models_find_the_episode_with_reasonable_p0() {
+        let oracle = oracle(ModelSuite::accurate());
+        let mut stream = VideoStream::new(&oracle);
+        let result = Svaq::run(
+            ActionQuery::named("jumping", &["car"]),
+            &mut stream,
+            OnlineConfig::default(),
+            0.05,
+            0.05,
+        );
+        // The episode (clips 5..=9) must be substantially covered, allowing
+        // model-noise fragmentation.
+        let truth = Interval::new(svq_types::ClipId::new(5), svq_types::ClipId::new(9));
+        let covered: u64 = result.sequences.iter().map(|s| s.overlap_len(&truth)).sum();
+        assert!(
+            covered >= 3,
+            "sequences {:?} miss the episode",
+            result.sequences
+        );
+    }
+
+    #[test]
+    fn too_low_p0_floods_with_false_positives() {
+        // With p0 = 1e-6 the object critical value is ~2 frames; the bursty
+        // confusable noise (FPR ~0.2) then satisfies predicates everywhere.
+        let oracle = oracle(ModelSuite::accurate());
+        let mut stream = VideoStream::new(&oracle);
+        let result = Svaq::run(
+            ActionQuery::named("jumping", &["car"]),
+            &mut stream,
+            OnlineConfig::default(),
+            1e-6,
+            1e-6,
+        );
+        // More positive clips than the 5 genuine ones.
+        assert!(
+            result.positive_clips() > 5,
+            "expected noise-driven positives, got {}",
+            result.positive_clips()
+        );
+    }
+
+    #[test]
+    fn streaming_emission_matches_batch_result() {
+        let oracle = oracle(ModelSuite::accurate());
+        let query = ActionQuery::named("jumping", &["car"]);
+        let config = OnlineConfig::default();
+
+        let mut s1 = VideoStream::new(&oracle);
+        let batch = Svaq::run(query.clone(), &mut s1, config, 0.05, 0.05);
+
+        let mut s2 = VideoStream::new(&oracle);
+        let mut svaq = Svaq::new(query, s2.geometry(), config, 0.05, 0.05);
+        let mut streamed = Vec::new();
+        while let Some(mut view) = s2.next_clip() {
+            if let Some(seq) = svaq.push_clip(&mut view) {
+                streamed.push(seq);
+            }
+        }
+        let (all, _) = svaq.finish();
+        assert_eq!(all, batch.sequences);
+        // Every streamed (early-emitted) sequence is a prefix of the final.
+        assert_eq!(&all[..streamed.len()], &streamed[..]);
+    }
+
+    #[test]
+    fn higher_p0_raises_critical_values() {
+        let geometry = VideoGeometry::default();
+        let q = ActionQuery::named("jumping", &["car"]);
+        let low = Svaq::new(q.clone(), geometry, OnlineConfig::default(), 1e-5, 1e-5);
+        let high = Svaq::new(q, geometry, OnlineConfig::default(), 0.2, 0.2);
+        assert!(high.criticals().objects[0] > low.criticals().objects[0]);
+        assert!(high.criticals().action >= low.criticals().action);
+    }
+}

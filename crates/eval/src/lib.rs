@@ -1,0 +1,25 @@
+//! # svq-eval
+//!
+//! Evaluation machinery for the reproduction: the metrics of §5.1 and the
+//! workloads of Tables 1-3.
+//!
+//! * [`metrics`] — sequence-level F1 at temporal IoU η (the paper's
+//!   matching procedure), frame-level F1, precision/recall.
+//! * [`fpr`] — the Table 5 analysis: raw (pre-SVAQD) per-occurrence-unit
+//!   false-positive rates of the detection models versus the rates after
+//!   SVAQD's clip-level filtering.
+//! * [`workloads`] — the **YouTube** query sets `q1`-`q12` (Table 1
+//!   actions/objects/lengths), the **Movies** cases (Table 2), and the
+//!   predicate-variation set of Table 3, all as seeded synthetic scenarios.
+//! * [`runner`] — drives SVAQ/SVAQD over a query set and reduces to the
+//!   reported numbers; used by every online experiment.
+
+pub mod fpr;
+pub mod metrics;
+pub mod runner;
+pub mod workloads;
+
+pub use fpr::{measure_fpr, FprPair, FprReport};
+pub use metrics::{f1_score, match_counts, MatchCounts};
+pub use runner::{run_query_set, EvalOutcome, OnlineAlgorithm};
+pub use workloads::{movies_workload, youtube_workload, MovieCase, QuerySet};

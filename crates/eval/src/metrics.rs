@@ -1,0 +1,196 @@
+//! The evaluation metrics of §5.1.
+//!
+//! **Sequence F1.** A result sequence matches a ground-truth sequence iff
+//! their temporal IoU exceeds η (0.5 in the paper, "signifying substantial
+//! overlap"). A result sequence matching any ground-truth sequence is a
+//! true positive; otherwise a false positive. A ground-truth sequence whose
+//! IoU with every result sequence is below η is a false negative.
+//!
+//! **Frame-level F1.** Membership is judged per frame: a frame is positive
+//! in the prediction iff it lies in some result sequence, in the truth iff
+//! it lies in some ground-truth sequence. Used by Figure 5 to show the
+//! clip-size insensitivity of the *content* retrieved.
+
+use svq_types::{ClipInterval, FrameId, FrameInterval, VideoGeometry};
+
+/// TP/FP/FN counters, summable across videos.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchCounts {
+    pub tp: u64,
+    pub fp: u64,
+    pub fn_: u64,
+}
+
+impl MatchCounts {
+    /// Precision `tp / (tp + fp)`; 1 when nothing was predicted and nothing
+    /// should have been.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            if self.fn_ == 0 { 1.0 } else { 0.0 }
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            if self.fp == 0 { 1.0 } else { 0.0 }
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+    }
+
+    /// Accumulate another video's counters.
+    pub fn add(&mut self, other: MatchCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Convenience: F1 of a single prediction/truth pair at threshold `eta`.
+pub fn f1_score(results: &[FrameInterval], truth: &[FrameInterval], eta: f64) -> f64 {
+    match_counts(results, truth, eta).f1()
+}
+
+/// The §5.1 matching procedure at IoU threshold `eta`.
+pub fn match_counts(
+    results: &[FrameInterval],
+    truth: &[FrameInterval],
+    eta: f64,
+) -> MatchCounts {
+    let mut counts = MatchCounts::default();
+    for r in results {
+        if truth.iter().any(|t| r.iou(t) > eta) {
+            counts.tp += 1;
+        } else {
+            counts.fp += 1;
+        }
+    }
+    for t in truth {
+        if !results.iter().any(|r| r.iou(t) > eta) {
+            counts.fn_ += 1;
+        }
+    }
+    counts
+}
+
+/// Frame-level counters over a video of `total_frames` frames.
+pub fn frame_counts(
+    results: &[FrameInterval],
+    truth: &[FrameInterval],
+    total_frames: u64,
+) -> MatchCounts {
+    // Interval lists are sorted and disjoint; sweep both.
+    let mut counts = MatchCounts::default();
+    let inside = |ivs: &[FrameInterval], f: u64| {
+        let idx = ivs.partition_point(|iv| iv.end.raw() < f);
+        ivs.get(idx).is_some_and(|iv| iv.contains(FrameId::new(f)))
+    };
+    for f in 0..total_frames {
+        let in_r = inside(results, f);
+        let in_t = inside(truth, f);
+        match (in_r, in_t) {
+            (true, true) => counts.tp += 1,
+            (true, false) => counts.fp += 1,
+            (false, true) => counts.fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    counts
+}
+
+/// Express clip-level result sequences as frame intervals at a geometry.
+pub fn clips_to_frames(
+    sequences: &[ClipInterval],
+    geometry: VideoGeometry,
+) -> Vec<FrameInterval> {
+    sequences
+        .iter()
+        .map(|s| s.scale::<FrameId>(geometry.frames_per_clip() as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svq_types::{ClipId, Interval};
+
+    fn fi(s: u64, e: u64) -> FrameInterval {
+        Interval::new(FrameId::new(s), FrameId::new(e))
+    }
+
+    #[test]
+    fn exact_match_is_perfect() {
+        let truth = vec![fi(100, 199), fi(400, 499)];
+        let c = match_counts(&truth, &truth, 0.5);
+        assert_eq!(c, MatchCounts { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn iou_threshold_gates_matches() {
+        let truth = vec![fi(0, 99)];
+        // 60 % overlap: IoU = 60/100... result [0,59]: inter 60, union 100
+        // -> 0.6 > 0.5 matches.
+        let c = match_counts(&[fi(0, 59)], &truth, 0.5);
+        assert_eq!(c, MatchCounts { tp: 1, fp: 0, fn_: 0 });
+        // 40 % overlap fails: fp and fn.
+        let c = match_counts(&[fi(0, 39)], &truth, 0.5);
+        assert_eq!(c, MatchCounts { tp: 0, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn fragmentation_costs_precision_not_recall() {
+        // One 100-frame truth found as one 70-frame fragment (IoU 0.7)
+        // plus a 10-frame splinter (IoU 0.1).
+        let truth = vec![fi(0, 99)];
+        let results = vec![fi(0, 69), fi(90, 99)];
+        let c = match_counts(&results, &truth, 0.5);
+        assert_eq!(c, MatchCounts { tp: 1, fp: 1, fn_: 0 });
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(match_counts(&[], &[], 0.5).f1(), 1.0);
+        let c = match_counts(&[], &[fi(0, 9)], 0.5);
+        assert_eq!(c, MatchCounts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(c.f1(), 0.0);
+        let c = match_counts(&[fi(0, 9)], &[], 0.5);
+        assert_eq!(c, MatchCounts { tp: 0, fp: 1, fn_: 0 });
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn frame_level_counts() {
+        let truth = vec![fi(10, 19)];
+        let results = vec![fi(15, 24)];
+        let c = frame_counts(&results, &truth, 30);
+        assert_eq!(c, MatchCounts { tp: 5, fp: 5, fn_: 5 });
+        assert!((c.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_sequences_scale_to_frames() {
+        let geometry = VideoGeometry::default(); // 50 frames/clip
+        let seqs = vec![Interval::new(ClipId::new(2), ClipId::new(3))];
+        assert_eq!(clips_to_frames(&seqs, geometry), vec![fi(100, 199)]);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut acc = MatchCounts::default();
+        acc.add(MatchCounts { tp: 1, fp: 2, fn_: 0 });
+        acc.add(MatchCounts { tp: 3, fp: 0, fn_: 1 });
+        assert_eq!(acc, MatchCounts { tp: 4, fp: 2, fn_: 1 });
+    }
+}

@@ -1,0 +1,353 @@
+//! The paper's workloads as seeded synthetic scenarios.
+//!
+//! **YouTube (Table 1).** Twelve query sets over ActivityNet-style videos;
+//! each set names one action, one or two queried objects, and the total
+//! footage (minutes) containing the action. We reproduce the structure:
+//! each set is a collection of 2-3 minute videos of the set's activity,
+//! with queried objects attached in genre-appropriate roles (a faucet is
+//! strongly correlated with washing dishes; a tree is scenery for
+//! volleyball).
+//!
+//! **Movies (Table 2).** Four feature-length films with the paper's exact
+//! runtimes, action and object predicates.
+//!
+//! **Predicate variations (Table 3).** The blowing-leaves and
+//! washing-dishes query ladders with varying object predicates, including
+//! the highly correlated high-accuracy `person` predicate the paper
+//! highlights.
+//!
+//! Everything is deterministic in the workload `seed`, and `scale` shrinks
+//! footage for fast test runs (1.0 = paper scale).
+
+use svq_types::{ActionQuery, ObjectClass, VideoGeometry, VideoId};
+use svq_vision::synth::{MovieSpec, ObjectSpec, ScenarioSpec, SyntheticVideo};
+
+/// One evaluated query set: the query plus its videos.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// Identifier, e.g. `"q1"`.
+    pub id: &'static str,
+    /// The evaluated query.
+    pub query: ActionQuery,
+    /// The set's videos (each with its ground truth and confusion).
+    pub videos: Vec<SyntheticVideo>,
+}
+
+impl QuerySet {
+    /// Total frames across the set.
+    pub fn total_frames(&self) -> u64 {
+        self.videos.iter().map(|v| v.truth.total_frames).sum()
+    }
+}
+
+/// Table 1 rows: (id, action, objects, minutes).
+pub const YOUTUBE_SPECS: [(&str, &str, &[&str], u32); 12] = [
+    ("q1", "washing dishes", &["faucet", "oven"], 57),
+    ("q2", "blowing leaves", &["car", "plant"], 52),
+    ("q3", "walking the dog", &["tree", "chair"], 127),
+    ("q4", "drinking beer", &["bottle", "chair"], 63),
+    ("q5", "volleyball", &["tree"], 110),
+    ("q6", "playing rubik cube", &["clock"], 89),
+    ("q7", "cleaning sink", &["faucet", "knife"], 84),
+    ("q8", "kneeling", &["tree"], 104),
+    ("q9", "doing crunches", &["chair"], 85),
+    ("q10", "blow-drying hair", &["kid"], 138),
+    ("q11", "washing hands", &["faucet", "dish"], 113),
+    ("q12", "archery", &["sunglasses"], 156),
+];
+
+/// Per-set detector-confusion multipliers: kitchen scenes with small
+/// ambiguous objects (faucet, dish, oven) are the hardest; open-air scenes
+/// with large objects the easiest.
+pub const SET_NOISE: [f64; 12] =
+    [1.6, 1.3, 1.0, 1.2, 0.9, 0.8, 1.6, 0.7, 1.0, 1.4, 1.5, 0.6];
+
+/// Genre-appropriate role for a queried object within its activity.
+fn role_for(object: &str, action: &str) -> ObjectSpec {
+    let class = ObjectClass::named(object);
+    match (object, action) {
+        // Instruments of the activity: almost always present during it.
+        ("faucet", "washing dishes" | "cleaning sink" | "washing hands")
+        | ("bottle", "drinking beer")
+        | ("kid", "blow-drying hair")
+        | ("dish", "washing hands") => ObjectSpec::correlated(class),
+        // Scene furniture that co-occurs often.
+        ("oven", _) | ("chair", _) | ("plant", _) | ("knife", _) => {
+            ObjectSpec::scene(class)
+        }
+        // Background/incidental.
+        _ => ObjectSpec::incidental(class),
+    }
+}
+
+/// Build one YouTube query set at `scale` (1.0 = Table 1 footage).
+pub fn youtube_query_set(index: usize, scale: f64, seed: u64) -> QuerySet {
+    let (id, action, objects, minutes) = YOUTUBE_SPECS[index];
+    let query = ActionQuery::named(action, objects);
+    let geometry = VideoGeometry::default();
+    let total_frames =
+        (minutes as f64 * 60.0 * geometry.fps as f64 * scale).round() as u64;
+    // ActivityNet videos average ~2.5 minutes.
+    let per_video = (150.0 * geometry.fps as f64) as u64;
+    let n_videos = (total_frames / per_video).max(1);
+
+    // Different activities confuse the detectors to different degrees (a
+    // cluttered kitchen fools a faucet detector far more than a street
+    // scene fools a car detector) — Table 5's per-query FPR spread — and
+    // different *videos* of the same activity differ again (lighting,
+    // clutter, camera): the §3.3 rush-hour point. The per-set base below is
+    // semantic (small ambiguous objects confuse more); the per-video factor
+    // cycles through quiet/typical/noisy footage, which a statically
+    // configured SVAQ cannot track but SVAQD re-adapts to.
+    let base_mult = SET_NOISE[index];
+    let videos = (0..n_videos)
+        .map(|v| {
+            let video_mult = base_mult * [0.7, 1.0, 1.6][(v % 3) as usize];
+            let specs: Vec<ObjectSpec> = objects
+                .iter()
+                .map(|o| {
+                    let mut s = role_for(o, action);
+                    s.confusion *= video_mult;
+                    s
+                })
+                .collect();
+            let mut spec = ScenarioSpec::activitynet(
+                VideoId::new((index as u64) << 32 | v),
+                per_video,
+                query.action,
+                specs,
+                seed ^ (index as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ v,
+            );
+            spec.action_confusion = video_mult;
+            spec.generate()
+        })
+        .collect();
+    QuerySet { id, query, videos }
+}
+
+/// All twelve YouTube query sets.
+pub fn youtube_workload(scale: f64, seed: u64) -> Vec<QuerySet> {
+    (0..YOUTUBE_SPECS.len())
+        .map(|i| youtube_query_set(i, scale, seed))
+        .collect()
+}
+
+/// One movie case of Table 2.
+#[derive(Debug, Clone)]
+pub struct MovieCase {
+    pub title: &'static str,
+    pub query: ActionQuery,
+    pub video: SyntheticVideo,
+}
+
+/// Table 2 rows: (title, action, objects, minutes).
+pub const MOVIE_SPECS: [(&str, &str, &[&str], u32); 4] = [
+    ("Coffee and Cigarettes", "smoking", &["wine glass", "cup"], 96),
+    ("Iron Man", "robot dancing", &["car", "airplane"], 126),
+    ("Star Wars 3", "archery", &["bird", "cat"], 134),
+    ("Titanic", "kissing", &["surfboard", "boat"], 194),
+];
+
+/// Build the movie workload at `scale` (1.0 = Table 2 runtimes).
+pub fn movies_workload(scale: f64, seed: u64) -> Vec<MovieCase> {
+    MOVIE_SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, (title, action, objects, minutes))| {
+            let query = ActionQuery::named(action, objects);
+            // Movie objects drift in and out of frame within scenes
+            // (duty cycle < 1), which is what puts boundary clips with
+            // partial scores deep in the clip score tables.
+            let specs: Vec<ObjectSpec> = objects
+                .iter()
+                .map(|o| {
+                    let mut s = ObjectSpec::scene(ObjectClass::named(o));
+                    s.duty_cycle = 0.95;
+                    s
+                })
+                .collect();
+            let spec = MovieSpec::new(
+                VideoId::new(1_000 + i as u64),
+                title,
+                ((*minutes as f64) * scale).round().max(2.0) as u32,
+                query.action,
+                specs,
+                seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            MovieCase { title, query, video: spec.generate() }
+        })
+        .collect()
+}
+
+/// Table 3: the predicate-variation ladders. Returns `(label, query)`
+/// pairs; the underlying videos come from the base query set so predicates
+/// are evaluated against identical footage.
+pub fn table3_queries() -> Vec<(&'static str, ActionQuery)> {
+    vec![
+        ("a=blowing leaves", ActionQuery::named("blowing leaves", &[])),
+        (
+            "a=blowing leaves, o1=person",
+            ActionQuery::named("blowing leaves", &["person"]),
+        ),
+        (
+            "a=blowing leaves, o1=plant",
+            ActionQuery::named("blowing leaves", &["plant"]),
+        ),
+        (
+            "a=blowing leaves, o1=car",
+            ActionQuery::named("blowing leaves", &["car"]),
+        ),
+        (
+            "a=blowing leaves, o1=person, o2=car",
+            ActionQuery::named("blowing leaves", &["person", "car"]),
+        ),
+        (
+            "a=blowing leaves, o1=person, o2=plant, o3=car",
+            ActionQuery::named("blowing leaves", &["person", "plant", "car"]),
+        ),
+        ("a=washing dishes", ActionQuery::named("washing dishes", &[])),
+        (
+            "a=washing dishes, o1=person",
+            ActionQuery::named("washing dishes", &["person"]),
+        ),
+        (
+            "a=washing dishes, o1=oven",
+            ActionQuery::named("washing dishes", &["oven"]),
+        ),
+        (
+            "a=washing dishes, o1=faucet",
+            ActionQuery::named("washing dishes", &["faucet"]),
+        ),
+        (
+            "a=washing dishes, o1=faucet, o2=oven",
+            ActionQuery::named("washing dishes", &["faucet", "oven"]),
+        ),
+        (
+            "a=washing dishes, o1=person, o2=faucet, o3=oven",
+            ActionQuery::named("washing dishes", &["person", "faucet", "oven"]),
+        ),
+    ]
+}
+
+/// The footage for Table 3: blowing-leaves and washing-dishes scenes that
+/// contain *all* the ladder's objects, with `person` as the high-accuracy
+/// highly correlated predicate the paper highlights (visible whenever the
+/// activity runs, barely confusable).
+pub fn table3_videos(scale: f64, seed: u64) -> (Vec<SyntheticVideo>, Vec<SyntheticVideo>) {
+    let geometry = VideoGeometry::default();
+    let per_video = (150.0 * geometry.fps as f64) as u64;
+    let build = |action: &str, objects: Vec<ObjectSpec>, minutes: f64, base: u64| {
+        let total = (minutes * 60.0 * geometry.fps as f64 * scale).round() as u64;
+        let n = (total / per_video).max(1);
+        (0..n)
+            .map(|v| {
+                ScenarioSpec::activitynet(
+                    VideoId::new(base + v),
+                    per_video,
+                    svq_types::ActionClass::named(action),
+                    objects.clone(),
+                    seed ^ base ^ v,
+                )
+                .generate()
+            })
+            .collect::<Vec<_>>()
+    };
+    let person = ObjectSpec {
+        class: ObjectClass::named("person"),
+        action_correlation: 1.0,
+        independent_rate: 0.8,
+        mean_visible: 1_500.0,
+        confusion: 0.1, // people are easy for COCO detectors
+        duty_cycle: 0.95,
+    };
+    let leaves = build(
+        "blowing leaves",
+        vec![
+            person,
+            ObjectSpec::scene(ObjectClass::named("car")),
+            ObjectSpec::scene(ObjectClass::named("plant")),
+        ],
+        52.0,
+        2_000,
+    );
+    let dishes = build(
+        "washing dishes",
+        vec![
+            person,
+            ObjectSpec::correlated(ObjectClass::named("faucet")),
+            ObjectSpec::scene(ObjectClass::named("oven")),
+        ],
+        57.0,
+        3_000,
+    );
+    (leaves, dishes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svq_types::Vocabulary;
+
+    #[test]
+    fn twelve_sets_with_table1_structure() {
+        let sets = youtube_workload(0.05, 7);
+        assert_eq!(sets.len(), 12);
+        let q1 = &sets[0];
+        assert_eq!(q1.id, "q1");
+        assert_eq!(q1.query.action.name(), "washing dishes");
+        assert_eq!(q1.query.objects.len(), 2);
+        assert!(!q1.videos.is_empty());
+    }
+
+    #[test]
+    fn footage_scales_with_table1_minutes() {
+        let sets = youtube_workload(0.1, 7);
+        // q12 (156 min) has about 3x the footage of q1 (57 min).
+        let q1 = sets[0].total_frames() as f64;
+        let q12 = sets[11].total_frames() as f64;
+        assert!(q12 / q1 > 2.0, "q1={q1} q12={q12}");
+    }
+
+    #[test]
+    fn movies_match_table2() {
+        let movies = movies_workload(0.05, 3);
+        assert_eq!(movies.len(), 4);
+        assert_eq!(movies[0].title, "Coffee and Cigarettes");
+        assert_eq!(movies[0].query.action.name(), "smoking");
+        assert_eq!(movies[3].query.objects.len(), 2);
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = youtube_workload(0.05, 9);
+        let b = youtube_workload(0.05, 9);
+        assert_eq!(a[3].videos[0].truth, b[3].videos[0].truth);
+        let c = youtube_workload(0.05, 10);
+        assert_ne!(a[3].videos[0].truth, c[3].videos[0].truth);
+    }
+
+    #[test]
+    fn table3_has_twelve_ladder_rows() {
+        let qs = table3_queries();
+        assert_eq!(qs.len(), 12);
+        assert!(qs[0].1.objects.is_empty());
+        assert_eq!(qs[5].1.objects.len(), 3);
+        let (leaves, dishes) = table3_videos(0.05, 5);
+        assert!(!leaves.is_empty());
+        assert!(!dishes.is_empty());
+    }
+
+    #[test]
+    fn queried_objects_appear_in_ground_truth() {
+        let sets = youtube_workload(0.1, 7);
+        for set in &sets {
+            for &obj in &set.query.objects {
+                let appears = set
+                    .videos
+                    .iter()
+                    .any(|v| !v.truth.object_intervals(obj).is_empty());
+                assert!(appears, "{}: {} never appears", set.id, obj.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Abstract syntax of the SVQ-ACT dialect.
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// Items of the `SELECT` list.
+    pub select: Vec<SelectItem>,
+    /// The processed source (`FROM (PROCESS … )`).
+    pub from: ProcessClause,
+    /// The predicate expression.
+    pub predicate: Expr,
+    /// `ORDER BY RANK(act, obj)` present?
+    pub order_by_rank: bool,
+    /// `LIMIT k`.
+    pub limit: Option<u64>,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `MERGE(clipID) [AS alias]`.
+    MergeClipId { alias: Option<String> },
+    /// `RANK(act, obj)`.
+    Rank,
+}
+
+/// The `PROCESS inputVideo PRODUCE … USING …` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessClause {
+    /// The processed source name (e.g. `inputVideo`).
+    pub source: String,
+    /// Produced bindings, e.g. `clipID`, `obj USING ObjectDetector`.
+    pub produces: Vec<Produce>,
+}
+
+/// One `PRODUCE` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Produce {
+    /// Binding name (`clipID`, `obj`, `act`, `det`, …).
+    pub name: String,
+    /// Model bound with `USING`, if any.
+    pub using: Option<String>,
+}
+
+/// Predicate expressions of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `act = 'name'`.
+    ActionEq(String),
+    /// `obj.include('a', 'b', …)` (alias: `obj.inc`).
+    ObjInclude(Vec<String>),
+    /// `leftOf('a', 'b')` spatial relationship.
+    LeftOf(String, String),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Flatten into conjunctive normal form: a conjunction of clauses, each
+    /// a disjunction of leaves. Distribution is exponential in the worst
+    /// case, which is acceptable for hand-written query predicates.
+    pub fn to_cnf(&self) -> Vec<Vec<Expr>> {
+        match self {
+            Expr::And(a, b) => {
+                let mut out = a.to_cnf();
+                out.extend(b.to_cnf());
+                out
+            }
+            Expr::Or(a, b) => {
+                let left = a.to_cnf();
+                let right = b.to_cnf();
+                let mut out = Vec::with_capacity(left.len() * right.len());
+                for l in &left {
+                    for r in &right {
+                        let mut clause = l.clone();
+                        clause.extend(r.iter().cloned());
+                        out.push(clause);
+                    }
+                }
+                out
+            }
+            // `obj.include('a','b')` is itself a conjunction of presences.
+            Expr::ObjInclude(objs) => objs
+                .iter()
+                .map(|o| vec![Expr::ObjInclude(vec![o.clone()])])
+                .collect(),
+            leaf => vec![vec![leaf.clone()]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(n: &str) -> Expr {
+        Expr::ActionEq(n.into())
+    }
+
+    fn obj(n: &str) -> Expr {
+        Expr::ObjInclude(vec![n.into()])
+    }
+
+    #[test]
+    fn cnf_of_conjunction_is_singleton_clauses() {
+        let e = Expr::And(Box::new(act("a")), Box::new(obj("x")));
+        assert_eq!(e.to_cnf(), vec![vec![act("a")], vec![obj("x")]]);
+    }
+
+    #[test]
+    fn cnf_distributes_or_over_and() {
+        // (a OR b) AND x  →  [a, b], [x]
+        let e = Expr::And(
+            Box::new(Expr::Or(Box::new(act("a")), Box::new(act("b")))),
+            Box::new(obj("x")),
+        );
+        assert_eq!(e.to_cnf(), vec![vec![act("a"), act("b")], vec![obj("x")]]);
+        // a OR (x AND y)  →  [a, x], [a, y]
+        let e = Expr::Or(
+            Box::new(act("a")),
+            Box::new(Expr::And(Box::new(obj("x")), Box::new(obj("y")))),
+        );
+        assert_eq!(
+            e.to_cnf(),
+            vec![vec![act("a"), obj("x")], vec![act("a"), obj("y")]]
+        );
+    }
+
+    #[test]
+    fn include_expands_to_one_clause_per_object() {
+        let e = Expr::ObjInclude(vec!["x".into(), "y".into()]);
+        assert_eq!(e.to_cnf(), vec![vec![obj("x")], vec![obj("y")]]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Plan execution: bind a [`LogicalPlan`] to the engines.
+//!
+//! Online plans run SVAQD (or the CNF engine for extended predicates) over
+//! a [`VideoStream`]; offline plans run RVAQ over an [`IngestedVideo`].
+
+use crate::plan::{LogicalPlan, PlannedPredicate, QueryMode};
+use svq_core::expr::ExprSvaqd;
+use svq_core::offline::{Rvaq, RvaqOptions, TopKResult};
+use svq_core::online::{OnlineConfig, OnlineResult, Svaqd};
+use svq_storage::IngestedVideo;
+use svq_types::{ClipInterval, ScoringFunctions, SvqError, SvqResult};
+use svq_vision::{CostLedger, VideoStream};
+
+/// Result of an online statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineExecution {
+    pub sequences: Vec<ClipInterval>,
+    pub cost: CostLedger,
+}
+
+/// Execute an online plan over a stream with SVAQD defaults
+/// (`p_obj_0 = p_act_0 = 1e-4`; SVAQD is insensitive to the choice).
+pub fn execute_online(
+    plan: &LogicalPlan,
+    stream: &mut VideoStream<'_>,
+    config: OnlineConfig,
+) -> SvqResult<OnlineExecution> {
+    match plan.mode {
+        QueryMode::Online => {}
+        QueryMode::Offline { .. } => {
+            return Err(SvqError::InvalidQuery(
+                "offline plan executed against a stream; use execute_offline".into(),
+            ))
+        }
+    }
+    let sequences = match &plan.predicate {
+        PlannedPredicate::Simple(q) => {
+            let OnlineResult { sequences, .. } =
+                Svaqd::run(q.clone(), stream, config, 1e-4, 1e-4);
+            sequences
+        }
+        PlannedPredicate::Cnf(q) => {
+            ExprSvaqd::run(q.clone(), stream, config, 1e-4, 1e-4)
+        }
+    };
+    Ok(OnlineExecution { sequences, cost: *stream.ledger() })
+}
+
+/// Execute an offline plan against an ingested catalog.
+pub fn execute_offline(
+    plan: &LogicalPlan,
+    catalog: &IngestedVideo,
+    scoring: &dyn ScoringFunctions,
+) -> SvqResult<TopKResult> {
+    let k = match plan.mode {
+        QueryMode::Offline { k } => k,
+        QueryMode::Online => {
+            return Err(SvqError::InvalidQuery(
+                "online plan executed against a repository; use execute_online".into(),
+            ))
+        }
+    };
+    match &plan.predicate {
+        PlannedPredicate::Simple(q) => {
+            Ok(Rvaq::run(catalog, q, scoring, RvaqOptions::new(k)))
+        }
+        PlannedPredicate::Cnf(_) => Err(SvqError::InvalidQuery(
+            "extended (CNF) predicates are supported online; the offline \
+             engine requires the canonical single-action conjunction"
+                .into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::sync::Arc;
+    use svq_core::offline::ingest;
+    use svq_types::{
+        ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, PaperScoring,
+        TrackId, VideoGeometry, VideoId,
+    };
+    use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
+    use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
+
+    fn oracle() -> DetectionOracle {
+        let mut gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 1_500);
+        gt.tracks.push(ObjectTrack {
+            class: ObjectClass::named("car"),
+            track: TrackId::new(1),
+            frames: Interval::new(FrameId::new(400), FrameId::new(999)),
+            visibility: 1.0,
+            bbox: BBox::FULL,
+        });
+        gt.actions.push(ActionSpan {
+            class: ActionClass::named("jumping"),
+            frames: Interval::new(FrameId::new(500), FrameId::new(899)),
+            salience: 1.0,
+        });
+        DetectionOracle::new(
+            Arc::new(gt),
+            ModelSuite::ideal(),
+            &SceneConfusion::default(),
+            0,
+        )
+    }
+
+    #[test]
+    fn end_to_end_online_statement() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) AS Sequence \
+             FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+             act USING ActionRecognizer) \
+             WHERE act='jumping' AND obj.include('car')",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        let oracle = oracle();
+        let mut stream = VideoStream::new(&oracle);
+        let result =
+            execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
+        // jumping 500-899 = clips 10..=17; car covers it.
+        assert_eq!(
+            result.sequences,
+            vec![Interval::new(ClipId::new(10), ClipId::new(17))]
+        );
+        assert!(result.cost.inference_ms() >= 0.0);
+    }
+
+    #[test]
+    fn end_to_end_offline_statement() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+             FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+             act USING ActionRecognizer) \
+             WHERE act='jumping' AND obj.include('car') \
+             ORDER BY RANK(act, obj) LIMIT 1",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        let oracle = oracle();
+        let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
+        let result = execute_offline(&plan, &catalog, &PaperScoring).unwrap();
+        assert_eq!(result.ranked.len(), 1);
+        assert_eq!(
+            result.ranked[0].interval,
+            Interval::new(ClipId::new(10), ClipId::new(17))
+        );
+    }
+
+    #[test]
+    fn mode_mismatch_is_rejected() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        let oracle = oracle();
+        let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
+        assert!(execute_offline(&plan, &catalog, &PaperScoring).is_err());
+    }
+
+    #[test]
+    fn online_cnf_statement_executes() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE (act='jumping' OR act='kissing') AND obj.include('car')",
+        )
+        .unwrap();
+        let plan = LogicalPlan::from_statement(&stmt).unwrap();
+        let oracle = oracle();
+        let mut stream = VideoStream::new(&oracle);
+        let result =
+            execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
+        assert_eq!(
+            result.sequences,
+            vec![Interval::new(ClipId::new(10), ClipId::new(17))]
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Tokenizer for the SVQ-ACT dialect.
+//!
+//! Keywords are case-insensitive; string literals use single quotes;
+//! identifiers are `[A-Za-z_][A-Za-z0-9_]*`. Every token carries its byte
+//! offset so parse errors point at the source.
+
+use svq_types::{SvqError, SvqResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword or identifier (uppercased for keywords, original otherwise —
+    /// the parser decides by comparing case-insensitively).
+    Ident(String),
+    /// `'…'` string literal (contents, unquoted).
+    Str(String),
+    /// Integer literal.
+    Int(u64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Dot,
+    Star,
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub offset: usize,
+}
+
+/// Tokenize a statement.
+pub fn lex(src: &str) -> SvqResult<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Eq, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, offset: i });
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] as char != '\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SvqError::Parse {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(src[begin..i].to_string()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i].parse().map_err(|_| SvqError::Parse {
+                    message: "integer literal out of range".into(),
+                    offset: start,
+                })?;
+                out.push(Spanned { tok: Tok::Int(n), offset: start });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(SvqError::Parse {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT MERGE(clipID)"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("MERGE".into()),
+                Tok::LParen,
+                Tok::Ident("clipID".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_numbers_and_punctuation() {
+        assert_eq!(
+            toks("act = 'robot_dancing' LIMIT 5"),
+            vec![
+                Tok::Ident("act".into()),
+                Tok::Eq,
+                Tok::Str("robot_dancing".into()),
+                Tok::Ident("LIMIT".into()),
+                Tok::Int(5),
+            ]
+        );
+        assert_eq!(
+            toks("obj.include('a','b')"),
+            vec![
+                Tok::Ident("obj".into()),
+                Tok::Dot,
+                Tok::Ident("include".into()),
+                Tok::LParen,
+                Tok::Str("a".into()),
+                Tok::Comma,
+                Tok::Str("b".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let spanned = lex("ab 'cd'").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_offset() {
+        let err = lex("act = 'oops").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte 6"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_strange_characters() {
+        assert!(lex("a # b").is_err());
+    }
+}

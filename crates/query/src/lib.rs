@@ -1,0 +1,43 @@
+//! # svq-query
+//!
+//! The declarative surface language of SVQ-ACT (§1-§2 of the paper): a
+//! SQL-like dialect whose `PROCESS … PRODUCE … USING` clause exposes vision
+//! models as relations and whose `WHERE` clause mixes action and object
+//! predicates. Two canonical statement shapes:
+//!
+//! **Online** (streaming; results as the video plays):
+//!
+//! ```sql
+//! SELECT MERGE(clipID) AS Sequence
+//! FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector,
+//!       act USING ActionRecognizer)
+//! WHERE act = 'jumping' AND obj.include('car', 'person')
+//! ```
+//!
+//! **Offline** (top-K over an ingested repository):
+//!
+//! ```sql
+//! SELECT MERGE(clipID) AS Sequence, RANK(act, obj)
+//! FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker,
+//!       act USING ActionRecognizer)
+//! WHERE act = 'jumping' AND obj.include('car', 'person')
+//! ORDER BY RANK(act, obj) LIMIT 5
+//! ```
+//!
+//! Extensions follow the paper's footnotes: `OR` between predicates
+//! (normalised to CNF), several `act = …` conjuncts (multiple actions), and
+//! `leftOf('a', 'b')` spatial relationships.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`plan`] (semantic
+//! analysis against the model vocabularies, logical plan, `EXPLAIN`) →
+//! [`exec`] (binds the plan to the online engines or the offline RVAQ).
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use exec::{execute_offline, execute_online};
+pub use parser::parse;
+pub use plan::{LogicalPlan, QueryMode};

@@ -1,0 +1,355 @@
+//! Recursive-descent parser for the SVQ-ACT dialect.
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Tok};
+use svq_types::{SvqError, SvqResult};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map_or(usize::MAX, |s| s.offset)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> SvqResult<T> {
+        Err(SvqError::Parse { message: message.into(), offset: self.offset() })
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume an identifier matching `kw` case-insensitively.
+    fn keyword(&mut self, kw: &str) -> SvqResult<()> {
+        match self.peek() {
+            Some(Spanned { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected {kw}")),
+        }
+    }
+
+    /// Whether the next token is the given keyword (without consuming).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { tok: Tok::Ident(s), .. })
+            if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> SvqResult<()> {
+        match self.peek() {
+            Some(s) if s.tok == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> SvqResult<String> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Ident(s), .. }) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected {what}"))
+            }
+        }
+    }
+
+    fn string(&mut self, what: &str) -> SvqResult<String> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected {what}"))
+            }
+        }
+    }
+
+    // SELECT item: MERGE(clipID) [AS alias] | RANK(act, obj)
+    fn select_item(&mut self) -> SvqResult<SelectItem> {
+        if self.at_keyword("MERGE") {
+            self.keyword("MERGE")?;
+            self.expect(Tok::LParen, "(")?;
+            let col = self.ident("clipID")?;
+            if !col.eq_ignore_ascii_case("clipid") {
+                return self.err("MERGE takes clipID");
+            }
+            self.expect(Tok::RParen, ")")?;
+            let alias = if self.at_keyword("AS") {
+                self.keyword("AS")?;
+                Some(self.ident("alias")?)
+            } else {
+                None
+            };
+            Ok(SelectItem::MergeClipId { alias })
+        } else if self.at_keyword("RANK") {
+            self.keyword("RANK")?;
+            self.expect(Tok::LParen, "(")?;
+            // Accept any identifier list inside RANK(...).
+            loop {
+                self.ident("rank argument")?;
+                if matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, ")")?;
+            Ok(SelectItem::Rank)
+        } else {
+            self.err("expected MERGE(clipID) or RANK(...)")
+        }
+    }
+
+    // FROM ( PROCESS source PRODUCE name [USING Model] {, name [USING Model]} )
+    fn process_clause(&mut self) -> SvqResult<ProcessClause> {
+        self.keyword("FROM")?;
+        self.expect(Tok::LParen, "(")?;
+        self.keyword("PROCESS")?;
+        let source = self.ident("source name")?;
+        self.keyword("PRODUCE")?;
+        let mut produces = Vec::new();
+        loop {
+            let name = self.ident("produced binding")?;
+            let using = if self.at_keyword("USING") {
+                self.keyword("USING")?;
+                Some(self.ident("model name")?)
+            } else {
+                None
+            };
+            produces.push(Produce { name, using });
+            if matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, ")")?;
+        Ok(ProcessClause { source, produces })
+    }
+
+    // predicate := term {AND term} ; term := factor {OR factor}
+    // Standard precedence: AND binds tighter than OR in SQL — but the
+    // paper's examples only chain ANDs; we give OR the *lower* precedence
+    // as in SQL.
+    fn predicate(&mut self) -> SvqResult<Expr> {
+        let mut left = self.conjunction()?;
+        while self.at_keyword("OR") {
+            self.keyword("OR")?;
+            let right = self.conjunction()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> SvqResult<Expr> {
+        let mut left = self.factor()?;
+        while self.at_keyword("AND") {
+            self.keyword("AND")?;
+            let right = self.factor()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> SvqResult<Expr> {
+        if matches!(self.peek(), Some(Spanned { tok: Tok::LParen, .. })) {
+            self.pos += 1;
+            let e = self.predicate()?;
+            self.expect(Tok::RParen, ")")?;
+            return Ok(e);
+        }
+        let name = self.ident("predicate")?;
+        if name.eq_ignore_ascii_case("act") {
+            self.expect(Tok::Eq, "=")?;
+            let action = self.string("action name")?;
+            Ok(Expr::ActionEq(action))
+        } else if name.eq_ignore_ascii_case("obj") {
+            self.expect(Tok::Dot, ".")?;
+            let method = self.ident("include")?;
+            if !(method.eq_ignore_ascii_case("include") || method.eq_ignore_ascii_case("inc")) {
+                return self.err("expected obj.include(...)");
+            }
+            self.expect(Tok::LParen, "(")?;
+            let mut objs = vec![self.string("object name")?];
+            while matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+                self.pos += 1;
+                objs.push(self.string("object name")?);
+            }
+            self.expect(Tok::RParen, ")")?;
+            Ok(Expr::ObjInclude(objs))
+        } else if name.eq_ignore_ascii_case("leftof") {
+            self.expect(Tok::LParen, "(")?;
+            let a = self.string("object name")?;
+            self.expect(Tok::Comma, ",")?;
+            let b = self.string("object name")?;
+            self.expect(Tok::RParen, ")")?;
+            Ok(Expr::LeftOf(a, b))
+        } else {
+            self.pos -= 1;
+            self.err("expected act=…, obj.include(…), or leftOf(…)")
+        }
+    }
+
+    fn statement(&mut self) -> SvqResult<Statement> {
+        self.keyword("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+            self.pos += 1;
+            select.push(self.select_item()?);
+        }
+        let from = self.process_clause()?;
+        self.keyword("WHERE")?;
+        let predicate = self.predicate()?;
+        let mut order_by_rank = false;
+        let mut limit = None;
+        if self.at_keyword("ORDER") {
+            self.keyword("ORDER")?;
+            self.keyword("BY")?;
+            let item = self.select_item()?;
+            if item != SelectItem::Rank {
+                return self.err("ORDER BY supports RANK(...) only");
+            }
+            order_by_rank = true;
+        }
+        if self.at_keyword("LIMIT") {
+            self.keyword("LIMIT")?;
+            match self.next() {
+                Some(Spanned { tok: Tok::Int(n), .. }) => limit = Some(n),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected LIMIT count");
+                }
+            }
+        }
+        if self.pos != self.toks.len() {
+            return self.err("unexpected trailing tokens");
+        }
+        Ok(Statement { select, from, predicate, order_by_rank, limit })
+    }
+}
+
+/// Parse one statement.
+pub fn parse(src: &str) -> SvqResult<Statement> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONLINE: &str = "SELECT MERGE(clipID) AS Sequence \
+        FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+        act USING ActionRecognizer) \
+        WHERE act='jumping' AND obj.include('car', 'person')";
+
+    const OFFLINE: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+        FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+        act USING ActionRecognizer) \
+        WHERE act='jumping' AND obj.include('car', 'person') \
+        ORDER BY RANK(act, obj) LIMIT 5";
+
+    #[test]
+    fn parses_the_papers_online_statement() {
+        let stmt = parse(ONLINE).unwrap();
+        assert_eq!(
+            stmt.select,
+            vec![SelectItem::MergeClipId { alias: Some("Sequence".into()) }]
+        );
+        assert_eq!(stmt.from.source, "inputVideo");
+        assert_eq!(stmt.from.produces.len(), 3);
+        assert_eq!(stmt.from.produces[1].using.as_deref(), Some("ObjectDetector"));
+        assert!(!stmt.order_by_rank);
+        assert_eq!(stmt.limit, None);
+        match stmt.predicate {
+            Expr::And(a, b) => {
+                assert_eq!(*a, Expr::ActionEq("jumping".into()));
+                assert_eq!(
+                    *b,
+                    Expr::ObjInclude(vec!["car".into(), "person".into()])
+                );
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_offline_statement() {
+        let stmt = parse(OFFLINE).unwrap();
+        assert_eq!(stmt.select.len(), 2);
+        assert!(stmt.order_by_rank);
+        assert_eq!(stmt.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_disjunction_and_parens() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE (act='jumping' OR act='kissing') AND obj.include('person')",
+        )
+        .unwrap();
+        match stmt.predicate {
+            Expr::And(l, _) => assert!(matches!(*l, Expr::Or(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_leftof_extension() {
+        let stmt = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE leftOf('car','person') AND act='jumping'",
+        )
+        .unwrap();
+        match stmt.predicate {
+            Expr::And(l, _) => {
+                assert_eq!(*l, Expr::LeftOf("car".into(), "person".into()))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_offsets() {
+        let err = parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID)")
+            .unwrap_err();
+        assert!(err.to_string().contains("expected WHERE"), "{err}");
+        let err = parse(
+            "SELECT MERGE(frameID) FROM (PROCESS v PRODUCE clipID) WHERE act='x'",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("MERGE takes clipID"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='x' nonsense",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn order_by_requires_rank() {
+        let err = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='x' ORDER BY MERGE(clipID)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("RANK"), "{err}");
+    }
+}

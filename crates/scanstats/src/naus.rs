@@ -1,0 +1,313 @@
+//! Naus (1982) approximation of the discrete scan-statistic tail and the
+//! critical-value machinery of the paper's Eq. 5.
+//!
+//! For `N = L·w` i.i.d. Bernoulli(p) trials, let `S_w(N)` be the maximum
+//! number of successes in any window of `w` consecutive trials. The paper's
+//! footnote 6 uses the classic approximation
+//!
+//! ```text
+//! P(S_w(N) ≥ k)  ≈  1 − Q2 · (Q3 / Q2)^(L−2)
+//! ```
+//!
+//! where `Q2 = P(S_w(2w) < k)` and `Q3 = P(S_w(3w) < k)` are *exact* and
+//! given by Naus' closed forms in terms of the binomial pmf `b(·; w, p)` and
+//! cdf `F(·; w, p)`:
+//!
+//! ```text
+//! Q2 = F(k−1)² − (k−1)·b(k)·F(k−2) + w·p·b(k)·F(k−3)
+//! Q3 = F(k−1)³ − A1 + A2 + A3 − A4
+//! A1 = 2·b(k)·F(k−1)·[(k−1)·F(k−2) − w·p·F(k−3)]
+//! A2 = ½·b(k)²·[(k−1)(k−2)·F(k−3) − 2(k−2)·w·p·F(k−4) + w²p²·F(k−5)]
+//! A3 = Σ_{r=1}^{k−1} b(2k−r)·F(r−1)²
+//! A4 = Σ_{r=2}^{k−1} b(2k−r)·b(r)·(r−1)·F(r−2)
+//! ```
+//!
+//! The test-suite validates this implementation against the exact bitmask
+//! DP ([`crate::exact`]) and a Monte-Carlo estimator ([`crate::montecarlo`])
+//! over a grid of `(w, p, L, k)`.
+
+use crate::binomial::BinomialTable;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one scan-statistic test: window length `w` (the clip
+/// length in occurrence units), horizon factor `L = N/w`, and significance
+/// level `α`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Window length in occurrence units (frames for objects, shots for
+    /// actions): the paper's `w`.
+    pub window: u32,
+    /// Number of windows in the reference horizon: the paper's `L = N/w`.
+    /// SVAQ/SVAQD use the stream length observed so far (at least 2).
+    pub horizon_windows: f64,
+    /// Significance level `α` of Eq. 5.
+    pub alpha: f64,
+}
+
+impl ScanConfig {
+    /// Construct a validated configuration.
+    pub fn new(window: u32, horizon_windows: f64, alpha: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(horizon_windows >= 1.0, "horizon must cover at least one window");
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+        Self { window, horizon_windows, alpha }
+    }
+
+    /// The default significance level used throughout the reproduction.
+    pub const DEFAULT_ALPHA: f64 = 0.05;
+}
+
+/// `Q2 = P(S_w(2w) < k)`, exact (Naus 1982).
+fn q2(k: u64, w: u64, p: f64, t: &BinomialTable) -> f64 {
+    let k_i = k as i64;
+    let f1 = t.cdf(k_i - 1);
+    let bk = t.pmf(k_i);
+    f1 * f1 - (k as f64 - 1.0) * bk * t.cdf(k_i - 2) + w as f64 * p * bk * t.cdf(k_i - 3)
+}
+
+/// `Q3 = P(S_w(3w) < k)`, exact (Naus 1982).
+fn q3(k: u64, w: u64, p: f64, t: &BinomialTable) -> f64 {
+    let k_i = k as i64;
+    let kf = k as f64;
+    let wp = w as f64 * p;
+    let f1 = t.cdf(k_i - 1);
+    let bk = t.pmf(k_i);
+
+    let a1 = 2.0 * bk * f1 * ((kf - 1.0) * t.cdf(k_i - 2) - wp * t.cdf(k_i - 3));
+    let a2 = 0.5
+        * bk
+        * bk
+        * ((kf - 1.0) * (kf - 2.0) * t.cdf(k_i - 3)
+            - 2.0 * (kf - 2.0) * wp * t.cdf(k_i - 4)
+            + wp * wp * t.cdf(k_i - 5));
+    let mut a3 = 0.0;
+    for r in 1..k_i {
+        let fr1 = t.cdf(r - 1);
+        a3 += t.pmf(2 * k_i - r) * fr1 * fr1;
+    }
+    let mut a4 = 0.0;
+    for r in 2..k_i {
+        a4 += t.pmf(2 * k_i - r) * t.pmf(r) * (r as f64 - 1.0) * t.cdf(r - 2);
+    }
+    f1 * f1 * f1 - a1 + a2 + a3 - a4
+}
+
+/// `P(S_w(N) ≥ k | p, w, L)` via the Naus approximation.
+///
+/// Degenerate cases are handled exactly: `k = 0` always occurs (probability
+/// 1); `k > w` can never occur (a window of `w` trials holds at most `w`
+/// successes); `p ∈ {0, 1}` are deterministic.
+pub fn scan_tail_probability(k: u64, p: f64, w: u32, horizon_windows: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0,1]");
+    assert!(w > 0, "window must be positive");
+    let wu = w as u64;
+    if k == 0 {
+        return 1.0;
+    }
+    if k > wu {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+
+    let table = BinomialTable::new(wu, p);
+    let q2v = q2(k, wu, p, &table).clamp(0.0, 1.0);
+    if q2v == 0.0 {
+        return 1.0;
+    }
+    let l = horizon_windows.max(2.0);
+    let q3v = q3(k, wu, p, &table).clamp(0.0, q2v);
+    let ratio = (q3v / q2v).clamp(0.0, 1.0);
+    (1.0 - q2v * ratio.powf(l - 2.0)).clamp(0.0, 1.0)
+}
+
+/// The critical value of Eq. 5: the smallest `k` such that
+/// `P(S_w(N) ≥ k | p, w, L) ≤ α`.
+///
+/// The tail probability is non-increasing in `k`, so a binary search over
+/// `k ∈ [1, w]` finds the threshold in `O(log w)` tail evaluations. If even
+/// `k = w` (every occurrence unit positive) is not significant at level `α`
+/// — which happens when the background probability is high relative to the
+/// window — the value is clamped to `w`, the strictest test the window
+/// admits; SVAQD's dynamic background updates make this a transient state.
+pub fn critical_value(p: f64, w: u32, horizon_windows: f64, alpha: f64) -> u32 {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    let mut lo = 1u32; // candidate answers live in [lo, hi]
+    let mut hi = w;
+    if scan_tail_probability(w as u64, p, w, horizon_windows) > alpha {
+        return w;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if scan_tail_probability(mid as u64, p, w, horizon_windows) <= alpha {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// A memoised critical-value table.
+///
+/// SVAQD recomputes critical values every time a background probability is
+/// refreshed (Algorithm 3, line 9). Probabilities are quantised onto a log
+/// grid so repeated lookups for near-identical backgrounds hit the cache;
+/// the quantisation (1% relative) is far below the estimator's own noise.
+#[derive(Debug, Clone)]
+pub struct CriticalValueTable {
+    window: u32,
+    horizon_windows: f64,
+    alpha: f64,
+    cache: std::collections::HashMap<i32, u32>,
+}
+
+impl CriticalValueTable {
+    /// Create a table for a fixed `(w, L, α)`.
+    pub fn new(config: ScanConfig) -> Self {
+        Self {
+            window: config.window,
+            horizon_windows: config.horizon_windows,
+            alpha: config.alpha,
+            cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Quantisation key: index of `p` on a 1%-relative log grid.
+    fn key(p: f64) -> i32 {
+        // ln(1.01) ≈ 0.00995; floor to a grid cell.
+        (p.max(1e-12).ln() / 0.00995).round() as i32
+    }
+
+    /// The critical value for background probability `p` (cached).
+    pub fn critical_value(&mut self, p: f64) -> u32 {
+        let (window, horizon, alpha) = (self.window, self.horizon_windows, self.alpha);
+        *self
+            .cache
+            .entry(Self::key(p))
+            .or_insert_with(|| critical_value(p, window, horizon, alpha))
+    }
+
+    /// Number of distinct backgrounds resolved so far.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(scan_tail_probability(0, 0.3, 10, 5.0), 1.0);
+        assert_eq!(scan_tail_probability(11, 0.3, 10, 5.0), 0.0);
+        assert_eq!(scan_tail_probability(3, 0.0, 10, 5.0), 0.0);
+        assert_eq!(scan_tail_probability(3, 1.0, 10, 5.0), 1.0);
+    }
+
+    #[test]
+    fn tail_is_monotone_decreasing_in_k() {
+        for &(w, p, l) in &[(10u32, 0.1, 6.0), (50, 0.01, 20.0), (25, 0.3, 4.0)] {
+            let mut prev = 1.0;
+            for k in 1..=w as u64 {
+                let t = scan_tail_probability(k, p, w, l);
+                assert!(
+                    t <= prev + 1e-9,
+                    "tail not monotone at w={w} p={p} l={l} k={k}: {t} > {prev}"
+                );
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn tail_is_monotone_increasing_in_horizon() {
+        for k in [3u64, 5] {
+            let mut prev = 0.0;
+            for l in [2.0, 4.0, 8.0, 16.0, 64.0] {
+                let t = scan_tail_probability(k, 0.05, 20, l);
+                assert!(t >= prev - 1e-12, "k={k} l={l}: {t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn critical_value_is_threshold() {
+        for &(w, p, l, alpha) in &[
+            (50u32, 1e-4, 100.0, 0.05),
+            (50, 0.01, 100.0, 0.05),
+            (10, 0.05, 20.0, 0.01),
+            (25, 0.2, 50.0, 0.05),
+        ] {
+            let k = critical_value(p, w, l, alpha);
+            assert!(k >= 1 && k <= w);
+            assert!(
+                scan_tail_probability(k as u64, p, w, l) <= alpha,
+                "k_crit not significant: w={w} p={p}"
+            );
+            if k > 1 && k < w {
+                assert!(
+                    scan_tail_probability(k as u64 - 1, p, w, l) > alpha,
+                    "k_crit not minimal: w={w} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_value_grows_with_background() {
+        let ks: Vec<u32> = [1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.2]
+            .iter()
+            .map(|&p| critical_value(p, 50, 100.0, 0.05))
+            .collect();
+        for pair in ks.windows(2) {
+            assert!(pair[0] <= pair[1], "critical values not monotone: {ks:?}");
+        }
+        // A vanishing background needs only a couple of hits; a heavy one
+        // needs many.
+        assert!(ks[0] <= 4);
+        assert!(*ks.last().unwrap() >= 15);
+    }
+
+    #[test]
+    fn high_background_clamps_to_window() {
+        // With p close to 1 even an all-positive window is unsurprising.
+        assert_eq!(critical_value(0.999, 10, 1000.0, 1e-6), 10);
+    }
+
+    #[test]
+    fn naus_matches_exact_dp_for_small_windows() {
+        // The closed form against ground truth (no Monte-Carlo noise).
+        for &(w, p) in &[(8u32, 0.05f64), (10, 0.1), (12, 0.2), (14, 0.02)] {
+            for l in [2.0f64, 4.0, 10.0] {
+                let n = (l * w as f64) as u64;
+                for k in 1..=w as u64 {
+                    let naus = scan_tail_probability(k, p, w, l);
+                    let exact = crate::exact::scan_tail_exact(k, p, w, n);
+                    assert!(
+                        (naus - exact).abs() < 0.03,
+                        "w={w} p={p} l={l} k={k}: naus={naus} exact={exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_returns_consistent_values() {
+        let mut table = CriticalValueTable::new(ScanConfig::new(50, 100.0, 0.05));
+        let a = table.critical_value(1e-4);
+        let b = table.critical_value(1.0000001e-4); // same grid cell
+        assert_eq!(a, b);
+        assert_eq!(a, critical_value(1e-4, 50, 100.0, 0.05));
+        assert_eq!(table.cached_entries(), 1);
+        let _ = table.critical_value(0.3);
+        assert_eq!(table.cached_entries(), 2);
+    }
+}

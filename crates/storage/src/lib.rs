@@ -1,0 +1,36 @@
+//! # svq-storage
+//!
+//! The offline substrate of §4: the metadata materialised by the ingestion
+//! phase and the simulated secondary storage it lives on.
+//!
+//! * [`disk`] — a [`disk::SimulatedDisk`] counting sorted and random
+//!   accesses and charging a configurable latency per access. Tables 6-7 of
+//!   the paper report *numbers of random disk accesses* — a
+//!   substrate-independent quantity this layer reproduces exactly — and
+//!   runtimes, whose shape the latency model reproduces.
+//! * [`table`] — [`table::ClipScoreTable`], the per-class `(cid, Score)`
+//!   tables of §4.2, ordered by score, supporting forward sorted access,
+//!   reverse (bottom-up) sorted access, and random access by clip id.
+//! * [`seqset`] — [`seqset::SequenceSet`], per-class *individual sequences*
+//!   (`P_{o_i}`, `P_{a_j}`) and the interval-sweep intersection `⊗`
+//!   (Eq. 12).
+//! * [`catalog`] — [`catalog::IngestedVideo`], the bundle of tables and
+//!   sequence sets for one video, plus JSON persistence so a repository can
+//!   be ingested once and queried many times (the paper's single-time
+//!   pre-processing contract).
+//!
+//! The ingestion *pipeline* (which runs SVAQD per class to produce the
+//! sequence sets) lives in `svq-core::offline::ingest`, since it reuses the
+//! online machinery; this crate only defines the containers it fills.
+
+pub mod catalog;
+pub mod disk;
+pub mod repository;
+pub mod seqset;
+pub mod table;
+
+pub use catalog::IngestedVideo;
+pub use disk::{DiskCostProfile, DiskStats, SimulatedDisk};
+pub use repository::VideoRepository;
+pub use seqset::SequenceSet;
+pub use table::ClipScoreTable;

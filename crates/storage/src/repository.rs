@@ -1,0 +1,157 @@
+//! Multi-video repositories.
+//!
+//! §4.2: "it is very easy to add more videos or delete videos in this
+//! setting … We just associate a video identifier for each cid in the
+//! tables." A [`VideoRepository`] is that association made explicit: a
+//! collection of per-video catalogs keyed by [`VideoId`], supporting
+//! incremental addition and removal (each video's metadata is
+//! self-contained, so maintenance is O(1) per video) and directory-based
+//! persistence.
+
+use crate::catalog::IngestedVideo;
+use std::collections::BTreeMap;
+use std::path::Path;
+use svq_types::{SvqError, SvqResult, VideoId};
+
+/// A queryable collection of ingested videos.
+#[derive(Debug, Default)]
+pub struct VideoRepository {
+    videos: BTreeMap<VideoId, IngestedVideo>,
+}
+
+impl VideoRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) one video's catalog. Returns the previous catalog
+    /// if the video was already present.
+    pub fn add(&mut self, catalog: IngestedVideo) -> Option<IngestedVideo> {
+        self.videos.insert(catalog.video, catalog)
+    }
+
+    /// Remove a video.
+    pub fn remove(&mut self, video: VideoId) -> Option<IngestedVideo> {
+        self.videos.remove(&video)
+    }
+
+    /// Look up one video's catalog.
+    pub fn get(&self, video: VideoId) -> Option<&IngestedVideo> {
+        self.videos.get(&video)
+    }
+
+    /// Iterate catalogs in video-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &IngestedVideo> {
+        self.videos.values()
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Total clips across the repository.
+    pub fn total_clips(&self) -> u64 {
+        self.videos.values().map(|v| v.clip_count).sum()
+    }
+
+    /// Persist every catalog to `dir/video-<id>.json`.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> SvqResult<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (id, catalog) in &self.videos {
+            catalog.save(dir.join(format!("video-{}.json", id.raw())))?;
+        }
+        Ok(())
+    }
+
+    /// Load every `video-*.json` under `dir`.
+    pub fn load_dir(dir: impl AsRef<Path>) -> SvqResult<Self> {
+        let mut repo = Self::new();
+        for entry in std::fs::read_dir(dir.as_ref())? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("video-") && name.ends_with(".json") {
+                repo.add(IngestedVideo::load(&path)?);
+            }
+        }
+        if repo.is_empty() {
+            return Err(SvqError::MissingMetadata(format!(
+                "no video-*.json catalogs under {}",
+                dir.as_ref().display()
+            )));
+        }
+        Ok(repo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimulatedDisk;
+    use crate::seqset::SequenceSet;
+    use crate::table::ClipScoreTable;
+    use svq_types::{ActionClass, ObjectClass, VideoGeometry, Vocabulary};
+
+    fn empty_catalog(id: u64, clips: u64) -> IngestedVideo {
+        let disk = SimulatedDisk::new();
+        IngestedVideo::new(
+            VideoId::new(id),
+            VideoGeometry::default(),
+            clips,
+            (0..ObjectClass::cardinality())
+                .map(|_| ClipScoreTable::new(vec![], disk.clone()))
+                .collect(),
+            (0..ActionClass::cardinality())
+                .map(|_| ClipScoreTable::new(vec![], disk.clone()))
+                .collect(),
+            vec![SequenceSet::empty(); ObjectClass::cardinality()],
+            vec![SequenceSet::empty(); ActionClass::cardinality()],
+            disk,
+        )
+    }
+
+    #[test]
+    fn add_remove_and_totals() {
+        let mut repo = VideoRepository::new();
+        assert!(repo.is_empty());
+        repo.add(empty_catalog(1, 10));
+        repo.add(empty_catalog(2, 20));
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.total_clips(), 30);
+        assert!(repo.get(VideoId::new(1)).is_some());
+        let removed = repo.remove(VideoId::new(1)).unwrap();
+        assert_eq!(removed.video, VideoId::new(1));
+        assert_eq!(repo.total_clips(), 20);
+        // Replacement returns the old catalog.
+        assert!(repo.add(empty_catalog(2, 25)).is_some());
+        assert_eq!(repo.total_clips(), 25);
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let mut repo = VideoRepository::new();
+        repo.add(empty_catalog(7, 5));
+        repo.add(empty_catalog(8, 6));
+        let dir = std::env::temp_dir().join("svq_repo_test");
+        repo.save_dir(&dir).unwrap();
+        let loaded = VideoRepository::load_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.total_clips(), 11);
+    }
+
+    #[test]
+    fn loading_empty_dir_errors() {
+        let dir = std::env::temp_dir().join("svq_repo_empty_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(VideoRepository::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Clip score tables — the `table_{o_i}` / `table_{a_j}` of §4.2.
+//!
+//! One table per class per video: rows `(cid, Score)` with `Score > 0`,
+//! ordered by score descending. Three access paths, each metered through
+//! the [`SimulatedDisk`]:
+//!
+//! * **sorted access** — the i-th highest-scoring row (TBClip's forward
+//!   pass, Algorithm 5 step 1);
+//! * **reverse access** — the i-th *lowest*-scoring row (TBClip's bottom
+//!   pass, step 3);
+//! * **random access** — the score of a given clip id (step 2/4), `0` for
+//!   clips absent from the table (the class scored nothing there).
+
+use crate::disk::SimulatedDisk;
+use serde::{Deserialize, Serialize};
+use svq_types::ClipId;
+
+/// A per-class clip score table, sorted by score descending.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClipScoreTable {
+    /// Rows ordered by score descending (ties broken by clip id for
+    /// determinism).
+    rows: Vec<(ClipId, f64)>,
+    /// Clip-id-ordered mirror for O(log n) random access.
+    by_clip: Vec<(ClipId, f64)>,
+    /// Access meter; not persisted.
+    #[serde(skip)]
+    disk: SimulatedDisk,
+}
+
+impl ClipScoreTable {
+    /// Build from unordered `(clip, score)` pairs; zero/negative scores are
+    /// dropped (absent rows mean "score 0" by convention).
+    pub fn new(mut entries: Vec<(ClipId, f64)>, disk: SimulatedDisk) -> Self {
+        entries.retain(|(_, s)| *s > 0.0);
+        let mut by_clip = entries.clone();
+        by_clip.sort_by_key(|(c, _)| *c);
+        by_clip.dedup_by_key(|(c, _)| *c);
+        assert_eq!(by_clip.len(), entries.len(), "duplicate clip id in table");
+        let mut rows = entries;
+        rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+        });
+        Self { rows, by_clip, disk }
+    }
+
+    /// Attach a (possibly different) disk meter — used after
+    /// deserialisation.
+    pub fn attach_disk(&mut self, disk: SimulatedDisk) {
+        self.disk = disk;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sorted access: the row with the i-th highest score.
+    pub fn sorted_row(&self, i: usize) -> Option<(ClipId, f64)> {
+        let row = self.rows.get(i).copied();
+        if row.is_some() {
+            self.disk.charge_sorted();
+        }
+        row
+    }
+
+    /// Reverse access: the row with the i-th lowest score.
+    pub fn reverse_row(&self, i: usize) -> Option<(ClipId, f64)> {
+        if i >= self.rows.len() {
+            return None;
+        }
+        self.disk.charge_sorted();
+        Some(self.rows[self.rows.len() - 1 - i])
+    }
+
+    /// Random access: the score of `clip`, `0.0` if absent. Always charges
+    /// one random access — absence is only known after looking.
+    pub fn random_score(&self, clip: ClipId) -> f64 {
+        self.disk.charge_random();
+        match self.by_clip.binary_search_by_key(&clip, |(c, _)| *c) {
+            Ok(i) => self.by_clip[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Unmetered score lookup for ground-truth computations in tests and
+    /// metrics (not for use inside query algorithms).
+    pub fn peek_score(&self, clip: ClipId) -> f64 {
+        match self.by_clip.binary_search_by_key(&clip, |(c, _)| *c) {
+            Ok(i) => self.by_clip[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate rows in score order without charging (used by ingestion-side
+    /// maintenance, not by query processing).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (ClipId, f64)> + '_ {
+        self.rows.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u64) -> ClipId {
+        ClipId::new(i)
+    }
+
+    fn table(disk: &SimulatedDisk) -> ClipScoreTable {
+        ClipScoreTable::new(
+            vec![(c(3), 1.0), (c(1), 5.0), (c(7), 3.0), (c(4), 0.0), (c(9), 3.0)],
+            disk.clone(),
+        )
+    }
+
+    #[test]
+    fn rows_sorted_by_score_desc_with_id_ties() {
+        let disk = SimulatedDisk::new();
+        let t = table(&disk);
+        assert_eq!(t.len(), 4); // zero-score row dropped
+        assert_eq!(t.sorted_row(0), Some((c(1), 5.0)));
+        assert_eq!(t.sorted_row(1), Some((c(7), 3.0))); // tie: lower id first
+        assert_eq!(t.sorted_row(2), Some((c(9), 3.0)));
+        assert_eq!(t.sorted_row(3), Some((c(3), 1.0)));
+        assert_eq!(t.sorted_row(4), None);
+    }
+
+    #[test]
+    fn reverse_access_walks_from_bottom() {
+        let disk = SimulatedDisk::new();
+        let t = table(&disk);
+        assert_eq!(t.reverse_row(0), Some((c(3), 1.0)));
+        assert_eq!(t.reverse_row(3), Some((c(1), 5.0)));
+        assert_eq!(t.reverse_row(4), None);
+    }
+
+    #[test]
+    fn random_access_returns_zero_for_absent() {
+        let disk = SimulatedDisk::new();
+        let t = table(&disk);
+        assert_eq!(t.random_score(c(7)), 3.0);
+        assert_eq!(t.random_score(c(4)), 0.0); // dropped zero-score row
+        assert_eq!(t.random_score(c(100)), 0.0);
+    }
+
+    #[test]
+    fn accesses_are_metered() {
+        let disk = SimulatedDisk::new();
+        let t = table(&disk);
+        t.sorted_row(0);
+        t.sorted_row(1);
+        t.reverse_row(0);
+        t.random_score(c(1));
+        t.sorted_row(99); // out of range: no charge
+        let stats = disk.stats();
+        assert_eq!(stats.sorted_accesses, 3);
+        assert_eq!(stats.random_accesses, 1);
+        // peek is unmetered.
+        t.peek_score(c(1));
+        assert_eq!(disk.stats().random_accesses, 1);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_rows() {
+        let disk = SimulatedDisk::new();
+        let t = table(&disk);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: ClipScoreTable = serde_json::from_str(&json).unwrap();
+        back.attach_disk(disk.clone());
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.sorted_row(0), Some((c(1), 5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate clip id")]
+    fn duplicate_clip_rejected() {
+        ClipScoreTable::new(vec![(c(1), 1.0), (c(1), 2.0)], SimulatedDisk::new());
+    }
+}

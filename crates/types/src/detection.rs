@@ -1,0 +1,160 @@
+//! Records produced by the vision models.
+//!
+//! Object detectors emit per-frame [`Detection`]s (class, confidence score,
+//! bounding box); the tracker upgrades them to [`TrackedDetection`]s with a
+//! stable [`TrackId`]; action recognizers emit per-shot [`ActionScore`]s.
+//! These are precisely the quantities `S_{o_i}^{t(v)}` and `S_{a_j}^{(s)}`
+//! of the paper's §2.
+
+use crate::ids::TrackId;
+use crate::labels::{ActionClass, ObjectClass};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in normalised image coordinates
+/// (`0.0 ..= 1.0` on both axes, `(0,0)` top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    pub x0: f32,
+    pub y0: f32,
+    pub x1: f32,
+    pub y1: f32,
+}
+
+impl BBox {
+    /// Construct, normalising a flipped box so `x0 <= x1`, `y0 <= y1`.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// The full frame.
+    pub const FULL: BBox = BBox { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 };
+
+    /// Box area (zero for degenerate boxes).
+    pub fn area(&self) -> f32 {
+        (self.x1 - self.x0).max(0.0) * (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix0 = self.x0.max(other.x0);
+        let iy0 = self.y0.max(other.y0);
+        let ix1 = self.x1.min(other.x1);
+        let iy1 = self.y1.min(other.y1);
+        let inter = (ix1 - ix0).max(0.0) * (iy1 - iy0).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 { 0.0 } else { inter / union }
+    }
+
+    /// Horizontal centre, used by spatial-relationship predicates.
+    pub fn cx(&self) -> f32 {
+        (self.x0 + self.x1) * 0.5
+    }
+
+    /// Vertical centre.
+    pub fn cy(&self) -> f32 {
+        (self.y0 + self.y1) * 0.5
+    }
+
+    /// `true` if this box is entirely left of `other` (no horizontal
+    /// overlap).
+    pub fn left_of(&self, other: &BBox) -> bool {
+        self.x1 <= other.x0
+    }
+}
+
+/// One object instance detected on one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted object type.
+    pub class: ObjectClass,
+    /// Detector confidence in `[0, 1]` — the paper's `S*`.
+    pub score: f64,
+    /// Predicted location.
+    pub bbox: BBox,
+}
+
+/// A detection augmented with the tracker's stable instance identifier —
+/// the paper's `S_{o_i}^{t(v)}` carries exactly this `(class, t, score)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackedDetection {
+    pub detection: Detection,
+    pub track: TrackId,
+}
+
+/// One action category scored on one shot — the paper's `S_{a_j}^{(s)}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActionScore {
+    pub class: ActionClass,
+    /// Recognizer confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The maximum score over all instances of `class` among `detections` —
+/// the paper's `maxS_{o_i}^{(v)}`. Returns `None` if no instance of the
+/// class was detected on the frame.
+pub fn max_score_for(detections: &[Detection], class: ObjectClass) -> Option<f64> {
+    detections
+        .iter()
+        .filter(|d| d.class == class)
+        .map(|d| d.score)
+        .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: &str, score: f64) -> Detection {
+        Detection {
+            class: ObjectClass::named(class),
+            score,
+            bbox: BBox::FULL,
+        }
+    }
+
+    #[test]
+    fn bbox_normalises_flipped_corners() {
+        let b = BBox::new(0.8, 0.9, 0.2, 0.1);
+        assert_eq!((b.x0, b.y0, b.x1, b.y1), (0.2, 0.1, 0.8, 0.9));
+    }
+
+    #[test]
+    fn bbox_iou_basics() {
+        let a = BBox::new(0.0, 0.0, 0.5, 0.5);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = BBox::new(0.5, 0.5, 1.0, 1.0);
+        assert_eq!(a.iou(&b), 0.0);
+        let c = BBox::new(0.25, 0.0, 0.75, 0.5);
+        // intersection 0.25x0.5 = 0.125; union 0.25 + 0.25 - 0.125 = 0.375.
+        assert!((a.iou(&c) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bbox_spatial_relations() {
+        let a = BBox::new(0.0, 0.0, 0.3, 1.0);
+        let b = BBox::new(0.5, 0.0, 0.9, 1.0);
+        assert!(a.left_of(&b));
+        assert!(!b.left_of(&a));
+        assert!(a.cx() < b.cx());
+    }
+
+    #[test]
+    fn max_score_selects_per_class_maximum() {
+        let ds = vec![det("car", 0.4), det("car", 0.9), det("person", 0.7)];
+        assert_eq!(max_score_for(&ds, ObjectClass::named("car")), Some(0.9));
+        assert_eq!(max_score_for(&ds, ObjectClass::named("person")), Some(0.7));
+        assert_eq!(max_score_for(&ds, ObjectClass::named("dog")), None);
+    }
+
+    #[test]
+    fn degenerate_box_has_zero_area_and_iou() {
+        let p = BBox::new(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.iou(&BBox::FULL), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Result alias used across the SVQ-ACT crates.
+pub type SvqResult<T> = Result<T, SvqError>;
+
+/// Errors surfaced by the engine.
+///
+/// The enum is deliberately small: most internal invariants are enforced by
+/// construction (newtypes, validated geometry) rather than by fallible APIs;
+/// errors remain for genuinely runtime-dependent failures — unknown labels
+/// arriving from the SQL surface, malformed queries, missing ingestion
+/// metadata, and I/O during persistence.
+#[derive(Debug)]
+pub enum SvqError {
+    /// A label name did not resolve against the model vocabulary.
+    UnknownLabel { kind: &'static str, name: String },
+    /// The query is structurally invalid (e.g. no action predicate).
+    InvalidQuery(String),
+    /// A parse error in the SQL-like surface language, with byte offset.
+    Parse { message: String, offset: usize },
+    /// Ingestion metadata required by the offline engine is missing.
+    MissingMetadata(String),
+    /// Persistence / deserialisation failure.
+    Storage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SvqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvqError::UnknownLabel { kind, name } => {
+                write!(f, "unknown {kind} label: {name:?}")
+            }
+            SvqError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            SvqError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SvqError::MissingMetadata(what) => {
+                write!(f, "missing ingestion metadata: {what}")
+            }
+            SvqError::Storage(msg) => write!(f, "storage error: {msg}"),
+            SvqError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SvqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SvqError {
+    fn from(e: std::io::Error) -> Self {
+        SvqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SvqError::UnknownLabel { kind: "action", name: "flying".into() };
+        assert_eq!(e.to_string(), "unknown action label: \"flying\"");
+        let e = SvqError::Parse { message: "expected FROM".into(), offset: 12 };
+        assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SvqError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,189 @@
+//! Arithmetic between the levels of the video hierarchy.
+//!
+//! The paper fixes, per deployment, how many frames make a shot (decided by
+//! the action recognition model — "typical values in the literature range
+//! from 10-30", §2) and how many shots make a clip (a tunable parameter whose
+//! effect is studied in Figures 4-5). [`VideoGeometry`] encapsulates both
+//! choices plus the frame rate, and provides the conversions every other
+//! crate relies on.
+
+use crate::ids::{ClipId, FrameId, ShotId};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::time::Duration;
+
+/// Fixed per-video layout: frames per shot, shots per clip, frame rate.
+///
+/// The paper's running example (Figure 1): clips of fifty frames divided into
+/// five shots of ten frames — which is exactly [`VideoGeometry::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VideoGeometry {
+    /// Number of frames in one shot (the action recognizer's input length).
+    pub frames_per_shot: u32,
+    /// Number of shots in one clip.
+    pub shots_per_clip: u32,
+    /// Frames per second, used only to convert to/from wall-clock time.
+    pub fps: u32,
+}
+
+impl Default for VideoGeometry {
+    fn default() -> Self {
+        Self { frames_per_shot: 10, shots_per_clip: 5, fps: 25 }
+    }
+}
+
+impl VideoGeometry {
+    /// Create a geometry, validating that every dimension is non-zero.
+    pub fn new(frames_per_shot: u32, shots_per_clip: u32, fps: u32) -> Self {
+        assert!(frames_per_shot > 0, "frames_per_shot must be positive");
+        assert!(shots_per_clip > 0, "shots_per_clip must be positive");
+        assert!(fps > 0, "fps must be positive");
+        Self { frames_per_shot, shots_per_clip, fps }
+    }
+
+    /// A geometry identical to `self` except for the clip size (in shots).
+    /// Used by the clip-size sweep of Figures 4-5.
+    pub fn with_shots_per_clip(self, shots_per_clip: u32) -> Self {
+        Self::new(self.frames_per_shot, shots_per_clip, self.fps)
+    }
+
+    /// Frames in one clip.
+    #[inline]
+    pub const fn frames_per_clip(&self) -> u32 {
+        self.frames_per_shot * self.shots_per_clip
+    }
+
+    /// Shot containing the given frame.
+    #[inline]
+    pub fn shot_of_frame(&self, frame: FrameId) -> ShotId {
+        ShotId::new(frame.raw() / self.frames_per_shot as u64)
+    }
+
+    /// Clip containing the given frame.
+    #[inline]
+    pub fn clip_of_frame(&self, frame: FrameId) -> ClipId {
+        ClipId::new(frame.raw() / self.frames_per_clip() as u64)
+    }
+
+    /// Clip containing the given shot.
+    #[inline]
+    pub fn clip_of_shot(&self, shot: ShotId) -> ClipId {
+        ClipId::new(shot.raw() / self.shots_per_clip as u64)
+    }
+
+    /// Frames of a shot, as a raw index range.
+    #[inline]
+    pub fn frames_of_shot(&self, shot: ShotId) -> Range<u64> {
+        let start = shot.raw() * self.frames_per_shot as u64;
+        start..start + self.frames_per_shot as u64
+    }
+
+    /// Frames of a clip, as a raw index range (the paper's `V(c)`).
+    #[inline]
+    pub fn frames_of_clip(&self, clip: ClipId) -> Range<u64> {
+        let start = clip.raw() * self.frames_per_clip() as u64;
+        start..start + self.frames_per_clip() as u64
+    }
+
+    /// Shots of a clip, as a raw index range (the paper's `S(c)`).
+    #[inline]
+    pub fn shots_of_clip(&self, clip: ClipId) -> Range<u64> {
+        let start = clip.raw() * self.shots_per_clip as u64;
+        start..start + self.shots_per_clip as u64
+    }
+
+    /// Number of whole clips in a video of `total_frames` frames.
+    /// A trailing partial clip is dropped, matching the paper's
+    /// non-overlapping fixed-size clip segmentation.
+    #[inline]
+    pub fn clip_count(&self, total_frames: u64) -> u64 {
+        total_frames / self.frames_per_clip() as u64
+    }
+
+    /// Number of whole shots in a video of `total_frames` frames.
+    #[inline]
+    pub fn shot_count(&self, total_frames: u64) -> u64 {
+        total_frames / self.frames_per_shot as u64
+    }
+
+    /// Number of frames covering `duration` at this geometry's frame rate.
+    pub fn frames_in(&self, duration: Duration) -> u64 {
+        (duration.as_secs_f64() * self.fps as f64).round() as u64
+    }
+
+    /// Wall-clock timestamp of a frame.
+    pub fn time_of_frame(&self, frame: FrameId) -> Duration {
+        Duration::from_secs_f64(frame.raw() as f64 / self.fps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> VideoGeometry {
+        VideoGeometry::default() // 10 frames/shot, 5 shots/clip, 25 fps
+    }
+
+    #[test]
+    fn default_matches_paper_running_example() {
+        let g = geo();
+        assert_eq!(g.frames_per_clip(), 50);
+    }
+
+    #[test]
+    fn frame_to_shot_to_clip() {
+        let g = geo();
+        assert_eq!(g.shot_of_frame(FrameId::new(0)), ShotId::new(0));
+        assert_eq!(g.shot_of_frame(FrameId::new(9)), ShotId::new(0));
+        assert_eq!(g.shot_of_frame(FrameId::new(10)), ShotId::new(1));
+        assert_eq!(g.clip_of_frame(FrameId::new(49)), ClipId::new(0));
+        assert_eq!(g.clip_of_frame(FrameId::new(50)), ClipId::new(1));
+        assert_eq!(g.clip_of_shot(ShotId::new(4)), ClipId::new(0));
+        assert_eq!(g.clip_of_shot(ShotId::new(5)), ClipId::new(1));
+    }
+
+    #[test]
+    fn ranges_partition_the_video() {
+        let g = geo();
+        assert_eq!(g.frames_of_shot(ShotId::new(2)), 20..30);
+        assert_eq!(g.frames_of_clip(ClipId::new(1)), 50..100);
+        assert_eq!(g.shots_of_clip(ClipId::new(3)), 15..20);
+        // Every frame of clip 1 maps back to clip 1.
+        for f in g.frames_of_clip(ClipId::new(1)) {
+            assert_eq!(g.clip_of_frame(FrameId::new(f)), ClipId::new(1));
+        }
+    }
+
+    #[test]
+    fn counts_drop_partial_tail() {
+        let g = geo();
+        assert_eq!(g.clip_count(0), 0);
+        assert_eq!(g.clip_count(49), 0);
+        assert_eq!(g.clip_count(50), 1);
+        assert_eq!(g.clip_count(149), 2);
+        assert_eq!(g.shot_count(35), 3);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let g = geo();
+        let one_min = Duration::from_secs(60);
+        assert_eq!(g.frames_in(one_min), 1500);
+        assert_eq!(g.time_of_frame(FrameId::new(25)), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn clip_size_sweep_changes_only_shots_per_clip() {
+        let g = geo().with_shots_per_clip(8);
+        assert_eq!(g.frames_per_clip(), 80);
+        assert_eq!(g.frames_per_shot, 10);
+        assert_eq!(g.fps, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "shots_per_clip must be positive")]
+    fn zero_dimension_rejected() {
+        VideoGeometry::new(10, 0, 25);
+    }
+}

@@ -1,0 +1,220 @@
+//! Inclusive index intervals.
+//!
+//! The paper represents result sequences as pairs `(c_l, c_r)` of start and
+//! end *clip* identifiers, inclusive on both ends (Eq. 4), and ground-truth
+//! annotations as frame ranges. [`Interval`] is the shared representation:
+//! an inclusive `[start, end]` range over any id newtype, with the temporal
+//! overlap/IoU operations the evaluation metrics (§5.1) and the offline
+//! interval algebra (§4.2) need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inclusive `[start, end]` interval over an id type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+    Deserialize,
+)]
+pub struct Interval<Id> {
+    pub start: Id,
+    pub end: Id,
+}
+
+/// A sequence of clips `(c_l, c_r)` — the unit of query results.
+pub type ClipInterval = Interval<crate::ids::ClipId>;
+/// A frame range, used for ground-truth annotations and frame-level metrics.
+pub type FrameInterval = Interval<crate::ids::FrameId>;
+
+impl<Id> Interval<Id>
+where
+    Id: Copy + Ord + Into<u64> + From<u64>,
+{
+    /// Construct an interval; panics if `start > end` (an empty interval has
+    /// no representation — use `Option<Interval>` instead).
+    pub fn new(start: Id, end: Id) -> Self {
+        assert!(start <= end, "interval start must not exceed end");
+        Self { start, end }
+    }
+
+    /// A single-unit interval.
+    pub fn point(at: Id) -> Self {
+        Self { start: at, end: at }
+    }
+
+    /// Number of units covered (inclusive, so always ≥ 1).
+    pub fn len(&self) -> u64 {
+        self.end.into() - self.start.into() + 1
+    }
+
+    /// Always false — intervals cannot be empty — but provided so that
+    /// `len`/`is_empty` come as the usual pair.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `id` lies inside the interval.
+    pub fn contains(&self, id: Id) -> bool {
+        self.start <= id && id <= self.end
+    }
+
+    /// Whether the two intervals share at least one unit.
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether the two intervals are adjacent or overlapping (their union is
+    /// contiguous).
+    pub fn touches(&self, other: &Self) -> bool {
+        let (a, b) = if self.start <= other.start { (self, other) } else { (other, self) };
+        b.start.into() <= a.end.into() + 1
+    }
+
+    /// The overlapping sub-interval, if any.
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then(|| Self { start, end })
+    }
+
+    /// Units shared by the two intervals.
+    pub fn overlap_len(&self, other: &Self) -> u64 {
+        self.intersect(other).map_or(0, |i| i.len())
+    }
+
+    /// Temporal intersection-over-union — the matching criterion of §5.1
+    /// ("IOU of the clips of the two sequences").
+    pub fn iou(&self, other: &Self) -> f64 {
+        let inter = self.overlap_len(other);
+        if inter == 0 {
+            return 0.0;
+        }
+        let union = self.len() + other.len() - inter;
+        inter as f64 / union as f64
+    }
+
+    /// Smallest interval covering both (they need not touch).
+    pub fn hull(&self, other: &Self) -> Self {
+        Self {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Iterate the ids covered by the interval.
+    pub fn iter(&self) -> impl Iterator<Item = Id> {
+        (self.start.into()..=self.end.into()).map(Id::from)
+    }
+
+    /// Convert to an interval over another id type via raw indices — used
+    /// when a clip interval is re-expressed in frames given a fixed scale.
+    pub fn scale<Out>(&self, units_per_id: u64) -> Interval<Out>
+    where
+        Out: Copy + Ord + Into<u64> + From<u64>,
+    {
+        Interval {
+            start: Out::from(self.start.into() * units_per_id),
+            end: Out::from((self.end.into() + 1) * units_per_id - 1),
+        }
+    }
+}
+
+impl<Id: fmt::Display> fmt::Display for Interval<Id> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// Merge a list of intervals into maximal disjoint intervals: overlapping or
+/// adjacent inputs coalesce. The input need not be sorted. This is the
+/// `MERGE(clipID)` of the surface language and the merging step of Eq. 4.
+pub fn merge_intervals<Id>(mut intervals: Vec<Interval<Id>>) -> Vec<Interval<Id>>
+where
+    Id: Copy + Ord + Into<u64> + From<u64>,
+{
+    intervals.sort_by_key(|i| i.start);
+    let mut merged: Vec<Interval<Id>> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        match merged.last_mut() {
+            Some(last) if last.touches(&iv) => *last = last.hull(&iv),
+            _ => merged.push(iv),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClipId;
+
+    fn iv(s: u64, e: u64) -> ClipInterval {
+        Interval::new(ClipId::new(s), ClipId::new(e))
+    }
+
+    #[test]
+    fn len_is_inclusive() {
+        assert_eq!(iv(3, 3).len(), 1);
+        assert_eq!(iv(3, 7).len(), 5);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let a = iv(2, 5);
+        assert!(a.contains(ClipId::new(2)));
+        assert!(a.contains(ClipId::new(5)));
+        assert!(!a.contains(ClipId::new(6)));
+        assert!(a.overlaps(&iv(5, 9)));
+        assert!(!a.overlaps(&iv(6, 9)));
+        assert!(a.touches(&iv(6, 9)));
+        assert!(!a.touches(&iv(7, 9)));
+    }
+
+    #[test]
+    fn intersection_and_iou() {
+        let a = iv(0, 9);
+        let b = iv(5, 14);
+        assert_eq!(a.intersect(&b), Some(iv(5, 9)));
+        assert_eq!(a.overlap_len(&b), 5);
+        // inter 5, union 15.
+        assert!((a.iou(&b) - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(a.iou(&iv(20, 30)), 0.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_spans_gaps() {
+        assert_eq!(iv(1, 2).hull(&iv(8, 9)), iv(1, 9));
+    }
+
+    #[test]
+    fn merge_coalesces_overlapping_and_adjacent() {
+        let merged = merge_intervals(vec![iv(8, 9), iv(0, 2), iv(3, 4), iv(6, 6)]);
+        assert_eq!(merged, vec![iv(0, 4), iv(6, 6), iv(8, 9)]);
+    }
+
+    #[test]
+    fn merge_of_empty_and_singleton() {
+        assert!(merge_intervals::<ClipId>(vec![]).is_empty());
+        assert_eq!(merge_intervals(vec![iv(4, 7)]), vec![iv(4, 7)]);
+    }
+
+    #[test]
+    fn scale_clip_to_frames() {
+        // Clips of 50 frames: clip [1,2] covers frames [50, 149].
+        let frames: FrameInterval = iv(1, 2).scale(50);
+        assert_eq!(frames.start.raw(), 50);
+        assert_eq!(frames.end.raw(), 149);
+    }
+
+    #[test]
+    fn iterate_ids() {
+        let ids: Vec<u64> = iv(3, 6).iter().map(|c| c.raw()).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start must not exceed end")]
+    fn inverted_interval_rejected() {
+        iv(5, 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Query shapes.
+//!
+//! The paper's canonical query (§2) is a conjunction of one action predicate
+//! and zero or more object-presence predicates:
+//! `q : {o_1, …, o_I ∈ O; a ∈ A}`. [`ActionQuery`] is that shape.
+//!
+//! Footnotes 2-4 sketch how the framework extends to multiple actions,
+//! object relationships and disjunctions; [`Predicate`] is the extension
+//! point used by the richer expression support in `svq-core::expr`.
+
+use crate::labels::{ActionClass, ObjectClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The canonical query of §2: one action plus a conjunction of object types.
+///
+/// Predicate order matters operationally (not semantically): Algorithm 2
+/// evaluates predicates sequentially and short-circuits on the first
+/// negative, so cheaper / more selective predicates should come first. The
+/// paper leaves ordering "based on user expertise" (footnote 5); the order
+/// of [`objects`](Self::objects) is the evaluation order, objects before the
+/// action, matching Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActionQuery {
+    /// Object-presence predicates `o_1 … o_I`, in evaluation order.
+    pub objects: Vec<ObjectClass>,
+    /// The action predicate `a`.
+    pub action: ActionClass,
+}
+
+impl ActionQuery {
+    /// Build a query from an action and object classes.
+    pub fn new(action: ActionClass, objects: impl Into<Vec<ObjectClass>>) -> Self {
+        Self { objects: objects.into(), action }
+    }
+
+    /// Convenience constructor from label names; panics on unknown labels
+    /// (intended for tests and workload literals).
+    pub fn named(action: &str, objects: &[&str]) -> Self {
+        Self {
+            action: ActionClass::named(action),
+            objects: objects.iter().map(|o| ObjectClass::named(o)).collect(),
+        }
+    }
+
+    /// Number of predicates (objects plus the action).
+    pub fn predicate_count(&self) -> usize {
+        self.objects.len() + 1
+    }
+}
+
+impl fmt::Display for ActionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{a={}", self.action)?;
+        for (i, o) in self.objects.iter().enumerate() {
+            write!(f, "; o{}={}", i + 1, o)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// A single extended predicate (footnotes 2-3): the building block for the
+/// richer boolean expressions evaluated per clip by `svq-core::expr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// An object type is present (the canonical object predicate).
+    Object(ObjectClass),
+    /// An action is taking place (the canonical action predicate).
+    Action(ActionClass),
+    /// A spatial relationship between two object types holds on frames of
+    /// the clip (footnote 2) — evaluated as a binary per-frame indicator
+    /// derived from detector boxes.
+    LeftOf(ObjectClass, ObjectClass),
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Object(o) => write!(f, "obj({o})"),
+            Predicate::Action(a) => write!(f, "act({a})"),
+            Predicate::LeftOf(a, b) => write!(f, "leftOf({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_builds_the_intro_example() {
+        // §1: robot dancing while a car (and a human) are visible.
+        let q = ActionQuery::named("robot_dancing", &["car", "person"]);
+        assert_eq!(q.action, ActionClass::named("robot dancing"));
+        assert_eq!(q.objects.len(), 2);
+        assert_eq!(q.predicate_count(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let q = ActionQuery::named("jumping", &["person", "car"]);
+        assert_eq!(q.to_string(), "{a=jumping; o1=person; o2=car}");
+    }
+
+    #[test]
+    fn action_only_query_is_legal() {
+        // Table 3 includes queries with zero object predicates.
+        let q = ActionQuery::named("blowing leaves", &[]);
+        assert!(q.objects.is_empty());
+        assert_eq!(q.predicate_count(), 1);
+    }
+
+    #[test]
+    fn predicates_render() {
+        let p = Predicate::LeftOf(
+            ObjectClass::named("person"),
+            ObjectClass::named("car"),
+        );
+        assert_eq!(p.to_string(), "leftOf(person, car)");
+    }
+}

@@ -1,0 +1,188 @@
+//! Bursty error processes for the simulated models.
+//!
+//! Real detector errors are temporally correlated: a reflection that looks
+//! like a faucet stays in shot for dozens of frames; a motion blur that
+//! hides a car persists while the camera pans. Modelling errors as i.i.d.
+//! coin flips would make the scan-statistic layer's job artificially easy —
+//! isolated single-frame errors almost never reach a critical value. A
+//! two-state Markov chain ([`BurstProcess`]) reproduces the bursty structure:
+//! the process is "quiet" most of the time and occasionally enters an
+//! "active" burst whose length is geometric.
+//!
+//! The stationary rate of the process is `enter / (enter + exit)` for entry
+//! probability `enter` and exit probability `exit`; [`BurstProcess::with_rate`]
+//! solves for `enter` given a target rate and a mean burst length, which is
+//! how the model profiles express "FPR ≈ 0.2 with bursts of ~12 frames".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-state (quiet/active) Markov error process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstProcess {
+    /// P(quiet → active) per occurrence unit.
+    pub enter: f64,
+    /// P(active → quiet) per occurrence unit.
+    pub exit: f64,
+    /// Current state.
+    active: bool,
+}
+
+impl BurstProcess {
+    /// A process that is never active.
+    pub const OFF: BurstProcess = BurstProcess { enter: 0.0, exit: 1.0, active: false };
+
+    /// Build from transition probabilities.
+    pub fn new(enter: f64, exit: f64) -> Self {
+        assert!((0.0..=1.0).contains(&enter) && (0.0..=1.0).contains(&exit));
+        Self { enter, exit, active: false }
+    }
+
+    /// Build from a target stationary rate and mean burst length (in
+    /// occurrence units). `rate = enter/(enter+exit)`, `mean_burst = 1/exit`.
+    pub fn with_rate(rate: f64, mean_burst: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0,1), got {rate}");
+        assert!(mean_burst >= 1.0, "mean burst must be at least one OU");
+        if rate == 0.0 {
+            return Self::OFF;
+        }
+        let exit = 1.0 / mean_burst;
+        // rate = enter / (enter + exit)  =>  enter = exit * rate / (1-rate).
+        let enter = (exit * rate / (1.0 - rate)).min(1.0);
+        Self { enter, exit, active: false }
+    }
+
+    /// Advance one occurrence unit and report whether the process is active.
+    pub fn step(&mut self, rng: &mut impl Rng) -> bool {
+        let p = if self.active { 1.0 - self.exit } else { self.enter };
+        self.active = p > 0.0 && rng.gen_bool(p);
+        self.active
+    }
+
+    /// The stationary activity rate.
+    pub fn stationary_rate(&self) -> f64 {
+        if self.enter == 0.0 {
+            0.0
+        } else {
+            self.enter / (self.enter + self.exit)
+        }
+    }
+
+    /// Reset to the quiet state.
+    pub fn reset(&mut self) {
+        self.active = false;
+    }
+}
+
+/// Confidence-score sampler: detections need plausible scores on both sides
+/// of the decision thresholds `T_obj` / `T_act`.
+///
+/// True-positive scores concentrate high (a power-shaped distribution on
+/// `[floor, 1]`); false-positive scores concentrate just above the
+/// threshold — real detector false fires are rarely maximally confident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreModel {
+    /// Lower bound of emitted true-positive scores.
+    pub tp_floor: f64,
+    /// Shape of the true-positive distribution: larger skews toward 1.
+    pub tp_shape: f64,
+    /// Lower bound of false-positive scores.
+    pub fp_floor: f64,
+    /// Upper bound of false-positive scores.
+    pub fp_ceil: f64,
+}
+
+impl ScoreModel {
+    /// Sample a true-positive score, scaled by instance visibility.
+    pub fn sample_tp(&self, visibility: f64, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen();
+        let base = self.tp_floor + (1.0 - self.tp_floor) * u.powf(1.0 / self.tp_shape);
+        (base * (0.85 + 0.15 * visibility)).clamp(0.0, 1.0)
+    }
+
+    /// Sample a false-positive score.
+    pub fn sample_fp(&self, rng: &mut impl Rng) -> f64 {
+        rng.gen_range(self.fp_floor..self.fp_ceil)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn off_process_never_fires() {
+        let mut p = BurstProcess::OFF;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !p.step(&mut rng)));
+        assert_eq!(p.stationary_rate(), 0.0);
+    }
+
+    #[test]
+    fn with_rate_hits_target_rate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(rate, burst) in &[(0.05f64, 5.0f64), (0.2, 12.0), (0.4, 3.0)] {
+            let mut p = BurstProcess::with_rate(rate, burst);
+            assert!((p.stationary_rate() - rate).abs() < 1e-9);
+            let n = 200_000;
+            let fired = (0..n).filter(|_| p.step(&mut rng)).count();
+            let observed = fired as f64 / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.01,
+                "rate {rate} burst {burst}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_have_expected_length() {
+        let mut p = BurstProcess::with_rate(0.1, 10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bursts = Vec::new();
+        let mut current = 0u64;
+        for _ in 0..300_000 {
+            if p.step(&mut rng) {
+                current += 1;
+            } else if current > 0 {
+                bursts.push(current);
+                current = 0;
+            }
+        }
+        let mean = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean burst {mean}");
+    }
+
+    #[test]
+    fn errors_are_clustered_not_iid() {
+        // Autocorrelation at lag 1 should be clearly positive.
+        let mut p = BurstProcess::with_rate(0.2, 15.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..100_000).map(|_| p.step(&mut rng) as u8 as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let rho = cov / var;
+        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too small for bursts");
+    }
+
+    #[test]
+    fn score_models_respect_thresholds() {
+        let m = ScoreModel { tp_floor: 0.55, tp_shape: 3.0, fp_floor: 0.5, fp_ceil: 0.85 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let tp = m.sample_tp(1.0, &mut rng);
+            assert!((0.0..=1.0).contains(&tp));
+            let fp = m.sample_fp(&mut rng);
+            assert!((0.5..0.85).contains(&fp));
+        }
+        // Low visibility drags scores down (mildly: detection probability
+        // carries most of the visibility effect).
+        let hi: f64 =
+            (0..4000).map(|_| m.sample_tp(1.0, &mut rng)).sum::<f64>() / 4000.0;
+        let lo: f64 =
+            (0..4000).map(|_| m.sample_tp(0.2, &mut rng)).sum::<f64>() / 4000.0;
+        assert!(hi > lo + 0.05, "visibility should matter: {hi} vs {lo}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Model profiles: the accuracy/cost ladder of the paper's §5.1.
+//!
+//! Each profile calibrates a simulated model to the *accuracy class* of a
+//! published model — not to its pixel-level behaviour, which the query
+//! algorithms never observe. The operative quantities are the per-OU
+//! true-positive rate, the burstiness of misses, the false-positive rate on
+//! scene-confusable classes, the confidence-score distributions, and the
+//! inference cost per invocation. Table 4's ladder (Mask R-CNN > YOLOv3;
+//! ideal models = ground truth) and Table 5's pre-filter FPR levels
+//! (objects ≈ 0.18-0.31, actions ≈ 0.10-0.16 on the evaluated queries) pin
+//! the calibration.
+
+use crate::noise::ScoreModel;
+use serde::Serialize;
+
+/// Calibration of a simulated object detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ObjectDetectorProfile {
+    pub name: &'static str,
+    /// Per-frame detection probability for a fully visible instance outside
+    /// miss bursts.
+    pub tpr: f64,
+    /// Fraction of time a visible track sits in a sustained miss burst
+    /// (occlusion, blur).
+    pub miss_rate: f64,
+    /// Mean length of a miss burst, frames.
+    pub miss_burst: f64,
+    /// False-positive rate on *scene-confusable* classes (the scenario
+    /// decides which classes those are — e.g. "dish" in a kitchen video).
+    pub fp_rate_confusable: f64,
+    /// Mean false-positive burst length, frames.
+    pub fp_burst: f64,
+    /// Baseline false-positive rate on every other supported class.
+    pub fp_rate_base: f64,
+    /// Confidence scores.
+    pub scores: ScoreModel,
+    /// Simulated inference cost, milliseconds per frame.
+    pub ms_per_frame: f64,
+}
+
+/// Calibration of a simulated action recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ActionRecognizerProfile {
+    pub name: &'static str,
+    /// Per-shot recognition probability for a prototypical episode.
+    pub tpr: f64,
+    /// Mean length of recognition dropouts inside an episode, shots.
+    pub miss_burst: f64,
+    /// Fraction of time inside an episode lost to dropouts.
+    pub miss_rate: f64,
+    /// False-positive rate per shot on scene-confusable action classes.
+    pub fp_rate_confusable: f64,
+    /// Mean false-positive burst length, shots.
+    pub fp_burst: f64,
+    /// Baseline false-positive rate on other action classes.
+    pub fp_rate_base: f64,
+    /// Confidence scores.
+    pub scores: ScoreModel,
+    /// Simulated inference cost, milliseconds per shot.
+    pub ms_per_shot: f64,
+}
+
+/// Calibration of the simulated object tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrackerProfile {
+    pub name: &'static str,
+    /// Probability per frame that a track's identity is switched to a fresh
+    /// identifier (the classic tracker failure mode).
+    pub id_switch_rate: f64,
+    /// Simulated cost, milliseconds per frame.
+    pub ms_per_frame: f64,
+}
+
+// False-positive scores straddle the decision thresholds (T_obj = 0.5,
+// T_act = 0.45 by default): a real detector's false fires are mostly
+// low-confidence, so thresholding removes the bulk of them and the scan
+// statistics deal with the high-confidence remainder. Raw (pre-threshold)
+// rates are what Table 5's "w/o SVAQD" column reports.
+const DEFAULT_OBJ_SCORES: ScoreModel =
+    ScoreModel { tp_floor: 0.55, tp_shape: 2.5, fp_floor: 0.2, fp_ceil: 0.64 };
+const DEFAULT_ACT_SCORES: ScoreModel =
+    ScoreModel { tp_floor: 0.5, tp_shape: 2.0, fp_floor: 0.2, fp_ceil: 0.54 };
+
+/// Mask R-CNN (He et al. 2017): the paper's accurate two-stage detector.
+pub const MASK_RCNN: ObjectDetectorProfile = ObjectDetectorProfile {
+    name: "MaskRCNN",
+    tpr: 0.97,
+    miss_rate: 0.03,
+    miss_burst: 6.0,
+    fp_rate_confusable: 0.20,
+    fp_burst: 10.0,
+    fp_rate_base: 0.0008,
+    scores: DEFAULT_OBJ_SCORES,
+    ms_per_frame: 75.0,
+};
+
+/// YOLOv3 (Redmon & Farhadi 2018): faster, noisier one-stage detector.
+pub const YOLOV3: ObjectDetectorProfile = ObjectDetectorProfile {
+    name: "YOLOv3",
+    tpr: 0.90,
+    miss_rate: 0.06,
+    miss_burst: 8.0,
+    fp_rate_confusable: 0.30,
+    fp_burst: 14.0,
+    fp_rate_base: 0.002,
+    scores: DEFAULT_OBJ_SCORES,
+    ms_per_frame: 22.0,
+};
+
+/// Ground-truth object "detector" — the paper's Ideal Model control.
+pub const IDEAL_DETECTOR: ObjectDetectorProfile = ObjectDetectorProfile {
+    name: "IdealDetector",
+    tpr: 1.0,
+    miss_rate: 0.0,
+    miss_burst: 1.0,
+    fp_rate_confusable: 0.0,
+    fp_burst: 1.0,
+    fp_rate_base: 0.0,
+    scores: ScoreModel { tp_floor: 0.99, tp_shape: 8.0, fp_floor: 0.0, fp_ceil: 0.01 },
+    ms_per_frame: 0.0,
+};
+
+/// I3D (Carreira & Zisserman 2017): the paper's two-stream inflated 3D
+/// ConvNet action recognizer, trained on Kinetics.
+pub const I3D: ActionRecognizerProfile = ActionRecognizerProfile {
+    name: "I3D",
+    tpr: 0.97,
+    miss_burst: 1.0,
+    miss_rate: 0.02,
+    fp_rate_confusable: 0.13,
+    fp_burst: 2.0,
+    fp_rate_base: 0.001,
+    scores: DEFAULT_ACT_SCORES,
+    ms_per_shot: 140.0,
+};
+
+/// Ground-truth action "recognizer" — the Ideal Model control.
+pub const IDEAL_RECOGNIZER: ActionRecognizerProfile = ActionRecognizerProfile {
+    name: "IdealRecognizer",
+    tpr: 1.0,
+    miss_burst: 1.0,
+    miss_rate: 0.0,
+    fp_rate_confusable: 0.0,
+    fp_burst: 1.0,
+    fp_rate_base: 0.0,
+    scores: ScoreModel { tp_floor: 0.99, tp_shape: 8.0, fp_floor: 0.0, fp_ceil: 0.01 },
+    ms_per_shot: 0.0,
+};
+
+/// CenterTrack (Zhou et al. 2020): the paper's real-time tracker.
+pub const CENTER_TRACK: TrackerProfile =
+    TrackerProfile { name: "CenterTrack", id_switch_rate: 0.004, ms_per_frame: 18.0 };
+
+/// Perfect tracker — identities never switch.
+pub const IDEAL_TRACKER: TrackerProfile =
+    TrackerProfile { name: "IdealTracker", id_switch_rate: 0.0, ms_per_frame: 0.0 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_orders_accuracy_and_cost() {
+        assert!(MASK_RCNN.tpr > YOLOV3.tpr);
+        assert!(MASK_RCNN.fp_rate_confusable < YOLOV3.fp_rate_confusable);
+        assert!(MASK_RCNN.ms_per_frame > YOLOV3.ms_per_frame);
+        assert_eq!(IDEAL_DETECTOR.tpr, 1.0);
+        assert_eq!(IDEAL_DETECTOR.fp_rate_confusable, 0.0);
+    }
+
+    #[test]
+    fn confusable_fpr_matches_table5_band() {
+        // Table 5 reports pre-SVAQD object FPR of 0.18-0.31 on the evaluated
+        // queries and action FPR of 0.10-0.16.
+        for p in [MASK_RCNN, YOLOV3] {
+            assert!((0.15..=0.35).contains(&p.fp_rate_confusable), "{}", p.name);
+        }
+        assert!((0.08..=0.18).contains(&I3D.fp_rate_confusable));
+    }
+
+    #[test]
+    fn profiles_serialise() {
+        let json = serde_json::to_string(&MASK_RCNN).unwrap();
+        assert!(json.contains("MaskRCNN"));
+        assert!(json.contains("ms_per_frame"));
+    }
+}

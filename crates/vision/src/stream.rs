@@ -1,0 +1,238 @@
+//! Clip-at-a-time video streaming.
+//!
+//! [`VideoStream`] is the `X.next()` of Algorithm 1: it walks a
+//! [`DetectionOracle`] clip by clip, packaging the per-frame detections and
+//! per-shot action scores of each clip into a [`ClipData`], and charging
+//! simulated inference cost to a [`CostLedger`] *only for the occurrence
+//! units the consumer actually requests* — which is how Algorithm 2's
+//! predicate short-circuiting translates into saved inference.
+
+use crate::cost::{CostLedger, CostModel};
+use crate::models::{ActionRecognizer, DetectionOracle, ObjectDetector};
+use svq_types::{ActionScore, ClipId, FrameId, ShotId, TrackedDetection, VideoGeometry};
+
+/// Model outputs for one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameData {
+    pub frame: FrameId,
+    pub detections: Vec<TrackedDetection>,
+}
+
+/// Model outputs for one shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotData {
+    pub shot: ShotId,
+    pub actions: Vec<ActionScore>,
+}
+
+/// One clip's worth of (lazily charged) model outputs.
+///
+/// Frame detections and shot scores are fetched — and their inference cost
+/// charged — on demand through [`ClipView`]; consuming only the object
+/// predicates of a clip never pays for its action recognition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipData {
+    pub clip: ClipId,
+    pub frames: Vec<FrameData>,
+    pub shots: Vec<ShotData>,
+}
+
+/// A borrowed, cost-charging view over one clip of the oracle.
+pub struct ClipView<'a> {
+    oracle: &'a DetectionOracle,
+    cost_model: CostModel,
+    ledger: &'a mut CostLedger,
+    clip: ClipId,
+    geometry: VideoGeometry,
+}
+
+impl<'a> ClipView<'a> {
+    /// The clip id.
+    pub fn clip(&self) -> ClipId {
+        self.clip
+    }
+
+    /// Detections on every frame of the clip; charges one object-detector
+    /// pass per frame.
+    pub fn object_frames(&mut self) -> Vec<FrameData> {
+        self.geometry
+            .frames_of_clip(self.clip)
+            .map(|f| {
+                self.ledger.charge_object_frame(&self.cost_model);
+                FrameData {
+                    frame: FrameId::new(f),
+                    detections: self.oracle.detect(FrameId::new(f)).to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Detections on one frame of the clip (charged once per call).
+    pub fn detections(&mut self, frame: FrameId) -> &[TrackedDetection] {
+        debug_assert!(self.geometry.frames_of_clip(self.clip).contains(&frame.raw()));
+        self.ledger.charge_object_frame(&self.cost_model);
+        self.oracle.detect(frame)
+    }
+
+    /// Action scores on every shot of the clip; charges one recognizer pass
+    /// per shot.
+    pub fn action_shots(&mut self) -> Vec<ShotData> {
+        self.geometry
+            .shots_of_clip(self.clip)
+            .map(|s| {
+                self.ledger.charge_action_shot(&self.cost_model);
+                ShotData {
+                    shot: ShotId::new(s),
+                    actions: self.oracle.recognize(ShotId::new(s)).to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Materialise the whole clip (pays for every frame and shot).
+    pub fn materialise(&mut self) -> ClipData {
+        ClipData {
+            clip: self.clip,
+            frames: self.object_frames(),
+            shots: self.action_shots(),
+        }
+    }
+}
+
+/// Streaming access to an oracle, clip by clip.
+pub struct VideoStream<'a> {
+    oracle: &'a DetectionOracle,
+    cost_model: CostModel,
+    ledger: CostLedger,
+    next_clip: u64,
+    clip_count: u64,
+}
+
+impl<'a> VideoStream<'a> {
+    /// Open a stream over the oracle's video.
+    pub fn new(oracle: &'a DetectionOracle) -> Self {
+        let truth = oracle.truth();
+        let clip_count = truth.geometry.clip_count(truth.total_frames);
+        Self {
+            oracle,
+            cost_model: CostModel::from_suite(oracle.suite()),
+            ledger: CostLedger::default(),
+            next_clip: 0,
+            clip_count,
+        }
+    }
+
+    /// Geometry of the underlying video.
+    pub fn geometry(&self) -> VideoGeometry {
+        self.oracle.truth().geometry
+    }
+
+    /// Total clips in the stream.
+    pub fn clip_count(&self) -> u64 {
+        self.clip_count
+    }
+
+    /// Whether the stream is exhausted — the `X.end()` of Algorithm 1.
+    pub fn at_end(&self) -> bool {
+        self.next_clip >= self.clip_count
+    }
+
+    /// The next clip as a cost-charging view, or `None` at end of stream —
+    /// the `X.next()` of Algorithm 1.
+    pub fn next_clip(&mut self) -> Option<ClipView<'_>> {
+        if self.at_end() {
+            return None;
+        }
+        let clip = ClipId::new(self.next_clip);
+        self.next_clip += 1;
+        Some(ClipView {
+            oracle: self.oracle,
+            cost_model: self.cost_model,
+            ledger: &mut self.ledger,
+            clip,
+            geometry: self.oracle.truth().geometry,
+        })
+    }
+
+    /// Inference cost accumulated so far.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (for recording algorithm wall-clock).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ModelSuite, SceneConfusion};
+    use crate::truth::GroundTruth;
+    use std::sync::Arc;
+    use svq_types::{VideoGeometry, VideoId};
+
+    fn small_oracle() -> DetectionOracle {
+        let gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 500);
+        DetectionOracle::new(Arc::new(gt), ModelSuite::accurate(), &SceneConfusion::default(), 1)
+    }
+
+    #[test]
+    fn stream_walks_every_clip_once() {
+        let oracle = small_oracle();
+        let mut stream = VideoStream::new(&oracle);
+        assert_eq!(stream.clip_count(), 10); // 500 frames / 50.
+        let mut seen = Vec::new();
+        while let Some(view) = stream.next_clip() {
+            seen.push(view.clip().raw());
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(stream.at_end());
+        assert!(stream.next_clip().is_none());
+    }
+
+    #[test]
+    fn cost_charged_only_for_requested_units() {
+        let oracle = small_oracle();
+        let mut stream = VideoStream::new(&oracle);
+        {
+            let mut view = stream.next_clip().unwrap();
+            let frames = view.object_frames();
+            assert_eq!(frames.len(), 50);
+            // Action shots never requested for this clip.
+        }
+        assert_eq!(stream.ledger().object_frames, 50);
+        assert_eq!(stream.ledger().action_shots, 0);
+        {
+            let mut view = stream.next_clip().unwrap();
+            let shots = view.action_shots();
+            assert_eq!(shots.len(), 5);
+        }
+        assert_eq!(stream.ledger().object_frames, 50);
+        assert_eq!(stream.ledger().action_shots, 5);
+    }
+
+    #[test]
+    fn materialise_pays_for_everything() {
+        let oracle = small_oracle();
+        let mut stream = VideoStream::new(&oracle);
+        let data = stream.next_clip().unwrap().materialise();
+        assert_eq!(data.frames.len(), 50);
+        assert_eq!(data.shots.len(), 5);
+        assert_eq!(stream.ledger().object_frames, 50);
+        assert_eq!(stream.ledger().action_shots, 5);
+        let expected_ms = 50.0 * (75.0 + 18.0) + 5.0 * 140.0;
+        assert!((stream.ledger().inference_ms() - expected_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_ids_are_absolute() {
+        let oracle = small_oracle();
+        let mut stream = VideoStream::new(&oracle);
+        let _ = stream.next_clip().unwrap(); // clip 0
+        let data = stream.next_clip().unwrap().materialise(); // clip 1
+        assert_eq!(data.frames[0].frame, FrameId::new(50));
+        assert_eq!(data.shots[0].shot, ShotId::new(5));
+    }
+}

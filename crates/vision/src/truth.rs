@@ -1,0 +1,298 @@
+//! Ground-truth scripts.
+//!
+//! A [`GroundTruth`] is the annotation layer the paper's authors produced by
+//! hand for ActivityNet videos (§5.1, "Datasets"): for each video, the
+//! temporal boundaries of every appearance of each queried object and every
+//! episode of each action. The simulator uses the same structure *as the
+//! scene script* — the stochastic models in [`crate::models`] sample their
+//! detections from it — and the evaluation uses it as ground truth, exactly
+//! mirroring the paper's setup where the detector sees the scene the
+//! annotators annotated.
+
+use serde::{Deserialize, Serialize};
+use svq_types::{
+    ActionClass, ActionQuery, BBox, FrameId, FrameInterval, Interval,
+    ObjectClass, TrackId, VideoGeometry, VideoId,
+};
+
+/// One object instance visible over a contiguous frame range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectTrack {
+    pub class: ObjectClass,
+    pub track: TrackId,
+    /// Frames during which the instance is visible.
+    pub frames: FrameInterval,
+    /// Nominal detectability of this instance in `[0, 1]`: small/occluded
+    /// instances are harder for every detector; profiles scale their TPR by
+    /// this factor.
+    pub visibility: f64,
+    /// Nominal location (fixed per track; adequate for spatial predicates).
+    pub bbox: BBox,
+}
+
+/// One action episode over a contiguous frame range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionSpan {
+    pub class: ActionClass,
+    pub frames: FrameInterval,
+    /// How prototypical the episode is; recognizer TPR scales with it.
+    pub salience: f64,
+}
+
+/// The full script / annotation of one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pub video: VideoId,
+    pub geometry: VideoGeometry,
+    pub total_frames: u64,
+    pub tracks: Vec<ObjectTrack>,
+    pub actions: Vec<ActionSpan>,
+}
+
+impl GroundTruth {
+    /// Create an empty script.
+    pub fn new(video: VideoId, geometry: VideoGeometry, total_frames: u64) -> Self {
+        Self { video, geometry, total_frames, tracks: Vec::new(), actions: Vec::new() }
+    }
+
+    /// Object tracks of `class` visible on `frame`.
+    pub fn tracks_at(
+        &self,
+        frame: FrameId,
+        class: ObjectClass,
+    ) -> impl Iterator<Item = &ObjectTrack> {
+        self.tracks
+            .iter()
+            .filter(move |t| t.class == class && t.frames.contains(frame))
+    }
+
+    /// Whether any instance of `class` is visible on `frame`.
+    pub fn object_visible(&self, frame: FrameId, class: ObjectClass) -> bool {
+        self.tracks_at(frame, class).next().is_some()
+    }
+
+    /// All object tracks visible on `frame` (any class).
+    pub fn all_tracks_at(&self, frame: FrameId) -> impl Iterator<Item = &ObjectTrack> {
+        self.tracks.iter().filter(move |t| t.frames.contains(frame))
+    }
+
+    /// The action span of `class` covering the *majority* of the shot
+    /// containing `shot_start..shot_end` frames, if any. Action recognizers
+    /// classify whole shots; a shot "contains" the action when at least half
+    /// its frames lie inside an episode.
+    pub fn action_in_shot(
+        &self,
+        shot_frames: std::ops::Range<u64>,
+        class: ActionClass,
+    ) -> Option<&ActionSpan> {
+        let shot_len = shot_frames.end - shot_frames.start;
+        if shot_len == 0 {
+            return None;
+        }
+        let shot_iv = Interval::new(
+            FrameId::new(shot_frames.start),
+            FrameId::new(shot_frames.end - 1),
+        );
+        self.actions
+            .iter()
+            .filter(|a| a.class == class)
+            .find(|a| a.frames.overlap_len(&shot_iv) * 2 >= shot_len)
+    }
+
+    /// Merged visibility intervals of an object class across the video.
+    pub fn object_intervals(&self, class: ObjectClass) -> Vec<FrameInterval> {
+        svq_types::interval::merge_intervals(
+            self.tracks
+                .iter()
+                .filter(|t| t.class == class)
+                .map(|t| t.frames)
+                .collect(),
+        )
+    }
+
+    /// Merged episode intervals of an action class.
+    pub fn action_intervals(&self, class: ActionClass) -> Vec<FrameInterval> {
+        svq_types::interval::merge_intervals(
+            self.actions
+                .iter()
+                .filter(|a| a.class == class)
+                .map(|a| a.frames)
+                .collect(),
+        )
+    }
+
+    /// Ground-truth result sequences for a query: the intersection of the
+    /// temporal intervals of all query-specified objects and the action
+    /// (§5.1: "The intersection of the temporal intervals of all the
+    /// query-specified objects and the action will be considered as the
+    /// result sequence that satisfies this query").
+    ///
+    /// Intersections separated by less than two seconds merge: annotators
+    /// do not split a result because an object left frame for a moment,
+    /// and the paper's clip-level semantics cannot resolve sub-clip gaps
+    /// either.
+    pub fn query_truth(&self, query: &ActionQuery) -> Vec<FrameInterval> {
+        let mut current = self.action_intervals(query.action);
+        for &obj in &query.objects {
+            let other = self.object_intervals(obj);
+            current = intersect_interval_lists(&current, &other);
+            if current.is_empty() {
+                break;
+            }
+        }
+        let tolerance = (2 * self.geometry.fps) as u64;
+        merge_with_tolerance(current, tolerance)
+    }
+
+    /// Total frames covered by the ground-truth sequences of a query.
+    pub fn query_truth_frames(&self, query: &ActionQuery) -> u64 {
+        self.query_truth(query).iter().map(|iv| iv.len()).sum()
+    }
+}
+
+/// Merge intervals whose gaps are below `tolerance` frames.
+pub fn merge_with_tolerance(
+    intervals: Vec<FrameInterval>,
+    tolerance: u64,
+) -> Vec<FrameInterval> {
+    let mut out: Vec<FrameInterval> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        match out.last_mut() {
+            Some(last) if iv.start.raw() <= last.end.raw() + tolerance + 1 => {
+                *last = last.hull(&iv);
+            }
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Intersect two sorted disjoint interval lists by a linear sweep.
+pub fn intersect_interval_lists(
+    a: &[FrameInterval],
+    b: &[FrameInterval],
+) -> Vec<FrameInterval> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if let Some(iv) = a[i].intersect(&b[j]) {
+            out.push(iv);
+        }
+        if a[i].end <= b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fi(s: u64, e: u64) -> FrameInterval {
+        Interval::new(FrameId::new(s), FrameId::new(e))
+    }
+
+    fn sample_truth() -> GroundTruth {
+        let mut gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 1_000);
+        let car = ObjectClass::named("car");
+        let person = ObjectClass::named("person");
+        let jumping = ActionClass::named("jumping");
+        gt.tracks.push(ObjectTrack {
+            class: car,
+            track: TrackId::new(1),
+            frames: fi(100, 399),
+            visibility: 1.0,
+            bbox: BBox::FULL,
+        });
+        gt.tracks.push(ObjectTrack {
+            class: car,
+            track: TrackId::new(2),
+            frames: fi(350, 500),
+            visibility: 0.8,
+            bbox: BBox::new(0.1, 0.1, 0.4, 0.4),
+        });
+        gt.tracks.push(ObjectTrack {
+            class: person,
+            track: TrackId::new(3),
+            frames: fi(0, 999),
+            visibility: 1.0,
+            bbox: BBox::new(0.5, 0.2, 0.9, 0.9),
+        });
+        gt.actions.push(ActionSpan { class: jumping, frames: fi(200, 449), salience: 1.0 });
+        gt
+    }
+
+    #[test]
+    fn visibility_queries() {
+        let gt = sample_truth();
+        let car = ObjectClass::named("car");
+        assert!(!gt.object_visible(FrameId::new(99), car));
+        assert!(gt.object_visible(FrameId::new(100), car));
+        assert!(gt.object_visible(FrameId::new(500), car));
+        assert!(!gt.object_visible(FrameId::new(501), car));
+        assert_eq!(gt.tracks_at(FrameId::new(360), car).count(), 2);
+        assert_eq!(gt.all_tracks_at(FrameId::new(360)).count(), 3);
+    }
+
+    #[test]
+    fn object_intervals_merge_overlapping_tracks() {
+        let gt = sample_truth();
+        assert_eq!(gt.object_intervals(ObjectClass::named("car")), vec![fi(100, 500)]);
+        assert!(gt.object_intervals(ObjectClass::named("dog")).is_empty());
+    }
+
+    #[test]
+    fn action_in_shot_uses_majority_rule() {
+        let gt = sample_truth();
+        let jumping = ActionClass::named("jumping");
+        // Shot covering frames 195..205: 5 of 10 frames in [200,449] — ok.
+        assert!(gt.action_in_shot(195..205, jumping).is_some());
+        // Shot covering frames 190..200: 0 frames inside.
+        assert!(gt.action_in_shot(190..200, jumping).is_none());
+        // Shot 196..206: 6 inside.
+        assert!(gt.action_in_shot(196..206, jumping).is_some());
+        // Shot 444..454: 6 of 10 inside [200,449] — ok.
+        assert!(gt.action_in_shot(444..454, jumping).is_some());
+        // Shot 445..455: 5 of 10 inside — exactly half counts.
+        assert!(gt.action_in_shot(445..455, jumping).is_some());
+        // Shot 446..456: 4 of 10 — not a majority.
+        assert!(gt.action_in_shot(446..456, jumping).is_none());
+    }
+
+    #[test]
+    fn query_truth_is_interval_intersection() {
+        let gt = sample_truth();
+        let q = ActionQuery::named("jumping", &["car", "person"]);
+        // action [200,449] ∩ car [100,500] ∩ person [0,999] = [200,449].
+        assert_eq!(gt.query_truth(&q), vec![fi(200, 449)]);
+        assert_eq!(gt.query_truth_frames(&q), 250);
+        // Adding an absent object empties the truth.
+        let q2 = ActionQuery::named("jumping", &["car", "dog"]);
+        assert!(gt.query_truth(&q2).is_empty());
+    }
+
+    #[test]
+    fn interval_list_intersection_cases() {
+        let a = vec![fi(0, 10), fi(20, 30), fi(40, 50)];
+        let b = vec![fi(5, 25), fi(45, 60)];
+        assert_eq!(
+            intersect_interval_lists(&a, &b),
+            vec![fi(5, 10), fi(20, 25), fi(45, 50)]
+        );
+        assert!(intersect_interval_lists(&a, &[]).is_empty());
+        // Touching-but-not-overlapping intervals do not intersect.
+        let c = vec![fi(11, 19)];
+        assert!(intersect_interval_lists(&a, &c).is_empty());
+    }
+
+    #[test]
+    fn truth_serialises() {
+        let gt = sample_truth();
+        let json = serde_json::to_string(&gt).unwrap();
+        let back: GroundTruth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, gt);
+    }
+}

@@ -1,0 +1,101 @@
+//! The declarative surface: parse the paper's SQL-like statements, show
+//! their plans (`EXPLAIN`), and execute them against both engines.
+//!
+//! Pass a statement as the first argument to run your own, e.g.:
+//!
+//! ```text
+//! cargo run --release --example sql_shell -- \
+//!   "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+//!    WHERE (act='jumping' OR act='kissing') AND obj.include('person')"
+//! ```
+
+use svq_act::prelude::*;
+use svq_core::online::OnlineConfig;
+use svq_query::plan::QueryMode;
+
+const ONLINE_STATEMENT: &str = "\
+SELECT MERGE(clipID) AS Sequence \
+FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+act USING ActionRecognizer) \
+WHERE act='drinking beer' AND obj.include('bottle', 'chair')";
+
+const OFFLINE_STATEMENT: &str = "\
+SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+act USING ActionRecognizer) \
+WHERE act='drinking beer' AND obj.include('bottle', 'chair') \
+ORDER BY RANK(act, obj) LIMIT 3";
+
+fn scene() -> SyntheticVideo {
+    ScenarioSpec::activitynet(
+        VideoId::new(0),
+        15_000, // 10 minutes
+        ActionClass::named("drinking beer"),
+        vec![
+            ObjectSpec::correlated(ObjectClass::named("bottle")),
+            ObjectSpec::scene(ObjectClass::named("chair")),
+        ],
+        5,
+    )
+    .generate()
+}
+
+fn run_statement(sql: &str, video: &SyntheticVideo) {
+    println!("SQL> {sql}\n");
+    let stmt = match svq_query::parse(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return;
+        }
+    };
+    let plan = match LogicalPlan::from_statement(&stmt) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("plan error: {e}");
+            return;
+        }
+    };
+    println!("EXPLAIN:\n{}", plan.explain());
+
+    match plan.mode {
+        QueryMode::Online => {
+            let oracle = video.oracle(ModelSuite::accurate());
+            let mut stream = VideoStream::new(&oracle);
+            let result = execute_online(&plan, &mut stream, OnlineConfig::default())
+                .expect("execute online");
+            println!("sequences:");
+            for s in &result.sequences {
+                println!("  clips {}..{}", s.start.raw(), s.end.raw());
+            }
+        }
+        QueryMode::Offline { .. } => {
+            let oracle = video.oracle(ModelSuite::accurate());
+            let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
+            let result =
+                execute_offline(&plan, &catalog, &PaperScoring).expect("execute offline");
+            println!("ranked sequences:");
+            for (i, r) in result.ranked.iter().enumerate() {
+                println!(
+                    "  #{} clips {}..{} (score bounds [{:.1}, {:.1}])",
+                    i + 1,
+                    r.interval.start.raw(),
+                    r.interval.end.raw(),
+                    r.lower,
+                    r.upper
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let video = scene();
+    if let Some(sql) = std::env::args().nth(1) {
+        run_statement(&sql, &video);
+        return;
+    }
+    run_statement(ONLINE_STATEMENT, &video);
+    run_statement(OFFLINE_STATEMENT, &video);
+}
