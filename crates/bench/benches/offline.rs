@@ -42,9 +42,7 @@ fn bench_offline(c: &mut Criterion) {
     };
     let a = mk(0, 20, 8, 2_000);
     let b2 = mk(5, 17, 6, 2_000);
-    c.bench_function("interval_sweep_2k_x_2k", |b| {
-        b.iter(|| a.intersect(&b2))
-    });
+    c.bench_function("interval_sweep_2k_x_2k", |b| b.iter(|| a.intersect(&b2)));
 }
 
 criterion_group!(benches, bench_offline);

@@ -19,13 +19,25 @@ fn bench_online(c: &mut Criterion) {
     group.bench_function("svaq_full_video", |b| {
         b.iter(|| {
             let mut stream = VideoStream::new(&oracle);
-            Svaq::run(set.query.clone(), &mut stream, OnlineConfig::default(), 1e-2, 1e-2)
+            Svaq::run(
+                set.query.clone(),
+                &mut stream,
+                OnlineConfig::default(),
+                1e-2,
+                1e-2,
+            )
         })
     });
     group.bench_function("svaqd_full_video", |b| {
         b.iter(|| {
             let mut stream = VideoStream::new(&oracle);
-            Svaqd::run(set.query.clone(), &mut stream, OnlineConfig::default(), 1e-4, 1e-4)
+            Svaqd::run(
+                set.query.clone(),
+                &mut stream,
+                OnlineConfig::default(),
+                1e-4,
+                1e-4,
+            )
         })
     });
     group.finish();

@@ -3,7 +3,9 @@
 //! the binomial quantile used by censored feeding.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use svq_scanstats::{critical_value, scan_tail_probability, CriticalValueTable, KernelEstimator, ScanConfig};
+use svq_scanstats::{
+    critical_value, scan_tail_probability, CriticalValueTable, KernelEstimator, ScanConfig,
+};
 
 fn bench_scan_tail(c: &mut Criterion) {
     c.bench_function("naus_tail_w50", |b| {

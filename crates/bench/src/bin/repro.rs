@@ -36,7 +36,11 @@ fn main() {
         eprintln!("usage: repro <experiment|all> [--scale S] [--seed N] [--out DIR]");
         eprintln!(
             "experiments: {}",
-            EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+            EXPERIMENTS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         std::process::exit(2);
     }

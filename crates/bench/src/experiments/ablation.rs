@@ -27,7 +27,10 @@ pub fn run(ctx: &ExpContext) {
     for (name, policy) in [
         ("NegativeClips (default)", BackgroundUpdate::NegativeClips),
         ("AllClips (literal Eq. 6)", BackgroundUpdate::AllClips),
-        ("PositiveClips (literal Alg. 3)", BackgroundUpdate::PositiveClips),
+        (
+            "PositiveClips (literal Alg. 3)",
+            BackgroundUpdate::PositiveClips,
+        ),
     ] {
         let out = run_query_set(
             &set,
@@ -67,9 +70,8 @@ pub fn run(ctx: &ExpContext) {
             &PaperScoring,
             RvaqOptions::new(k).without_skip(),
         );
-        let saved = 1.0
-            - with.disk.random_accesses as f64
-                / without.disk.random_accesses.max(1) as f64;
+        let saved =
+            1.0 - with.disk.random_accesses as f64 / without.disk.random_accesses.max(1) as f64;
         t.row(vec![
             format!("{k}"),
             format!("{}", with.disk.random_accesses),
@@ -84,10 +86,12 @@ pub fn run(ctx: &ExpContext) {
     // a rare second one: the user's order wastes an evaluation on most
     // clips; the learned order short-circuits on the rare predicate.
     let q3 = youtube_query_set(2, ctx.scale, ctx.seed); // walking the dog
-    let ordered_query =
-        svq_types::ActionQuery::named("walking the dog", &["tree", "zebra"]);
+    let ordered_query = svq_types::ActionQuery::named("walking the dog", &["tree", "zebra"]);
     let mut t = Table::new(&["ordering", "avg object predicates evaluated/clip"]);
-    for (name, adaptive) in [("query order (user)", false), ("learned (footnote 5)", true)] {
+    for (name, adaptive) in [
+        ("query order (user)", false),
+        ("learned (footnote 5)", true),
+    ] {
         let mut evaluated = 0u64;
         let mut clips = 0u64;
         for video in &q3.videos {

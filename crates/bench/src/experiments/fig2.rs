@@ -19,7 +19,11 @@ pub fn run(ctx: &ExpContext) {
     // (b): washing dishes + faucet over the q1 footage.
     let cases = [
         (1usize, ActionQuery::named("blowing leaves", &["car"]), "a"),
-        (0usize, ActionQuery::named("washing dishes", &["faucet"]), "b"),
+        (
+            0usize,
+            ActionQuery::named("washing dishes", &["faucet"]),
+            "b",
+        ),
     ];
     for (set_idx, query, tag) in cases {
         let set = youtube_query_set(set_idx, ctx.scale, ctx.seed);

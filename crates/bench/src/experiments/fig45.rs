@@ -39,8 +39,10 @@ fn sweep(ctx: &ExpContext) -> Vec<(String, u32, svq_eval::runner::EvalOutcome)> 
     let mut out = Vec::new();
     for (label, videos, query) in cases(ctx) {
         for shots in CLIP_SIZES {
-            let resized: Vec<SyntheticVideo> =
-                videos.iter().map(|v| v.with_shots_per_clip(shots)).collect();
+            let resized: Vec<SyntheticVideo> = videos
+                .iter()
+                .map(|v| v.with_shots_per_clip(shots))
+                .collect();
             let outcome = run_videos(
                 &resized,
                 &query,
@@ -55,8 +57,12 @@ fn sweep(ctx: &ExpContext) -> Vec<(String, u32, svq_eval::runner::EvalOutcome)> 
 }
 
 pub fn run_fig4(ctx: &ExpContext) {
-    let mut table =
-        Table::new(&["query", "clip size (frames)", "# sequences", "frames reported"]);
+    let mut table = Table::new(&[
+        "query",
+        "clip size (frames)",
+        "# sequences",
+        "frames reported",
+    ]);
     for (label, shots, outcome) in sweep(ctx) {
         table.row(vec![
             label,

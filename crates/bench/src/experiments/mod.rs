@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod mux_throughput;
 pub mod offline_tables;
 pub mod runtime;
 pub mod rvaq_accuracy;
@@ -27,7 +28,11 @@ pub struct ExpContext {
 
 impl Default for ExpContext {
     fn default() -> Self {
-        Self { scale: 0.3, seed: 42, out_dir: PathBuf::from("results") }
+        Self {
+            scale: 0.3,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
     }
 }
 
@@ -41,8 +46,11 @@ impl ExpContext {
     }
 }
 
+/// An experiment entry point.
+pub type ExperimentFn = fn(&ExpContext);
+
 /// The registry of runnable experiments, in paper order.
-pub const EXPERIMENTS: &[(&str, fn(&ExpContext))] = &[
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("fig2", fig2::run),
     ("fig3", fig3::run),
     ("table3", table3::run),
@@ -56,4 +64,5 @@ pub const EXPERIMENTS: &[(&str, fn(&ExpContext))] = &[
     ("table8", offline_tables::run_table8),
     ("rvaq-accuracy", rvaq_accuracy::run),
     ("ablation", ablation::run),
+    ("mux-throughput", mux_throughput::run),
 ];

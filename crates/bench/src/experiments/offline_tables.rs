@@ -44,7 +44,8 @@ pub fn run_table6(ctx: &ExpContext) {
         "K=13",
         "K=15",
     ]);
-    let methods: Vec<(&str, Box<dyn Fn(usize) -> (f64, u64)>)> = vec![
+    type Method<'a> = Box<dyn Fn(usize) -> (f64, u64) + 'a>;
+    let methods: Vec<(&str, Method<'_>)> = vec![
         (
             "FA",
             Box::new(|k| {
@@ -155,15 +156,12 @@ pub fn run_table7(ctx: &ExpContext) {
 }
 
 pub fn run_table8(ctx: &ExpContext) {
-    let mut table = Table::new(&[
-        "movie", "K=1", "K=3", "K=5", "K=7", "K=9", "K=11", "max K",
-    ]);
+    let mut table = Table::new(&["movie", "K=1", "K=3", "K=5", "K=7", "K=9", "K=11", "max K"]);
     for movie_idx in 1..4usize {
         let (query, catalog) = ingest_movie(ctx, movie_idx);
         let total = catalog.result_sequences(&query).len().max(1);
         let ks: Vec<usize> = vec![1, 3, 5, 7, 9, 11, total];
-        let mut row =
-            vec![svq_eval::workloads::MOVIE_SPECS[movie_idx].0.to_string()];
+        let mut row = vec![svq_eval::workloads::MOVIE_SPECS[movie_idx].0.to_string()];
         for &k in &ks {
             let trav = PqTraverse::run(&catalog, &query, &PaperScoring, k);
             // As the paper notes for growing K, exact scores of the top-K

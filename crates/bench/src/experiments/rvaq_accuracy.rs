@@ -14,8 +14,7 @@ use svq_vision::models::ModelSuite;
 
 pub fn run(ctx: &ExpContext) {
     let movies = movies_workload(ctx.scale, ctx.seed);
-    let mut table =
-        Table::new(&["movie", "K", "precision", "F1", "top-10 precision"]);
+    let mut table = Table::new(&["movie", "K", "precision", "F1", "top-10 precision"]);
     for case in &movies {
         let oracle = case.video.oracle(ModelSuite::accurate());
         let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());

@@ -17,7 +17,11 @@ pub fn run(ctx: &ExpContext) {
     let (leaves, dishes) = table3_videos(ctx.scale, ctx.seed);
     let mut table = Table::new(&["query", "SVAQ", "SVAQD"]);
     for (label, query) in table3_queries() {
-        let videos = if label.starts_with("a=blowing") { &leaves } else { &dishes };
+        let videos = if label.starts_with("a=blowing") {
+            &leaves
+        } else {
+            &dishes
+        };
         let svaq = run_videos(
             videos,
             &query,

@@ -14,7 +14,11 @@ pub fn run(ctx: &ExpContext) {
     let config = OnlineConfig::default();
     let set = youtube_query_set(1, ctx.scale, ctx.seed); // q2 footage
     let query = ActionQuery::named("blowing leaves", &["car"]);
-    let suites = [ModelSuite::accurate(), ModelSuite::fast(), ModelSuite::ideal()];
+    let suites = [
+        ModelSuite::accurate(),
+        ModelSuite::fast(),
+        ModelSuite::ideal(),
+    ];
     let mut table = Table::new(&["models", "SVAQ F1", "SVAQD F1"]);
     for suite in suites {
         let svaq = run_videos(

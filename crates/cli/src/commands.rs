@@ -5,9 +5,7 @@ use svq_core::offline::{ingest as run_ingest, Rvaq, RvaqOptions};
 use svq_core::online::OnlineConfig;
 use svq_query::plan::{LogicalPlan, QueryMode};
 use svq_storage::IngestedVideo;
-use svq_types::{
-    ActionClass, ObjectClass, PaperScoring, VideoGeometry, VideoId, Vocabulary,
-};
+use svq_types::{ActionClass, ObjectClass, PaperScoring, VideoGeometry, VideoId, Vocabulary};
 use svq_vision::models::ModelSuite;
 use svq_vision::synth::{ObjectSpec, ScenarioSpec, SyntheticVideo};
 use svq_vision::VideoStream;
@@ -24,7 +22,9 @@ fn suite_named(name: &str) -> Result<ModelSuite, String> {
         "accurate" => Ok(ModelSuite::accurate()),
         "fast" => Ok(ModelSuite::fast()),
         "ideal" => Ok(ModelSuite::ideal()),
-        other => Err(format!("unknown model suite {other:?} (accurate|fast|ideal)")),
+        other => Err(format!(
+            "unknown model suite {other:?} (accurate|fast|ideal)"
+        )),
     }
 }
 
@@ -52,8 +52,7 @@ pub fn synth(flags: &Flags) -> CliResult {
 
     let geometry = VideoGeometry::default();
     let frames = (minutes * 60.0 * geometry.fps as f64).round() as u64;
-    let mut spec =
-        ScenarioSpec::activitynet(VideoId::new(seed), frames, action, objects, seed);
+    let mut spec = ScenarioSpec::activitynet(VideoId::new(seed), frames, action, objects, seed);
     spec.action_occupancy = occupancy;
     let video = spec.generate();
     std::fs::write(out, serde_json::to_string(&video)?)?;
@@ -92,19 +91,19 @@ pub fn query(flags: &Flags) -> CliResult {
     let plan = LogicalPlan::from_statement(&stmt)?;
     match plan.mode {
         QueryMode::Online => {
-            let video = load_scene(flags.require("scene").map_err(|_| {
-                "online statements need --scene (no ORDER BY RANK … LIMIT)"
-            })?)?;
+            let video = load_scene(
+                flags
+                    .require("scene")
+                    .map_err(|_| "online statements need --scene (no ORDER BY RANK … LIMIT)")?,
+            )?;
             let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
             let oracle = video.oracle(suite);
             let mut stream = VideoStream::new(&oracle);
-            let result =
-                svq_query::execute_online(&plan, &mut stream, OnlineConfig::default())?;
+            let result = svq_query::execute_online(&plan, &mut stream, OnlineConfig::default())?;
             println!("{} result sequences:", result.sequences.len());
             let geometry = video.truth.geometry;
             for s in &result.sequences {
-                let t0 = s.start.raw() * geometry.frames_per_clip() as u64
-                    / geometry.fps as u64;
+                let t0 = s.start.raw() * geometry.frames_per_clip() as u64 / geometry.fps as u64;
                 println!("  clips {:>5}..{:<5} (+{t0}s)", s.start.raw(), s.end.raw());
             }
             println!(
@@ -114,19 +113,19 @@ pub fn query(flags: &Flags) -> CliResult {
             );
         }
         QueryMode::Offline { k } => {
-            let catalog = IngestedVideo::load(flags.require("catalog").map_err(|_| {
-                "offline statements (ORDER BY RANK … LIMIT) need --catalog"
-            })?)?;
+            let catalog = IngestedVideo::load(
+                flags
+                    .require("catalog")
+                    .map_err(|_| "offline statements (ORDER BY RANK … LIMIT) need --catalog")?,
+            )?;
             // Re-plan through the executor for validation, but use RVAQ
             // with exact scores so ranks are user-meaningful.
             let query = match &plan.predicate {
                 svq_query::plan::PlannedPredicate::Simple(q) => q.clone(),
                 svq_query::plan::PlannedPredicate::Cnf(_) => {
-                    return Err(
-                        "the offline engine takes the canonical single-action \
+                    return Err("the offline engine takes the canonical single-action \
                          conjunction"
-                            .into(),
-                    )
+                        .into())
                 }
             };
             let result = Rvaq::run(
@@ -150,6 +149,128 @@ pub fn query(flags: &Flags) -> CliResult {
             }
         }
     }
+    Ok(())
+}
+
+/// `svqact mux` — run Q online queries over K synthetic streams
+/// concurrently on the svq-exec session multiplexer.
+pub fn mux(flags: &Flags) -> CliResult {
+    use std::sync::Arc;
+    use svq_core::expr::ExprSvaqd;
+    use svq_core::online::Svaqd;
+    use svq_exec::{Backpressure, ExecMetrics, SessionEngine, SessionMux};
+    use svq_query::plan::PlannedPredicate;
+
+    let streams: u64 = flags.get_parsed("streams", 4)?;
+    let workers: usize = flags.get_parsed("workers", 4)?;
+    let minutes: f64 = flags.get_parsed("minutes", 2.0)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let mailbox: usize = flags.get_parsed("mailbox", 64)?;
+    // Wall seconds slept per simulated inference second (0 = off); makes
+    // throughput numbers reflect the inference-bound regime of deployment.
+    let pacing: f64 = flags.get_parsed("pacing", 0.0)?;
+    let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
+    let policy = match flags.get("policy").unwrap_or("block") {
+        "block" => Backpressure::Block,
+        "drop-oldest" => Backpressure::DropOldest,
+        other => return Err(format!("unknown policy {other:?} (block|drop-oldest)").into()),
+    };
+
+    // One or more online statements, semicolon-separated.
+    let mut plans = Vec::new();
+    for stmt in flags.require("sql")?.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let plan = LogicalPlan::from_statement(&svq_query::parse(stmt)?)?;
+        if !matches!(plan.mode, QueryMode::Online) {
+            return Err("mux runs online statements only (no ORDER BY RANK … LIMIT)".into());
+        }
+        plans.push(plan);
+    }
+    if plans.is_empty() {
+        return Err("--sql holds no statement".into());
+    }
+
+    // K synthetic surveillance streams. The scene's action/objects default
+    // to a car-jumping scenario; override like `svqact synth`.
+    let action = ActionClass::lookup(flags.get("action").unwrap_or("jumping"))
+        .ok_or("unknown action label (try `svqact labels actions`)")?;
+    let objects: Vec<ObjectSpec> = flags
+        .get("objects")
+        .unwrap_or("car")
+        .split(',')
+        .map(|o| {
+            ObjectClass::lookup(o.trim())
+                .map(ObjectSpec::scene)
+                .ok_or_else(|| format!("unknown object label {o:?}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let geometry = VideoGeometry::default();
+    let frames = (minutes * 60.0 * geometry.fps as f64).round() as u64;
+    let oracles: Vec<Arc<_>> = (0..streams)
+        .map(|i| {
+            let spec = ScenarioSpec::activitynet(
+                VideoId::new(i),
+                frames,
+                action,
+                objects.clone(),
+                seed + i,
+            );
+            Arc::new(spec.generate().oracle(suite))
+        })
+        .collect();
+
+    // K × Q sessions over one pool.
+    let started = std::time::Instant::now();
+    let mux = SessionMux::new(workers, ExecMetrics::new());
+    let config = OnlineConfig::default();
+    let mut ids = Vec::new();
+    for (i, oracle) in oracles.iter().enumerate() {
+        for (j, plan) in plans.iter().enumerate() {
+            let engine = match &plan.predicate {
+                PlannedPredicate::Simple(q) => {
+                    SessionEngine::Svaqd(Svaqd::new(q.clone(), geometry, config, 1e-4, 1e-4))
+                }
+                PlannedPredicate::Cnf(q) => {
+                    SessionEngine::Expr(ExprSvaqd::new(q.clone(), geometry, config, 1e-4, 1e-4))
+                }
+            };
+            let id = mux.register(
+                format!("q{j}/v{i}"),
+                oracle.clone(),
+                engine,
+                policy,
+                mailbox,
+            );
+            mux.set_pacing(id, pacing);
+            ids.push(id);
+        }
+    }
+    mux.feed_streams(&ids);
+    let mut total_sequences = 0usize;
+    let mut inference_ms = 0.0;
+    for &id in &ids {
+        match mux.wait(id) {
+            Ok(result) => {
+                total_sequences += result.sequences.len();
+                inference_ms += result.cost.inference_ms();
+            }
+            Err(e) => eprintln!("session failed: {e}"),
+        }
+    }
+    let snapshot = mux.metrics().snapshot();
+    mux.shutdown();
+    print!("{snapshot}");
+    println!(
+        "{} sessions ({streams} streams x {} queries): {total_sequences} result \
+         sequences, {:.1}s simulated inference, {:.2}s wall clock",
+        ids.len(),
+        plans.len(),
+        inference_ms / 1e3,
+        started.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 
@@ -243,13 +364,33 @@ mod tests {
     }
 
     #[test]
+    fn mux_runs_multiple_streams() {
+        mux(&flags(&[
+            ("streams", "2"),
+            ("workers", "2"),
+            ("minutes", "0.5"),
+            (
+                "sql",
+                "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='jumping' AND obj.include('car')",
+            ),
+        ]))
+        .expect("mux");
+        // Offline statements are rejected with a pointer to the right mode.
+        let err = mux(&flags(&[(
+            "sql",
+            "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('car') \
+             ORDER BY RANK(act,obj) LIMIT 2",
+        )]))
+        .unwrap_err();
+        assert!(err.to_string().contains("online"), "{err}");
+    }
+
+    #[test]
     fn helpful_errors() {
         // Unknown labels are caught at synth time.
-        assert!(synth(&flags(&[
-            ("action", "not an action"),
-            ("out", "/dev/null")
-        ]))
-        .is_err());
+        assert!(synth(&flags(&[("action", "not an action"), ("out", "/dev/null")])).is_err());
         // Mode/flag mismatches are explained.
         let err = query(&flags(&[(
             "sql",

@@ -5,6 +5,7 @@
 //! svqact ingest  --scene scene.json --models accurate --out catalog.json
 //! svqact query   --catalog catalog.json --sql "SELECT … ORDER BY RANK(act,obj) LIMIT 3"
 //! svqact query   --scene scene.json --sql "SELECT … WHERE act='…'"
+//! svqact mux     --sql "SELECT … WHERE act='…'" --streams 8 --workers 4
 //! svqact explain --sql "SELECT …"
 //! svqact labels  objects|actions
 //! ```
@@ -34,6 +35,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "synth" => commands::synth(&args::Flags::parse(rest)?),
         "ingest" => commands::ingest(&args::Flags::parse(rest)?),
         "query" => commands::query(&args::Flags::parse(rest)?),
+        "mux" => commands::mux(&args::Flags::parse(rest)?),
         "explain" => commands::explain(&args::Flags::parse(rest)?),
         "labels" => commands::labels(rest),
         "help" | "--help" | "-h" => {
@@ -52,6 +54,8 @@ fn print_usage() {
          [--occupancy F] --out scene.json\n\
          \u{20}  ingest  --scene scene.json [--models accurate|fast|ideal] --out catalog.json\n\
          \u{20}  query   (--catalog catalog.json | --scene scene.json) --sql STATEMENT\n\
+         \u{20}  mux     --sql \"STMT[; STMT…]\" [--streams K] [--workers N] \
+         [--minutes M] [--policy block|drop-oldest]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  labels  objects|actions"
     );

@@ -19,7 +19,7 @@
 use crate::online::{OnlineConfig, SequenceMerger};
 use svq_scanstats::{CriticalValueTable, KernelEstimator, ScanConfig};
 use svq_types::{ActionQuery, ClipInterval, Predicate, VideoGeometry};
-use svq_vision::stream::ClipView;
+use svq_vision::stream::ClipAccess;
 use svq_vision::VideoStream;
 
 /// A query in conjunctive normal form: every clause must hold on a clip;
@@ -153,9 +153,9 @@ impl ExprSvaqd {
             Predicate::Object(class) => frames
                 .iter()
                 .filter(|f| {
-                    f.detections.iter().any(|d| {
-                        d.detection.class == *class && d.detection.score >= config.t_obj
-                    })
+                    f.detections
+                        .iter()
+                        .any(|d| d.detection.class == *class && d.detection.score >= config.t_obj)
                 })
                 .count() as u32,
             Predicate::Action(class) => shots
@@ -184,12 +184,20 @@ impl ExprSvaqd {
     }
 
     /// Process the next clip; returns a closed sequence if any.
-    pub fn push_clip(&mut self, view: &mut ClipView<'_>) -> Option<ClipInterval> {
+    pub fn push_clip<C: ClipAccess>(&mut self, view: &mut C) -> Option<ClipInterval> {
         let clip = view.clip();
         let needs_frames = self.predicates.iter().any(is_frame_level);
         let needs_shots = self.predicates.iter().any(|p| !is_frame_level(p));
-        let frames = if needs_frames { view.object_frames() } else { Vec::new() };
-        let shots = if needs_shots { view.action_shots() } else { Vec::new() };
+        let frames = if needs_frames {
+            view.object_frames()
+        } else {
+            Vec::new()
+        };
+        let shots = if needs_shots {
+            view.action_shots()
+        } else {
+            Vec::new()
+        };
 
         // Per-predicate counts and indicators.
         let counts: Vec<u32> = self
@@ -257,8 +265,7 @@ impl ExprSvaqd {
         p_frame_0: f64,
         p_shot_0: f64,
     ) -> Vec<ClipInterval> {
-        let mut engine =
-            ExprSvaqd::new(query, stream.geometry(), config, p_frame_0, p_shot_0);
+        let mut engine = ExprSvaqd::new(query, stream.geometry(), config, p_frame_0, p_shot_0);
         while let Some(mut view) = stream.next_clip() {
             engine.push_clip(&mut view);
         }
@@ -270,17 +277,14 @@ impl ExprSvaqd {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use svq_types::{
-        ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, TrackId, VideoId,
-    };
+    use svq_types::{ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, TrackId, VideoId};
     use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
     use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
 
     /// Clips 0..19. car left (x<0.3) on clips 4..=9; person right on 4..=14;
     /// jumping on 6..=9; kissing on 12..=13.
     fn oracle() -> DetectionOracle {
-        let mut gt =
-            GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 1_000);
+        let mut gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 1_000);
         gt.tracks.push(ObjectTrack {
             class: ObjectClass::named("car"),
             track: TrackId::new(1),
@@ -324,8 +328,7 @@ mod tests {
         assert_eq!(cnf.clauses.len(), 3);
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let seqs =
-            ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+        let seqs = ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
         assert_eq!(seqs, vec![iv(6, 9)]);
     }
 
@@ -341,8 +344,7 @@ mod tests {
         ]);
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let seqs =
-            ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+        let seqs = ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
         assert_eq!(seqs, vec![iv(6, 9), iv(12, 13)]);
     }
 
@@ -355,8 +357,7 @@ mod tests {
         ]);
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let seqs =
-            ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+        let seqs = ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
         assert!(seqs.is_empty());
     }
 
@@ -369,8 +370,7 @@ mod tests {
         )]]);
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let seqs =
-            ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+        let seqs = ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
         assert_eq!(seqs, vec![iv(4, 9)]);
         // The reverse relation never holds.
         let cnf = CnfQuery::new(vec![vec![Predicate::LeftOf(
@@ -379,8 +379,7 @@ mod tests {
         )]]);
         let oracle2 = self::tests::oracle();
         let mut stream = VideoStream::new(&oracle2);
-        let seqs =
-            ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+        let seqs = ExprSvaqd::run(cnf, &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
         assert!(seqs.is_empty());
     }
 

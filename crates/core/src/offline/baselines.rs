@@ -41,8 +41,11 @@ impl PqTraverse {
         let disk_before = catalog.disk().stats();
         let pq = catalog.result_sequences(query);
 
-        let object_tables: Vec<_> =
-            query.objects.iter().map(|&o| catalog.object_table(o)).collect();
+        let object_tables: Vec<_> = query
+            .objects
+            .iter()
+            .map(|&o| catalog.object_table(o))
+            .collect();
         let action_table = catalog.action_table(query.action);
 
         let mut scored: Vec<RankedSequence> = pq
@@ -56,7 +59,12 @@ impl PqTraverse {
                     let action_score = action_table.random_score(clip);
                     acc = scoring.f_combine(acc, scoring.g(&object_scores, action_score));
                 }
-                RankedSequence { interval: *iv, lower: acc, upper: acc, exact: Some(acc) }
+                RankedSequence {
+                    interval: *iv,
+                    lower: acc,
+                    upper: acc,
+                    exact: Some(acc),
+                }
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -96,8 +104,11 @@ impl FaTopK {
         let disk_before = catalog.disk().stats();
         let pq = catalog.result_sequences(query);
 
-        let mut tables: Vec<_> =
-            query.objects.iter().map(|&o| catalog.object_table(o)).collect();
+        let mut tables: Vec<_> = query
+            .objects
+            .iter()
+            .map(|&o| catalog.object_table(o))
+            .collect();
         tables.push(catalog.action_table(query.action));
         let n_objects = query.objects.len();
 
@@ -116,9 +127,9 @@ impl FaTopK {
             // exists.
             let mut any_row = true;
             loop {
-                let has_candidate = seen[0].iter().any(|c| {
-                    seen[1..].iter().all(|s| s.contains(c)) && !produced.contains(c)
-                });
+                let has_candidate = seen[0]
+                    .iter()
+                    .any(|c| seen[1..].iter().all(|s| s.contains(c)) && !produced.contains(c));
                 if has_candidate {
                     break;
                 }
@@ -157,7 +168,7 @@ impl FaTopK {
                 let action_score = tables[n_objects].random_score(*c);
                 let s = scoring.g(&object_scores, action_score);
                 scores.insert(*c, s);
-                if candidate.map_or(true, |(_, best)| s > best) {
+                if candidate.is_none_or(|(_, best)| s > best) {
                     candidate = Some((*c, s));
                 }
             }

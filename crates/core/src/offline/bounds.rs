@@ -63,7 +63,10 @@ impl SequenceBounds {
 
     /// Absorb a clip whose exact score became known.
     pub fn absorb(&mut self, score: f64, scoring: &dyn ScoringFunctions) {
-        debug_assert!(self.remaining > 0, "absorbed more clips than the sequence holds");
+        debug_assert!(
+            self.remaining > 0,
+            "absorbed more clips than the sequence holds"
+        );
         self.remaining -= 1;
         self.s_known = scoring.f_combine(self.s_known, score);
     }
@@ -72,15 +75,13 @@ impl SequenceBounds {
     /// (Eq. 13). Pass `0.0` once the top side is exhausted (then
     /// `remaining == 0` for active sequences and the bound is exact).
     pub fn refresh_upper(&mut self, top_score: f64, scoring: &dyn ScoringFunctions) {
-        self.b_up =
-            scoring.f_combine(scoring.f_repeat(top_score, self.remaining), self.s_known);
+        self.b_up = scoring.f_combine(scoring.f_repeat(top_score, self.remaining), self.s_known);
     }
 
     /// Re-estimate the lower bound against the current `c_btm` score
     /// (Eq. 14).
     pub fn refresh_lower(&mut self, btm_score: f64, scoring: &dyn ScoringFunctions) {
-        self.b_lo =
-            scoring.f_combine(scoring.f_repeat(btm_score, self.remaining), self.s_known);
+        self.b_lo = scoring.f_combine(scoring.f_repeat(btm_score, self.remaining), self.s_known);
     }
 
     /// The exact score, once every clip is known.

@@ -18,9 +18,7 @@
 use crate::online::{BackgroundUpdate, OnlineConfig, SequenceMerger};
 use svq_scanstats::{CriticalValueTable, KernelEstimator, ScanConfig};
 use svq_storage::{ClipScoreTable, IngestedVideo, SequenceSet, SimulatedDisk};
-use svq_types::{
-    ActionClass, ClipId, ObjectClass, ScoringFunctions, Vocabulary,
-};
+use svq_types::{ActionClass, ClipId, ObjectClass, ScoringFunctions, Vocabulary};
 use svq_vision::models::DetectionOracle;
 
 /// Per-class SVAQD-lite used during ingestion: estimator + critical value +
@@ -40,12 +38,7 @@ fn clamp_critical(k: u32, window: u32) -> u32 {
 }
 
 impl ClassTracker {
-    fn new(
-        bandwidth: f64,
-        prior: f64,
-        window: u32,
-        table: &mut CriticalValueTable,
-    ) -> Self {
+    fn new(bandwidth: f64, prior: f64, window: u32, table: &mut CriticalValueTable) -> Self {
         let estimator = KernelEstimator::new(bandwidth, prior);
         let critical = clamp_critical(table.critical_value(estimator.estimate()), window);
         Self {
@@ -80,13 +73,9 @@ impl ClassTracker {
         if update {
             // Censored at twice the binomial 99 % noise quantile, as in
             // the online engine (see `Svaqd`).
-            let cap = (2
-                * svq_scanstats::binomial::quantile(
-                    0.99,
-                    units,
-                    self.estimator.estimate(),
-                ))
-            .max(1) as u32;
+            let cap =
+                (2 * svq_scanstats::binomial::quantile(0.99, units, self.estimator.estimate()))
+                    .max(1) as u32;
             self.estimator.observe_run(units, count.min(cap) as u64);
             self.critical =
                 clamp_critical(table.critical_value(self.estimator.estimate()), self.window);
@@ -260,8 +249,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use svq_types::{
-        ActionQuery, BBox, FrameId, Interval, PaperScoring, TrackId, VideoGeometry,
-        VideoId,
+        ActionQuery, BBox, FrameId, Interval, PaperScoring, TrackId, VideoGeometry, VideoId,
     };
     use svq_vision::models::{ModelSuite, SceneConfusion};
     use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};

@@ -44,7 +44,11 @@ pub struct RvaqOptions {
 impl RvaqOptions {
     /// Standard options for `k` results.
     pub fn new(k: usize) -> Self {
-        Self { k, exact_scores: false, use_skip: true }
+        Self {
+            k,
+            exact_scores: false,
+            use_skip: true,
+        }
     }
 
     /// Request exact scores.
@@ -176,9 +180,9 @@ impl Rvaq {
                     .fold(f64::NEG_INFINITY, f64::max);
 
                 // Conclusive exclusion (Algorithm 4 lines 13-14).
-                for i in 0..bounds.len() {
-                    if bounds[i].active() && bounds[i].b_up < b_lo_k {
-                        bounds[i].resolved_out = true;
+                for (i, bound) in bounds.iter_mut().enumerate() {
+                    if bound.active() && bound.b_up < b_lo_k {
+                        bound.resolved_out = true;
                         if options.use_skip {
                             skip.skip_sequence(i);
                         }
@@ -296,10 +300,9 @@ pub(crate) mod tests {
         let mut object_tables: Vec<_> = (0..ObjectClass::cardinality())
             .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
             .collect();
-        let mut action_tables: Vec<_> =
-            (0..svq_types::ActionClass::cardinality())
-                .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
-                .collect();
+        let mut action_tables: Vec<_> = (0..svq_types::ActionClass::cardinality())
+            .map(|_| svq_storage::ClipScoreTable::new(vec![], disk.clone()))
+            .collect();
         object_tables[car.index()] = svq_storage::ClipScoreTable::new(
             base.object_table(car).iter_sorted().collect(),
             disk.clone(),
@@ -308,12 +311,10 @@ pub(crate) mod tests {
             base.action_table(jumping).iter_sorted().collect(),
             disk.clone(),
         );
-        let mut object_sequences =
-            vec![SequenceSet::empty(); ObjectClass::cardinality()];
+        let mut object_sequences = vec![SequenceSet::empty(); ObjectClass::cardinality()];
         let mut action_sequences =
             vec![SequenceSet::empty(); svq_types::ActionClass::cardinality()];
-        object_sequences[car.index()] =
-            SequenceSet::new(vec![iv(0, 1), iv(3, 5), iv(7, 9)]);
+        object_sequences[car.index()] = SequenceSet::new(vec![iv(0, 1), iv(3, 5), iv(7, 9)]);
         action_sequences[jumping.index()] = SequenceSet::new(vec![iv(0, 9)]);
         IngestedVideo::new(
             VideoId::new(0),
@@ -388,8 +389,12 @@ pub(crate) mod tests {
         let cat_a = split_catalog();
         let with_skip = Rvaq::run(&cat_a, &q, &PaperScoring, RvaqOptions::new(1));
         let cat_b = split_catalog();
-        let no_skip =
-            Rvaq::run(&cat_b, &q, &PaperScoring, RvaqOptions::new(1).without_skip());
+        let no_skip = Rvaq::run(
+            &cat_b,
+            &q,
+            &PaperScoring,
+            RvaqOptions::new(1).without_skip(),
+        );
         assert_eq!(with_skip.ranked[0].interval, no_skip.ranked[0].interval);
         assert!(
             with_skip.disk.random_accesses <= no_skip.disk.random_accesses,

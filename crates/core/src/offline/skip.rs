@@ -25,7 +25,11 @@ impl SkipSet {
     /// (Algorithm 4 line 2, `C_skip = C(X) \ C(P_q)`).
     pub fn new(pq: SequenceSet) -> Self {
         let skipped = vec![false; pq.len()];
-        Self { pq, skipped, disabled: false }
+        Self {
+            pq,
+            skipped,
+            disabled: false,
+        }
     }
 
     /// A skip set with the whole mechanism disabled — nothing is ever
@@ -33,7 +37,11 @@ impl SkipSet {
     /// "without activating the skip mechanism").
     pub fn disabled(pq: SequenceSet) -> Self {
         let skipped = vec![false; pq.len()];
-        Self { pq, skipped, disabled: true }
+        Self {
+            pq,
+            skipped,
+            disabled: true,
+        }
     }
 
     /// The result sequences this skip set is defined over.
@@ -65,9 +73,7 @@ impl SkipSet {
 
     /// Index of the sequence holding `clip`, if it is an active member.
     pub fn active_sequence(&self, clip: ClipId) -> Option<usize> {
-        self.pq
-            .find_index(clip)
-            .filter(|&i| !self.skipped[i])
+        self.pq.find_index(clip).filter(|&i| !self.skipped[i])
     }
 
     /// Number of sequences not yet skipped.

@@ -67,8 +67,11 @@ impl<'a> TbClip<'a> {
         query: &ActionQuery,
         scoring: &'a dyn ScoringFunctions,
     ) -> Self {
-        let mut tables: Vec<&'a ClipScoreTable> =
-            query.objects.iter().map(|&o| catalog.object_table(o)).collect();
+        let mut tables: Vec<&'a ClipScoreTable> = query
+            .objects
+            .iter()
+            .map(|&o| catalog.object_table(o))
+            .collect();
         tables.push(catalog.action_table(query.action));
         let n = tables.len();
         Self {
@@ -164,14 +167,14 @@ impl<'a> TbClip<'a> {
                         }
                     });
                 }
-                let bound = self
-                    .scoring
-                    .g(&bound_scratch[..self.n_objects], bound_scratch[self.n_objects]);
+                let bound = self.scoring.g(
+                    &bound_scratch[..self.n_objects],
+                    bound_scratch[self.n_objects],
+                );
                 candidates.push((c, bound));
             }
         }
-        candidates
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let mut best: Option<(ClipId, f64)> = None;
         for (c, bound) in candidates {
             if let Some((_, bs)) = best {
@@ -179,12 +182,14 @@ impl<'a> TbClip<'a> {
                     break; // no remaining candidate can beat the best
                 }
             }
-            let s = if self.scores.contains_key(&c) || bound > best.map_or(f64::NEG_INFINITY, |(_, bs)| bs) {
+            let s = if self.scores.contains_key(&c)
+                || bound > best.map_or(f64::NEG_INFINITY, |(_, bs)| bs)
+            {
                 self.score_of(c)
             } else {
                 continue;
             };
-            if best.map_or(true, |(bc, bs)| s > bs || (s == bs && c < bc)) {
+            if best.is_none_or(|(bc, bs)| s > bs || (s == bs && c < bc)) {
                 best = Some((c, s));
             }
         }
@@ -237,14 +242,14 @@ impl<'a> TbClip<'a> {
                         .copied()
                         .unwrap_or(self.frontier_btm[j]);
                 }
-                let bound = self
-                    .scoring
-                    .g(&bound_scratch[..self.n_objects], bound_scratch[self.n_objects]);
+                let bound = self.scoring.g(
+                    &bound_scratch[..self.n_objects],
+                    bound_scratch[self.n_objects],
+                );
                 candidates.push((c, bound));
             }
         }
-        candidates
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let mut best: Option<(ClipId, f64)> = None;
         for (c, bound) in candidates {
             if let Some((_, bs)) = best {
@@ -253,7 +258,7 @@ impl<'a> TbClip<'a> {
                 }
             }
             let s = self.score_of(c);
-            if best.map_or(true, |(bc, bs)| s < bs || (s == bs && c < bc)) {
+            if best.is_none_or(|(bc, bs)| s < bs || (s == bs && c < bc)) {
                 best = Some((c, s));
             }
         }
@@ -264,7 +269,10 @@ impl<'a> TbClip<'a> {
 
     /// One invocation of the iterator: the next top and bottom clips.
     pub fn next(&mut self, skip: &SkipSet) -> TbClipStep {
-        TbClipStep { top: self.next_top(skip), bottom: self.next_bottom(skip) }
+        TbClipStep {
+            top: self.next_top(skip),
+            bottom: self.next_bottom(skip),
+        }
     }
 
     /// The set of clips processed from the top (`C_top`).
@@ -283,8 +291,8 @@ pub(crate) mod tests {
     use super::*;
     use svq_storage::{SequenceSet, SimulatedDisk};
     use svq_types::{
-        ActionClass, ClipInterval, Interval, ObjectClass, PaperScoring,
-        VideoGeometry, VideoId, Vocabulary,
+        ActionClass, ClipInterval, Interval, ObjectClass, PaperScoring, VideoGeometry, VideoId,
+        Vocabulary,
     };
 
     fn iv(s: u64, e: u64) -> ClipInterval {
@@ -313,10 +321,8 @@ pub(crate) mod tests {
             (0..10).map(|i| (ClipId::new(i), (i + 1) as f64)).collect(),
             disk.clone(),
         );
-        let mut object_sequences =
-            vec![SequenceSet::empty(); ObjectClass::cardinality()];
-        let mut action_sequences =
-            vec![SequenceSet::empty(); ActionClass::cardinality()];
+        let mut object_sequences = vec![SequenceSet::empty(); ObjectClass::cardinality()];
+        let mut action_sequences = vec![SequenceSet::empty(); ActionClass::cardinality()];
         object_sequences[car.index()] = SequenceSet::new(vec![iv(0, 9)]);
         action_sequences[jumping.index()] = SequenceSet::new(vec![iv(0, 9)]);
         IngestedVideo::new(

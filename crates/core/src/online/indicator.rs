@@ -10,7 +10,7 @@
 
 use super::config::OnlineConfig;
 use svq_types::{ActionQuery, ClipId};
-use svq_vision::stream::ClipView;
+use svq_vision::stream::ClipAccess;
 
 /// Per-predicate critical values for one query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,8 +57,8 @@ impl ClipEvaluation {
 /// same detections at zero extra inference). The action predicate charges
 /// the recognizer over the clip's shots only if every object predicate
 /// held.
-pub fn evaluate_clip(
-    view: &mut ClipView<'_>,
+pub fn evaluate_clip<C: ClipAccess>(
+    view: &mut C,
     query: &ActionQuery,
     criticals: &CriticalValues,
     config: &OnlineConfig,
@@ -71,8 +71,8 @@ pub fn evaluate_clip(
 /// (indices into `query.objects`) — the footnote 5 knob, driven adaptively
 /// by [`super::ordering::SelectivityOrderer`]. Counts land at their
 /// *original* indices regardless of the order.
-pub fn evaluate_clip_ordered(
-    view: &mut ClipView<'_>,
+pub fn evaluate_clip_ordered<C: ClipAccess>(
+    view: &mut C,
     query: &ActionQuery,
     criticals: &CriticalValues,
     config: &OnlineConfig,
@@ -84,7 +84,11 @@ pub fn evaluate_clip_ordered(
     let mut object_counts: Vec<Option<u32>> = vec![None; query.objects.len()];
 
     // One detector pass yields every class's detections for the clip.
-    let frames = if query.objects.is_empty() { Vec::new() } else { view.object_frames() };
+    let frames = if query.objects.is_empty() {
+        Vec::new()
+    } else {
+        view.object_frames()
+    };
 
     for &i in order {
         let class = query.objects[i];
@@ -134,12 +138,10 @@ pub fn evaluate_clip_ordered(
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use svq_types::{
-        ActionClass, FrameId, Interval, ObjectClass, TrackId, VideoGeometry, VideoId,
-    };
+    use svq_types::{ActionClass, FrameId, Interval, ObjectClass, TrackId, VideoGeometry, VideoId};
     use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
     use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
-    use svq_vision::{VideoStream};
+    use svq_vision::VideoStream;
 
     /// 4 clips (200 frames): car on clip 1-2, jumping on clip 2 only.
     fn oracle() -> DetectionOracle {
@@ -156,11 +158,19 @@ mod tests {
             frames: Interval::new(FrameId::new(100), FrameId::new(149)),
             salience: 1.0,
         });
-        DetectionOracle::new(Arc::new(gt), ModelSuite::ideal(), &SceneConfusion::default(), 0)
+        DetectionOracle::new(
+            Arc::new(gt),
+            ModelSuite::ideal(),
+            &SceneConfusion::default(),
+            0,
+        )
     }
 
     fn crits(obj: u32, act: u32, n_obj: usize) -> CriticalValues {
-        CriticalValues { objects: vec![obj; n_obj], action: act }
+        CriticalValues {
+            objects: vec![obj; n_obj],
+            action: act,
+        }
     }
 
     #[test]
@@ -215,8 +225,7 @@ mod tests {
         let criticals = crits(0, 2, 0);
         let mut positives = 0;
         while let Some(mut view) = stream.next_clip() {
-            positives +=
-                evaluate_clip(&mut view, &query, &criticals, &config).positive as u32;
+            positives += evaluate_clip(&mut view, &query, &criticals, &config).positive as u32;
         }
         assert_eq!(positives, 1);
         assert_eq!(stream.ledger().object_frames, 0);

@@ -22,8 +22,8 @@ mod svaqd;
 
 pub use config::{BackgroundUpdate, OnlineConfig};
 pub use indicator::{evaluate_clip, evaluate_clip_ordered, ClipEvaluation, CriticalValues};
-pub use ordering::SelectivityOrderer;
 pub use merger::SequenceMerger;
+pub use ordering::SelectivityOrderer;
 pub use svaq::Svaq;
 pub use svaqd::Svaqd;
 

@@ -72,7 +72,7 @@ impl SelectivityOrderer {
             }
         }
         self.seen += 1;
-        if self.seen % self.refresh_every == 0 {
+        if self.seen.is_multiple_of(self.refresh_every) {
             self.refresh();
         }
     }
@@ -81,7 +81,8 @@ impl SelectivityOrderer {
     /// keep the user's order — their expertise remains the tiebreak).
     fn refresh(&mut self) {
         let rates: Vec<f64> = (0..self.passes.len()).map(|i| self.pass_rate(i)).collect();
-        self.order.sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
+        self.order
+            .sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
     }
 
     /// Expected predicate evaluations per clip under the current order and

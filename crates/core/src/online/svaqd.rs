@@ -17,7 +17,7 @@ use super::OnlineResult;
 use std::time::Instant;
 use svq_scanstats::{CriticalValueTable, KernelEstimator, ScanConfig};
 use svq_types::{ActionQuery, ClipInterval, VideoGeometry};
-use svq_vision::stream::ClipView;
+use svq_vision::stream::ClipAccess;
 use svq_vision::VideoStream;
 
 /// Algorithm 3: streaming action-query processing with dynamic background
@@ -79,16 +79,10 @@ impl Svaqd {
     ) -> Self {
         let w_obj = geometry.frames_per_clip();
         let w_act = geometry.shots_per_clip;
-        let mut object_table = CriticalValueTable::new(ScanConfig::new(
-            w_obj,
-            config.horizon_windows,
-            config.alpha,
-        ));
-        let mut action_table = CriticalValueTable::new(ScanConfig::new(
-            w_act,
-            config.horizon_windows,
-            config.alpha,
-        ));
+        let mut object_table =
+            CriticalValueTable::new(ScanConfig::new(w_obj, config.horizon_windows, config.alpha));
+        let mut action_table =
+            CriticalValueTable::new(ScanConfig::new(w_act, config.horizon_windows, config.alpha));
         let object_estimators: Vec<KernelEstimator> = query
             .objects
             .iter()
@@ -101,7 +95,10 @@ impl Svaqd {
                 .iter()
                 .map(|e| clamp(object_table.critical_value(e.estimate()), w_obj))
                 .collect(),
-            action: clamp(action_table.critical_value(action_estimator.estimate()), w_act),
+            action: clamp(
+                action_table.critical_value(action_estimator.estimate()),
+                w_act,
+            ),
         };
         let n_predicates = query.objects.len() + 1;
         Self {
@@ -142,7 +139,7 @@ impl Svaqd {
 
     /// Process the next clip; returns a result sequence if this clip closed
     /// one.
-    pub fn push_clip(&mut self, view: &mut ClipView<'_>) -> Option<ClipInterval> {
+    pub fn push_clip<C: ClipAccess>(&mut self, view: &mut C) -> Option<ClipInterval> {
         let identity: Vec<usize> = (0..self.query.objects.len()).collect();
         let order: &[usize] = if self.config.adaptive_order {
             self.orderer.order()
@@ -150,8 +147,7 @@ impl Svaqd {
             &identity
         };
         let order = order.to_vec();
-        let eval =
-            evaluate_clip_ordered(view, &self.query, &self.criticals, &self.config, &order);
+        let eval = evaluate_clip_ordered(view, &self.query, &self.criticals, &self.config, &order);
         if self.config.adaptive_order {
             let outcomes: Vec<Option<bool>> = eval
                 .object_counts
@@ -180,9 +176,8 @@ impl Svaqd {
                         BackgroundUpdate::PositiveClips => eval.positive,
                     };
                 if update {
-                    let cap = (2
-                        * svq_scanstats::binomial::quantile(0.99, w_obj, est.estimate()))
-                    .max(1) as u32;
+                    let cap = (2 * svq_scanstats::binomial::quantile(0.99, w_obj, est.estimate()))
+                        .max(1) as u32;
                     est.observe_run(w_obj, count.min(cap) as u64);
                     changed = true;
                 }
@@ -201,12 +196,11 @@ impl Svaqd {
                     BackgroundUpdate::PositiveClips => eval.positive,
                 };
             if update {
-                let cap = (2
-                    * svq_scanstats::binomial::quantile(
-                        0.99,
-                        w_act,
-                        self.action_estimator.estimate(),
-                    ))
+                let cap = (2 * svq_scanstats::binomial::quantile(
+                    0.99,
+                    w_act,
+                    self.action_estimator.estimate(),
+                ))
                 .max(1) as u32;
                 self.action_estimator
                     .observe_run(w_act, count.min(cap) as u64);
@@ -228,7 +222,8 @@ impl Svaqd {
                     clamp(self.object_table.critical_value(est.estimate()), w_obj_u);
             }
             self.criticals.action = clamp(
-                self.action_table.critical_value(self.action_estimator.estimate()),
+                self.action_table
+                    .critical_value(self.action_estimator.estimate()),
                 w_act_u,
             );
         }
@@ -274,7 +269,11 @@ impl Svaqd {
         }
         stream.ledger_mut().charge_algorithm(start.elapsed());
         let (sequences, evaluations) = svaqd.finish();
-        OnlineResult { sequences, cost: *stream.ledger(), evaluations }
+        OnlineResult {
+            sequences,
+            cost: *stream.ledger(),
+            evaluations,
+        }
     }
 }
 
@@ -282,9 +281,7 @@ impl Svaqd {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use svq_types::{
-        ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, TrackId, VideoId,
-    };
+    use svq_types::{ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, TrackId, VideoId};
     use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
     use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
 
@@ -363,8 +360,13 @@ mod tests {
         let oracle = oracle(ModelSuite::accurate(), 7);
         let mut stream = VideoStream::new(&oracle);
         let query = ActionQuery::named("jumping", &["car"]);
-        let mut svaqd =
-            Svaqd::new(query, stream.geometry(), OnlineConfig::default(), 1e-6, 1e-6);
+        let mut svaqd = Svaqd::new(
+            query,
+            stream.geometry(),
+            OnlineConfig::default(),
+            1e-6,
+            1e-6,
+        );
         let k0 = svaqd.criticals().objects[0];
         while let Some(mut view) = stream.next_clip() {
             svaqd.push_clip(&mut view);
@@ -387,13 +389,8 @@ mod tests {
         let oracle = oracle(ModelSuite::accurate(), 11);
 
         let mut s1 = VideoStream::new(&oracle);
-        let svaq = super::super::Svaq::run(
-            query.clone(),
-            &mut s1,
-            OnlineConfig::default(),
-            1e-6,
-            1e-6,
-        );
+        let svaq =
+            super::super::Svaq::run(query.clone(), &mut s1, OnlineConfig::default(), 1e-6, 1e-6);
         let mut s2 = VideoStream::new(&oracle);
         let svaqd = Svaqd::run(query, &mut s2, OnlineConfig::default(), 1e-6, 1e-6);
 

@@ -72,8 +72,12 @@ pub fn measure_fpr(
         let geometry = truth.geometry;
 
         // Clip-level pass/fail from the evaluation trace.
-        let positive_clip =
-            |c: u64| result.evaluations.get(c as usize).is_some_and(|e| e.positive);
+        let positive_clip = |c: u64| {
+            result
+                .evaluations
+                .get(c as usize)
+                .is_some_and(|e| e.positive)
+        };
 
         let clip_count = geometry.clip_count(truth.total_frames);
         for c in 0..clip_count {
@@ -124,7 +128,10 @@ pub fn measure_fpr(
         let _: Option<Interval<FrameId>> = None;
     }
 
-    FprReport { action: act.pair(), object: obj.pair() }
+    FprReport {
+        action: act.pair(),
+        object: obj.pair(),
+    }
 }
 
 #[cfg(test)]

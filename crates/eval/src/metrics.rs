@@ -26,7 +26,11 @@ impl MatchCounts {
     /// should have been.
     pub fn precision(&self) -> f64 {
         if self.tp + self.fp == 0 {
-            if self.fn_ == 0 { 1.0 } else { 0.0 }
+            if self.fn_ == 0 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             self.tp as f64 / (self.tp + self.fp) as f64
         }
@@ -35,7 +39,11 @@ impl MatchCounts {
     /// Recall `tp / (tp + fn)`.
     pub fn recall(&self) -> f64 {
         if self.tp + self.fn_ == 0 {
-            if self.fp == 0 { 1.0 } else { 0.0 }
+            if self.fp == 0 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             self.tp as f64 / (self.tp + self.fn_) as f64
         }
@@ -45,7 +53,11 @@ impl MatchCounts {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
     }
 
     /// Accumulate another video's counters.
@@ -62,11 +74,7 @@ pub fn f1_score(results: &[FrameInterval], truth: &[FrameInterval], eta: f64) ->
 }
 
 /// The §5.1 matching procedure at IoU threshold `eta`.
-pub fn match_counts(
-    results: &[FrameInterval],
-    truth: &[FrameInterval],
-    eta: f64,
-) -> MatchCounts {
+pub fn match_counts(results: &[FrameInterval], truth: &[FrameInterval], eta: f64) -> MatchCounts {
     let mut counts = MatchCounts::default();
     for r in results {
         if truth.iter().any(|t| r.iou(t) > eta) {
@@ -109,10 +117,7 @@ pub fn frame_counts(
 }
 
 /// Express clip-level result sequences as frame intervals at a geometry.
-pub fn clips_to_frames(
-    sequences: &[ClipInterval],
-    geometry: VideoGeometry,
-) -> Vec<FrameInterval> {
+pub fn clips_to_frames(sequences: &[ClipInterval], geometry: VideoGeometry) -> Vec<FrameInterval> {
     sequences
         .iter()
         .map(|s| s.scale::<FrameId>(geometry.frames_per_clip() as u64))
@@ -132,7 +137,14 @@ mod tests {
     fn exact_match_is_perfect() {
         let truth = vec![fi(100, 199), fi(400, 499)];
         let c = match_counts(&truth, &truth, 0.5);
-        assert_eq!(c, MatchCounts { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 2,
+                fp: 0,
+                fn_: 0
+            }
+        );
         assert_eq!(c.f1(), 1.0);
     }
 
@@ -142,10 +154,24 @@ mod tests {
         // 60 % overlap: IoU = 60/100... result [0,59]: inter 60, union 100
         // -> 0.6 > 0.5 matches.
         let c = match_counts(&[fi(0, 59)], &truth, 0.5);
-        assert_eq!(c, MatchCounts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
         // 40 % overlap fails: fp and fn.
         let c = match_counts(&[fi(0, 39)], &truth, 0.5);
-        assert_eq!(c, MatchCounts { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
@@ -155,7 +181,14 @@ mod tests {
         let truth = vec![fi(0, 99)];
         let results = vec![fi(0, 69), fi(90, 99)];
         let c = match_counts(&results, &truth, 0.5);
-        assert_eq!(c, MatchCounts { tp: 1, fp: 1, fn_: 0 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 1,
+                fp: 1,
+                fn_: 0
+            }
+        );
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -163,10 +196,24 @@ mod tests {
     fn empty_cases() {
         assert_eq!(match_counts(&[], &[], 0.5).f1(), 1.0);
         let c = match_counts(&[], &[fi(0, 9)], 0.5);
-        assert_eq!(c, MatchCounts { tp: 0, fp: 0, fn_: 1 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 0,
+                fp: 0,
+                fn_: 1
+            }
+        );
         assert_eq!(c.f1(), 0.0);
         let c = match_counts(&[fi(0, 9)], &[], 0.5);
-        assert_eq!(c, MatchCounts { tp: 0, fp: 1, fn_: 0 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 0,
+                fp: 1,
+                fn_: 0
+            }
+        );
         assert_eq!(c.f1(), 0.0);
     }
 
@@ -175,7 +222,14 @@ mod tests {
         let truth = vec![fi(10, 19)];
         let results = vec![fi(15, 24)];
         let c = frame_counts(&results, &truth, 30);
-        assert_eq!(c, MatchCounts { tp: 5, fp: 5, fn_: 5 });
+        assert_eq!(
+            c,
+            MatchCounts {
+                tp: 5,
+                fp: 5,
+                fn_: 5
+            }
+        );
         assert!((c.f1() - 0.5).abs() < 1e-9);
     }
 
@@ -189,8 +243,23 @@ mod tests {
     #[test]
     fn counts_accumulate() {
         let mut acc = MatchCounts::default();
-        acc.add(MatchCounts { tp: 1, fp: 2, fn_: 0 });
-        acc.add(MatchCounts { tp: 3, fp: 0, fn_: 1 });
-        assert_eq!(acc, MatchCounts { tp: 4, fp: 2, fn_: 1 });
+        acc.add(MatchCounts {
+            tp: 1,
+            fp: 2,
+            fn_: 0,
+        });
+        acc.add(MatchCounts {
+            tp: 3,
+            fp: 0,
+            fn_: 1,
+        });
+        assert_eq!(
+            acc,
+            MatchCounts {
+                tp: 4,
+                fp: 2,
+                fn_: 1
+            }
+        );
     }
 }

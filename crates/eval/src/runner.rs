@@ -59,12 +59,8 @@ pub fn run_video(
     let oracle = video.oracle(suite);
     let mut stream = VideoStream::new(&oracle);
     let result = match algorithm {
-        OnlineAlgorithm::Svaq { p0 } => {
-            Svaq::run(query.clone(), &mut stream, config, p0, p0)
-        }
-        OnlineAlgorithm::Svaqd { p0 } => {
-            Svaqd::run(query.clone(), &mut stream, config, p0, p0)
-        }
+        OnlineAlgorithm::Svaq { p0 } => Svaq::run(query.clone(), &mut stream, config, p0, p0),
+        OnlineAlgorithm::Svaqd { p0 } => Svaqd::run(query.clone(), &mut stream, config, p0, p0),
     };
     let geometry = video.truth.geometry;
     let predicted = clips_to_frames(&result.sequences, geometry);
@@ -130,8 +126,7 @@ mod tests {
             OnlineAlgorithm::Svaq { p0: 1e-4 },
             OnlineAlgorithm::Svaqd { p0: 1e-4 },
         ] {
-            let out =
-                run_query_set(&set, algo, ModelSuite::ideal(), OnlineConfig::default());
+            let out = run_query_set(&set, algo, ModelSuite::ideal(), OnlineConfig::default());
             assert!(
                 out.f1() > 0.99,
                 "{algo:?}: F1 {} counts {:?}",

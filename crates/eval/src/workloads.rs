@@ -59,8 +59,7 @@ pub const YOUTUBE_SPECS: [(&str, &str, &[&str], u32); 12] = [
 /// Per-set detector-confusion multipliers: kitchen scenes with small
 /// ambiguous objects (faucet, dish, oven) are the hardest; open-air scenes
 /// with large objects the easiest.
-pub const SET_NOISE: [f64; 12] =
-    [1.6, 1.3, 1.0, 1.2, 0.9, 0.8, 1.6, 0.7, 1.0, 1.4, 1.5, 0.6];
+pub const SET_NOISE: [f64; 12] = [1.6, 1.3, 1.0, 1.2, 0.9, 0.8, 1.6, 0.7, 1.0, 1.4, 1.5, 0.6];
 
 /// Genre-appropriate role for a queried object within its activity.
 fn role_for(object: &str, action: &str) -> ObjectSpec {
@@ -72,9 +71,7 @@ fn role_for(object: &str, action: &str) -> ObjectSpec {
         | ("kid", "blow-drying hair")
         | ("dish", "washing hands") => ObjectSpec::correlated(class),
         // Scene furniture that co-occurs often.
-        ("oven", _) | ("chair", _) | ("plant", _) | ("knife", _) => {
-            ObjectSpec::scene(class)
-        }
+        ("oven", _) | ("chair", _) | ("plant", _) | ("knife", _) => ObjectSpec::scene(class),
         // Background/incidental.
         _ => ObjectSpec::incidental(class),
     }
@@ -85,8 +82,7 @@ pub fn youtube_query_set(index: usize, scale: f64, seed: u64) -> QuerySet {
     let (id, action, objects, minutes) = YOUTUBE_SPECS[index];
     let query = ActionQuery::named(action, objects);
     let geometry = VideoGeometry::default();
-    let total_frames =
-        (minutes as f64 * 60.0 * geometry.fps as f64 * scale).round() as u64;
+    let total_frames = (minutes as f64 * 60.0 * geometry.fps as f64 * scale).round() as u64;
     // ActivityNet videos average ~2.5 minutes.
     let per_video = (150.0 * geometry.fps as f64) as u64;
     let n_videos = (total_frames / per_video).max(1);
@@ -142,7 +138,12 @@ pub struct MovieCase {
 
 /// Table 2 rows: (title, action, objects, minutes).
 pub const MOVIE_SPECS: [(&str, &str, &[&str], u32); 4] = [
-    ("Coffee and Cigarettes", "smoking", &["wine glass", "cup"], 96),
+    (
+        "Coffee and Cigarettes",
+        "smoking",
+        &["wine glass", "cup"],
+        96,
+    ),
     ("Iron Man", "robot dancing", &["car", "airplane"], 126),
     ("Star Wars 3", "archery", &["bird", "cat"], 134),
     ("Titanic", "kissing", &["surfboard", "boat"], 194),
@@ -174,7 +175,11 @@ pub fn movies_workload(scale: f64, seed: u64) -> Vec<MovieCase> {
                 specs,
                 seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             );
-            MovieCase { title, query, video: spec.generate() }
+            MovieCase {
+                title,
+                query,
+                video: spec.generate(),
+            }
         })
         .collect()
 }
@@ -184,7 +189,10 @@ pub fn movies_workload(scale: f64, seed: u64) -> Vec<MovieCase> {
 /// are evaluated against identical footage.
 pub fn table3_queries() -> Vec<(&'static str, ActionQuery)> {
     vec![
-        ("a=blowing leaves", ActionQuery::named("blowing leaves", &[])),
+        (
+            "a=blowing leaves",
+            ActionQuery::named("blowing leaves", &[]),
+        ),
         (
             "a=blowing leaves, o1=person",
             ActionQuery::named("blowing leaves", &["person"]),
@@ -205,7 +213,10 @@ pub fn table3_queries() -> Vec<(&'static str, ActionQuery)> {
             "a=blowing leaves, o1=person, o2=plant, o3=car",
             ActionQuery::named("blowing leaves", &["person", "plant", "car"]),
         ),
-        ("a=washing dishes", ActionQuery::named("washing dishes", &[])),
+        (
+            "a=washing dishes",
+            ActionQuery::named("washing dishes", &[]),
+        ),
         (
             "a=washing dishes, o1=person",
             ActionQuery::named("washing dishes", &["person"]),

@@ -1,0 +1,108 @@
+//! Parallel repository ingestion.
+//!
+//! Ingestion (§4.1) is query-independent and per-video: each video's catalog
+//! is built from its own detections only. That makes the fan-out trivial to
+//! parallelise — one pool job per video — and the fan-in the only place
+//! determinism could leak. [`parallel_ingest`] closes that hole by merging
+//! finished catalogs through [`VideoRepository::from_catalogs`], which keys
+//! storage by [`svq_types::VideoId`]: the resulting repository is identical
+//! to a sequential ingest no matter how workers interleaved.
+
+use crate::metrics::ExecMetrics;
+use crate::pool::WorkerPool;
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+use svq_core::offline::ingest;
+use svq_core::online::OnlineConfig;
+use svq_core::ScoringFunctions;
+use svq_storage::VideoRepository;
+use svq_vision::models::DetectionOracle;
+
+/// Ingest many videos concurrently into one deterministic repository.
+///
+/// Spawns one job per oracle on a fresh pool of `workers` threads (metrics
+/// land in `metrics` under one session entry per video). Panicking ingests
+/// are isolated by the pool; their videos are simply absent from the result,
+/// mirroring how the multiplexer poisons only the failing session.
+pub fn parallel_ingest(
+    oracles: &[Arc<DetectionOracle>],
+    scoring: Arc<dyn ScoringFunctions + Send + Sync>,
+    config: OnlineConfig,
+    workers: usize,
+    metrics: ExecMetrics,
+) -> VideoRepository {
+    let pool = WorkerPool::new(workers, oracles.len().max(1), metrics);
+    let (tx, rx) = unbounded();
+    for oracle in oracles {
+        let oracle = oracle.clone();
+        let scoring = scoring.clone();
+        let tx = tx.clone();
+        let counters = pool
+            .metrics()
+            .register_session(format!("ingest/v{}", oracle.truth().video.raw()));
+        pool.submit(Box::new(move || {
+            let started = std::time::Instant::now();
+            let catalog = ingest(&oracle, scoring.as_ref(), &config);
+            counters
+                .clips_processed
+                .fetch_add(catalog.clip_count, std::sync::atomic::Ordering::Relaxed);
+            counters.eval_nanos.fetch_add(
+                started.elapsed().as_nanos() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            let _ = tx.send(catalog);
+        }));
+    }
+    drop(tx);
+    // Workers drop their tx clones with the job closures; collecting until
+    // disconnect therefore yields exactly the non-panicked catalogs.
+    let catalogs: Vec<_> = rx.iter().collect();
+    pool.shutdown();
+    VideoRepository::from_catalogs(catalogs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svq_core::PaperScoring;
+    use svq_types::{ActionClass, ObjectClass, VideoId};
+    use svq_vision::models::ModelSuite;
+    use svq_vision::synth::{ObjectSpec, ScenarioSpec};
+
+    fn oracles(n: u64) -> Vec<Arc<DetectionOracle>> {
+        (0..n)
+            .map(|i| {
+                let spec = ScenarioSpec::activitynet(
+                    VideoId::new(i),
+                    1_500,
+                    ActionClass::named("jumping"),
+                    vec![ObjectSpec::correlated(ObjectClass::named("car"))],
+                    7 + i,
+                );
+                Arc::new(spec.generate().oracle(ModelSuite::accurate()))
+            })
+            .collect()
+    }
+
+    /// Byte-identical repository comparison via the persistence format.
+    fn fingerprint(repo: &VideoRepository) -> Vec<String> {
+        repo.iter()
+            .map(|v| serde_json::to_string(v).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential() {
+        let oracles = oracles(4);
+        let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
+        let config = OnlineConfig::default();
+
+        let sequential = VideoRepository::from_catalogs(
+            oracles.iter().map(|o| ingest(o, &PaperScoring, &config)),
+        );
+        let parallel = parallel_ingest(&oracles, scoring, config, 4, ExecMetrics::new());
+
+        assert_eq!(parallel.len(), 4);
+        assert_eq!(fingerprint(&parallel), fingerprint(&sequential));
+    }
+}

@@ -1,0 +1,213 @@
+//! Execution metrics registry.
+//!
+//! Lock-free counters (atomics; `parking_lot` only to guard the session
+//! list) updated by feeders and workers, exposed through [`ExecMetrics::snapshot`]
+//! as a plain data [`MetricsSnapshot`] that `svqact mux` and `svq-bench`
+//! print. Rates are computed at snapshot time from a monotonic start
+//! instant, so reading metrics never perturbs the hot path.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters for one multiplexed session.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Clips fully evaluated through the session's engine.
+    pub clips_processed: AtomicU64,
+    /// Tickets discarded by the drop-oldest backpressure policy.
+    pub dropped: AtomicU64,
+    /// Current mailbox depth (tickets enqueued and not yet consumed).
+    pub queue_depth: AtomicU64,
+    /// Nanoseconds feeders spent blocked on a full mailbox.
+    pub feed_block_nanos: AtomicU64,
+    /// Nanoseconds workers spent inside engine evaluation for this session.
+    pub eval_nanos: AtomicU64,
+}
+
+impl SessionCounters {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Counters for the worker pool itself.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    /// Jobs executed to completion (including panicked ones).
+    pub jobs_executed: AtomicU64,
+    /// Jobs that panicked (each poisons only its own session).
+    pub jobs_panicked: AtomicU64,
+    /// Current depth of the pool's job queue.
+    pub queue_depth: AtomicU64,
+}
+
+/// The process-wide exec metrics registry.
+///
+/// Cheap to clone (`Arc` inside); one registry is shared by a pool, its
+/// multiplexer, and whatever wants to print progress.
+#[derive(Clone, Default)]
+pub struct ExecMetrics {
+    inner: Arc<MetricsInner>,
+}
+
+struct MetricsInner {
+    started: Instant,
+    workers: AtomicU64,
+    pool: PoolCounters,
+    sessions: RwLock<Vec<(String, Arc<SessionCounters>)>>,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            workers: AtomicU64::new(0),
+            pool: PoolCounters::default(),
+            sessions: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+impl ExecMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool-level counters.
+    pub fn pool(&self) -> &PoolCounters {
+        &self.inner.pool
+    }
+
+    pub(crate) fn set_workers(&self, n: usize) {
+        self.inner.workers.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Register a session's counter block under a display label.
+    pub fn register_session(&self, label: String) -> Arc<SessionCounters> {
+        let counters = Arc::new(SessionCounters::default());
+        self.inner.sessions.write().push((label, counters.clone()));
+        counters
+    }
+
+    /// Point-in-time view of every counter plus derived rates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let elapsed = self.inner.started.elapsed().as_secs_f64().max(1e-9);
+        let sessions: Vec<SessionSnapshot> = self
+            .inner
+            .sessions
+            .read()
+            .iter()
+            .map(|(label, c)| {
+                let clips = c.clips_processed.load(Ordering::Relaxed);
+                SessionSnapshot {
+                    label: label.clone(),
+                    clips_processed: clips,
+                    clips_per_sec: clips as f64 / elapsed,
+                    dropped: c.dropped.load(Ordering::Relaxed),
+                    queue_depth: c.queue_depth.load(Ordering::Relaxed),
+                    feed_block_ms: c.feed_block_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+                    eval_ms: c.eval_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+                }
+            })
+            .collect();
+        let total_clips: u64 = sessions.iter().map(|s| s.clips_processed).sum();
+        MetricsSnapshot {
+            elapsed_sec: elapsed,
+            workers: self.inner.workers.load(Ordering::Relaxed),
+            jobs_executed: self.inner.pool.jobs_executed.load(Ordering::Relaxed),
+            jobs_panicked: self.inner.pool.jobs_panicked.load(Ordering::Relaxed),
+            pool_queue_depth: self.inner.pool.queue_depth.load(Ordering::Relaxed),
+            total_clips,
+            total_clips_per_sec: total_clips as f64 / elapsed,
+            sessions,
+        }
+    }
+}
+
+/// One session's metrics at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    pub label: String,
+    pub clips_processed: u64,
+    pub clips_per_sec: f64,
+    pub dropped: u64,
+    pub queue_depth: u64,
+    /// Total feeder time blocked on this session's mailbox.
+    pub feed_block_ms: f64,
+    /// Total worker time inside engine evaluation.
+    pub eval_ms: f64,
+}
+
+/// Whole-registry metrics at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub elapsed_sec: f64,
+    pub workers: u64,
+    pub jobs_executed: u64,
+    pub jobs_panicked: u64,
+    pub pool_queue_depth: u64,
+    pub total_clips: u64,
+    /// Pool-wide throughput across all sessions.
+    pub total_clips_per_sec: f64,
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "exec: {} workers, {:.2}s elapsed, {} clips ({:.0} clips/s), \
+             {} jobs ({} panicked), pool queue {}",
+            self.workers,
+            self.elapsed_sec,
+            self.total_clips,
+            self.total_clips_per_sec,
+            self.jobs_executed,
+            self.jobs_panicked,
+            self.pool_queue_depth,
+        )?;
+        for s in &self.sessions {
+            writeln!(
+                f,
+                "  {:<28} {:>8} clips ({:>8.0}/s)  dropped {:>5}  queue {:>4}  \
+                 eval {:>9.1} ms  feed-block {:>8.1} ms",
+                s.label,
+                s.clips_processed,
+                s.clips_per_sec,
+                s.dropped,
+                s.queue_depth,
+                s.eval_ms,
+                s.feed_block_ms,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates_sessions() {
+        let metrics = ExecMetrics::new();
+        metrics.set_workers(4);
+        let a = metrics.register_session("q0/v0".into());
+        let b = metrics.register_session("q1/v0".into());
+        a.clips_processed.store(30, Ordering::Relaxed);
+        b.clips_processed.store(12, Ordering::Relaxed);
+        b.dropped.store(3, Ordering::Relaxed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.workers, 4);
+        assert_eq!(snap.total_clips, 42);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[1].dropped, 3);
+        assert!(snap.total_clips_per_sec > 0.0);
+        let text = snap.to_string();
+        assert!(text.contains("q0/v0"));
+        assert!(text.contains("42 clips"));
+    }
+}

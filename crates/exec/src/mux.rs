@@ -1,0 +1,592 @@
+//! Concurrent session multiplexer.
+//!
+//! A *session* pairs one parsed query's online engine ([`Svaqd`] or
+//! [`ExprSvaqd`]) with one video stream, identified by the oracle it reads.
+//! The multiplexer runs many sessions over one [`WorkerPool`]: feeders
+//! enqueue lightweight clip tickets into per-session mailboxes (bounded
+//! crossbeam channels) and workers perform the heavy per-clip model reads
+//! and engine evaluation.
+//!
+//! Two properties anchor the design:
+//!
+//! * **Determinism.** A session is an actor: at most one worker drains a
+//!   given mailbox at a time (an atomic `scheduled` flag arbitrates), and a
+//!   mailbox is FIFO, so each engine consumes its clips in exactly feed
+//!   order regardless of worker count. A multiplexed run is therefore
+//!   byte-identical to running its sessions sequentially.
+//! * **Isolation.** A panic while evaluating a clip poisons only the owning
+//!   session — its remaining tickets are discarded and [`SessionMux::wait`]
+//!   reports [`SessionError::Poisoned`] — while every other session and the
+//!   pool keep running.
+//!
+//! Backpressure on a full mailbox is per session: [`Backpressure::Block`]
+//! stalls the feeder (lossless, what query sessions want) while
+//! [`Backpressure::DropOldest`] sheds the oldest waiting clip and counts it
+//! (what live monitoring dashboards want).
+
+use crate::metrics::{ExecMetrics, SessionCounters};
+use crate::pool::WorkerPool;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use svq_core::expr::ExprSvaqd;
+use svq_core::online::{ClipEvaluation, Svaqd};
+use svq_types::{ClipId, ClipInterval};
+use svq_vision::models::DetectionOracle;
+use svq_vision::{CostLedger, OwnedClipView};
+
+/// Mailbox policy when a session's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the feeder until the worker catches up (lossless).
+    #[default]
+    Block,
+    /// Drop the oldest waiting clip and count it in the session metrics.
+    DropOldest,
+}
+
+/// The per-session online engine.
+// Variant sizes differ (~576 vs ~360 bytes) but a value is moved exactly
+// once, into its session, so boxing would only add indirection to push_clip.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SessionEngine {
+    Svaqd(Svaqd),
+    Expr(ExprSvaqd),
+}
+
+impl SessionEngine {
+    fn push_clip(&mut self, view: &mut OwnedClipView) -> Option<ClipInterval> {
+        match self {
+            SessionEngine::Svaqd(e) => e.push_clip(view),
+            SessionEngine::Expr(e) => e.push_clip(view),
+        }
+    }
+
+    fn finish(self) -> (Vec<ClipInterval>, Vec<ClipEvaluation>) {
+        match self {
+            SessionEngine::Svaqd(e) => e.finish(),
+            SessionEngine::Expr(e) => (e.finish(), Vec::new()),
+        }
+    }
+}
+
+/// Handle to a registered session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+/// What a finished session produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Result sequences, as the engine's `finish` reports them.
+    pub sequences: Vec<ClipInterval>,
+    /// Per-clip evaluation trace (empty for [`SessionEngine::Expr`]).
+    pub evaluations: Vec<ClipEvaluation>,
+    /// Inference cost charged by this session's clip evaluations.
+    pub cost: CostLedger,
+    /// Clips evaluated (excludes dropped tickets).
+    pub clips_processed: u64,
+    /// Tickets shed by [`Backpressure::DropOldest`].
+    pub dropped: u64,
+}
+
+/// Why a session failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// A clip evaluation panicked; the session's remaining work was
+    /// discarded. Other sessions are unaffected.
+    Poisoned,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Poisoned => {
+                write!(f, "session poisoned by a panicking clip evaluation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+struct SessionState {
+    engine: Option<SessionEngine>,
+    oracle: Arc<DetectionOracle>,
+    ledger: CostLedger,
+    clips_processed: u64,
+    poisoned: bool,
+    result: Option<Result<SessionResult, SessionError>>,
+}
+
+struct Session {
+    tx: Sender<ClipId>,
+    rx: Receiver<ClipId>,
+    state: Mutex<SessionState>,
+    /// True while a worker owns (or is committed to owning) the drain loop.
+    scheduled: AtomicBool,
+    /// Set once the feeder declared end-of-stream.
+    finishing: AtomicBool,
+    /// Wall seconds slept per *simulated* inference second (bits of `f64`).
+    pacing: AtomicU64,
+    policy: Backpressure,
+    counters: Arc<SessionCounters>,
+    done_tx: Sender<()>,
+    done_rx: Receiver<()>,
+}
+
+/// Multiplexes many query sessions over one worker pool.
+pub struct SessionMux {
+    pool: WorkerPool,
+    sessions: Mutex<Vec<Arc<Session>>>,
+}
+
+impl SessionMux {
+    /// A multiplexer over `workers` threads reporting into `metrics`.
+    pub fn new(workers: usize, metrics: ExecMetrics) -> Self {
+        Self {
+            pool: WorkerPool::new(workers, 1024, metrics),
+            sessions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The metrics registry shared with the pool.
+    pub fn metrics(&self) -> &ExecMetrics {
+        self.pool.metrics()
+    }
+
+    /// Register a session: one engine consuming one oracle's clip stream.
+    /// `mailbox_cap` bounds the ticket queue; `label` names the session in
+    /// metrics snapshots.
+    pub fn register(
+        &self,
+        label: String,
+        oracle: Arc<DetectionOracle>,
+        engine: SessionEngine,
+        policy: Backpressure,
+        mailbox_cap: usize,
+    ) -> SessionId {
+        let (tx, rx) = bounded(mailbox_cap.max(1));
+        let (done_tx, done_rx) = bounded(1);
+        let counters = self.pool.metrics().register_session(label);
+        let session = Arc::new(Session {
+            tx,
+            rx,
+            state: Mutex::new(SessionState {
+                engine: Some(engine),
+                oracle,
+                ledger: CostLedger::default(),
+                clips_processed: 0,
+                poisoned: false,
+                result: None,
+            }),
+            scheduled: AtomicBool::new(false),
+            finishing: AtomicBool::new(false),
+            pacing: AtomicU64::new(0f64.to_bits()),
+            policy,
+            counters,
+            done_tx,
+            done_rx,
+        });
+        let mut sessions = self.sessions.lock();
+        sessions.push(session);
+        SessionId(sessions.len() - 1)
+    }
+
+    fn session(&self, id: SessionId) -> Arc<Session> {
+        self.sessions.lock()[id.0].clone()
+    }
+
+    /// Enqueue one clip for a session, applying its backpressure policy.
+    pub fn feed(&self, id: SessionId, clip: ClipId) {
+        let session = self.session(id);
+        debug_assert!(
+            !session.finishing.load(Ordering::Acquire),
+            "feed after finish_session"
+        );
+        match session.policy {
+            Backpressure::Block => {
+                if let Err(TrySendError::Full(clip)) = session.tx.try_send(clip) {
+                    let blocked = Instant::now();
+                    session.tx.send(clip).expect("session mailbox open");
+                    SessionCounters::add(
+                        &session.counters.feed_block_nanos,
+                        blocked.elapsed().as_nanos() as u64,
+                    );
+                }
+            }
+            Backpressure::DropOldest => {
+                let mut clip = clip;
+                loop {
+                    match session.tx.try_send(clip) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(returned)) => {
+                            clip = returned;
+                            if session.rx.try_recv().is_ok() {
+                                session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                                session.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            unreachable!("session mailbox open")
+                        }
+                    }
+                }
+            }
+        }
+        session.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.schedule(&session);
+    }
+
+    /// Pace a session to its simulated inference cost: after each clip the
+    /// worker sleeps `factor` wall seconds per simulated inference second
+    /// charged by that clip. The simulator's clip evaluation is microseconds
+    /// of table lookups, but deployed SVAQD spends >98 % of its time
+    /// waiting on model inference (§5.2) — pacing restores that wait so
+    /// executor-level concurrency measurements carry over. `0.0` (the
+    /// default) disables pacing.
+    pub fn set_pacing(&self, id: SessionId, factor: f64) {
+        self.session(id)
+            .pacing
+            .store(factor.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Declare end-of-stream for a session. Must be called after the last
+    /// [`SessionMux::feed`] for it; the engine finalises once the mailbox
+    /// drains.
+    pub fn finish_session(&self, id: SessionId) {
+        let session = self.session(id);
+        session.finishing.store(true, Ordering::Release);
+        self.schedule(&session);
+    }
+
+    /// Block until a finished session's result is available.
+    pub fn wait(&self, id: SessionId) -> Result<SessionResult, SessionError> {
+        let session = self.session(id);
+        session.done_rx.recv().expect("session finalised");
+        let result = session.state.lock().result.clone();
+        result.expect("result stored before done signal")
+    }
+
+    /// Convenience: feed every clip of the session's oracle in stream order
+    /// and declare end-of-stream.
+    pub fn feed_stream(&self, id: SessionId) {
+        self.feed_streams(&[id]);
+    }
+
+    /// Feed several sessions their oracles' clips interleaved round-robin —
+    /// the arrival order of concurrent live streams — then declare
+    /// end-of-stream on each. Keeps every session supplied with work, which
+    /// a per-stream sequential feed (blocked on one mailbox at a time)
+    /// would not.
+    pub fn feed_streams(&self, ids: &[SessionId]) {
+        let clip_counts: Vec<u64> = ids
+            .iter()
+            .map(|&id| {
+                let session = self.session(id);
+                let truth = session.state.lock().oracle.truth().clone();
+                truth.geometry.clip_count(truth.total_frames)
+            })
+            .collect();
+        let longest = clip_counts.iter().copied().max().unwrap_or(0);
+        for c in 0..longest {
+            for (&id, &count) in ids.iter().zip(&clip_counts) {
+                if c < count {
+                    self.feed(id, ClipId::new(c));
+                }
+            }
+        }
+        for &id in ids {
+            self.finish_session(id);
+        }
+    }
+
+    /// Shut the pool down after all sessions were waited on.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+
+    /// Hand a drain job to the pool unless one is already scheduled.
+    fn schedule(&self, session: &Arc<Session>) {
+        if session
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let session = session.clone();
+            self.pool.submit(Box::new(move || drain(&session)));
+        }
+    }
+}
+
+/// Worker side: serially process a session's mailbox, then finalise if the
+/// feeder declared end-of-stream. The `scheduled` flag guarantees only one
+/// worker runs this per session; the hand-off re-check closes the race
+/// between draining the last ticket and a feeder enqueueing a new one.
+fn drain(session: &Session) {
+    loop {
+        let mut state = session.state.lock();
+        while let Ok(clip) = session.rx.try_recv() {
+            session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            if state.poisoned {
+                continue;
+            }
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut view = OwnedClipView::new(state.oracle.clone(), clip);
+                let closed = state
+                    .engine
+                    .as_mut()
+                    .expect("engine present until finish")
+                    .push_clip(&mut view);
+                (*view.ledger(), closed)
+            }));
+            SessionCounters::add(
+                &session.counters.eval_nanos,
+                started.elapsed().as_nanos() as u64,
+            );
+            match outcome {
+                Ok((ledger, _closed)) => {
+                    state.ledger.merge(&ledger);
+                    state.clips_processed += 1;
+                    session
+                        .counters
+                        .clips_processed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let pacing = f64::from_bits(session.pacing.load(Ordering::Relaxed));
+                    if pacing > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(
+                            ledger.inference_ms() / 1e3 * pacing,
+                        ));
+                    }
+                }
+                Err(_) => {
+                    state.poisoned = true;
+                }
+            }
+        }
+        // End-of-stream: finalise exactly once, after the mailbox drained.
+        if session.finishing.load(Ordering::Acquire)
+            && state.result.is_none()
+            && session.rx.is_empty()
+        {
+            let result = if state.poisoned {
+                Err(SessionError::Poisoned)
+            } else {
+                let engine = state.engine.take().expect("finalised once");
+                let (sequences, evaluations) = engine.finish();
+                Ok(SessionResult {
+                    sequences,
+                    evaluations,
+                    cost: state.ledger,
+                    clips_processed: state.clips_processed,
+                    dropped: session.counters.dropped.load(Ordering::Relaxed),
+                })
+            };
+            state.result = Some(result);
+            let _ = session.done_tx.try_send(());
+        }
+        drop(state);
+
+        session.scheduled.store(false, Ordering::Release);
+        let more_work = !session.rx.is_empty()
+            || (session.finishing.load(Ordering::Acquire) && session.state.lock().result.is_none());
+        if !more_work {
+            return;
+        }
+        // New tickets (or the finish marker) arrived between the drain and
+        // the flag clear — reclaim ownership or leave it to the scheduler.
+        if session
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svq_core::online::OnlineConfig;
+    use svq_types::{
+        ActionClass, ActionQuery, BBox, FrameId, Interval, ObjectClass, TrackId, VideoGeometry,
+        VideoId,
+    };
+    use svq_vision::models::{ModelSuite, SceneConfusion};
+    use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
+    use svq_vision::VideoStream;
+
+    /// 40 clips (2000 frames); car & jumping on clips 12..=19.
+    fn oracle(video: u64, seed: u64) -> Arc<DetectionOracle> {
+        let mut gt = GroundTruth::new(VideoId::new(video), VideoGeometry::default(), 2_000);
+        gt.tracks.push(ObjectTrack {
+            class: ObjectClass::named("car"),
+            track: TrackId::new(1),
+            frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+            visibility: 1.0,
+            bbox: BBox::FULL,
+        });
+        gt.actions.push(ActionSpan {
+            class: ActionClass::named("jumping"),
+            frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+            salience: 1.0,
+        });
+        let confusion = SceneConfusion {
+            objects: vec![(ObjectClass::named("car"), 1.0)],
+            actions: vec![(ActionClass::named("jumping"), 1.0)],
+        };
+        Arc::new(DetectionOracle::new(
+            Arc::new(gt),
+            ModelSuite::accurate(),
+            &confusion,
+            seed,
+        ))
+    }
+
+    fn svaqd_engine(oracle: &DetectionOracle) -> SessionEngine {
+        SessionEngine::Svaqd(Svaqd::new(
+            ActionQuery::named("jumping", &["car"]),
+            oracle.truth().geometry,
+            OnlineConfig::default(),
+            1e-4,
+            1e-4,
+        ))
+    }
+
+    /// Reference: the same engine run single-threaded over a VideoStream.
+    fn sequential(
+        oracle: &DetectionOracle,
+    ) -> (Vec<ClipInterval>, Vec<ClipEvaluation>, CostLedger) {
+        let mut stream = VideoStream::new(oracle);
+        let mut engine = Svaqd::new(
+            ActionQuery::named("jumping", &["car"]),
+            stream.geometry(),
+            OnlineConfig::default(),
+            1e-4,
+            1e-4,
+        );
+        while let Some(mut view) = stream.next_clip() {
+            engine.push_clip(&mut view);
+        }
+        let (seqs, evals) = engine.finish();
+        (seqs, evals, *stream.ledger())
+    }
+
+    #[test]
+    fn multiplexed_sessions_match_sequential_runs() {
+        let mux = SessionMux::new(4, ExecMetrics::new());
+        let oracles: Vec<_> = (0..6).map(|i| oracle(i, 100 + i)).collect();
+        let ids: Vec<SessionId> = oracles
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                mux.register(
+                    format!("s{i}"),
+                    o.clone(),
+                    svaqd_engine(o),
+                    Backpressure::Block,
+                    16,
+                )
+            })
+            .collect();
+        for &id in &ids {
+            mux.feed_stream(id);
+        }
+        for (id, o) in ids.iter().zip(&oracles) {
+            let got = mux.wait(*id).unwrap();
+            let (seqs, evals, cost) = sequential(o);
+            assert_eq!(got.sequences, seqs);
+            assert_eq!(got.evaluations, evals);
+            assert_eq!(got.clips_processed, 40);
+            assert_eq!(got.dropped, 0);
+            // Same clips evaluated in the same order: identical inference
+            // charge (algorithm wall-clock is not charged by either path
+            // here).
+            assert_eq!(got.cost.object_frames, cost.object_frames);
+            assert_eq!(got.cost.action_shots, cost.action_shots);
+        }
+        let snap = mux.metrics().snapshot();
+        assert_eq!(snap.total_clips, 240);
+        assert_eq!(snap.jobs_panicked, 0);
+        mux.shutdown();
+    }
+
+    #[test]
+    fn drop_oldest_sheds_and_counts() {
+        // One worker, tiny mailbox, eager feeder: drops must occur and be
+        // counted, and the session must still finish cleanly.
+        let mux = SessionMux::new(1, ExecMetrics::new());
+        let o = oracle(0, 7);
+        let id = mux.register(
+            "lossy".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::DropOldest,
+            2,
+        );
+        for c in 0..200u64 {
+            mux.feed(id, ClipId::new(c % 40));
+        }
+        mux.finish_session(id);
+        let result = mux.wait(id).unwrap();
+        assert_eq!(result.clips_processed + result.dropped, 200);
+        assert!(result.dropped > 0, "tiny mailbox must shed load");
+        let snap = mux.metrics().snapshot();
+        assert_eq!(snap.sessions[0].dropped, result.dropped);
+        mux.shutdown();
+    }
+
+    #[test]
+    fn panicking_clip_poisons_only_its_session() {
+        let mux = SessionMux::new(2, ExecMetrics::new());
+        let o = oracle(0, 3);
+        let bad = mux.register(
+            "bad".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        let good = mux.register(
+            "good".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        // Clip 10_000 is far past the 40-clip video: evaluating it panics
+        // inside the oracle, which must poison `bad` and nothing else.
+        mux.feed(bad, ClipId::new(0));
+        mux.feed(bad, ClipId::new(10_000));
+        mux.feed(bad, ClipId::new(1));
+        mux.finish_session(bad);
+        mux.feed_stream(good);
+        assert_eq!(mux.wait(bad), Err(SessionError::Poisoned));
+        let healthy = mux.wait(good).unwrap();
+        assert_eq!(healthy.clips_processed, 40);
+        mux.shutdown();
+    }
+
+    #[test]
+    fn empty_session_finishes_immediately() {
+        let mux = SessionMux::new(2, ExecMetrics::new());
+        let o = oracle(0, 1);
+        let id = mux.register(
+            "empty".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            4,
+        );
+        mux.finish_session(id);
+        let result = mux.wait(id).unwrap();
+        assert_eq!(result.clips_processed, 0);
+        assert!(result.sequences.is_empty());
+        mux.shutdown();
+    }
+}

@@ -35,15 +35,15 @@ pub fn execute_online(
     }
     let sequences = match &plan.predicate {
         PlannedPredicate::Simple(q) => {
-            let OnlineResult { sequences, .. } =
-                Svaqd::run(q.clone(), stream, config, 1e-4, 1e-4);
+            let OnlineResult { sequences, .. } = Svaqd::run(q.clone(), stream, config, 1e-4, 1e-4);
             sequences
         }
-        PlannedPredicate::Cnf(q) => {
-            ExprSvaqd::run(q.clone(), stream, config, 1e-4, 1e-4)
-        }
+        PlannedPredicate::Cnf(q) => ExprSvaqd::run(q.clone(), stream, config, 1e-4, 1e-4),
     };
-    Ok(OnlineExecution { sequences, cost: *stream.ledger() })
+    Ok(OnlineExecution {
+        sequences,
+        cost: *stream.ledger(),
+    })
 }
 
 /// Execute an offline plan against an ingested catalog.
@@ -61,9 +61,7 @@ pub fn execute_offline(
         }
     };
     match &plan.predicate {
-        PlannedPredicate::Simple(q) => {
-            Ok(Rvaq::run(catalog, q, scoring, RvaqOptions::new(k)))
-        }
+        PlannedPredicate::Simple(q) => Ok(Rvaq::run(catalog, q, scoring, RvaqOptions::new(k))),
         PlannedPredicate::Cnf(_) => Err(SvqError::InvalidQuery(
             "extended (CNF) predicates are supported online; the offline \
              engine requires the canonical single-action conjunction"
@@ -79,8 +77,8 @@ mod tests {
     use std::sync::Arc;
     use svq_core::offline::ingest;
     use svq_types::{
-        ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, PaperScoring,
-        TrackId, VideoGeometry, VideoId,
+        ActionClass, BBox, ClipId, FrameId, Interval, ObjectClass, PaperScoring, TrackId,
+        VideoGeometry, VideoId,
     };
     use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
     use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
@@ -119,8 +117,7 @@ mod tests {
         let plan = LogicalPlan::from_statement(&stmt).unwrap();
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let result =
-            execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
+        let result = execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
         // jumping 500-899 = clips 10..=17; car covers it.
         assert_eq!(
             result.sequences,
@@ -152,10 +149,9 @@ mod tests {
 
     #[test]
     fn mode_mismatch_is_rejected() {
-        let stmt = parse(
-            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='jumping'")
+                .unwrap();
         let plan = LogicalPlan::from_statement(&stmt).unwrap();
         let oracle = oracle();
         let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
@@ -172,8 +168,7 @@ mod tests {
         let plan = LogicalPlan::from_statement(&stmt).unwrap();
         let oracle = oracle();
         let mut stream = VideoStream::new(&oracle);
-        let result =
-            execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
+        let result = execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
         assert_eq!(
             result.sequences,
             vec![Interval::new(ClipId::new(10), ClipId::new(17))]

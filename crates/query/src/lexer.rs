@@ -41,27 +41,45 @@ pub fn lex(src: &str) -> SvqResult<Vec<Spanned>> {
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Eq, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '\'' => {
@@ -92,13 +110,14 @@ pub fn lex(src: &str) -> SvqResult<Vec<Spanned>> {
                     message: "integer literal out of range".into(),
                     offset: start,
                 })?;
-                out.push(Spanned { tok: Tok::Int(n), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    offset: start,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {

@@ -19,7 +19,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> SvqResult<T> {
-        Err(SvqError::Parse { message: message.into(), offset: self.offset() })
+        Err(SvqError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        })
     }
 
     fn next(&mut self) -> Option<Spanned> {
@@ -33,7 +36,9 @@ impl Parser {
     /// Consume an identifier matching `kw` case-insensitively.
     fn keyword(&mut self, kw: &str) -> SvqResult<()> {
         match self.peek() {
-            Some(Spanned { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case(kw) => {
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) if s.eq_ignore_ascii_case(kw) => {
                 self.pos += 1;
                 Ok(())
             }
@@ -59,7 +64,9 @@ impl Parser {
 
     fn ident(&mut self, what: &str) -> SvqResult<String> {
         match self.next() {
-            Some(Spanned { tok: Tok::Ident(s), .. }) => Ok(s),
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) => Ok(s),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
                 self.err(format!("expected {what}"))
@@ -69,7 +76,9 @@ impl Parser {
 
     fn string(&mut self, what: &str) -> SvqResult<String> {
         match self.next() {
-            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(s),
+            Some(Spanned {
+                tok: Tok::Str(s), ..
+            }) => Ok(s),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
                 self.err(format!("expected {what}"))
@@ -100,7 +109,13 @@ impl Parser {
             // Accept any identifier list inside RANK(...).
             loop {
                 self.ident("rank argument")?;
-                if matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+                if matches!(
+                    self.peek(),
+                    Some(Spanned {
+                        tok: Tok::Comma,
+                        ..
+                    })
+                ) {
                     self.pos += 1;
                 } else {
                     break;
@@ -130,7 +145,13 @@ impl Parser {
                 None
             };
             produces.push(Produce { name, using });
-            if matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+            if matches!(
+                self.peek(),
+                Some(Spanned {
+                    tok: Tok::Comma,
+                    ..
+                })
+            ) {
                 self.pos += 1;
             } else {
                 break;
@@ -165,7 +186,13 @@ impl Parser {
     }
 
     fn factor(&mut self) -> SvqResult<Expr> {
-        if matches!(self.peek(), Some(Spanned { tok: Tok::LParen, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Spanned {
+                tok: Tok::LParen,
+                ..
+            })
+        ) {
             self.pos += 1;
             let e = self.predicate()?;
             self.expect(Tok::RParen, ")")?;
@@ -184,7 +211,13 @@ impl Parser {
             }
             self.expect(Tok::LParen, "(")?;
             let mut objs = vec![self.string("object name")?];
-            while matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+            while matches!(
+                self.peek(),
+                Some(Spanned {
+                    tok: Tok::Comma,
+                    ..
+                })
+            ) {
                 self.pos += 1;
                 objs.push(self.string("object name")?);
             }
@@ -206,7 +239,13 @@ impl Parser {
     fn statement(&mut self) -> SvqResult<Statement> {
         self.keyword("SELECT")?;
         let mut select = vec![self.select_item()?];
-        while matches!(self.peek(), Some(Spanned { tok: Tok::Comma, .. })) {
+        while matches!(
+            self.peek(),
+            Some(Spanned {
+                tok: Tok::Comma,
+                ..
+            })
+        ) {
             self.pos += 1;
             select.push(self.select_item()?);
         }
@@ -227,7 +266,9 @@ impl Parser {
         if self.at_keyword("LIMIT") {
             self.keyword("LIMIT")?;
             match self.next() {
-                Some(Spanned { tok: Tok::Int(n), .. }) => limit = Some(n),
+                Some(Spanned {
+                    tok: Tok::Int(n), ..
+                }) => limit = Some(n),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return self.err("expected LIMIT count");
@@ -237,7 +278,13 @@ impl Parser {
         if self.pos != self.toks.len() {
             return self.err("unexpected trailing tokens");
         }
-        Ok(Statement { select, from, predicate, order_by_rank, limit })
+        Ok(Statement {
+            select,
+            from,
+            predicate,
+            order_by_rank,
+            limit,
+        })
     }
 }
 
@@ -267,20 +314,22 @@ mod tests {
         let stmt = parse(ONLINE).unwrap();
         assert_eq!(
             stmt.select,
-            vec![SelectItem::MergeClipId { alias: Some("Sequence".into()) }]
+            vec![SelectItem::MergeClipId {
+                alias: Some("Sequence".into())
+            }]
         );
         assert_eq!(stmt.from.source, "inputVideo");
         assert_eq!(stmt.from.produces.len(), 3);
-        assert_eq!(stmt.from.produces[1].using.as_deref(), Some("ObjectDetector"));
+        assert_eq!(
+            stmt.from.produces[1].using.as_deref(),
+            Some("ObjectDetector")
+        );
         assert!(!stmt.order_by_rank);
         assert_eq!(stmt.limit, None);
         match stmt.predicate {
             Expr::And(a, b) => {
                 assert_eq!(*a, Expr::ActionEq("jumping".into()));
-                assert_eq!(
-                    *b,
-                    Expr::ObjInclude(vec!["car".into(), "person".into()])
-                );
+                assert_eq!(*b, Expr::ObjInclude(vec!["car".into(), "person".into()]));
             }
             other => panic!("unexpected predicate {other:?}"),
         }
@@ -324,22 +373,18 @@ mod tests {
 
     #[test]
     fn error_messages_carry_offsets() {
-        let err = parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID)")
-            .unwrap_err();
+        let err = parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID)").unwrap_err();
         assert!(err.to_string().contains("expected WHERE"), "{err}");
-        let err = parse(
-            "SELECT MERGE(frameID) FROM (PROCESS v PRODUCE clipID) WHERE act='x'",
-        )
-        .unwrap_err();
+        let err = parse("SELECT MERGE(frameID) FROM (PROCESS v PRODUCE clipID) WHERE act='x'")
+            .unwrap_err();
         assert!(err.to_string().contains("MERGE takes clipID"), "{err}");
     }
 
     #[test]
     fn rejects_trailing_garbage() {
-        let err = parse(
-            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='x' nonsense",
-        )
-        .unwrap_err();
+        let err =
+            parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) WHERE act='x' nonsense")
+                .unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
     }
 

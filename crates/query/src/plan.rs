@@ -9,8 +9,7 @@
 use crate::ast::{Expr, SelectItem, Statement};
 use svq_core::expr::CnfQuery;
 use svq_types::{
-    ActionClass, ActionQuery, ObjectClass, Predicate, SvqError, SvqResult,
-    Vocabulary,
+    ActionClass, ActionQuery, ObjectClass, Predicate, SvqError, SvqResult, Vocabulary,
 };
 
 /// How the statement executes.
@@ -44,12 +43,12 @@ impl LogicalPlan {
     pub fn from_statement(stmt: &Statement) -> SvqResult<Self> {
         // Mode: ORDER BY RANK + LIMIT → offline; otherwise online.
         let mode = if stmt.order_by_rank {
-            let k = stmt.limit.ok_or_else(|| {
-                SvqError::InvalidQuery("ORDER BY RANK requires LIMIT K".into())
-            })?;
+            let k = stmt
+                .limit
+                .ok_or_else(|| SvqError::InvalidQuery("ORDER BY RANK requires LIMIT K".into()))?;
             QueryMode::Offline { k: k as usize }
         } else {
-            if stmt.select.iter().any(|s| *s == SelectItem::Rank) {
+            if stmt.select.contains(&SelectItem::Rank) {
                 return Err(SvqError::InvalidQuery(
                     "RANK in SELECT requires ORDER BY RANK … LIMIT K".into(),
                 ));
@@ -58,7 +57,11 @@ impl LogicalPlan {
         };
 
         let predicate = Self::plan_predicate(&stmt.predicate)?;
-        Ok(Self { source: stmt.from.source.clone(), mode, predicate })
+        Ok(Self {
+            source: stmt.from.source.clone(),
+            mode,
+            predicate,
+        })
     }
 
     fn resolve_object(name: &str) -> SvqResult<ObjectClass> {
@@ -83,9 +86,7 @@ impl LogicalPlan {
             let mut resolved = Vec::with_capacity(clause.len());
             for leaf in clause {
                 match leaf {
-                    Expr::ActionEq(a) => {
-                        resolved.push(Predicate::Action(Self::resolve_action(a)?))
-                    }
+                    Expr::ActionEq(a) => resolved.push(Predicate::Action(Self::resolve_action(a)?)),
                     Expr::ObjInclude(objs) => {
                         debug_assert_eq!(objs.len(), 1, "to_cnf splits includes");
                         resolved.push(Predicate::Object(Self::resolve_object(&objs[0])?))
@@ -124,7 +125,9 @@ impl LogicalPlan {
                     _ => None,
                 })
                 .collect();
-            return Ok(PlannedPredicate::Simple(ActionQuery::new(actions[0], objects)));
+            return Ok(PlannedPredicate::Simple(ActionQuery::new(
+                actions[0], objects,
+            )));
         }
         if actions.is_empty() {
             return Err(SvqError::InvalidQuery(
@@ -154,8 +157,7 @@ impl LogicalPlan {
             PlannedPredicate::Cnf(q) => {
                 out.push_str("  Predicate (CNF):\n");
                 for clause in &q.clauses {
-                    let parts: Vec<String> =
-                        clause.iter().map(|p| p.to_string()).collect();
+                    let parts: Vec<String> = clause.iter().map(|p| p.to_string()).collect();
                     out.push_str(&format!("    ({})\n", parts.join(" OR ")));
                 }
             }

@@ -15,10 +15,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -125,7 +125,11 @@ impl BinomialTable {
             pmf_v.push(b);
             cdf_v.push(acc);
         }
-        Self { pmf: pmf_v, cdf: cdf_v, n }
+        Self {
+            pmf: pmf_v,
+            cdf: cdf_v,
+            n,
+        }
     }
 
     /// `b(k; n, p)`; zero outside `0..=n` (signed for formula convenience).
@@ -223,7 +227,16 @@ mod tests {
     fn table_agrees_with_scalar_functions() {
         let t = BinomialTable::new(30, 0.07);
         for k in -2i64..=32 {
-            assert!((t.pmf(k) - if (0..=30).contains(&k) { pmf(k as u64, 30, 0.07) } else { 0.0 }).abs() < 1e-12);
+            assert!(
+                (t.pmf(k)
+                    - if (0..=30).contains(&k) {
+                        pmf(k as u64, 30, 0.07)
+                    } else {
+                        0.0
+                    })
+                .abs()
+                    < 1e-12
+            );
             assert!((t.cdf(k) - cdf(k, 30, 0.07)).abs() < 1e-12);
         }
     }

@@ -45,7 +45,11 @@ pub fn scan_tail_exact_markov(k: u64, p01: f64, p11: f64, w: u32, n: u64) -> f64
 
     // Stationary success probability pi1 = p01 / (1 - p11 + p01).
     let denom = 1.0 - p11 + p01;
-    let pi1 = if denom.abs() < 1e-15 { 0.5 } else { p01 / denom };
+    let pi1 = if denom.abs() < 1e-15 {
+        0.5
+    } else {
+        p01 / denom
+    };
 
     // Seed the first w trials one at a time, tracking the partial window.
     // Pattern bit layout: bit i = outcome of the trial i steps back.
@@ -68,10 +72,10 @@ pub fn scan_tail_exact_markov(k: u64, p01: f64, p11: f64, w: u32, n: u64) -> f64
         filled += 1;
     }
     // First full window observed: absorb states already at k successes.
-    for s in 0..states {
-        if (s as u32).count_ones() as u64 >= k && dist[s] > 0.0 {
-            hit += dist[s];
-            dist[s] = 0.0;
+    for (s, mass) in dist.iter_mut().enumerate().take(states) {
+        if (s as u32).count_ones() as u64 >= k && *mass > 0.0 {
+            hit += *mass;
+            *mass = 0.0;
         }
     }
 

@@ -215,7 +215,10 @@ mod tests {
             est.observe(true);
         }
         let after = est.estimate();
-        assert!(after - before < 0.05, "burst moved estimate too far: {before} -> {after}");
+        assert!(
+            after - before < 0.05,
+            "burst moved estimate too far: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -239,7 +242,11 @@ mod tests {
         assert_eq!(a.observed(), 500);
         assert_eq!(a.events(), 50);
         // The long-run estimate reflects the 10% rate.
-        assert!((a.estimate() - 0.1).abs() < 0.05, "estimate {}", a.estimate());
+        assert!(
+            (a.estimate() - 0.1).abs() < 0.05,
+            "estimate {}",
+            a.estimate()
+        );
     }
 
     #[test]
@@ -261,6 +268,9 @@ mod tests {
             total += est.estimate();
         }
         let mean = total / seeds as f64;
-        assert!((mean - p).abs() < 0.03, "early-window mean {mean} biased vs {p}");
+        assert!(
+            (mean - p).abs() < 0.03,
+            "early-window mean {mean} biased vs {p}"
+        );
     }
 }

@@ -58,7 +58,7 @@ impl MarkovTrials {
                     }
                     let p_succ = if last == 1 { self.p11 } else { self.p01 };
                     next[count][0] += mass * (1.0 - p_succ);
-                    if count + 1 <= w {
+                    if count < w {
                         next[count + 1][1] += mass * p_succ;
                     }
                 }
@@ -134,8 +134,7 @@ pub fn scan_tail_markov(k: u64, trials: MarkovTrials, w: u32, n: u64) -> f64 {
 fn montecarlo_markov(k: u64, trials: MarkovTrials, w: u32, n: u64, runs: u32) -> f64 {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    let seed = k
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    let seed = k.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ (w as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
         ^ n
         ^ (trials.p01.to_bits().rotate_left(17))

@@ -48,9 +48,19 @@ impl ScanConfig {
     /// Construct a validated configuration.
     pub fn new(window: u32, horizon_windows: f64, alpha: f64) -> Self {
         assert!(window > 0, "window must be positive");
-        assert!(horizon_windows >= 1.0, "horizon must cover at least one window");
-        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
-        Self { window, horizon_windows, alpha }
+        assert!(
+            horizon_windows >= 1.0,
+            "horizon must cover at least one window"
+        );
+        assert!(
+            (0.0..1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0,1)"
+        );
+        Self {
+            window,
+            horizon_windows,
+            alpha,
+        }
     }
 
     /// The default significance level used throughout the reproduction.
@@ -77,8 +87,7 @@ fn q3(k: u64, w: u64, p: f64, t: &BinomialTable) -> f64 {
     let a2 = 0.5
         * bk
         * bk
-        * ((kf - 1.0) * (kf - 2.0) * t.cdf(k_i - 3)
-            - 2.0 * (kf - 2.0) * wp * t.cdf(k_i - 4)
+        * ((kf - 1.0) * (kf - 2.0) * t.cdf(k_i - 3) - 2.0 * (kf - 2.0) * wp * t.cdf(k_i - 4)
             + wp * wp * t.cdf(k_i - 5));
     let mut a3 = 0.0;
     for r in 1..k_i {
@@ -135,7 +144,10 @@ pub fn scan_tail_probability(k: u64, p: f64, w: u32, horizon_windows: f64) -> f6
 /// window — the value is clamped to `w`, the strictest test the window
 /// admits; SVAQD's dynamic background updates make this a transient state.
 pub fn critical_value(p: f64, w: u32, horizon_windows: f64, alpha: f64) -> u32 {
-    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0,1)"
+    );
     let mut lo = 1u32; // candidate answers live in [lo, hi]
     let mut hi = w;
     if scan_tail_probability(w as u64, p, w, horizon_windows) > alpha {

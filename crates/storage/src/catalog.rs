@@ -15,8 +15,8 @@ use crate::table::ClipScoreTable;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use svq_types::{
-    ActionClass, ActionQuery, ClipInterval, Interval, ObjectClass, SvqError,
-    SvqResult, VideoGeometry, VideoId, Vocabulary,
+    ActionClass, ActionQuery, ClipInterval, Interval, ObjectClass, SvqError, SvqResult,
+    VideoGeometry, VideoId, Vocabulary,
 };
 
 /// All offline metadata for one video.
@@ -40,6 +40,7 @@ pub struct IngestedVideo {
 impl IngestedVideo {
     /// Assemble a catalog (called by the ingestion pipeline). Vectors must
     /// be indexed by class index and cover the full vocabularies.
+    #[allow(clippy::too_many_arguments)] // mirrors the catalog's shape 1:1
     pub fn new(
         video: VideoId,
         geometry: VideoGeometry,
@@ -101,7 +102,10 @@ impl IngestedVideo {
     /// The whole video as one interval (for `C_skip` initialisation).
     pub fn all_clips(&self) -> Option<ClipInterval> {
         (self.clip_count > 0).then(|| {
-            Interval::new(svq_types::ClipId::new(0), svq_types::ClipId::new(self.clip_count - 1))
+            Interval::new(
+                svq_types::ClipId::new(0),
+                svq_types::ClipId::new(self.clip_count - 1),
+            )
         })
     }
 
@@ -154,7 +158,11 @@ mod tests {
         let car = ObjectClass::named("car");
         let jumping = ActionClass::named("jumping");
         object_tables[car.index()] = ClipScoreTable::new(
-            vec![(ClipId::new(2), 3.0), (ClipId::new(3), 5.0), (ClipId::new(7), 1.0)],
+            vec![
+                (ClipId::new(2), 3.0),
+                (ClipId::new(3), 5.0),
+                (ClipId::new(7), 1.0),
+            ],
             disk.clone(),
         );
         action_tables[jumping.index()] = ClipScoreTable::new(
@@ -192,8 +200,10 @@ mod tests {
     #[test]
     fn tables_are_wired_to_one_disk() {
         let cat = sample();
-        cat.object_table(ObjectClass::named("car")).random_score(ClipId::new(2));
-        cat.action_table(ActionClass::named("jumping")).sorted_row(0);
+        cat.object_table(ObjectClass::named("car"))
+            .random_score(ClipId::new(2));
+        cat.action_table(ActionClass::named("jumping"))
+            .sorted_row(0);
         let stats = cat.disk().stats();
         assert_eq!(stats.random_accesses, 1);
         assert_eq!(stats.sorted_accesses, 1);

@@ -28,7 +28,10 @@ pub struct DiskCostProfile {
 
 impl Default for DiskCostProfile {
     fn default() -> Self {
-        Self { sorted_ms: 0.02, random_ms: 5.0 }
+        Self {
+            sorted_ms: 0.02,
+            random_ms: 5.0,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl SimulatedDisk {
 
     /// A fresh disk with an explicit cost profile.
     pub fn with_profile(profile: DiskCostProfile) -> Self {
-        Self { inner: Arc::new(Mutex::new(DiskStats::default())), profile }
+        Self {
+            inner: Arc::new(Mutex::new(DiskStats::default())),
+            profile,
+        }
     }
 
     /// Record one sorted (sequential) access.
@@ -127,7 +133,10 @@ mod tests {
         disk.charge_random();
         assert_eq!(
             disk.stats(),
-            DiskStats { sorted_accesses: 2, random_accesses: 1 }
+            DiskStats {
+                sorted_accesses: 2,
+                random_accesses: 1
+            }
         );
         assert_eq!(disk.stats().total(), 3);
         disk.reset();
@@ -150,13 +159,21 @@ mod tests {
         disk.charge_random();
         disk.charge_random();
         let delta = disk.since(snap);
-        assert_eq!(delta, DiskStats { sorted_accesses: 0, random_accesses: 2 });
+        assert_eq!(
+            delta,
+            DiskStats {
+                sorted_accesses: 0,
+                random_accesses: 2
+            }
+        );
     }
 
     #[test]
     fn latency_model() {
-        let disk =
-            SimulatedDisk::with_profile(DiskCostProfile { sorted_ms: 0.1, random_ms: 2.0 });
+        let disk = SimulatedDisk::with_profile(DiskCostProfile {
+            sorted_ms: 0.1,
+            random_ms: 2.0,
+        });
         for _ in 0..10 {
             disk.charge_sorted();
         }
@@ -165,8 +182,10 @@ mod tests {
         }
         assert!((disk.simulated_ms() - 11.0).abs() < 1e-9);
         assert!(
-            (disk.simulated_ms_of(DiskStats { sorted_accesses: 0, random_accesses: 3 })
-                - 6.0)
+            (disk.simulated_ms_of(DiskStats {
+                sorted_accesses: 0,
+                random_accesses: 3
+            }) - 6.0)
                 .abs()
                 < 1e-9
         );

@@ -31,6 +31,18 @@ impl VideoRepository {
         self.videos.insert(catalog.video, catalog)
     }
 
+    /// Build a repository from catalogs arriving in *any* order — the merge
+    /// point of concurrent ingestion. Storage is keyed by [`VideoId`], so
+    /// the result (and its iteration order) is identical no matter how a
+    /// parallel ingest interleaved its workers.
+    pub fn from_catalogs(catalogs: impl IntoIterator<Item = IngestedVideo>) -> Self {
+        let mut repo = Self::new();
+        for catalog in catalogs {
+            repo.add(catalog);
+        }
+        repo
+    }
+
     /// Remove a video.
     pub fn remove(&mut self, video: VideoId) -> Option<IngestedVideo> {
         self.videos.remove(&video)

@@ -17,7 +17,9 @@ pub struct SequenceSet {
 impl SequenceSet {
     /// Build from arbitrary intervals; overlapping/adjacent inputs merge.
     pub fn new(intervals: Vec<ClipInterval>) -> Self {
-        Self { intervals: svq_types::interval::merge_intervals(intervals) }
+        Self {
+            intervals: svq_types::interval::merge_intervals(intervals),
+        }
     }
 
     /// The empty set.

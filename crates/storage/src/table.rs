@@ -38,10 +38,12 @@ impl ClipScoreTable {
         by_clip.dedup_by_key(|(c, _)| *c);
         assert_eq!(by_clip.len(), entries.len(), "duplicate clip id in table");
         let mut rows = entries;
-        rows.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-        });
-        Self { rows, by_clip, disk }
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        Self {
+            rows,
+            by_clip,
+            disk,
+        }
     }
 
     /// Attach a (possibly different) disk meter — used after
@@ -114,7 +116,13 @@ mod tests {
 
     fn table(disk: &SimulatedDisk) -> ClipScoreTable {
         ClipScoreTable::new(
-            vec![(c(3), 1.0), (c(1), 5.0), (c(7), 3.0), (c(4), 0.0), (c(9), 3.0)],
+            vec![
+                (c(3), 1.0),
+                (c(1), 5.0),
+                (c(7), 3.0),
+                (c(4), 0.0),
+                (c(9), 3.0),
+            ],
             disk.clone(),
         )
     }

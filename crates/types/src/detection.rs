@@ -32,7 +32,12 @@ impl BBox {
     }
 
     /// The full frame.
-    pub const FULL: BBox = BBox { x0: 0.0, y0: 0.0, x1: 1.0, y1: 1.0 };
+    pub const FULL: BBox = BBox {
+        x0: 0.0,
+        y0: 0.0,
+        x1: 1.0,
+        y1: 1.0,
+    };
 
     /// Box area (zero for degenerate boxes).
     pub fn area(&self) -> f32 {
@@ -47,7 +52,11 @@ impl BBox {
         let iy1 = self.y1.min(other.y1);
         let inter = (ix1 - ix0).max(0.0) * (iy1 - iy0).max(0.0);
         let union = self.area() + other.area() - inter;
-        if union <= 0.0 { 0.0 } else { inter / union }
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
     }
 
     /// Horizontal centre, used by spatial-relationship predicates.

@@ -68,9 +68,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SvqError::UnknownLabel { kind: "action", name: "flying".into() };
+        let e = SvqError::UnknownLabel {
+            kind: "action",
+            name: "flying".into(),
+        };
         assert_eq!(e.to_string(), "unknown action label: \"flying\"");
-        let e = SvqError::Parse { message: "expected FROM".into(), offset: 12 };
+        let e = SvqError::Parse {
+            message: "expected FROM".into(),
+            offset: 12,
+        };
         assert!(e.to_string().contains("byte 12"));
     }
 

@@ -28,7 +28,11 @@ pub struct VideoGeometry {
 
 impl Default for VideoGeometry {
     fn default() -> Self {
-        Self { frames_per_shot: 10, shots_per_clip: 5, fps: 25 }
+        Self {
+            frames_per_shot: 10,
+            shots_per_clip: 5,
+            fps: 25,
+        }
     }
 }
 
@@ -38,7 +42,11 @@ impl VideoGeometry {
         assert!(frames_per_shot > 0, "frames_per_shot must be positive");
         assert!(shots_per_clip > 0, "shots_per_clip must be positive");
         assert!(fps > 0, "fps must be positive");
-        Self { frames_per_shot, shots_per_clip, fps }
+        Self {
+            frames_per_shot,
+            shots_per_clip,
+            fps,
+        }
     }
 
     /// A geometry identical to `self` except for the clip size (in shots).

@@ -11,10 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An inclusive `[start, end]` interval over an id type.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Interval<Id> {
     pub start: Id,
     pub end: Id,
@@ -65,7 +62,11 @@ where
     /// Whether the two intervals are adjacent or overlapping (their union is
     /// contiguous).
     pub fn touches(&self, other: &Self) -> bool {
-        let (a, b) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (a, b) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         b.start.into() <= a.end.into() + 1
     }
 
@@ -73,7 +74,7 @@ where
     pub fn intersect(&self, other: &Self) -> Option<Self> {
         let start = self.start.max(other.start);
         let end = self.end.min(other.end);
-        (start <= end).then(|| Self { start, end })
+        (start <= end).then_some(Self { start, end })
     }
 
     /// Units shared by the two intervals.

@@ -16,27 +16,102 @@ use std::fmt;
 
 /// The 80 COCO object classes, in canonical order.
 pub const COCO_CLASSES: [&str; 80] = [
-    "person", "bicycle", "car", "motorcycle", "airplane", "bus", "train",
-    "truck", "boat", "traffic light", "fire hydrant", "stop sign",
-    "parking meter", "bench", "bird", "cat", "dog", "horse", "sheep", "cow",
-    "elephant", "bear", "zebra", "giraffe", "backpack", "umbrella", "handbag",
-    "tie", "suitcase", "frisbee", "skis", "snowboard", "sports ball", "kite",
-    "baseball bat", "baseball glove", "skateboard", "surfboard",
-    "tennis racket", "bottle", "wine glass", "cup", "fork", "knife", "spoon",
-    "bowl", "banana", "apple", "sandwich", "orange", "broccoli", "carrot",
-    "hot dog", "pizza", "donut", "cake", "chair", "couch", "potted plant",
-    "bed", "dining table", "toilet", "tv", "laptop", "mouse", "remote",
-    "keyboard", "cell phone", "microwave", "oven", "toaster", "sink",
-    "refrigerator", "book", "clock", "vase", "scissors", "teddy bear",
-    "hair drier", "toothbrush",
+    "person",
+    "bicycle",
+    "car",
+    "motorcycle",
+    "airplane",
+    "bus",
+    "train",
+    "truck",
+    "boat",
+    "traffic light",
+    "fire hydrant",
+    "stop sign",
+    "parking meter",
+    "bench",
+    "bird",
+    "cat",
+    "dog",
+    "horse",
+    "sheep",
+    "cow",
+    "elephant",
+    "bear",
+    "zebra",
+    "giraffe",
+    "backpack",
+    "umbrella",
+    "handbag",
+    "tie",
+    "suitcase",
+    "frisbee",
+    "skis",
+    "snowboard",
+    "sports ball",
+    "kite",
+    "baseball bat",
+    "baseball glove",
+    "skateboard",
+    "surfboard",
+    "tennis racket",
+    "bottle",
+    "wine glass",
+    "cup",
+    "fork",
+    "knife",
+    "spoon",
+    "bowl",
+    "banana",
+    "apple",
+    "sandwich",
+    "orange",
+    "broccoli",
+    "carrot",
+    "hot dog",
+    "pizza",
+    "donut",
+    "cake",
+    "chair",
+    "couch",
+    "potted plant",
+    "bed",
+    "dining table",
+    "toilet",
+    "tv",
+    "laptop",
+    "mouse",
+    "remote",
+    "keyboard",
+    "cell phone",
+    "microwave",
+    "oven",
+    "toaster",
+    "sink",
+    "refrigerator",
+    "book",
+    "clock",
+    "vase",
+    "scissors",
+    "teddy bear",
+    "hair drier",
+    "toothbrush",
 ];
 
 /// Extension classes beyond COCO, in the spirit of YOLO9000's 9k-class
 /// detector: every non-COCO object type queried by the paper's evaluation
 /// (Tables 1-2) appears here.
 pub const EXTENDED_OBJECT_CLASSES: [&str; 10] = [
-    "faucet", "tree", "plant", "kid", "dish", "sunglasses", "leaf blower",
-    "rubik cube", "bow", "cigarette",
+    "faucet",
+    "tree",
+    "plant",
+    "kid",
+    "dish",
+    "sunglasses",
+    "leaf blower",
+    "rubik cube",
+    "bow",
+    "cigarette",
 ];
 
 /// Kinetics-style action catalogue. The first block is every action queried
@@ -45,22 +120,67 @@ pub const EXTENDED_OBJECT_CLASSES: [&str; 10] = [
 /// cross-class confusion.
 pub const ACTION_CLASSES: [&str; 60] = [
     // Queried in Tables 1-3.
-    "washing dishes", "blowing leaves", "walking the dog", "drinking beer",
-    "volleyball", "playing rubik cube", "cleaning sink", "kneeling",
-    "doing crunches", "blow-drying hair", "washing hands", "archery",
+    "washing dishes",
+    "blowing leaves",
+    "walking the dog",
+    "drinking beer",
+    "volleyball",
+    "playing rubik cube",
+    "cleaning sink",
+    "kneeling",
+    "doing crunches",
+    "blow-drying hair",
+    "washing hands",
+    "archery",
     // Queried in Table 2 (movies) and the introduction example.
-    "smoking", "robot dancing", "kissing", "jumping", "playing guitar",
+    "smoking",
+    "robot dancing",
+    "kissing",
+    "jumping",
+    "playing guitar",
     // Distractor classes (Kinetics-600 style).
-    "riding a bike", "surfing water", "playing basketball", "cooking egg",
-    "mowing lawn", "shoveling snow", "brushing teeth", "playing piano",
-    "juggling balls", "climbing ladder", "dancing ballet", "push up",
-    "swimming backstroke", "throwing discus", "skiing slalom",
-    "playing chess", "reading book", "writing", "typing", "clapping",
-    "laughing", "crying", "eating burger", "eating ice cream",
-    "drinking coffee", "opening door", "closing door", "driving car",
-    "riding horse", "feeding birds", "petting cat", "building sandcastle",
-    "folding napkins", "ironing", "knitting", "painting", "sweeping floor",
-    "vacuuming", "watering plants", "welding", "whistling", "yawning",
+    "riding a bike",
+    "surfing water",
+    "playing basketball",
+    "cooking egg",
+    "mowing lawn",
+    "shoveling snow",
+    "brushing teeth",
+    "playing piano",
+    "juggling balls",
+    "climbing ladder",
+    "dancing ballet",
+    "push up",
+    "swimming backstroke",
+    "throwing discus",
+    "skiing slalom",
+    "playing chess",
+    "reading book",
+    "writing",
+    "typing",
+    "clapping",
+    "laughing",
+    "crying",
+    "eating burger",
+    "eating ice cream",
+    "drinking coffee",
+    "opening door",
+    "closing door",
+    "driving car",
+    "riding horse",
+    "feeding birds",
+    "petting cat",
+    "building sandcastle",
+    "folding napkins",
+    "ironing",
+    "knitting",
+    "painting",
+    "sweeping floor",
+    "vacuuming",
+    "watering plants",
+    "welding",
+    "whistling",
+    "yawning",
     "stretching arms",
 ];
 
@@ -110,18 +230,12 @@ pub trait Vocabulary: Copy + Eq + std::hash::Hash {
 }
 
 /// An object type from the detector's label universe `O`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ObjectClass(pub u16);
 
 /// An action category from the recognizer's label universe `A`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ActionClass(pub u16);
 
@@ -144,7 +258,10 @@ impl Vocabulary for ObjectClass {
     }
 
     fn from_index(index: usize) -> Self {
-        assert!(index < Self::cardinality(), "object class {index} out of range");
+        assert!(
+            index < Self::cardinality(),
+            "object class {index} out of range"
+        );
         Self(index as u16)
     }
 
@@ -159,7 +276,10 @@ impl Vocabulary for ActionClass {
     }
 
     fn from_index(index: usize) -> Self {
-        assert!(index < Self::cardinality(), "action class {index} out of range");
+        assert!(
+            index < Self::cardinality(),
+            "action class {index} out of range"
+        );
         Self(index as u16)
     }
 
@@ -172,16 +292,14 @@ impl ObjectClass {
     /// Lookup by name, panicking with a clear message if unknown. Intended
     /// for tests and workload definitions where the name is a literal.
     pub fn named(name: &str) -> Self {
-        Self::lookup(name)
-            .unwrap_or_else(|| panic!("unknown object class: {name:?}"))
+        Self::lookup(name).unwrap_or_else(|| panic!("unknown object class: {name:?}"))
     }
 }
 
 impl ActionClass {
     /// Lookup by name, panicking with a clear message if unknown.
     pub fn named(name: &str) -> Self {
-        Self::lookup(name)
-            .unwrap_or_else(|| panic!("unknown action class: {name:?}"))
+        Self::lookup(name).unwrap_or_else(|| panic!("unknown action class: {name:?}"))
     }
 }
 
@@ -224,19 +342,47 @@ mod tests {
     #[test]
     fn every_queried_label_exists() {
         for o in [
-            "faucet", "oven", "car", "plant", "tree", "chair", "bottle",
-            "clock", "knife", "kid", "dish", "sunglasses", "person",
-            "wine glass", "cup", "airplane", "bird", "cat", "surfboard",
-            "boat", "dog",
+            "faucet",
+            "oven",
+            "car",
+            "plant",
+            "tree",
+            "chair",
+            "bottle",
+            "clock",
+            "knife",
+            "kid",
+            "dish",
+            "sunglasses",
+            "person",
+            "wine glass",
+            "cup",
+            "airplane",
+            "bird",
+            "cat",
+            "surfboard",
+            "boat",
+            "dog",
         ] {
             assert!(ObjectClass::lookup(o).is_some(), "missing object {o}");
         }
         for a in [
-            "washing dishes", "blowing leaves", "walking the dog",
-            "drinking beer", "volleyball", "playing rubik cube",
-            "cleaning sink", "kneeling", "doing crunches",
-            "blow-drying hair", "washing hands", "archery", "smoking",
-            "robot dancing", "kissing", "jumping",
+            "washing dishes",
+            "blowing leaves",
+            "walking the dog",
+            "drinking beer",
+            "volleyball",
+            "playing rubik cube",
+            "cleaning sink",
+            "kneeling",
+            "doing crunches",
+            "blow-drying hair",
+            "washing hands",
+            "archery",
+            "smoking",
+            "robot dancing",
+            "kissing",
+            "jumping",
         ] {
             assert!(ActionClass::lookup(a).is_some(), "missing action {a}");
         }

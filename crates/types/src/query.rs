@@ -31,7 +31,10 @@ pub struct ActionQuery {
 impl ActionQuery {
     /// Build a query from an action and object classes.
     pub fn new(action: ActionClass, objects: impl Into<Vec<ObjectClass>>) -> Self {
-        Self { objects: objects.into(), action }
+        Self {
+            objects: objects.into(),
+            action,
+        }
     }
 
     /// Convenience constructor from label names; panics on unknown labels
@@ -112,10 +115,7 @@ mod tests {
 
     #[test]
     fn predicates_render() {
-        let p = Predicate::LeftOf(
-            ObjectClass::named("person"),
-            ObjectClass::named("car"),
-        );
+        let p = Predicate::LeftOf(ObjectClass::named("person"), ObjectClass::named("car"));
         assert_eq!(p.to_string(), "leftOf(person, car)");
     }
 }

@@ -24,8 +24,7 @@ impl CostModel {
     /// Derive the cost model from a model suite.
     pub fn from_suite(suite: &crate::models::ModelSuite) -> Self {
         Self {
-            object_ms_per_frame: suite.detector.ms_per_frame
-                + suite.tracker.ms_per_frame,
+            object_ms_per_frame: suite.detector.ms_per_frame + suite.tracker.ms_per_frame,
             action_ms_per_shot: suite.recognizer.ms_per_shot,
         }
     }
@@ -102,7 +101,10 @@ mod tests {
 
     #[test]
     fn charges_accumulate() {
-        let model = CostModel { object_ms_per_frame: 75.0, action_ms_per_shot: 140.0 };
+        let model = CostModel {
+            object_ms_per_frame: 75.0,
+            action_ms_per_shot: 140.0,
+        };
         let mut ledger = CostLedger::default();
         for _ in 0..100 {
             ledger.charge_object_frame(&model);
@@ -130,7 +132,10 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let model = CostModel { object_ms_per_frame: 1.0, action_ms_per_shot: 2.0 };
+        let model = CostModel {
+            object_ms_per_frame: 1.0,
+            action_ms_per_shot: 2.0,
+        };
         let mut a = CostLedger::default();
         a.charge_object_frame(&model);
         let mut b = CostLedger::default();

@@ -37,6 +37,6 @@ pub mod truth;
 
 pub use cost::{CostLedger, CostModel};
 pub use models::{ActionRecognizer, ModelSuite, ObjectDetector};
-pub use stream::{ClipData, FrameData, ShotData, VideoStream};
+pub use stream::{ClipAccess, ClipData, FrameData, OwnedClipView, ShotData, VideoStream};
 pub use synth::{MovieSpec, ScenarioSpec, SyntheticVideo};
 pub use truth::{ActionSpan, GroundTruth, ObjectTrack};

@@ -17,8 +17,8 @@
 
 use crate::noise::BurstProcess;
 use crate::profiles::{
-    ActionRecognizerProfile, ObjectDetectorProfile, TrackerProfile, CENTER_TRACK,
-    I3D, IDEAL_DETECTOR, IDEAL_RECOGNIZER, IDEAL_TRACKER, MASK_RCNN, YOLOV3,
+    ActionRecognizerProfile, ObjectDetectorProfile, TrackerProfile, CENTER_TRACK, I3D,
+    IDEAL_DETECTOR, IDEAL_RECOGNIZER, IDEAL_TRACKER, MASK_RCNN, YOLOV3,
 };
 use crate::truth::GroundTruth;
 use rand::rngs::StdRng;
@@ -26,8 +26,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 use svq_types::{
-    ActionClass, ActionScore, BBox, Detection, FrameId, ObjectClass, ShotId,
-    TrackId, TrackedDetection, Vocabulary,
+    ActionClass, ActionScore, BBox, Detection, FrameId, ObjectClass, ShotId, TrackId,
+    TrackedDetection, Vocabulary,
 };
 
 /// Marker trait for simulated object detectors (implemented by the oracle's
@@ -59,12 +59,20 @@ pub struct ModelSuite {
 impl ModelSuite {
     /// Mask R-CNN + I3D + CenterTrack — the paper's accurate configuration.
     pub fn accurate() -> Self {
-        Self { detector: MASK_RCNN, recognizer: I3D, tracker: CENTER_TRACK }
+        Self {
+            detector: MASK_RCNN,
+            recognizer: I3D,
+            tracker: CENTER_TRACK,
+        }
     }
 
     /// YOLOv3 + I3D + CenterTrack — the faster, noisier configuration.
     pub fn fast() -> Self {
-        Self { detector: YOLOV3, recognizer: I3D, tracker: CENTER_TRACK }
+        Self {
+            detector: YOLOV3,
+            recognizer: I3D,
+            tracker: CENTER_TRACK,
+        }
     }
 
     /// Ground-truth models — the paper's Ideal Model control (Table 4).
@@ -100,11 +108,14 @@ struct Csr<T> {
 
 impl<T> Csr<T> {
     fn builder(rows_hint: usize) -> CsrBuilder<T> {
-        CsrBuilder { items: Vec::new(), offsets: {
-            let mut v = Vec::with_capacity(rows_hint + 1);
-            v.push(0);
-            v
-        } }
+        CsrBuilder {
+            items: Vec::new(),
+            offsets: {
+                let mut v = Vec::with_capacity(rows_hint + 1);
+                v.push(0);
+                v
+            },
+        }
     }
 
     fn row(&self, i: usize) -> &[T] {
@@ -130,7 +141,10 @@ impl<T> CsrBuilder<T> {
     }
 
     fn finish(self) -> Csr<T> {
-        Csr { items: self.items, offsets: self.offsets }
+        Csr {
+            items: self.items,
+            offsets: self.offsets,
+        }
     }
 }
 
@@ -154,12 +168,16 @@ impl DetectionOracle {
         confusion: &SceneConfusion,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ truth.video.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ truth.video.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let frames = Self::simulate_objects(&truth, &suite, confusion, &mut rng);
         let shots = Self::simulate_actions(&truth, &suite, confusion, &mut rng);
-        Self { truth, suite, frames, shots }
+        Self {
+            truth,
+            suite,
+            frames,
+            shots,
+        }
     }
 
     fn simulate_objects(
@@ -183,15 +201,19 @@ impl DetectionOracle {
                 (class, BurstProcess::with_rate(rate, det.fp_burst))
             })
             .collect();
-        let mut fp_procs: Vec<(ObjectClass, BurstProcess)> =
-            confusable.into_iter().collect();
+        let mut fp_procs: Vec<(ObjectClass, BurstProcess)> = confusable.into_iter().collect();
         fp_procs.sort_by_key(|(c, _)| *c);
 
         // Per-track miss processes and tracker identity state.
         let mut miss: HashMap<TrackId, BurstProcess> = truth
             .tracks
             .iter()
-            .map(|t| (t.track, BurstProcess::with_rate(det.miss_rate, det.miss_burst)))
+            .map(|t| {
+                (
+                    t.track,
+                    BurstProcess::with_rate(det.miss_rate, det.miss_burst),
+                )
+            })
             .collect();
         let mut assigned: HashMap<TrackId, TrackId> = HashMap::new();
         // Synthetic ids for tracker switches and phantom (FP) tracks live
@@ -220,8 +242,7 @@ impl DetectionOracle {
             row.clear();
             let frame = FrameId::new(f);
             // Maintain the active track set.
-            while next_track < order.len()
-                && truth.tracks[order[next_track]].frames.start <= frame
+            while next_track < order.len() && truth.tracks[order[next_track]].frames.start <= frame
             {
                 active.push(order[next_track]);
                 next_track += 1;
@@ -330,7 +351,12 @@ impl DetectionOracle {
         let mut miss: HashMap<ActionClass, BurstProcess> = truth
             .actions
             .iter()
-            .map(|a| (a.class, BurstProcess::with_rate(rec.miss_rate, rec.miss_burst)))
+            .map(|a| {
+                (
+                    a.class,
+                    BurstProcess::with_rate(rec.miss_rate, rec.miss_burst),
+                )
+            })
             .collect();
 
         let base_classes: Vec<ActionClass> = if rec.fp_rate_base > 0.0 {
@@ -357,8 +383,7 @@ impl DetectionOracle {
                 }
             }
             for (class, salience) in active_classes {
-                let in_miss =
-                    miss.get_mut(&class).map(|m| m.step(rng)).unwrap_or(false);
+                let in_miss = miss.get_mut(&class).map(|m| m.step(rng)).unwrap_or(false);
                 let p = (rec.tpr * (0.9 + 0.1 * salience)).min(1.0);
                 if !in_miss && p > 0.0 && rng.gen_bool(p) {
                     row.push(ActionScore {
@@ -370,15 +395,16 @@ impl DetectionOracle {
             // Bursty confusable false positives.
             for (class, proc_) in fp_procs.iter_mut() {
                 if proc_.step(rng) && !row.iter().any(|a| a.class == *class) {
-                    row.push(ActionScore { class: *class, score: rec.scores.sample_fp(rng) });
+                    row.push(ActionScore {
+                        class: *class,
+                        score: rec.scores.sample_fp(rng),
+                    });
                 }
             }
             // Base-rate false positives.
             if rec.fp_rate_base > 0.0 {
                 for &class in &base_classes {
-                    if rng.gen_bool(rec.fp_rate_base)
-                        && !row.iter().any(|a| a.class == class)
-                    {
+                    if rng.gen_bool(rec.fp_rate_base) && !row.iter().any(|a| a.class == class) {
                         row.push(ActionScore {
                             class,
                             score: rec.scores.sample_fp(rng),
@@ -439,8 +465,7 @@ mod tests {
     use svq_types::{Interval, VideoGeometry, VideoId};
 
     fn truth_with_signal() -> Arc<GroundTruth> {
-        let mut gt =
-            GroundTruth::new(VideoId::new(1), VideoGeometry::default(), 5_000);
+        let mut gt = GroundTruth::new(VideoId::new(1), VideoGeometry::default(), 5_000);
         gt.tracks.push(ObjectTrack {
             class: ObjectClass::named("car"),
             track: TrackId::new(1),
@@ -493,7 +518,11 @@ mod tests {
         for f in 0..truth.total_frames {
             let dets = oracle.detect(FrameId::new(f));
             let visible = truth.object_visible(FrameId::new(f), ObjectClass::named("car"));
-            assert_eq!(dets.iter().any(|d| d.detection.class == ObjectClass::named("car")), visible);
+            assert_eq!(
+                dets.iter()
+                    .any(|d| d.detection.class == ObjectClass::named("car")),
+                visible
+            );
             for d in dets {
                 assert!(d.detection.score >= 0.99);
             }
@@ -518,9 +547,11 @@ mod tests {
     fn realistic_detector_rates_match_profile() {
         let truth = truth_with_signal();
         let car = ObjectClass::named("car");
-        let confusion = SceneConfusion { objects: vec![(car, 1.0)], actions: vec![] };
-        let oracle =
-            DetectionOracle::new(truth, ModelSuite::accurate(), &confusion, 7);
+        let confusion = SceneConfusion {
+            objects: vec![(car, 1.0)],
+            actions: vec![],
+        };
+        let oracle = DetectionOracle::new(truth, ModelSuite::accurate(), &confusion, 7);
         let (tpr, fpr) = rate_inside_outside(&oracle, car, 1_000..3_000);
         // Inside: tpr * (1 - miss_rate) ≈ 0.97 * 0.97 ≈ 0.94.
         assert!((0.85..=1.0).contains(&tpr), "tpr {tpr}");
@@ -550,12 +581,14 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let truth = truth_with_signal();
-        let confusion =
-            SceneConfusion { objects: vec![(ObjectClass::named("car"), 1.0)], actions: vec![] };
+        let confusion = SceneConfusion {
+            objects: vec![(ObjectClass::named("car"), 1.0)],
+            actions: vec![],
+        };
         let a = DetectionOracle::new(truth.clone(), ModelSuite::accurate(), &confusion, 1);
         let b = DetectionOracle::new(truth, ModelSuite::accurate(), &confusion, 2);
-        let differs = (0..a.frame_count())
-            .any(|f| a.detect(FrameId::new(f)) != b.detect(FrameId::new(f)));
+        let differs =
+            (0..a.frame_count()).any(|f| a.detect(FrameId::new(f)) != b.detect(FrameId::new(f)));
         assert!(differs);
     }
 
@@ -563,8 +596,10 @@ mod tests {
     fn action_recognition_fires_inside_episodes() {
         let truth = truth_with_signal();
         let jumping = ActionClass::named("jumping");
-        let confusion =
-            SceneConfusion { objects: vec![], actions: vec![(jumping, 1.0)] };
+        let confusion = SceneConfusion {
+            objects: vec![],
+            actions: vec![(jumping, 1.0)],
+        };
         let oracle = DetectionOracle::new(truth.clone(), ModelSuite::accurate(), &confusion, 3);
         // Shots fully inside the episode: frames 1500-2499 = shots 150-249.
         let mut hits_in = 0;
@@ -593,12 +628,8 @@ mod tests {
     #[test]
     fn tracker_ids_are_mostly_stable() {
         let truth = truth_with_signal();
-        let oracle = DetectionOracle::new(
-            truth,
-            ModelSuite::accurate(),
-            &SceneConfusion::default(),
-            9,
-        );
+        let oracle =
+            DetectionOracle::new(truth, ModelSuite::accurate(), &SceneConfusion::default(), 9);
         let car = ObjectClass::named("car");
         let mut ids = std::collections::HashSet::new();
         for f in 1_000..3_000u64 {
@@ -632,7 +663,10 @@ mod tests {
                 .count() as u64;
         }
         // 5000 frames * 89 classes * 0.0008 ≈ 356 expected.
-        assert!(spurious > 100, "expected some base-rate FPs, got {spurious}");
+        assert!(
+            spurious > 100,
+            "expected some base-rate FPs, got {spurious}"
+        );
         assert!(spurious < 1_200, "too many base-rate FPs: {spurious}");
     }
 }

@@ -30,18 +30,29 @@ pub struct BurstProcess {
 
 impl BurstProcess {
     /// A process that is never active.
-    pub const OFF: BurstProcess = BurstProcess { enter: 0.0, exit: 1.0, active: false };
+    pub const OFF: BurstProcess = BurstProcess {
+        enter: 0.0,
+        exit: 1.0,
+        active: false,
+    };
 
     /// Build from transition probabilities.
     pub fn new(enter: f64, exit: f64) -> Self {
         assert!((0.0..=1.0).contains(&enter) && (0.0..=1.0).contains(&exit));
-        Self { enter, exit, active: false }
+        Self {
+            enter,
+            exit,
+            active: false,
+        }
     }
 
     /// Build from a target stationary rate and mean burst length (in
     /// occurrence units). `rate = enter/(enter+exit)`, `mean_burst = 1/exit`.
     pub fn with_rate(rate: f64, mean_burst: f64) -> Self {
-        assert!((0.0..1.0).contains(&rate), "rate must be in [0,1), got {rate}");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "rate must be in [0,1), got {rate}"
+        );
         assert!(mean_burst >= 1.0, "mean burst must be at least one OU");
         if rate == 0.0 {
             return Self::OFF;
@@ -49,12 +60,20 @@ impl BurstProcess {
         let exit = 1.0 / mean_burst;
         // rate = enter / (enter + exit)  =>  enter = exit * rate / (1-rate).
         let enter = (exit * rate / (1.0 - rate)).min(1.0);
-        Self { enter, exit, active: false }
+        Self {
+            enter,
+            exit,
+            active: false,
+        }
     }
 
     /// Advance one occurrence unit and report whether the process is active.
     pub fn step(&mut self, rng: &mut impl Rng) -> bool {
-        let p = if self.active { 1.0 - self.exit } else { self.enter };
+        let p = if self.active {
+            1.0 - self.exit
+        } else {
+            self.enter
+        };
         self.active = p > 0.0 && rng.gen_bool(p);
         self.active
     }
@@ -159,17 +178,30 @@ mod tests {
         // Autocorrelation at lag 1 should be clearly positive.
         let mut p = BurstProcess::with_rate(0.2, 15.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let xs: Vec<f64> = (0..100_000).map(|_| p.step(&mut rng) as u8 as f64).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| p.step(&mut rng) as u8 as f64)
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
-        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>();
         let rho = cov / var;
-        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too small for bursts");
+        assert!(
+            rho > 0.5,
+            "lag-1 autocorrelation {rho} too small for bursts"
+        );
     }
 
     #[test]
     fn score_models_respect_thresholds() {
-        let m = ScoreModel { tp_floor: 0.55, tp_shape: 3.0, fp_floor: 0.5, fp_ceil: 0.85 };
+        let m = ScoreModel {
+            tp_floor: 0.55,
+            tp_shape: 3.0,
+            fp_floor: 0.5,
+            fp_ceil: 0.85,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..1000 {
             let tp = m.sample_tp(1.0, &mut rng);
@@ -179,10 +211,8 @@ mod tests {
         }
         // Low visibility drags scores down (mildly: detection probability
         // carries most of the visibility effect).
-        let hi: f64 =
-            (0..4000).map(|_| m.sample_tp(1.0, &mut rng)).sum::<f64>() / 4000.0;
-        let lo: f64 =
-            (0..4000).map(|_| m.sample_tp(0.2, &mut rng)).sum::<f64>() / 4000.0;
+        let hi: f64 = (0..4000).map(|_| m.sample_tp(1.0, &mut rng)).sum::<f64>() / 4000.0;
+        let lo: f64 = (0..4000).map(|_| m.sample_tp(0.2, &mut rng)).sum::<f64>() / 4000.0;
         assert!(hi > lo + 0.05, "visibility should matter: {hi} vs {lo}");
     }
 }

@@ -76,10 +76,18 @@ pub struct TrackerProfile {
 // low-confidence, so thresholding removes the bulk of them and the scan
 // statistics deal with the high-confidence remainder. Raw (pre-threshold)
 // rates are what Table 5's "w/o SVAQD" column reports.
-const DEFAULT_OBJ_SCORES: ScoreModel =
-    ScoreModel { tp_floor: 0.55, tp_shape: 2.5, fp_floor: 0.2, fp_ceil: 0.64 };
-const DEFAULT_ACT_SCORES: ScoreModel =
-    ScoreModel { tp_floor: 0.5, tp_shape: 2.0, fp_floor: 0.2, fp_ceil: 0.54 };
+const DEFAULT_OBJ_SCORES: ScoreModel = ScoreModel {
+    tp_floor: 0.55,
+    tp_shape: 2.5,
+    fp_floor: 0.2,
+    fp_ceil: 0.64,
+};
+const DEFAULT_ACT_SCORES: ScoreModel = ScoreModel {
+    tp_floor: 0.5,
+    tp_shape: 2.0,
+    fp_floor: 0.2,
+    fp_ceil: 0.54,
+};
 
 /// Mask R-CNN (He et al. 2017): the paper's accurate two-stage detector.
 pub const MASK_RCNN: ObjectDetectorProfile = ObjectDetectorProfile {
@@ -116,7 +124,12 @@ pub const IDEAL_DETECTOR: ObjectDetectorProfile = ObjectDetectorProfile {
     fp_rate_confusable: 0.0,
     fp_burst: 1.0,
     fp_rate_base: 0.0,
-    scores: ScoreModel { tp_floor: 0.99, tp_shape: 8.0, fp_floor: 0.0, fp_ceil: 0.01 },
+    scores: ScoreModel {
+        tp_floor: 0.99,
+        tp_shape: 8.0,
+        fp_floor: 0.0,
+        fp_ceil: 0.01,
+    },
     ms_per_frame: 0.0,
 };
 
@@ -143,23 +156,35 @@ pub const IDEAL_RECOGNIZER: ActionRecognizerProfile = ActionRecognizerProfile {
     fp_rate_confusable: 0.0,
     fp_burst: 1.0,
     fp_rate_base: 0.0,
-    scores: ScoreModel { tp_floor: 0.99, tp_shape: 8.0, fp_floor: 0.0, fp_ceil: 0.01 },
+    scores: ScoreModel {
+        tp_floor: 0.99,
+        tp_shape: 8.0,
+        fp_floor: 0.0,
+        fp_ceil: 0.01,
+    },
     ms_per_shot: 0.0,
 };
 
 /// CenterTrack (Zhou et al. 2020): the paper's real-time tracker.
-pub const CENTER_TRACK: TrackerProfile =
-    TrackerProfile { name: "CenterTrack", id_switch_rate: 0.004, ms_per_frame: 18.0 };
+pub const CENTER_TRACK: TrackerProfile = TrackerProfile {
+    name: "CenterTrack",
+    id_switch_rate: 0.004,
+    ms_per_frame: 18.0,
+};
 
 /// Perfect tracker — identities never switch.
-pub const IDEAL_TRACKER: TrackerProfile =
-    TrackerProfile { name: "IdealTracker", id_switch_rate: 0.0, ms_per_frame: 0.0 };
+pub const IDEAL_TRACKER: TrackerProfile = TrackerProfile {
+    name: "IdealTracker",
+    id_switch_rate: 0.0,
+    ms_per_frame: 0.0,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the subject
     fn ladder_orders_accuracy_and_cost() {
         assert!(MASK_RCNN.tpr > YOLOV3.tpr);
         assert!(MASK_RCNN.fp_rate_confusable < YOLOV3.fp_rate_confusable);

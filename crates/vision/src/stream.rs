@@ -9,6 +9,7 @@
 
 use crate::cost::{CostLedger, CostModel};
 use crate::models::{ActionRecognizer, DetectionOracle, ObjectDetector};
+use std::sync::Arc;
 use svq_types::{ActionScore, ClipId, FrameId, ShotId, TrackedDetection, VideoGeometry};
 
 /// Model outputs for one frame.
@@ -35,6 +36,20 @@ pub struct ClipData {
     pub clip: ClipId,
     pub frames: Vec<FrameData>,
     pub shots: Vec<ShotData>,
+}
+
+/// Cost-charging access to one clip's model outputs — the surface the
+/// online evaluators (`evaluate_clip` and the SVAQ/SVAQD push loops)
+/// actually consume. Implemented by the borrowing [`ClipView`]
+/// (single-threaded streaming) and the owning [`OwnedClipView`] (clip
+/// tickets handed across threads by the exec layer).
+pub trait ClipAccess {
+    /// The clip id.
+    fn clip(&self) -> ClipId;
+    /// Detections on every frame of the clip (charges detector passes).
+    fn object_frames(&mut self) -> Vec<FrameData>;
+    /// Action scores on every shot of the clip (charges recognizer passes).
+    fn action_shots(&mut self) -> Vec<ShotData>;
 }
 
 /// A borrowed, cost-charging view over one clip of the oracle.
@@ -69,7 +84,10 @@ impl<'a> ClipView<'a> {
 
     /// Detections on one frame of the clip (charged once per call).
     pub fn detections(&mut self, frame: FrameId) -> &[TrackedDetection] {
-        debug_assert!(self.geometry.frames_of_clip(self.clip).contains(&frame.raw()));
+        debug_assert!(self
+            .geometry
+            .frames_of_clip(self.clip)
+            .contains(&frame.raw()));
         self.ledger.charge_object_frame(&self.cost_model);
         self.oracle.detect(frame)
     }
@@ -96,6 +114,86 @@ impl<'a> ClipView<'a> {
             frames: self.object_frames(),
             shots: self.action_shots(),
         }
+    }
+}
+
+impl ClipAccess for ClipView<'_> {
+    fn clip(&self) -> ClipId {
+        ClipView::clip(self)
+    }
+
+    fn object_frames(&mut self) -> Vec<FrameData> {
+        ClipView::object_frames(self)
+    }
+
+    fn action_shots(&mut self) -> Vec<ShotData> {
+        ClipView::action_shots(self)
+    }
+}
+
+/// An owning, cost-charging view over one clip — the thread-crossing
+/// counterpart of [`ClipView`].
+///
+/// Holds its oracle by `Arc` and accumulates inference cost in a private
+/// [`CostLedger`], so a clip can be described by a lightweight ticket
+/// (oracle handle + clip id), shipped to a worker thread, evaluated there,
+/// and its cost merged back into per-session accounting afterwards.
+pub struct OwnedClipView {
+    oracle: Arc<DetectionOracle>,
+    cost_model: CostModel,
+    ledger: CostLedger,
+    clip: ClipId,
+    geometry: VideoGeometry,
+}
+
+impl OwnedClipView {
+    /// View `clip` of `oracle`'s video with a fresh ledger.
+    pub fn new(oracle: Arc<DetectionOracle>, clip: ClipId) -> Self {
+        let geometry = oracle.truth().geometry;
+        Self {
+            cost_model: CostModel::from_suite(oracle.suite()),
+            ledger: CostLedger::default(),
+            clip,
+            geometry,
+            oracle,
+        }
+    }
+
+    /// Inference cost charged through this view so far.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+}
+
+impl ClipAccess for OwnedClipView {
+    fn clip(&self) -> ClipId {
+        self.clip
+    }
+
+    fn object_frames(&mut self) -> Vec<FrameData> {
+        self.geometry
+            .frames_of_clip(self.clip)
+            .map(|f| {
+                self.ledger.charge_object_frame(&self.cost_model);
+                FrameData {
+                    frame: FrameId::new(f),
+                    detections: self.oracle.detect(FrameId::new(f)).to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    fn action_shots(&mut self) -> Vec<ShotData> {
+        self.geometry
+            .shots_of_clip(self.clip)
+            .map(|s| {
+                self.ledger.charge_action_shot(&self.cost_model);
+                ShotData {
+                    shot: ShotId::new(s),
+                    actions: self.oracle.recognize(ShotId::new(s)).to_vec(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -175,7 +273,12 @@ mod tests {
 
     fn small_oracle() -> DetectionOracle {
         let gt = GroundTruth::new(VideoId::new(0), VideoGeometry::default(), 500);
-        DetectionOracle::new(Arc::new(gt), ModelSuite::accurate(), &SceneConfusion::default(), 1)
+        DetectionOracle::new(
+            Arc::new(gt),
+            ModelSuite::accurate(),
+            &SceneConfusion::default(),
+            1,
+        )
     }
 
     #[test]

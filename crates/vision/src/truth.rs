@@ -11,8 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 use svq_types::{
-    ActionClass, ActionQuery, BBox, FrameId, FrameInterval, Interval,
-    ObjectClass, TrackId, VideoGeometry, VideoId,
+    ActionClass, ActionQuery, BBox, FrameId, FrameInterval, Interval, ObjectClass, TrackId,
+    VideoGeometry, VideoId,
 };
 
 /// One object instance visible over a contiguous frame range.
@@ -52,7 +52,13 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Create an empty script.
     pub fn new(video: VideoId, geometry: VideoGeometry, total_frames: u64) -> Self {
-        Self { video, geometry, total_frames, tracks: Vec::new(), actions: Vec::new() }
+        Self {
+            video,
+            geometry,
+            total_frames,
+            tracks: Vec::new(),
+            actions: Vec::new(),
+        }
     }
 
     /// Object tracks of `class` visible on `frame`.
@@ -151,10 +157,7 @@ impl GroundTruth {
 }
 
 /// Merge intervals whose gaps are below `tolerance` frames.
-pub fn merge_with_tolerance(
-    intervals: Vec<FrameInterval>,
-    tolerance: u64,
-) -> Vec<FrameInterval> {
+pub fn merge_with_tolerance(intervals: Vec<FrameInterval>, tolerance: u64) -> Vec<FrameInterval> {
     let mut out: Vec<FrameInterval> = Vec::with_capacity(intervals.len());
     for iv in intervals {
         match out.last_mut() {
@@ -168,10 +171,7 @@ pub fn merge_with_tolerance(
 }
 
 /// Intersect two sorted disjoint interval lists by a linear sweep.
-pub fn intersect_interval_lists(
-    a: &[FrameInterval],
-    b: &[FrameInterval],
-) -> Vec<FrameInterval> {
+pub fn intersect_interval_lists(a: &[FrameInterval], b: &[FrameInterval]) -> Vec<FrameInterval> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -221,7 +221,11 @@ mod tests {
             visibility: 1.0,
             bbox: BBox::new(0.5, 0.2, 0.9, 0.9),
         });
-        gt.actions.push(ActionSpan { class: jumping, frames: fi(200, 449), salience: 1.0 });
+        gt.actions.push(ActionSpan {
+            class: jumping,
+            frames: fi(200, 449),
+            salience: 1.0,
+        });
         gt
     }
 
@@ -240,7 +244,10 @@ mod tests {
     #[test]
     fn object_intervals_merge_overlapping_tracks() {
         let gt = sample_truth();
-        assert_eq!(gt.object_intervals(ObjectClass::named("car")), vec![fi(100, 500)]);
+        assert_eq!(
+            gt.object_intervals(ObjectClass::named("car")),
+            vec![fi(100, 500)]
+        );
         assert!(gt.object_intervals(ObjectClass::named("dog")).is_empty());
     }
 

@@ -29,14 +29,19 @@ fn main() {
     // estimates the detectors' noise floor as the stream plays.
     let oracle = video.oracle(ModelSuite::accurate());
     let mut stream = VideoStream::new(&oracle);
-    let result = Svaqd::run(query.clone(), &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+    let result = Svaqd::run(
+        query.clone(),
+        &mut stream,
+        OnlineConfig::default(),
+        1e-4,
+        1e-4,
+    );
 
     // --- 4. Results: maximal runs of clips satisfying every predicate.
     let geometry = video.truth.geometry;
     println!("\nresult sequences ({}):", result.sequences.len());
     for seq in &result.sequences {
-        let frames = geometry.frames_of_clip(seq.start).start
-            ..geometry.frames_of_clip(seq.end).end;
+        let frames = geometry.frames_of_clip(seq.start).start..geometry.frames_of_clip(seq.end).end;
         let start_s = frames.start as f64 / geometry.fps as f64;
         let end_s = frames.end as f64 / geometry.fps as f64;
         println!(

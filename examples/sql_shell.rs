@@ -72,8 +72,7 @@ fn run_statement(sql: &str, video: &SyntheticVideo) {
         QueryMode::Offline { .. } => {
             let oracle = video.oracle(ModelSuite::accurate());
             let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
-            let result =
-                execute_offline(&plan, &catalog, &PaperScoring).expect("execute offline");
+            let result = execute_offline(&plan, &catalog, &PaperScoring).expect("execute offline");
             println!("ranked sequences:");
             for (i, r) in result.ranked.iter().enumerate() {
                 println!(

@@ -29,13 +29,7 @@ fn main() {
 
     // One persistent engine across the whole shift: the background
     // estimators track the drift; no p0 tuning.
-    let mut engine = Svaqd::new(
-        query.clone(),
-        geometry,
-        OnlineConfig::default(),
-        1e-4,
-        1e-4,
-    );
+    let mut engine = Svaqd::new(query.clone(), geometry, OnlineConfig::default(), 1e-4, 1e-4);
 
     let mut total_found = 0usize;
     for (i, (label, noise)) in hours.iter().enumerate() {
@@ -58,8 +52,7 @@ fn main() {
             // Sequences are emitted the moment they close — the streaming
             // contract: an operator sees the alert while the feed plays.
             if let Some(seq) = engine.push_clip(&mut view) {
-                let t0 = seq.start.raw() * geometry.frames_per_clip() as u64
-                    / geometry.fps as u64;
+                let t0 = seq.start.raw() * geometry.frames_per_clip() as u64 / geometry.fps as u64;
                 println!(
                     "  [{label}] ALERT at +{:>4}s: clips {}..{}",
                     t0,

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tests. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -57,9 +57,8 @@ pub mod prelude {
     pub use svq_query::{execute_offline, execute_online, parse, LogicalPlan};
     pub use svq_storage::{IngestedVideo, SequenceSet};
     pub use svq_types::{
-        ActionClass, ActionQuery, ClipId, ClipInterval, FrameId, Interval,
-        ObjectClass, PaperScoring, ScoringFunctions, VideoGeometry, VideoId,
-        Vocabulary,
+        ActionClass, ActionQuery, ClipId, ClipInterval, FrameId, Interval, ObjectClass,
+        PaperScoring, ScoringFunctions, VideoGeometry, VideoId, Vocabulary,
     };
     pub use svq_vision::models::{ModelSuite, SceneConfusion};
     pub use svq_vision::synth::{MovieSpec, ObjectSpec, ScenarioSpec, SyntheticVideo};

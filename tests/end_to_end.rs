@@ -30,7 +30,13 @@ fn online_and_offline_agree_on_ideal_models() {
 
     let oracle = video.oracle(ModelSuite::ideal());
     let mut stream = VideoStream::new(&oracle);
-    let online = Svaqd::run(query.clone(), &mut stream, OnlineConfig::default(), 1e-4, 1e-4);
+    let online = Svaqd::run(
+        query.clone(),
+        &mut stream,
+        OnlineConfig::default(),
+        1e-4,
+        1e-4,
+    );
 
     let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
     let offline_pq = catalog.result_sequences(&query);
@@ -172,11 +178,7 @@ fn alternative_scoring_algebra_works_offline() {
     let video = scene(23);
     let query = ActionQuery::named("archery", &["person"]);
     let oracle = video.oracle(ModelSuite::accurate());
-    let catalog = svq_core::offline::ingest(
-        &oracle,
-        &MaxScoring,
-        &OnlineConfig::default(),
-    );
+    let catalog = svq_core::offline::ingest(&oracle, &MaxScoring, &OnlineConfig::default());
     let total = catalog.result_sequences(&query).len();
     assert!(total >= 2);
     let rvaq = Rvaq::run(
@@ -187,9 +189,7 @@ fn alternative_scoring_algebra_works_offline() {
     );
     let brute = PqTraverse::run(&catalog, &query, &MaxScoring, 1);
     assert_eq!(rvaq.ranked[0].interval, brute.ranked[0].interval);
-    assert!(
-        (rvaq.ranked[0].exact.unwrap() - brute.ranked[0].exact.unwrap()).abs() < 1e-9
-    );
+    assert!((rvaq.ranked[0].exact.unwrap() - brute.ranked[0].exact.unwrap()).abs() < 1e-9);
 }
 
 #[test]

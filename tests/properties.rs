@@ -11,13 +11,12 @@ fn iv(s: u64, e: u64) -> ClipInterval {
 
 /// Arbitrary interval list with bounded coordinates.
 fn intervals(max: u64) -> impl Strategy<Value = Vec<ClipInterval>> {
-    prop::collection::vec((0..max, 0..20u64), 0..12)
-        .prop_map(move |pairs| {
-            pairs
-                .into_iter()
-                .map(|(s, len)| iv(s, (s + len).min(max)))
-                .collect()
-        })
+    prop::collection::vec((0..max, 0..20u64), 0..12).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .map(|(s, len)| iv(s, (s + len).min(max)))
+            .collect()
+    })
 }
 
 /// Reference membership set for a SequenceSet.

@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches compile against
+//! (`Criterion`, `black_box`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) backed by a simple wall-clock harness: each benchmark
+//! warms up briefly, then runs timed batches and reports median ns/iter
+//! (plus elements/sec when a throughput is set). No statistics, plots, or
+//! result persistence.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, None, self.warmup, self.measure, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(
+            &full,
+            self.throughput,
+            self.criterion.warmup,
+            self.criterion.measure,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up while estimating the per-iteration cost.
+    let mut iters = 1u64;
+    let mut spent = Duration::ZERO;
+    let mut per_iter = Duration::from_nanos(1);
+    while spent < warmup {
+        let d = run_once(iters, f);
+        spent += d;
+        per_iter = d
+            .checked_div(iters as u32)
+            .unwrap_or(per_iter)
+            .max(Duration::from_nanos(1));
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+
+    // Timed batches sized to ~1/8 of the measurement budget each.
+    let batch = ((measure.as_nanos() / 8) / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut samples = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    while elapsed < measure || samples.len() < 3 {
+        let d = run_once(batch, f);
+        elapsed += d;
+        samples.push(d.as_nanos() as f64 / batch as f64);
+        if samples.len() >= 64 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / median.max(1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.0} B/s)", n as f64 * 1e9 / median.max(1e-9))
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {median:>14.1} ns/iter{extra}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

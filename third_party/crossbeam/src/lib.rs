@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] module's MPMC bounded/unbounded channels with
+//! crossbeam's disconnect semantics, implemented over `std::sync`
+//! primitives. The exec worker pool is the primary consumer; semantics
+//! (blocking sends on a full bounded channel, `Err` on recv after every
+//! sender drops) match upstream for the API subset exposed.
+
+pub mod channel;

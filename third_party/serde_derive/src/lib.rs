@@ -1,0 +1,449 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! parses the derive input by walking `proc_macro::TokenTree`s directly —
+//! no `syn`, no `quote` — and emits impls of the stand-in's `to_value` /
+//! `from_value` traits as source strings. Supported shapes cover the
+//! workspace: named structs (with `#[serde(skip)]` fields), tuple structs
+//! (newtype semantics; `#[serde(transparent)]` accepted), enums with unit /
+//! newtype / tuple variants (externally tagged, as upstream serde), and
+//! simple type generics (each parameter is bounded by the derived trait).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, bounds stripped.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Whether an attribute token group (the `[...]` after `#`) is
+/// `serde(<word>)` containing the given word.
+fn attr_is_serde(group: &TokenStream, word: &str) -> bool {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            args.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(i) => i.to_string() == word,
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading attributes; returns true if any was `#[serde(<word>)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize, word: &str) -> bool {
+    let mut found = false;
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        found |= attr_is_serde(&g.stream(), word);
+        *pos += 2;
+    }
+    found
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume `<...>` generics if present; returns the parameter identifiers.
+fn eat_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*pos) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while *pos < tokens.len() && depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' if depth == 1 => expect_param = false,
+                '\'' => expect_param = false, // lifetimes unsupported downstream
+                _ => {}
+            },
+            TokenTree::Ident(i) if depth == 1 && expect_param => {
+                params.push(i.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Split a token list on top-level commas, tracking both group and
+/// angle-bracket depth (so `BTreeMap<K, V>` stays one piece).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    pieces.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    split_top_level(body.into_iter().collect())
+        .into_iter()
+        .filter(|piece| !piece.is_empty())
+        .map(|piece| {
+            let mut pos = 0;
+            let skip = eat_attrs(&piece, &mut pos, "skip");
+            eat_visibility(&piece, &mut pos);
+            let TokenTree::Ident(name) = &piece[pos] else {
+                panic!("serde_derive: expected field name in {piece:?}");
+            };
+            Field {
+                name: name.to_string(),
+                skip,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body.into_iter().collect())
+        .into_iter()
+        .filter(|piece| !piece.is_empty())
+        .map(|piece| {
+            let mut pos = 0;
+            eat_attrs(&piece, &mut pos, "_none_");
+            let TokenTree::Ident(name) = &piece[pos] else {
+                panic!("serde_derive: expected variant name in {piece:?}");
+            };
+            let name = name.to_string();
+            let arity = match piece.get(pos + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    split_top_level(g.stream().into_iter().collect()).len()
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!(
+                        "serde_derive: struct variants are not supported \
+                         (variant `{name}`)"
+                    );
+                }
+                _ => 0,
+            };
+            Variant { name, arity }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos, "_none_");
+    eat_visibility(&tokens, &mut pos);
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    let generics = eat_generics(&tokens, &mut pos);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct {
+                    arity: split_top_level(g.stream().into_iter().collect()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// `impl<T: Bound, ...> Trait for Name<T, ...>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, self_ty) = impl_header(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Kind::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        1 => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => \
+                                 ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, self_ty) = impl_header(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match value.get(\"{0}\") {{\n\
+                         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         None => return Err(::serde::DeError::missing_field(\
+                         \"{name}\", \"{0}\")),\n}},\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Object(_) => Ok({name} {{\n{inits}}}),\n\
+                 other => Err(::serde::DeError::expected(\"object\", other)),\n}}"
+            )
+        }
+        Kind::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                 Ok({name}({items})),\n\
+                 other => Err(::serde::DeError::expected(\
+                 \"array of {arity}\", other)),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("{{ let _ = value; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let vname = &v.name;
+                    if v.arity == 1 {
+                        format!(
+                            "\"{vname}\" => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(v)?)),"
+                        )
+                    } else {
+                        let n = v.arity;
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => return match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{vname}({items})),\n\
+                             other => Err(::serde::DeError::expected(\
+                             \"array of {n}\", other)),\n}},",
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let mut blocks = String::new();
+            if !unit_arms.is_empty() {
+                blocks.push_str(&format!(
+                    "if let ::serde::Value::Str(s) = value {{\n\
+                     match s.as_str() {{\n{}\n_ => {{}}\n}}\n}}\n",
+                    unit_arms.join("\n")
+                ));
+            }
+            if !data_arms.is_empty() {
+                blocks.push_str(&format!(
+                    "if let ::serde::Value::Object(fields) = value {{\n\
+                     if fields.len() == 1 {{\n\
+                     let (k, v) = &fields[0];\n\
+                     match k.as_str() {{\n{}\n_ => {{}}\n}}\n}}\n}}\n",
+                    data_arms.join("\n")
+                ));
+            }
+            format!(
+                "{blocks}Err(::serde::DeError(format!(\
+                 \"no variant of `{name}` matches a {{}} value\", value.kind())))"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
