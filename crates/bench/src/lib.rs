@@ -14,6 +14,8 @@
 //! wins, by what factor, where crossovers fall — is the reproduction target
 //! recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 

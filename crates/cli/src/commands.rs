@@ -169,6 +169,11 @@ pub fn mux(flags: &Flags) -> CliResult {
     // Wall seconds slept per simulated inference second (0 = off); makes
     // throughput numbers reflect the inference-bound regime of deployment.
     let pacing: f64 = flags.get_parsed("pacing", 0.0)?;
+    // Periodic progress snapshots to stderr every N seconds (0 = off).
+    let metrics_every: f64 = flags.get_parsed("metrics-every", 0.0)?;
+    if metrics_every < 0.0 {
+        return Err("--metrics-every must be non-negative".into());
+    }
     let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
     let policy = match flags.get("policy").unwrap_or("block") {
         "block" => Backpressure::Block,
@@ -248,6 +253,13 @@ pub fn mux(flags: &Flags) -> CliResult {
             ids.push(id);
         }
     }
+    // Progress to stderr so stdout stays the final report.
+    let reporter = (metrics_every > 0.0).then(|| {
+        mux.metrics()
+            .spawn_reporter(std::time::Duration::from_secs_f64(metrics_every), |snap| {
+                eprint!("{snap}")
+            })
+    });
     mux.feed_streams(&ids);
     let mut total_sequences = 0usize;
     let mut inference_ms = 0.0;
@@ -259,6 +271,9 @@ pub fn mux(flags: &Flags) -> CliResult {
             }
             Err(e) => eprintln!("session failed: {e}"),
         }
+    }
+    if let Some(reporter) = reporter {
+        reporter.stop();
     }
     let snapshot = mux.metrics().snapshot();
     mux.shutdown();
@@ -365,10 +380,13 @@ mod tests {
 
     #[test]
     fn mux_runs_multiple_streams() {
+        // A sub-interval --metrics-every exercises reporter start/stop even
+        // when the run finishes before the first periodic snapshot fires.
         mux(&flags(&[
             ("streams", "2"),
             ("workers", "2"),
             ("minutes", "0.5"),
+            ("metrics-every", "0.01"),
             (
                 "sql",
                 "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
@@ -376,6 +394,17 @@ mod tests {
             ),
         ]))
         .expect("mux");
+        // Negative interval is rejected up front.
+        let err = mux(&flags(&[
+            ("metrics-every", "-1"),
+            (
+                "sql",
+                "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='jumping' AND obj.include('car')",
+            ),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("metrics-every"));
         // Offline statements are rejected with a pointer to the right mode.
         let err = mux(&flags(&[(
             "sql",

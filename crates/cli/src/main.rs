@@ -14,6 +14,8 @@
 //! reproduction, see DESIGN.md); catalogs are §4.2 ingestion outputs and
 //! can be queried any number of times.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 
@@ -55,7 +57,7 @@ fn print_usage() {
          \u{20}  ingest  --scene scene.json [--models accurate|fast|ideal] --out catalog.json\n\
          \u{20}  query   (--catalog catalog.json | --scene scene.json) --sql STATEMENT\n\
          \u{20}  mux     --sql \"STMT[; STMT…]\" [--streams K] [--workers N] \
-         [--minutes M] [--policy block|drop-oldest]\n\
+         [--minutes M] [--policy block|drop-oldest] [--metrics-every SECS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  labels  objects|actions"
     );

@@ -214,8 +214,10 @@ impl ExprSvaqd {
         // CNF evaluation.
         let positive = self.query.clauses.iter().all(|clause| {
             clause.iter().any(|p| {
-                let idx = self.predicates.iter().position(|q| q == p).unwrap();
-                indicators[idx]
+                self.predicates
+                    .iter()
+                    .position(|q| q == p)
+                    .is_some_and(|idx| indicators[idx])
             })
         });
 

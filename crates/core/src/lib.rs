@@ -20,6 +20,8 @@
 //! * [`expr`] — the footnote 2-4 extensions: conjunctions of multiple
 //!   actions, disjunctions in CNF, and spatial-relationship predicates.
 
+#![forbid(unsafe_code)]
+
 pub mod expr;
 pub mod offline;
 pub mod online;

@@ -21,10 +21,10 @@
 
 use super::rvaq::{RankedSequence, RvaqOptions, TopKResult};
 use super::Rvaq;
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
 use svq_storage::IngestedVideo;
-use svq_types::{ActionQuery, ClipId, ScoringFunctions};
+use svq_types::{ActionQuery, ClipId, Clock, ScoringFunctions};
+use svq_vision::WallClock;
 
 /// The `P_q`-Traverse baseline.
 pub struct PqTraverse;
@@ -37,7 +37,18 @@ impl PqTraverse {
         scoring: &dyn ScoringFunctions,
         k: usize,
     ) -> TopKResult {
-        let start = Instant::now();
+        Self::run_with_clock(catalog, query, scoring, k, &WallClock::new())
+    }
+
+    /// [`PqTraverse::run`] with an injected [`Clock`] charging `wall_ms`.
+    pub fn run_with_clock(
+        catalog: &IngestedVideo,
+        query: &ActionQuery,
+        scoring: &dyn ScoringFunctions,
+        k: usize,
+        clock: &dyn Clock,
+    ) -> TopKResult {
+        let start = clock.now_nanos();
         let disk_before = catalog.disk().stats();
         let pq = catalog.result_sequences(query);
 
@@ -69,8 +80,8 @@ impl PqTraverse {
             .collect();
         scored.sort_by(|a, b| {
             b.exact
-                .partial_cmp(&a.exact)
-                .unwrap()
+                .unwrap_or(f64::NEG_INFINITY)
+                .total_cmp(&a.exact.unwrap_or(f64::NEG_INFINITY))
                 .then(a.interval.start.cmp(&b.interval.start))
         });
         let total_sequences = scored.len();
@@ -80,7 +91,7 @@ impl PqTraverse {
         TopKResult {
             ranked: scored,
             disk,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms: clock.nanos_since(start) as f64 / 1e6,
             io_ms: catalog.disk().simulated_ms_of(disk),
             iterations: 0,
             total_sequences,
@@ -100,7 +111,18 @@ impl FaTopK {
         scoring: &dyn ScoringFunctions,
         k: usize,
     ) -> TopKResult {
-        let start = Instant::now();
+        Self::run_with_clock(catalog, query, scoring, k, &WallClock::new())
+    }
+
+    /// [`FaTopK::run`] with an injected [`Clock`] charging `wall_ms`.
+    pub fn run_with_clock(
+        catalog: &IngestedVideo,
+        query: &ActionQuery,
+        scoring: &dyn ScoringFunctions,
+        k: usize,
+        clock: &dyn Clock,
+    ) -> TopKResult {
+        let start = clock.now_nanos();
         let disk_before = catalog.disk().stats();
         let pq = catalog.result_sequences(query);
 
@@ -116,8 +138,11 @@ impl FaTopK {
         let mut remaining: u64 = pq.clip_count();
         let mut seq_scores: Vec<f64> = vec![scoring.f_identity(); pq.len()];
 
-        let mut seen: Vec<HashSet<ClipId>> = vec![HashSet::new(); tables.len()];
-        let mut produced: HashSet<ClipId> = HashSet::new();
+        // BTree collections: FA's candidate scan iterates these, and the
+        // winner among score ties falls to iteration order — which must be
+        // stable for byte-identical results.
+        let mut seen: Vec<BTreeSet<ClipId>> = vec![BTreeSet::new(); tables.len()];
+        let mut produced: BTreeSet<ClipId> = BTreeSet::new();
         let mut stamp = 0usize;
         let mut iterations = 0u64;
 
@@ -152,7 +177,7 @@ impl FaTopK {
             // fully-seen, unproduced clips — re-fetched each production
             // round (no memoisation across rounds: the baseline has no
             // bound state to justify caching against).
-            let mut scores: HashMap<ClipId, f64> = HashMap::new();
+            let mut scores: BTreeMap<ClipId, f64> = BTreeMap::new();
             let mut candidate: Option<(ClipId, f64)> = None;
             for c in seen[0].iter() {
                 if produced.contains(c)
@@ -193,8 +218,8 @@ impl FaTopK {
             .collect();
         ranked.sort_by(|a, b| {
             b.exact
-                .partial_cmp(&a.exact)
-                .unwrap()
+                .unwrap_or(f64::NEG_INFINITY)
+                .total_cmp(&a.exact.unwrap_or(f64::NEG_INFINITY))
                 .then(a.interval.start.cmp(&b.interval.start))
         });
         let total_sequences = ranked.len();
@@ -204,7 +229,7 @@ impl FaTopK {
         TopKResult {
             ranked,
             disk,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms: clock.nanos_since(start) as f64 / 1e6,
             io_ms: catalog.disk().simulated_ms_of(disk),
             iterations,
             total_sequences,

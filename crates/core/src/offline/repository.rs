@@ -63,8 +63,7 @@ impl RepositoryRvaq {
         }
         ranked.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap()
+                .total_cmp(&a.score)
                 .then(a.video.cmp(&b.video))
                 .then(a.interval.start.cmp(&b.interval.start))
         });

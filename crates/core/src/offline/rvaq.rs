@@ -23,10 +23,10 @@
 use super::bounds::SequenceBounds;
 use super::skip::SkipSet;
 use super::tbclip::TbClip;
-use std::collections::HashSet;
-use std::time::Instant;
+use std::collections::BTreeSet;
 use svq_storage::{DiskStats, IngestedVideo};
-use svq_types::{ActionQuery, ClipId, ClipInterval, ScoringFunctions};
+use svq_types::{ActionQuery, ClipId, ClipInterval, Clock, ScoringFunctions};
+use svq_vision::WallClock;
 
 /// Options for one RVAQ execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,7 +111,18 @@ impl Rvaq {
         scoring: &dyn ScoringFunctions,
         options: RvaqOptions,
     ) -> TopKResult {
-        let start = Instant::now();
+        Self::run_with_clock(catalog, query, scoring, options, &WallClock::new())
+    }
+
+    /// [`Rvaq::run`] with an injected [`Clock`] charging `wall_ms`.
+    pub fn run_with_clock(
+        catalog: &IngestedVideo,
+        query: &ActionQuery,
+        scoring: &dyn ScoringFunctions,
+        options: RvaqOptions,
+        clock: &dyn Clock,
+    ) -> TopKResult {
+        let start = clock.now_nanos();
         let disk_before = catalog.disk().stats();
 
         let pq = catalog.result_sequences(query);
@@ -128,7 +139,7 @@ impl Rvaq {
             .map(|iv| SequenceBounds::new(*iv, scoring))
             .collect();
         let mut tb = TbClip::new(catalog, query, scoring);
-        let mut absorbed: HashSet<ClipId> = HashSet::new();
+        let mut absorbed: BTreeSet<ClipId> = BTreeSet::new();
         let mut iterations = 0u64;
 
         if k > 0 {
@@ -162,14 +173,8 @@ impl Rvaq {
                 let mut order: Vec<usize> = (0..bounds.len())
                     .filter(|&i| !bounds[i].resolved_out)
                     .collect();
-                order.sort_by(|&a, &b| {
-                    bounds[b]
-                        .b_lo
-                        .partial_cmp(&bounds[a].b_lo)
-                        .unwrap()
-                        .then(a.cmp(&b))
-                });
-                let in_k: HashSet<usize> = order.iter().take(k).copied().collect();
+                order.sort_by(|&a, &b| bounds[b].b_lo.total_cmp(&bounds[a].b_lo).then(a.cmp(&b)));
+                let in_k: BTreeSet<usize> = order.iter().take(k).copied().collect();
                 let b_lo_k = order
                     .get(k - 1)
                     .map_or(f64::NEG_INFINITY, |&i| bounds[i].b_lo);
@@ -209,13 +214,7 @@ impl Rvaq {
         let mut order: Vec<usize> = (0..bounds.len())
             .filter(|&i| !bounds[i].resolved_out)
             .collect();
-        order.sort_by(|&a, &b| {
-            bounds[b]
-                .b_lo
-                .partial_cmp(&bounds[a].b_lo)
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| bounds[b].b_lo.total_cmp(&bounds[a].b_lo).then(a.cmp(&b)));
         order.truncate(k);
 
         // Optional exact-score pass over the winners.
@@ -235,8 +234,7 @@ impl Rvaq {
             order.sort_by(|&a, &b| {
                 bounds[b]
                     .s_known
-                    .partial_cmp(&bounds[a].s_known)
-                    .unwrap()
+                    .total_cmp(&bounds[a].s_known)
                     .then(a.cmp(&b))
             });
         }
@@ -255,7 +253,7 @@ impl Rvaq {
         TopKResult {
             ranked,
             disk,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall_ms: clock.nanos_since(start) as f64 / 1e6,
             io_ms: catalog.disk().simulated_ms_of(disk),
             iterations,
             total_sequences,

@@ -27,7 +27,7 @@
 //! maximum.
 
 use super::skip::SkipSet;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use svq_storage::{ClipScoreTable, IngestedVideo};
 use svq_types::{ActionQuery, ClipId, ScoringFunctions};
 
@@ -46,18 +46,20 @@ pub struct TbClip<'a> {
     scoring: &'a dyn ScoringFunctions,
     /// How many object tables precede the action table in `tables`.
     n_objects: usize,
-    // --- top-side state.
+    // --- top-side state. BTree collections throughout: the candidate
+    // scans iterate them, and stable iteration order is part of the
+    // byte-identical-results contract enforced by svq-lint.
     stamp_top: usize,
-    seen_top: Vec<HashMap<ClipId, f64>>,
+    seen_top: Vec<BTreeMap<ClipId, f64>>,
     frontier_top: Vec<f64>,
-    processed_top: HashSet<ClipId>,
+    processed_top: BTreeSet<ClipId>,
     // --- bottom-side state.
     stamp_btm: usize,
-    seen_btm: Vec<HashMap<ClipId, f64>>,
+    seen_btm: Vec<BTreeMap<ClipId, f64>>,
     frontier_btm: Vec<f64>,
-    processed_btm: HashSet<ClipId>,
+    processed_btm: BTreeSet<ClipId>,
     /// Memoised complete clip scores (g over all queried tables).
-    scores: HashMap<ClipId, f64>,
+    scores: BTreeMap<ClipId, f64>,
 }
 
 impl<'a> TbClip<'a> {
@@ -79,14 +81,14 @@ impl<'a> TbClip<'a> {
             scoring,
             n_objects: query.objects.len(),
             stamp_top: 0,
-            seen_top: vec![HashMap::new(); n],
+            seen_top: vec![BTreeMap::new(); n],
             frontier_top: vec![f64::INFINITY; n],
-            processed_top: HashSet::new(),
+            processed_top: BTreeSet::new(),
             stamp_btm: 0,
-            seen_btm: vec![HashMap::new(); n],
+            seen_btm: vec![BTreeMap::new(); n],
             frontier_btm: vec![0.0; n],
-            processed_btm: HashSet::new(),
-            scores: HashMap::new(),
+            processed_btm: BTreeSet::new(),
+            scores: BTreeMap::new(),
         }
     }
 
@@ -174,7 +176,7 @@ impl<'a> TbClip<'a> {
                 candidates.push((c, bound));
             }
         }
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut best: Option<(ClipId, f64)> = None;
         for (c, bound) in candidates {
             if let Some((_, bs)) = best {
@@ -249,7 +251,7 @@ impl<'a> TbClip<'a> {
                 candidates.push((c, bound));
             }
         }
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         let mut best: Option<(ClipId, f64)> = None;
         for (c, bound) in candidates {
             if let Some((_, bs)) = best {
@@ -276,12 +278,12 @@ impl<'a> TbClip<'a> {
     }
 
     /// The set of clips processed from the top (`C_top`).
-    pub fn processed_top(&self) -> &HashSet<ClipId> {
+    pub fn processed_top(&self) -> &BTreeSet<ClipId> {
         &self.processed_top
     }
 
     /// The set of clips processed from the bottom (`C_btm`).
-    pub fn processed_bottom(&self) -> &HashSet<ClipId> {
+    pub fn processed_bottom(&self) -> &BTreeSet<ClipId> {
         &self.processed_btm
     }
 }
@@ -376,7 +378,7 @@ pub(crate) mod tests {
         let query = ActionQuery::named("jumping", &["car"]);
         let skip = SkipSet::new(cat.result_sequences(&query));
         let mut tb = TbClip::new(&cat, &query, &PaperScoring);
-        let mut produced = HashSet::new();
+        let mut produced = BTreeSet::new();
         for _ in 0..20 {
             let step = tb.next(&skip);
             if let Some((c, _)) = step.top {

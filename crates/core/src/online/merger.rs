@@ -32,10 +32,11 @@ impl SequenceMerger {
                     open.end = clip;
                     None
                 }
-                Some(_) => {
+                Some(open) => {
                     // A gap in clip ids (clip skipped as negative elsewhere)
                     // closes the open run and starts a new one.
-                    let closed = self.open.replace(Interval::point(clip)).unwrap();
+                    let closed = *open;
+                    *open = Interval::point(clip);
                     self.closed.push(closed);
                     Some(closed)
                 }

@@ -81,8 +81,7 @@ impl SelectivityOrderer {
     /// keep the user's order — their expertise remains the tiebreak).
     fn refresh(&mut self) {
         let rates: Vec<f64> = (0..self.passes.len()).map(|i| self.pass_rate(i)).collect();
-        self.order
-            .sort_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap());
+        self.order.sort_by(|&a, &b| rates[a].total_cmp(&rates[b]));
     }
 
     /// Expected predicate evaluations per clip under the current order and

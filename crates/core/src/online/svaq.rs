@@ -9,11 +9,11 @@ use super::config::OnlineConfig;
 use super::indicator::{evaluate_clip, ClipEvaluation, CriticalValues};
 use super::merger::SequenceMerger;
 use super::OnlineResult;
-use std::time::Instant;
+use std::time::Duration;
 use svq_scanstats::critical_value;
-use svq_types::{ActionQuery, ClipInterval, VideoGeometry};
+use svq_types::{ActionQuery, ClipInterval, Clock, VideoGeometry};
 use svq_vision::stream::ClipAccess;
-use svq_vision::VideoStream;
+use svq_vision::{VideoStream, WallClock};
 
 /// Algorithm 1: streaming action-query processing with static critical
 /// values.
@@ -88,7 +88,8 @@ impl Svaq {
         (self.merger.finish(), self.evaluations)
     }
 
-    /// Convenience: run over a whole stream and collect the result.
+    /// Convenience: run over a whole stream and collect the result,
+    /// charging algorithm time from the platform clock.
     pub fn run(
         query: ActionQuery,
         stream: &mut VideoStream<'_>,
@@ -96,12 +97,28 @@ impl Svaq {
         p_obj: f64,
         p_act: f64,
     ) -> OnlineResult {
+        Self::run_with_clock(query, stream, config, p_obj, p_act, &WallClock::new())
+    }
+
+    /// [`Svaq::run`] with an injected [`Clock`] — the only time source the
+    /// algorithm reads, so a [`svq_types::ManualClock`] makes the full
+    /// result (cost ledger included) byte-deterministic.
+    pub fn run_with_clock(
+        query: ActionQuery,
+        stream: &mut VideoStream<'_>,
+        config: OnlineConfig,
+        p_obj: f64,
+        p_act: f64,
+        clock: &dyn Clock,
+    ) -> OnlineResult {
         let mut svaq = Svaq::new(query, stream.geometry(), config, p_obj, p_act);
-        let start = Instant::now();
+        let start = clock.now_nanos();
         while let Some(mut view) = stream.next_clip() {
             svaq.push_clip(&mut view);
         }
-        stream.ledger_mut().charge_algorithm(start.elapsed());
+        stream
+            .ledger_mut()
+            .charge_algorithm(Duration::from_nanos(clock.nanos_since(start)));
         let (sequences, evaluations) = svaq.finish();
         OnlineResult {
             sequences,
@@ -232,6 +249,34 @@ mod tests {
         assert_eq!(all, batch.sequences);
         // Every streamed (early-emitted) sequence is a prefix of the final.
         assert_eq!(&all[..streamed.len()], &streamed[..]);
+    }
+
+    #[test]
+    fn manual_clock_makes_algorithm_cost_deterministic() {
+        let oracle = oracle(ModelSuite::accurate());
+        let run = |step_ms: u64| {
+            let mut stream = VideoStream::new(&oracle);
+            let clock = svq_types::ManualClock::stepping(std::time::Duration::from_millis(step_ms));
+            Svaq::run_with_clock(
+                ActionQuery::named("jumping", &["car"]),
+                &mut stream,
+                OnlineConfig::default(),
+                0.05,
+                0.05,
+                &clock,
+            )
+        };
+        // The clock is read exactly twice (start and elapsed), so the
+        // charged algorithm time is exactly one step — reproducibly.
+        let a = run(2);
+        let b = run(2);
+        assert!(
+            (a.cost.algorithm_ms - 2.0).abs() < 1e-9,
+            "{}",
+            a.cost.algorithm_ms
+        );
+        assert_eq!(a.cost.algorithm_ms.to_bits(), b.cost.algorithm_ms.to_bits());
+        assert_eq!(a.sequences, b.sequences);
     }
 
     #[test]

@@ -14,11 +14,11 @@ use super::indicator::{evaluate_clip_ordered, ClipEvaluation, CriticalValues};
 use super::merger::SequenceMerger;
 use super::ordering::SelectivityOrderer;
 use super::OnlineResult;
-use std::time::Instant;
+use std::time::Duration;
 use svq_scanstats::{CriticalValueTable, KernelEstimator, ScanConfig};
-use svq_types::{ActionQuery, ClipInterval, VideoGeometry};
+use svq_types::{ActionQuery, ClipInterval, Clock, VideoGeometry};
 use svq_vision::stream::ClipAccess;
-use svq_vision::VideoStream;
+use svq_vision::{VideoStream, WallClock};
 
 /// Algorithm 3: streaming action-query processing with dynamic background
 /// estimation.
@@ -254,7 +254,8 @@ impl Svaqd {
         (merger.finish(), evaluations)
     }
 
-    /// Convenience: run over a whole stream.
+    /// Convenience: run over a whole stream, charging algorithm time from
+    /// the platform clock.
     pub fn run(
         query: ActionQuery,
         stream: &mut VideoStream<'_>,
@@ -262,12 +263,28 @@ impl Svaqd {
         p_obj_0: f64,
         p_act_0: f64,
     ) -> OnlineResult {
+        Self::run_with_clock(query, stream, config, p_obj_0, p_act_0, &WallClock::new())
+    }
+
+    /// [`Svaqd::run`] with an injected [`Clock`] — the only time source the
+    /// algorithm reads, so a [`svq_types::ManualClock`] makes the full
+    /// result (cost ledger included) byte-deterministic.
+    pub fn run_with_clock(
+        query: ActionQuery,
+        stream: &mut VideoStream<'_>,
+        config: OnlineConfig,
+        p_obj_0: f64,
+        p_act_0: f64,
+        clock: &dyn Clock,
+    ) -> OnlineResult {
         let mut svaqd = Svaqd::new(query, stream.geometry(), config, p_obj_0, p_act_0);
-        let start = Instant::now();
+        let start = clock.now_nanos();
         while let Some(mut view) = stream.next_clip() {
             svaqd.push_clip(&mut view);
         }
-        stream.ledger_mut().charge_algorithm(start.elapsed());
+        stream
+            .ledger_mut()
+            .charge_algorithm(Duration::from_nanos(clock.nanos_since(start)));
         let (sequences, evaluations) = svaqd.finish();
         OnlineResult {
             sequences,

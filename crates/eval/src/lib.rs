@@ -14,6 +14,8 @@
 //! * [`runner`] — drives SVAQ/SVAQD over a query set and reduces to the
 //!   reported numbers; used by every online experiment.
 
+#![forbid(unsafe_code)]
+
 pub mod fpr;
 pub mod metrics;
 pub mod runner;

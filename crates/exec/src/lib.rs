@@ -23,6 +23,8 @@
 //! Everything is built on `crossbeam` channels and `parking_lot` locks —
 //! no other dependencies.
 
+#![forbid(unsafe_code)]
+
 pub mod ingest;
 pub mod metrics;
 pub mod mux;

@@ -6,11 +6,12 @@
 //! print. Rates are computed at snapshot time from a monotonic start
 //! instant, so reading metrics never perturbs the hot path.
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Counters for one multiplexed session.
 #[derive(Debug, Default)]
@@ -125,6 +126,71 @@ impl ExecMetrics {
             sessions,
         }
     }
+
+    /// Spawn a background thread delivering a fresh [`MetricsSnapshot`] to
+    /// `sink` every `every` until the returned [`MetricsReporter`] is
+    /// stopped (or dropped). Backs `svqact mux --metrics-every <secs>`.
+    ///
+    /// The reporter parks on a condvar rather than sleeping, so `stop()`
+    /// returns promptly instead of waiting out the interval.
+    pub fn spawn_reporter<F>(&self, every: Duration, mut sink: F) -> MetricsReporter
+    where
+        F: FnMut(MetricsSnapshot) + Send + 'static,
+    {
+        let metrics = self.clone();
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let in_thread = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("svq-metrics-reporter".into())
+            .spawn(move || {
+                let (stop, cv) = &*in_thread;
+                let mut stopped = stop.lock();
+                loop {
+                    let timed_out = cv.wait_for(&mut stopped, every).timed_out();
+                    if *stopped {
+                        return;
+                    }
+                    if timed_out {
+                        sink(metrics.snapshot());
+                    }
+                    // Spurious wake with no stop: park again.
+                }
+            })
+            .expect("spawn metrics reporter");
+        MetricsReporter {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a periodic reporter thread from [`ExecMetrics::spawn_reporter`].
+/// Dropping it stops the thread.
+pub struct MetricsReporter {
+    shared: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsReporter {
+    /// Stop the reporter and join its thread.
+    pub fn stop(mut self) {
+        self.stop_in_place();
+    }
+
+    fn stop_in_place(&mut self) {
+        let (stop, cv) = &*self.shared;
+        *stop.lock() = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsReporter {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
 }
 
 /// One session's metrics at snapshot time.
@@ -209,5 +275,41 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("q0/v0"));
         assert!(text.contains("42 clips"));
+    }
+
+    #[test]
+    fn reporter_delivers_snapshots_then_stops() {
+        let metrics = ExecMetrics::new();
+        let session = metrics.register_session("r/0".into());
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let reporter = metrics.spawn_reporter(Duration::from_millis(2), move |snap| {
+            sink.lock().push(snap.total_clips);
+        });
+        session.clips_processed.store(7, Ordering::Relaxed);
+        // Wait until at least one snapshot lands (bounded, not timing-exact).
+        for _ in 0..500 {
+            if !seen.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        reporter.stop();
+        let delivered = seen.lock().len();
+        assert!(delivered >= 1, "reporter never fired");
+        // Stopped means stopped: no more deliveries.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(seen.lock().len(), delivered);
+    }
+
+    #[test]
+    fn dropping_the_reporter_joins_promptly() {
+        let metrics = ExecMetrics::new();
+        let started = Instant::now();
+        let reporter = metrics.spawn_reporter(Duration::from_secs(3600), |_| {});
+        drop(reporter);
+        // The condvar wakes the thread immediately; nothing close to the
+        // hour-long interval.
+        assert!(started.elapsed() < Duration::from_secs(60));
     }
 }

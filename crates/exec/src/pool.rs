@@ -77,7 +77,7 @@ impl WorkerPool {
             .send(job)
             .is_err()
         {
-            panic!("workers alive");
+            unreachable!("receiver ends held by live workers");
         }
     }
 

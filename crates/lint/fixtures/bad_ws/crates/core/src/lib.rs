@@ -1,0 +1,67 @@
+//! Fixture: one seeded violation set per rule, in a determinism-bound
+//! crate (`crates/core`). The self-tests assert exact counts, so every
+//! violation here is intentional — add new ones only alongside the test.
+//! (No `#![forbid(unsafe_code)]` on purpose: that's the forbid-unsafe
+//! seed.)
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant; // determinism #1
+
+pub fn clock_abuse() -> u64 {
+    let start = Instant::now(); // determinism #2
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn hash_order_abuse() -> Vec<u64> {
+    let mut scores: HashMap<u64, f64> = HashMap::new();
+    scores.insert(1, 0.5);
+    let mut out = Vec::new();
+    for (k, _v) in scores.iter() {
+        // determinism #3 (`.iter()`)
+        out.push(*k);
+    }
+    let absorbed: HashSet<u64> = HashSet::new();
+    for id in &absorbed {
+        // determinism #4 (`for` over hash set)
+        out.push(*id);
+    }
+    out
+}
+
+pub fn panic_abuse(input: Option<u32>) -> u32 {
+    let a = input.unwrap(); // panic #1
+    let b = input.expect(""); // panic #2
+    if a != b {
+        panic!("impossible"); // panic #3
+    }
+    a + b
+}
+
+pub fn float_abuse(x: f64) -> bool {
+    if x == 0.0 {
+        // float-eq #1
+        return true;
+    }
+    x != 1.5e3 // float-eq #2
+}
+
+pub fn print_abuse(n: usize) {
+    println!("libraries must not print: {n}"); // print #1
+    eprintln!("nor to stderr"); // print #2
+}
+
+pub fn suppressed_is_silent(input: Option<u32>) -> u32 {
+    // A visible, deliberate exception — not counted by any rule.
+    input.unwrap() // svq-lint: allow(panic)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // exempt: inside #[cfg(test)]
+        assert!(0.5 == 0.5); // exempt float comparison
+        println!("tests may print");
+    }
+}

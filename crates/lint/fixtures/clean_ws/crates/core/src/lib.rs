@@ -1,0 +1,50 @@
+//! Fixture: the rule-abiding mirror of `bad_ws` — same shape of code,
+//! zero findings expected.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Timing through an injected tick, never the wall clock.
+pub fn clock_injected(now_nanos: u64, start_nanos: u64) -> u64 {
+    now_nanos.saturating_sub(start_nanos)
+}
+
+/// Ordered containers iterate deterministically; a HashMap used for
+/// lookup only is fine.
+pub fn ordered_iteration(lookup: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut scores: BTreeMap<u64, f64> = BTreeMap::new();
+    if let Some(s) = lookup.get(&1) {
+        scores.insert(1, *s);
+    }
+    let mut out: Vec<u64> = scores.keys().copied().collect();
+    let absorbed: BTreeSet<u64> = BTreeSet::new();
+    for id in &absorbed {
+        out.push(*id);
+    }
+    out
+}
+
+/// Errors handled or documented, never swallowed.
+pub fn panic_free(input: Option<u32>) -> Result<u32, &'static str> {
+    let a = input.ok_or("missing input")?;
+    let b = input.expect("checked non-empty by ok_or above");
+    debug_assert_eq!(a, b);
+    Ok(a + b)
+}
+
+/// Tolerance comparison instead of float equality.
+pub fn float_tolerant(x: f64) -> bool {
+    (x - 1.5e3).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_behave() {
+        assert_eq!(panic_free(Some(2)), Ok(4));
+        assert!(float_tolerant(1500.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Ratchet baseline: existing findings are tracked, new ones fail.
+//!
+//! The baseline records finding *counts* per `(rule, file)` rather than
+//! exact lines, so unrelated edits that shift line numbers do not churn
+//! it. `--check` fails when any pair's current count exceeds its baseline
+//! count (a new violation) or a pair appears that the baseline has never
+//! seen; counts that *drop* only produce a staleness warning, inviting
+//! `--update-baseline` to ratchet down.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Finding counts keyed by `(rule, workspace-relative path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(Rule, PathBuf), usize>,
+}
+
+/// Outcome of comparing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct CheckResult {
+    /// Findings beyond the baseline budget, grouped per `(rule, file)` —
+    /// the *newest* `current - allowed` findings of each group.
+    pub new_findings: Vec<Finding>,
+    /// `(rule, file, allowed, current)` where current < allowed: the
+    /// baseline is stale and can be ratcheted down.
+    pub stale: Vec<(Rule, PathBuf, usize, usize)>,
+}
+
+impl CheckResult {
+    pub fn is_clean(&self) -> bool {
+        self.new_findings.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Aggregate findings into baseline counts.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(Rule, PathBuf), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule, f.path.clone())).or_default() += 1;
+        }
+        Self { counts }
+    }
+
+    /// Parse the committed `lint-baseline.txt` format: one
+    /// `rule<TAB>path<TAB>count` per line, `#` comments allowed.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let entry = (|| {
+                let rule = Rule::from_name(parts.next()?)?;
+                let path = PathBuf::from(parts.next()?);
+                let count: usize = parts.next()?.parse().ok()?;
+                Some(((rule, path), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    counts.insert(key, count);
+                }
+                None => {
+                    return Err(format!(
+                        "baseline line {}: expected `rule<TAB>path<TAB>count`, got {line:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Compare `findings` against this baseline.
+    pub fn check(&self, findings: &[Finding]) -> CheckResult {
+        let mut grouped: BTreeMap<(Rule, PathBuf), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            grouped.entry((f.rule, f.path.clone())).or_default().push(f);
+        }
+        let mut result = CheckResult::default();
+        for (key, group) in &grouped {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if group.len() > allowed {
+                result
+                    .new_findings
+                    .extend(group[allowed..].iter().map(|f| (*f).clone()));
+            }
+        }
+        for (key, &allowed) in &self.counts {
+            let current = grouped.get(key).map_or(0, Vec::len);
+            if current < allowed {
+                result.stale.push((key.0, key.1.clone(), allowed, current));
+            }
+        }
+        result
+    }
+}
+
+impl fmt::Display for Baseline {
+    /// The committed file format. Deterministic: `BTreeMap` order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# svq-lint baseline: tracked findings per (rule, file).\n\
+             # New findings beyond these counts fail `svq-lint --check`.\n\
+             # Regenerate with `cargo run -p svq-lint -- --update-baseline`."
+        )?;
+        for ((rule, path), count) in &self.counts {
+            writeln!(f, "{}\t{}\t{}", rule, path.display(), count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: PathBuf::from(path),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_text_format() {
+        let findings = vec![
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 3),
+            finding(Rule::FloatEq, "crates/a/src/lib.rs", 9),
+            finding(Rule::PanicDiscipline, "crates/b/src/x.rs", 1),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&base.to_string()).expect("parses");
+        assert_eq!(base, parsed);
+    }
+
+    #[test]
+    fn new_findings_fail_matching_counts_pass() {
+        let old = vec![finding(Rule::FloatEq, "f.rs", 3)];
+        let base = Baseline::from_findings(&old);
+        assert!(base.check(&old).is_clean());
+        let more = vec![
+            finding(Rule::FloatEq, "f.rs", 3),
+            finding(Rule::FloatEq, "f.rs", 8),
+        ];
+        let res = base.check(&more);
+        assert_eq!(res.new_findings.len(), 1);
+        assert_eq!(res.new_findings[0].line, 8);
+    }
+
+    #[test]
+    fn unseen_file_fails_even_with_other_budget() {
+        let base = Baseline::from_findings(&[finding(Rule::FloatEq, "old.rs", 1)]);
+        let res = base.check(&[finding(Rule::FloatEq, "new.rs", 1)]);
+        assert_eq!(res.new_findings.len(), 1);
+    }
+
+    #[test]
+    fn fixed_findings_surface_as_stale() {
+        let base = Baseline::from_findings(&[
+            finding(Rule::FloatEq, "f.rs", 3),
+            finding(Rule::FloatEq, "f.rs", 4),
+        ]);
+        let res = base.check(&[finding(Rule::FloatEq, "f.rs", 3)]);
+        assert!(res.is_clean());
+        assert_eq!(
+            res.stale,
+            vec![(Rule::FloatEq, PathBuf::from("f.rs"), 2, 1)]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("float-eq\tf.rs\t2").is_ok());
+        assert!(Baseline::parse("bogus-rule\tf.rs\t2").is_err());
+        assert!(Baseline::parse("float-eq f.rs 2").is_err());
+        assert!(Baseline::parse("# comment\n\n").is_ok());
+    }
+}

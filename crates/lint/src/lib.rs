@@ -1,0 +1,80 @@
+//! # svq-lint — workspace invariant linter for SVQ-ACT
+//!
+//! A token-level static analyzer enforcing the contracts the test suite
+//! cannot: determinism (no wall-clock reads or hash-order iteration in
+//! the algorithm crates), panic discipline (no `unwrap()` in library
+//! code), float discipline (no `==` against float literals), print
+//! discipline (stdout belongs to the binaries), and `#![forbid(unsafe_code)]`
+//! at every crate root. See DESIGN.md "Static analysis".
+//!
+//! Findings ratchet against a committed baseline (`lint-baseline.txt`):
+//! pre-existing violations are tracked, new ones fail `--check`. Inline
+//! escape hatch: `// svq-lint: allow(<rule>)` on or above the line.
+//!
+//! The scanner is hand-rolled in the style of `svq-query`'s SQL lexer —
+//! no syn, no rustc, no dependencies — because the container this repo
+//! builds in is fully offline.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod regions;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+pub use baseline::{Baseline, CheckResult};
+pub use rules::{FileContext, Finding, Rule};
+
+use std::io;
+use std::path::Path;
+
+/// Lint a single source text under the given context (exposed for the
+/// fixture self-tests).
+pub fn lint_source(source: &str, ctx: &FileContext) -> Vec<Finding> {
+    let scanned = scanner::scan(source);
+    let mut findings = Vec::new();
+    rules::lint_tokens(&scanned, ctx, &mut findings);
+    findings
+}
+
+/// Lint the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/` and `tests/`, plus the crate-root `forbid-unsafe` check.
+/// Findings are sorted by (path, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in walk::workspace_sources(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let ctx = FileContext::from_rel_path(&rel);
+        let scanned = scanner::scan(&source);
+        rules::lint_tokens(&scanned, &ctx, &mut findings);
+    }
+    for rel in walk::crate_roots(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let ctx = FileContext::from_rel_path(&rel);
+        let scanned = scanner::scan(&source);
+        rules::forbid_unsafe_rule(&scanned, &ctx, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule)
+            .cmp(&(&b.path, b.line, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(findings)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// containing a `Cargo.toml` with a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,131 @@
+//! `svq-lint` CLI.
+//!
+//! ```text
+//! svq-lint                     report every finding (exit 0)
+//! svq-lint --check             fail on findings beyond the baseline
+//! svq-lint --update-baseline   rewrite lint-baseline.txt from current state
+//!     --root <dir>             workspace root (default: discovered upward)
+//!     --baseline <file>        baseline path (default: <root>/lint-baseline.txt)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use svq_lint::{find_workspace_root, lint_workspace, Baseline};
+
+struct Args {
+    check: bool,
+    update: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        check: false,
+        update: false,
+        root: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--update-baseline" => args.update = true,
+            "--root" => args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?)),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "svq-lint: workspace invariant linter\n\
+                     \n\
+                     USAGE: svq-lint [--check | --update-baseline] [--root <dir>] [--baseline <file>]\n\
+                     \n\
+                     Rules: determinism, panic, float-eq, print, forbid-unsafe\n\
+                     Suppress inline with `// svq-lint: allow(<rule>)`."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.check && args.update {
+        return Err("--check and --update-baseline are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("svq-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match args.root {
+        Some(r) => r,
+        None => find_workspace_root(&cwd).ok_or("no workspace root found above cwd")?,
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let findings = lint_workspace(&root).map_err(|e| e.to_string())?;
+
+    if args.update {
+        let base = Baseline::from_findings(&findings);
+        std::fs::write(&baseline_path, base.to_string()).map_err(|e| e.to_string())?;
+        println!(
+            "svq-lint: wrote {} ({} tracked findings)",
+            baseline_path.display(),
+            findings.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if args.check {
+        let base = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => return Err(e.to_string()),
+        };
+        let result = base.check(&findings);
+        for (rule, path, allowed, current) in &result.stale {
+            println!(
+                "svq-lint: stale baseline: [{rule}] {} allows {allowed}, now {current} — \
+                 run --update-baseline to ratchet down",
+                path.display()
+            );
+        }
+        if result.is_clean() {
+            println!(
+                "svq-lint: clean ({} findings, all within baseline)",
+                findings.len()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        for f in &result.new_findings {
+            println!("{f}");
+        }
+        println!(
+            "svq-lint: {} new finding(s) beyond baseline — fix them or, if \
+             deliberate, suppress inline / update the baseline",
+            result.new_findings.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("svq-lint: {} finding(s)", findings.len());
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,152 @@
+//! Test-region tracking over a token stream.
+//!
+//! The rules exempt test code: `#[cfg(test)] mod tests { … }`, `#[test]`
+//! functions, and whole files under a `tests/` directory. This pass walks
+//! the token stream once, recognises test attributes, and marks every
+//! token inside the brace-balanced item that follows one.
+
+use crate::scanner::{Token, TokenKind};
+
+/// `mask[i]` is true iff `tokens[i]` lies inside test-only code.
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth = 0usize;
+    // Depths at which an active test region began (nested regions stack).
+    let mut region_starts: Vec<usize> = Vec::new();
+    let mut pending_test_attr = false;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_op("#") {
+            // Attribute: `#[…]` or `#![…]`. Collect its inner tokens.
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_op("!") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_op("[") {
+                let mut attr_depth = 1usize;
+                let attr_start = j + 1;
+                j += 1;
+                while j < tokens.len() && attr_depth > 0 {
+                    if tokens[j].is_op("[") {
+                        attr_depth += 1;
+                    } else if tokens[j].is_op("]") {
+                        attr_depth -= 1;
+                    }
+                    j += 1;
+                }
+                if is_test_attr(&tokens[attr_start..j.saturating_sub(1)]) {
+                    pending_test_attr = true;
+                }
+                // The attribute's own tokens inherit the surrounding
+                // region state.
+                let in_region = !region_starts.is_empty();
+                mask[i..j].fill(in_region);
+                i = j;
+                continue;
+            }
+        }
+
+        match t.text.as_str() {
+            "{" if t.kind == TokenKind::Op => {
+                if pending_test_attr {
+                    region_starts.push(depth);
+                    pending_test_attr = false;
+                }
+                depth += 1;
+            }
+            "}" if t.kind == TokenKind::Op => {
+                depth = depth.saturating_sub(1);
+                mask[i] = !region_starts.is_empty();
+                if region_starts.last() == Some(&depth) {
+                    region_starts.pop();
+                }
+                i += 1;
+                continue;
+            }
+            // `#[cfg(test)] mod tests;` / `#[cfg(test)] use …;` — the
+            // item ends without a block; drop the pending marker.
+            ";" if t.kind == TokenKind::Op && region_starts.is_empty() => {
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        mask[i] = !region_starts.is_empty() || pending_test_attr;
+        i += 1;
+    }
+    mask
+}
+
+/// Does this attribute body mark test-only code? Matches `test`,
+/// `cfg(test)` and the common composite forms, while rejecting
+/// `cfg(not(test))`.
+fn is_test_attr(inner: &[Token]) -> bool {
+    let joined: String = inner.iter().map(|t| t.text.as_str()).collect();
+    if joined == "test" {
+        return true;
+    }
+    if !joined.starts_with("cfg(") {
+        return false;
+    }
+    if joined.contains("not(test)") {
+        return false;
+    }
+    joined.contains("(test)") || joined.contains("(test,") || joined.contains(",test)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let f = scan(src);
+        let mask = test_region_mask(&f.tokens);
+        f.tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, m)| (t.text.clone(), *m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n fn fake() {}\n}\nfn after() {}";
+        let ids = masked_idents(src);
+        assert!(ids.contains(&("real".into(), false)));
+        assert!(ids.contains(&("fake".into(), true)));
+        assert!(ids.contains(&("after".into(), false)));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_a_region() {
+        let src = "#[test]\nfn unit() { body(); }\nfn library() {}";
+        let ids = masked_idents(src);
+        assert!(ids.contains(&("body".into(), true)));
+        assert!(ids.contains(&("library".into(), false)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(not(test))]\nfn shipping() { code(); }";
+        let ids = masked_idents(src);
+        assert!(ids.contains(&("code".into(), false)));
+    }
+
+    #[test]
+    fn external_test_mod_decl_does_not_leak() {
+        let src = "#[cfg(test)]\nmod tests;\nfn library() { work(); }";
+        let ids = masked_idents(src);
+        assert!(ids.contains(&("work".into(), false)));
+    }
+
+    #[test]
+    fn nested_braces_stay_inside_the_region() {
+        let src = "#[cfg(test)]\nmod tests { fn a() { if x { y(); } } }\nfn out() {}";
+        let ids = masked_idents(src);
+        assert!(ids.contains(&("y".into(), true)));
+        assert!(ids.contains(&("out".into(), false)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Workspace file walker.
+//!
+//! Collects every `.rs` file under `crates/` and `tests/` of the
+//! workspace root, skipping `target/` build output and the linter's own
+//! `fixtures/` (deliberately violating sources used by the self-tests).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+/// Workspace-relative paths of every lintable `.rs` file, sorted for
+/// deterministic output.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    for f in &mut files {
+        if let Ok(rel) = f.strip_prefix(root) {
+            *f = rel.to_path_buf();
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The root source file of each crate under `<root>/crates/` (lib.rs,
+/// falling back to main.rs), as workspace-relative paths. These are the
+/// files `forbid-unsafe` inspects.
+pub fn crate_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Ok(roots);
+    }
+    for entry in std::fs::read_dir(&crates)? {
+        let dir = entry?.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let path = dir.join(candidate);
+            if path.is_file() {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    roots.push(rel.to_path_buf());
+                }
+                break;
+            }
+        }
+    }
+    roots.sort();
+    Ok(roots)
+}

@@ -1,0 +1,86 @@
+//! Fixture self-tests: every rule fires on the seeded `bad_ws` fixture,
+//! stays silent on the `clean_ws` mirror, and the real workspace checks
+//! clean against the committed baseline.
+
+use std::path::{Path, PathBuf};
+use svq_lint::{lint_workspace, Baseline, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn count(findings: &[svq_lint::Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn every_rule_fires_on_the_seeded_fixture() {
+    let findings = lint_workspace(&fixture("bad_ws")).expect("fixture walks");
+    assert_eq!(count(&findings, Rule::Determinism), 4, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::PanicDiscipline), 3, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::FloatEq), 2, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::PrintDiscipline), 2, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::ForbidUnsafe), 1, "{findings:#?}");
+}
+
+#[test]
+fn seeded_fixture_fails_an_empty_baseline_check() {
+    // This is what `svq-lint --check` exits non-zero on: findings with no
+    // baseline budget.
+    let findings = lint_workspace(&fixture("bad_ws")).expect("fixture walks");
+    let result = Baseline::default().check(&findings);
+    assert!(!result.is_clean());
+    let failing_rules: std::collections::BTreeSet<Rule> =
+        result.new_findings.iter().map(|f| f.rule).collect();
+    for rule in Rule::ALL {
+        assert!(failing_rules.contains(&rule), "{rule} did not fail --check");
+    }
+}
+
+#[test]
+fn seeded_fixture_passes_once_baselined() {
+    let findings = lint_workspace(&fixture("bad_ws")).expect("fixture walks");
+    let base = Baseline::from_findings(&findings);
+    // Ratcheted: the same findings pass, one more would fail.
+    assert!(base.check(&findings).is_clean());
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let findings = lint_workspace(&fixture("clean_ws")).expect("fixture walks");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn real_workspace_checks_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace two levels up")
+        .to_path_buf();
+    let findings = lint_workspace(&root).expect("workspace walks");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("lint-baseline.txt is committed at the workspace root");
+    let base = Baseline::parse(&baseline_text).expect("baseline parses");
+    let result = base.check(&findings);
+    assert!(
+        result.is_clean(),
+        "new lint findings beyond baseline:\n{}",
+        result
+            .new_findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The determinism contract for crates/core is fully discharged — no
+    // baselined debt there (the point of the Clock refactor).
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == Rule::Determinism && f.path.starts_with("crates/core")),
+        "crates/core must carry zero determinism findings"
+    );
+}

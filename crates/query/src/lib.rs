@@ -32,6 +32,8 @@
 //! analysis against the model vocabularies, logical plan, `EXPLAIN`) →
 //! [`exec`] (binds the plan to the online engines or the offline RVAQ).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod exec;
 pub mod lexer;

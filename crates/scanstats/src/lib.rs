@@ -28,6 +28,8 @@
 //!   Markov-dependent Bernoulli trials via a finite-Markov-chain-embedding
 //!   style approximation.
 
+#![forbid(unsafe_code)]
+
 pub mod binomial;
 pub mod exact;
 pub mod kernel;

@@ -23,6 +23,8 @@
 //! sequence sets) lives in `svq-core::offline::ingest`, since it reuses the
 //! online machinery; this crate only defines the containers it fills.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod disk;
 pub mod repository;

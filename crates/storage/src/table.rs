@@ -38,7 +38,7 @@ impl ClipScoreTable {
         by_clip.dedup_by_key(|(c, _)| *c);
         assert_eq!(by_clip.len(), entries.len(), "duplicate clip id in table");
         let mut rows = entries;
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Self {
             rows,
             by_clip,

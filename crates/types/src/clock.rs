@@ -1,0 +1,83 @@
+//! Injected time sources.
+//!
+//! The online/offline algorithms charge their own wall-clock cost to a
+//! [`crate::scoring`]-style ledger, but reading the platform clock inside
+//! an algorithm makes its outputs environment-dependent — exactly the kind
+//! of hidden nondeterminism `svq-lint`'s determinism rule forbids in the
+//! algorithm crates. Timing therefore flows through a [`Clock`] the caller
+//! injects: production code passes the `Instant`-backed `WallClock` (which
+//! lives in `svq-vision`, outside the determinism-checked crates), while
+//! tests pass a [`ManualClock`] whose readings are fully scripted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonic time source, readable as nanoseconds since an arbitrary
+/// (per-clock) epoch.
+pub trait Clock {
+    /// Current reading, in nanoseconds since the clock's epoch.
+    fn now_nanos(&self) -> u64;
+
+    /// Nanoseconds elapsed since an earlier [`Clock::now_nanos`] reading.
+    fn nanos_since(&self, earlier: u64) -> u64 {
+        self.now_nanos().saturating_sub(earlier)
+    }
+}
+
+/// A deterministic clock for tests: readings advance only when told to —
+/// either explicitly via [`ManualClock::advance`] or by a fixed
+/// per-reading step ([`ManualClock::stepping`]), so elapsed times are
+/// exactly reproducible.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero until advanced.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock that advances by `step` on every reading, so any
+    /// `start`/`elapsed` pair observes exactly one step.
+    pub fn stepping(step: Duration) -> Self {
+        Self {
+            nanos: AtomicU64::new(0),
+            step: step.as_nanos() as u64,
+        }
+    }
+
+    /// Advance the reading by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_scripted() {
+        let c = ManualClock::new();
+        let t0 = c.now_nanos();
+        assert_eq!(t0, 0);
+        c.advance(Duration::from_millis(3));
+        assert_eq!(c.nanos_since(t0), 3_000_000);
+    }
+
+    #[test]
+    fn stepping_clock_advances_per_reading() {
+        let c = ManualClock::stepping(Duration::from_micros(5));
+        let t0 = c.now_nanos();
+        assert_eq!(c.nanos_since(t0), 5_000);
+    }
+}

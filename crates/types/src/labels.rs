@@ -292,6 +292,8 @@ impl ObjectClass {
     /// Lookup by name, panicking with a clear message if unknown. Intended
     /// for tests and workload definitions where the name is a literal.
     pub fn named(name: &str) -> Self {
+        // Deliberate: a typo'd literal should fail loudly, not limp on.
+        // svq-lint: allow(panic)
         Self::lookup(name).unwrap_or_else(|| panic!("unknown object class: {name:?}"))
     }
 }
@@ -299,6 +301,8 @@ impl ObjectClass {
 impl ActionClass {
     /// Lookup by name, panicking with a clear message if unknown.
     pub fn named(name: &str) -> Self {
+        // Deliberate: a typo'd literal should fail loudly, not limp on.
+        // svq-lint: allow(panic)
         Self::lookup(name).unwrap_or_else(|| panic!("unknown action class: {name:?}"))
     }
 }

@@ -23,6 +23,9 @@
 //! the (simulated) vision models, interval types used throughout the
 //! ingestion and query layers, and the basic [`ActionQuery`] shape.
 
+#![forbid(unsafe_code)]
+
+pub mod clock;
 pub mod detection;
 pub mod error;
 pub mod geometry;
@@ -32,6 +35,7 @@ pub mod labels;
 pub mod query;
 pub mod scoring;
 
+pub use clock::{Clock, ManualClock};
 pub use detection::{ActionScore, BBox, Detection, TrackedDetection};
 pub use error::{SvqError, SvqResult};
 pub use geometry::VideoGeometry;

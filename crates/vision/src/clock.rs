@@ -1,0 +1,49 @@
+//! The production [`Clock`]: monotonic platform time.
+//!
+//! Lives here — not in `svq-types` or `svq-core` — because those crates are
+//! determinism-checked by `svq-lint` (no `Instant::now` allowed); the
+//! vision substrate is the layer that already owns simulated wall-cost, so
+//! it is the natural home for the one real time source.
+
+use std::time::Instant;
+use svq_types::Clock;
+
+/// A [`Clock`] backed by [`Instant`], anchored at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let t0 = c.now_nanos();
+        let t1 = c.now_nanos();
+        assert!(t1 >= t0);
+        assert_eq!(c.nanos_since(u64::MAX), 0, "saturating, never underflows");
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`stream`] — [`VideoStream`], the clip-at-a-time source the online
 //!   algorithms consume, and the batch accessors ingestion uses.
 
+#![forbid(unsafe_code)]
+
+pub mod clock;
 pub mod cost;
 pub mod models;
 pub mod noise;
@@ -35,6 +38,7 @@ pub mod stream;
 pub mod synth;
 pub mod truth;
 
+pub use clock::WallClock;
 pub use cost::{CostLedger, CostModel};
 pub use models::{ActionRecognizer, ModelSuite, ObjectDetector};
 pub use stream::{ClipAccess, ClipData, FrameData, OwnedClipView, ShotData, VideoStream};

@@ -12,4 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
+echo "== svq-lint --check (workspace invariants vs lint-baseline.txt)"
+cargo run -p svq-lint -q -- --check
+
+echo "== cargo test --features lock-audit (lock-order deadlock auditor)"
+cargo test --workspace --features lock-audit -q
+
 echo "CI OK"

@@ -5,24 +5,40 @@
 //! recovers the inner guard), which is exactly the behaviour the exec
 //! subsystem's panic-isolated workers rely on.
 
+#[cfg(feature = "lock-audit")]
+pub mod lock_audit;
+
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-audit")]
+    audit: lock_audit::LockId,
     inner: sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-audit")]
+    audit: &'a lock_audit::LockId,
     // `Option` so [`Condvar::wait`] can temporarily move the std guard out.
     inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+#[cfg(feature = "lock-audit")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_audit::released(self.audit);
+    }
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "lock-audit")]
+            audit: lock_audit::LockId::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -35,20 +51,33 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, recovering from poisoning.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
+            inner: Some(guard),
+        }
     }
 
     /// Acquire the lock if free.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-audit")]
+        lock_audit::try_acquired(&self.audit, std::panic::Location::caller());
+        Some(MutexGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
+            inner: Some(guard),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -77,20 +106,42 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock whose accessors never return poison errors.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-audit")]
+    audit: lock_audit::LockId,
     inner: sync::RwLock<T>,
 }
 
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-audit")]
+    audit: &'a lock_audit::LockId,
     inner: sync::RwLockReadGuard<'a, T>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-audit")]
+    audit: &'a lock_audit::LockId,
     inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "lock-audit")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_audit::released(self.audit);
+    }
+}
+
+#[cfg(feature = "lock-audit")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_audit::released(self.audit);
+    }
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "lock-audit")]
+            audit: lock_audit::LockId::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -101,14 +152,24 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
         RwLockReadGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
             inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-audit")]
+        lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
         RwLockWriteGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
             inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
         }
     }
@@ -162,27 +223,43 @@ impl Condvar {
     }
 
     /// Block until notified, releasing the guard's lock while parked.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "lock-audit")]
+        let caller = std::panic::Location::caller();
+        #[cfg(feature = "lock-audit")]
+        lock_audit::released(guard.audit);
         let std_guard = guard.inner.take().expect("guard present");
         let std_guard = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
+        // The wake-up re-acquires the mutex while any other locks this
+        // thread holds are still held — an ordering edge like any other.
+        #[cfg(feature = "lock-audit")]
+        lock_audit::blocking_acquired(guard.audit, caller);
     }
 
     /// Block until notified or `timeout` elapses.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "lock-audit")]
+        let caller = std::panic::Location::caller();
+        #[cfg(feature = "lock-audit")]
+        lock_audit::released(guard.audit);
         let std_guard = guard.inner.take().expect("guard present");
         let (std_guard, result) = self
             .inner
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
+        #[cfg(feature = "lock-audit")]
+        lock_audit::blocking_acquired(guard.audit, caller);
         WaitTimeoutResult(result.timed_out())
     }
 
@@ -265,5 +342,106 @@ mod tests {
         let mut g = m.lock();
         let r = cv.wait_for(&mut g, Duration::from_millis(5));
         assert!(r.timed_out());
+    }
+
+    /// The audit graph is global, so the audit tests serialise themselves
+    /// under the parallel test runner.
+    #[cfg(feature = "lock-audit")]
+    static AUDIT_SERIAL: sync::Mutex<()> = sync::Mutex::new(());
+
+    /// Consistent nesting is clean; the reverse nesting is an inversion,
+    /// detected without any thread ever deadlocking.
+    #[cfg(feature = "lock-audit")]
+    #[test]
+    fn lock_audit_flags_abba_and_passes_consistent_order() {
+        let _serial = AUDIT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        lock_audit::reset();
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+
+        // Phase 1: A then B, twice — consistent order, no report.
+        for _ in 0..2 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert_eq!(lock_audit::report_count(), 0, "{:?}", lock_audit::reports());
+
+        // Phase 2: B then A — closes the cycle. No deadlock occurs (the
+        // two orders never overlap in time), yet the hazard is real: two
+        // threads running the phases concurrently could each hold one lock
+        // and block on the other.
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        let reports = lock_audit::reports();
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let r = &reports[0];
+        assert_ne!(r.first.id, r.second.id);
+        let rendered = r.to_string();
+        assert!(
+            rendered.contains("lock-order inversion") && rendered.contains("lib.rs"),
+            "unhelpful report: {rendered}"
+        );
+        // Re-running the inversion does not duplicate the report.
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        assert_eq!(lock_audit::report_count(), 1);
+        lock_audit::reset();
+    }
+
+    /// RwLock participates in the same ordering graph as Mutex, and a
+    /// cycle through three locks (A→B, B→C, C→A) is caught even though no
+    /// single pair inverts.
+    #[cfg(feature = "lock-audit")]
+    #[test]
+    fn lock_audit_sees_rwlocks_and_longer_cycles() {
+        let _serial = AUDIT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let a = Mutex::new(());
+        let b = RwLock::new(());
+        let c = Mutex::new(());
+        let before = lock_audit::report_count();
+        {
+            let _ga = a.lock();
+            let _gb = b.write();
+        }
+        {
+            let _gb = b.read();
+            let _gc = c.lock();
+        }
+        {
+            let _gc = c.lock();
+            let _ga = a.lock();
+        }
+        assert_eq!(
+            lock_audit::report_count(),
+            before + 1,
+            "{:?}",
+            lock_audit::reports()
+        );
+    }
+
+    /// try_lock successes order later acquisitions but never close a cycle
+    /// themselves: a non-blocking attempt cannot deadlock.
+    #[cfg(feature = "lock-audit")]
+    #[test]
+    fn lock_audit_ignores_try_lock_as_cycle_closer() {
+        let _serial = AUDIT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let before = lock_audit::report_count();
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            // Would close B→A, but try_lock backs off instead of blocking.
+            let ga = a.try_lock();
+            assert!(ga.is_some());
+        }
+        assert_eq!(lock_audit::report_count(), before);
     }
 }

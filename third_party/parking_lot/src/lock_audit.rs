@@ -1,0 +1,266 @@
+//! Lock-order (lockdep-style) deadlock auditor — compiled only under the
+//! `lock-audit` feature.
+//!
+//! Every [`crate::Mutex`] and [`crate::RwLock`] carries a lazily assigned
+//! audit id. Each thread keeps a stack of the audit ids it currently holds;
+//! a *blocking* acquisition of lock `W` while holding `H` records the
+//! directed edge `H → W` ("H is ordered before W") in a global graph. A
+//! cycle in that graph is a potential deadlock: some execution acquired the
+//! locks in one order, another in the reverse order, so two threads can
+//! block on each other even if no run has deadlocked yet. The auditor
+//! detects the cycle at edge-insertion time — it never needs the deadlock
+//! to actually happen — and records a [`CycleReport`] naming both locks
+//! and the acquisition site that closed the cycle.
+//!
+//! Design notes:
+//!
+//! * **Identity** is a per-lock `AtomicUsize` assigned from a global
+//!   counter on first acquisition, not the lock's address — addresses are
+//!   reused after drop, which would alias unrelated locks.
+//! * **Sites** are `#[track_caller]` locations captured at acquisition.
+//!   (`Location::caller()` cannot run in `const fn new`, so the "defined
+//!   at" site is approximated by the first acquisition site.)
+//! * **`try_lock`** successes push onto the held stack (they order *later*
+//!   acquisitions) but record no incoming edge themselves: a non-blocking
+//!   attempt cannot be the blocking half of a deadlock.
+//! * **`Condvar::wait`** releases the mutex while parked and re-acquires it
+//!   on wake; the auditor mirrors that, so edges from locks still held
+//!   across the wait are recorded on re-acquisition.
+//! * The graph is global and thread-agnostic: an inversion performed
+//!   sequentially by one thread is reported the same as one split across
+//!   two threads, exactly because it *would* deadlock under the right
+//!   interleaving.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// Monotonic id source; 0 is reserved for "not yet assigned".
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Per-lock audit identity, const-constructible so `Mutex::new` stays
+/// `const fn`. The id is assigned on first acquisition.
+#[derive(Debug)]
+pub(crate) struct LockId(AtomicUsize);
+
+impl LockId {
+    pub(crate) const fn new() -> Self {
+        Self(AtomicUsize::new(0))
+    }
+
+    fn get(&self) -> usize {
+        let v = self.0.load(Ordering::Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+}
+
+impl Default for LockId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Audit ids of locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One lock endpoint of a reported inversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// The lock's audit id (stable for the lock's lifetime).
+    pub id: usize,
+    /// `file:line:column` of the lock's first recorded acquisition.
+    pub site: String,
+}
+
+/// A detected lock-order inversion: some execution ordered `first` before
+/// `second`, while the acquisition at `closing_site` (holding `second`,
+/// taking `first`) established the reverse — a potential deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Lock on the pre-existing `first → second` path.
+    pub first: LockSite,
+    /// Lock held while the cycle-closing acquisition blocked.
+    pub second: LockSite,
+    /// `file:line:column` of the acquisition that closed the cycle.
+    pub closing_site: String,
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lock-order inversion: lock #{} (first acquired at {}) was acquired at {} \
+             while holding lock #{} (first acquired at {}), but an earlier execution \
+             ordered #{} before #{}",
+            self.first.id,
+            self.first.site,
+            self.closing_site,
+            self.second.id,
+            self.second.site,
+            self.first.id,
+            self.second.id,
+        )
+    }
+}
+
+/// The global acquisition-order graph.
+struct Graph {
+    /// `edges[h]` holds every lock observed being blocking-acquired while
+    /// `h` was held.
+    edges: BTreeMap<usize, BTreeSet<usize>>,
+    /// First recorded acquisition site per lock id.
+    sites: BTreeMap<usize, &'static Location<'static>>,
+    /// Detected inversions, in detection order.
+    reports: Vec<CycleReport>,
+    /// Normalised id pairs already reported (dedup).
+    reported: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    const fn new() -> Self {
+        Self {
+            edges: BTreeMap::new(),
+            sites: BTreeMap::new(),
+            reports: Vec::new(),
+            reported: BTreeSet::new(),
+        }
+    }
+}
+
+static GRAPH: StdMutex<Graph> = StdMutex::new(Graph::new());
+
+fn site_string(loc: &Location<'_>) -> String {
+    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+}
+
+/// Is `to` reachable from `from` through recorded edges?
+fn reachable(edges: &BTreeMap<usize, BTreeSet<usize>>, from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = edges.get(&n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Record a blocking acquisition of the lock identified by `cell` from the
+/// site `loc`: adds `held → wanted` edges, checks each for a cycle, and
+/// pushes the lock onto this thread's held stack.
+pub(crate) fn blocking_acquired(cell: &LockId, loc: &'static Location<'static>) {
+    let wanted = cell.get();
+    let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+    {
+        let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+        g.sites.entry(wanted).or_insert(loc);
+        for &h in &held {
+            if h == wanted {
+                // Shared re-acquisition (e.g. nested RwLock reads): not an
+                // ordering edge.
+                continue;
+            }
+            g.edges.entry(h).or_default().insert(wanted);
+            // The new edge `h → wanted` closes a cycle iff `h` was already
+            // reachable *from* `wanted`.
+            if reachable(&g.edges, wanted, h) {
+                let key = if h < wanted { (h, wanted) } else { (wanted, h) };
+                if g.reported.insert(key) {
+                    let first = LockSite {
+                        id: wanted,
+                        site: g
+                            .sites
+                            .get(&wanted)
+                            .map(|l| site_string(l))
+                            .unwrap_or_default(),
+                    };
+                    let second = LockSite {
+                        id: h,
+                        site: g.sites.get(&h).map(|l| site_string(l)).unwrap_or_default(),
+                    };
+                    g.reports.push(CycleReport {
+                        first,
+                        second,
+                        closing_site: site_string(loc),
+                    });
+                }
+            }
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(wanted));
+}
+
+/// Record a successful non-blocking acquisition: the lock joins the held
+/// stack (ordering later acquisitions) but gains no incoming edge.
+pub(crate) fn try_acquired(cell: &LockId, loc: &'static Location<'static>) {
+    let id = cell.get();
+    GRAPH
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .sites
+        .entry(id)
+        .or_insert(loc);
+    HELD.with(|h| h.borrow_mut().push(id));
+}
+
+/// Record a release (guard drop or `Condvar::wait` park): removes the most
+/// recent occurrence from this thread's held stack.
+pub(crate) fn released(cell: &LockId) {
+    let id = cell.0.load(Ordering::Relaxed);
+    if id == 0 {
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&x| x == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Clear the global graph and all reports. Call between audit scenarios
+/// while no audited locks are held; held-stack state is per-thread and is
+/// intentionally left alone.
+pub fn reset() {
+    let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    *g = Graph::new();
+}
+
+/// Snapshot of every inversion detected since the last [`reset`].
+pub fn reports() -> Vec<CycleReport> {
+    GRAPH
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .reports
+        .clone()
+}
+
+/// Number of inversions detected since the last [`reset`].
+pub fn report_count() -> usize {
+    GRAPH
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .reports
+        .len()
+}
