@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 table3 table4 table5 fig4 fig5 runtime table6
-//! table7 table8 rvaq-accuracy ablation.
+//! table7 table8 rvaq-accuracy ablation mux-throughput mux-ingress.
 
 use svq_bench::experiments::{ExpContext, EXPERIMENTS};
 

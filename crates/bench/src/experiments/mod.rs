@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod mux_ingress;
 pub mod mux_throughput;
 pub mod offline_tables;
 pub mod runtime;
@@ -65,4 +66,5 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("rvaq-accuracy", rvaq_accuracy::run),
     ("ablation", ablation::run),
     ("mux-throughput", mux_throughput::run),
+    ("mux-ingress", mux_ingress::run),
 ];

@@ -1,0 +1,300 @@
+//! Sharded async ingress vs the blocked single feeder.
+//!
+//! Not a paper experiment: the paper runs one query over one stream. This
+//! benchmarks the `svq-exec` ingress layer introduced for PR 3 along two
+//! axes:
+//!
+//! 1. **Sweep** — clips/sec over an 8-stream SVAQD workload at workers
+//!    {1, 2, 4, 8} × drain-batch {1, 4, 16}, comparing a single ingress
+//!    shard (one feeder thread, the old blocked-feeder topology) against
+//!    four shards. Every configuration must produce byte-identical result
+//!    sequences — the sweep doubles as a determinism check over the full
+//!    shard × batch grid.
+//! 2. **Stall isolation** — two slow (heavily paced) sessions with tiny
+//!    `Block` mailboxes alongside six fast sessions. With one shard the
+//!    lone feeder blocks on the full slow mailboxes and starves the fast
+//!    sessions behind them in the queue; with four shards the stall is
+//!    confined to the slow sessions' shards and the fast sessions finish
+//!    at full speed.
+//!
+//! Results land in `results/mux-ingress.txt` (tables) and
+//! `results/mux-ingress.json` (machine-readable series). At smoke scale
+//! (`--scale < 0.05`, as in `scripts/ci.sh`) only a 1-shard, batch-1,
+//! tiny-stream slice of the sweep runs and the stall scenario is skipped.
+
+use super::ExpContext;
+use crate::Table;
+use std::sync::Arc;
+use svq_core::online::{OnlineConfig, Svaqd};
+use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionMux};
+use svq_types::{ActionClass, ActionQuery, ClipInterval, ObjectClass, VideoId};
+use svq_vision::models::{DetectionOracle, ModelSuite};
+use svq_vision::synth::{ObjectSpec, ScenarioSpec};
+
+const STREAMS: u64 = 8;
+/// Wall seconds slept per simulated inference second for the sweep
+/// workload (see [`SessionMux::set_pacing`]); same regime as the
+/// mux-throughput experiment.
+const SWEEP_PACING: f64 = 2.5e-5;
+/// Pacing for the two slow sessions of the stall scenario: ~20 ms of real
+/// wait per 400-frame clip, slow enough that their mailboxes stay full.
+const STALL_PACING: f64 = 1.5e-3;
+
+fn oracle(ctx: &ExpContext, video: u64, frames: u64) -> Arc<DetectionOracle> {
+    let mut spec = ScenarioSpec::activitynet(
+        VideoId::new(video),
+        frames,
+        ActionClass::named("jumping"),
+        vec![ObjectSpec::correlated(ObjectClass::named("car"))],
+        ctx.seed + video,
+    );
+    spec.geometry = spec.geometry.with_shots_per_clip(40);
+    Arc::new(spec.generate().oracle(ModelSuite::accurate()))
+}
+
+fn engine(oracle: &DetectionOracle, config: OnlineConfig) -> SessionEngine {
+    SessionEngine::Svaqd(Svaqd::new(
+        ActionQuery::named("jumping", &["car"]),
+        oracle.truth().geometry,
+        config,
+        1e-4,
+        1e-4,
+    ))
+}
+
+/// One timed sweep run; returns (clips/sec, wall seconds, results).
+fn run_sweep_once(
+    oracles: &[Arc<DetectionOracle>],
+    workers: usize,
+    shards: usize,
+    drain_batch: usize,
+) -> (f64, f64, Vec<Vec<ClipInterval>>) {
+    let config = OnlineConfig::default().with_drain_batch(drain_batch as u32);
+    let started = std::time::Instant::now();
+    let mux = SessionMux::with_options(
+        MuxOptions::new(workers)
+            .with_shards(shards)
+            .with_drain_batch(config.drain_batch as usize),
+        ExecMetrics::new(),
+    );
+    let ids: Vec<_> = oracles
+        .iter()
+        .enumerate()
+        .map(|(i, oracle)| {
+            let id = mux.register(
+                format!("v{i}"),
+                oracle.clone(),
+                engine(oracle, config),
+                Backpressure::Block,
+                8,
+            );
+            mux.set_pacing(id, SWEEP_PACING);
+            id
+        })
+        .collect();
+    mux.feed_streams(&ids);
+    let results: Vec<Vec<ClipInterval>> = ids
+        .iter()
+        .map(|&id| mux.wait(id).expect("healthy session").sequences)
+        .collect();
+    let clips = mux.metrics().snapshot().total_clips;
+    mux.shutdown();
+    let wall = started.elapsed().as_secs_f64();
+    (clips as f64 / wall, wall, results)
+}
+
+/// Pick video ids so that, on a 4-shard ingress, the 2 slow streams land
+/// on one shard and the 6 fast streams on the other three — the cleanest
+/// possible demonstration that a stalled shard cannot slow its neighbours.
+/// (`shard_index` is the executor's real `VideoId` → shard mapping.)
+fn stall_videos() -> (Vec<u64>, Vec<u64>) {
+    let mut slow = Vec::new();
+    let mut fast = Vec::new();
+    for v in 100.. {
+        let shard = svq_exec::shard_index(VideoId::new(v), 4);
+        if shard == 0 && slow.len() < 2 {
+            slow.push(v);
+        } else if shard != 0 && fast.len() < 6 {
+            fast.push(v);
+        }
+        if slow.len() == 2 && fast.len() == 6 {
+            return (slow, fast);
+        }
+    }
+    unreachable!("the shard hash maps some of any 8+ consecutive ids to shard 0 and some away")
+}
+
+/// Stall-isolation scenario: 2 slow + 6 fast sessions on `shards` shards.
+/// Returns (min fast wall, mean fast wall, total wall), all in seconds.
+fn run_stall_once(ctx: &ExpContext, shards: usize) -> (f64, f64, f64) {
+    let frames = 16_000; // 40 clips per stream — short on purpose
+    let (slow_videos, fast_videos) = stall_videos();
+    let oracles: Vec<_> = slow_videos
+        .iter()
+        .chain(&fast_videos)
+        .map(|&v| oracle(ctx, v, frames))
+        .collect();
+    let config = OnlineConfig::default();
+    let started = std::time::Instant::now();
+    let mux = Arc::new(SessionMux::with_options(
+        MuxOptions::new(4).with_shards(shards),
+        ExecMetrics::new(),
+    ));
+    let ids: Vec<_> = oracles
+        .iter()
+        .enumerate()
+        .map(|(i, oracle)| {
+            let slow = i < 2;
+            let id = mux.register(
+                format!("{}{i}", if slow { "slow" } else { "fast" }),
+                oracle.clone(),
+                engine(oracle, config),
+                Backpressure::Block,
+                2,
+            );
+            if slow {
+                mux.set_pacing(id, STALL_PACING);
+            }
+            id
+        })
+        .collect();
+    // Per-session waiters timestamp each fast session's completion so the
+    // feeder stall (or its absence) shows up as fast-session latency.
+    let waiters: Vec<_> = ids[2..]
+        .iter()
+        .map(|&id| {
+            let mux = mux.clone();
+            std::thread::spawn(move || {
+                let result = mux.wait(id).expect("healthy fast session");
+                assert!(result.clips_processed > 0);
+                started.elapsed().as_secs_f64()
+            })
+        })
+        .collect();
+    mux.feed_streams(&ids);
+    let fast_walls: Vec<f64> = waiters
+        .into_iter()
+        .map(|w| w.join().expect("waiter thread completes"))
+        .collect();
+    for &id in &ids[..2] {
+        mux.wait(id).expect("healthy slow session");
+    }
+    let total_wall = started.elapsed().as_secs_f64();
+    Arc::try_unwrap(mux)
+        .ok()
+        .expect("all waiters joined, no other handles remain")
+        .shutdown();
+    let mean_fast = fast_walls.iter().sum::<f64>() / fast_walls.len() as f64;
+    let min_fast = fast_walls.iter().copied().fold(f64::INFINITY, f64::min);
+    (min_fast, mean_fast, total_wall)
+}
+
+pub fn run(ctx: &ExpContext) {
+    let smoke = ctx.scale < 0.05;
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let batches: &[usize] = if smoke { &[1] } else { &[1, 4, 16] };
+    let sharded = if smoke { 1 } else { 4 };
+
+    let frames = ((ctx.scale * 60_000.0) as u64).max(2_000);
+    let oracles: Vec<_> = (0..STREAMS).map(|i| oracle(ctx, i, frames)).collect();
+
+    let mut table = Table::new(&[
+        "workers",
+        "batch",
+        "1-shard clips/s",
+        &format!("{sharded}-shard clips/s"),
+        "ratio",
+    ]);
+    let mut series = Vec::new();
+    let mut reference: Option<Vec<Vec<ClipInterval>>> = None;
+    let mut check = |results: Vec<Vec<ClipInterval>>, label: String| match &reference {
+        None => reference = Some(results),
+        Some(expected) => assert_eq!(&results, expected, "multiplexer output changed at {label}"),
+    };
+    for &workers in worker_counts {
+        for &batch in batches {
+            let (blocked, blocked_wall, results) = run_sweep_once(&oracles, workers, 1, batch);
+            check(results, format!("workers={workers} batch={batch} shards=1"));
+            let (shard_rate, shard_wall, results) =
+                run_sweep_once(&oracles, workers, sharded, batch);
+            check(
+                results,
+                format!("workers={workers} batch={batch} shards={sharded}"),
+            );
+            let ratio = shard_rate / blocked;
+            table.row(vec![
+                workers.to_string(),
+                batch.to_string(),
+                format!("{blocked:.0}"),
+                format!("{shard_rate:.0}"),
+                format!("{ratio:.2}x"),
+            ]);
+            series.push(format!(
+                "{{\"workers\": {workers}, \"drain_batch\": {batch}, \
+                 \"blocked_feeder_cps\": {blocked:.1}, \
+                 \"blocked_feeder_wall_sec\": {blocked_wall:.3}, \
+                 \"sharded_cps\": {shard_rate:.1}, \
+                 \"sharded_wall_sec\": {shard_wall:.3}, \
+                 \"sharded_shards\": {sharded}}}"
+            ));
+        }
+    }
+    let mut report = table.render();
+    report.push_str(&format!(
+        "\n{STREAMS} SVAQD sessions, identical result sequences across the \
+         full worker x shard x drain-batch grid\n"
+    ));
+
+    let stall_json = if smoke {
+        report.push_str("\nstall-isolation scenario skipped at smoke scale\n");
+        "null".to_string()
+    } else {
+        let (min_1, mean_1, total_1) = run_stall_once(ctx, 1);
+        let (min_4, mean_4, total_4) = run_stall_once(ctx, 4);
+        let mut stall = Table::new(&[
+            "shards",
+            "fast min wall s",
+            "fast mean wall s",
+            "total wall s",
+        ]);
+        stall.row(vec![
+            "1".into(),
+            format!("{min_1:.2}"),
+            format!("{mean_1:.2}"),
+            format!("{total_1:.2}"),
+        ]);
+        stall.row(vec![
+            "4".into(),
+            format!("{min_4:.2}"),
+            format!("{mean_4:.2}"),
+            format!("{total_4:.2}"),
+        ]);
+        report.push_str(&format!(
+            "\nstall isolation — 2 slow (paced) + 6 fast sessions, Block \
+             mailboxes of 2, slow streams pinned to one 4-shard shard:\n{}",
+            stall.render()
+        ));
+        format!(
+            "{{\"slow_streams\": 2, \"fast_streams\": 6, \
+             \"fast_min_wall_sec_1_shard\": {min_1:.3}, \
+             \"fast_min_wall_sec_4_shards\": {min_4:.3}, \
+             \"fast_mean_wall_sec_1_shard\": {mean_1:.3}, \
+             \"fast_mean_wall_sec_4_shards\": {mean_4:.3}, \
+             \"total_wall_sec_1_shard\": {total_1:.3}, \
+             \"total_wall_sec_4_shards\": {total_4:.3}}}"
+        )
+    };
+
+    ctx.emit("mux-ingress", &report);
+    let json = format!(
+        "{{\"experiment\": \"mux-ingress\", \"streams\": {STREAMS}, \
+         \"scale\": {}, \"seed\": {}, \"smoke\": {smoke}, \"sweep\": [\n  {}\n], \
+         \"stall\": {stall_json}}}\n",
+        ctx.scale,
+        ctx.seed,
+        series.join(",\n  ")
+    );
+    if std::fs::create_dir_all(&ctx.out_dir).is_ok() {
+        let _ = std::fs::write(ctx.out_dir.join("mux-ingress.json"), json);
+    }
+}

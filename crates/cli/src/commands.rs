@@ -158,7 +158,7 @@ pub fn mux(flags: &Flags) -> CliResult {
     use std::sync::Arc;
     use svq_core::expr::ExprSvaqd;
     use svq_core::online::Svaqd;
-    use svq_exec::{Backpressure, ExecMetrics, SessionEngine, SessionMux};
+    use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionMux};
     use svq_query::plan::PlannedPredicate;
 
     let streams: u64 = flags.get_parsed("streams", 4)?;
@@ -166,6 +166,17 @@ pub fn mux(flags: &Flags) -> CliResult {
     let minutes: f64 = flags.get_parsed("minutes", 2.0)?;
     let seed: u64 = flags.get_parsed("seed", 42)?;
     let mailbox: usize = flags.get_parsed("mailbox", 64)?;
+    // Ingress shards: feeder threads the streams hash across, so one full
+    // blocking mailbox stalls only its shard, never the accept path.
+    let shards: usize = flags.get_parsed("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    // Clip tickets a worker evaluates per session-lock acquisition.
+    let drain_batch: u32 = flags.get_parsed("drain-batch", 1)?;
+    if drain_batch == 0 {
+        return Err("--drain-batch must be at least 1".into());
+    }
     // Wall seconds slept per simulated inference second (0 = off); makes
     // throughput numbers reflect the inference-bound regime of deployment.
     let pacing: f64 = flags.get_parsed("pacing", 0.0)?;
@@ -227,10 +238,15 @@ pub fn mux(flags: &Flags) -> CliResult {
         })
         .collect();
 
-    // K × Q sessions over one pool.
+    // K × Q sessions over one pool behind a sharded ingress.
     let started = std::time::Instant::now();
-    let mux = SessionMux::new(workers, ExecMetrics::new());
-    let config = OnlineConfig::default();
+    let config = OnlineConfig::default().with_drain_batch(drain_batch);
+    let mux = SessionMux::with_options(
+        MuxOptions::new(workers)
+            .with_shards(shards)
+            .with_drain_batch(config.drain_batch as usize),
+        ExecMetrics::new(),
+    );
     let mut ids = Vec::new();
     for (i, oracle) in oracles.iter().enumerate() {
         for (j, plan) in plans.iter().enumerate() {
@@ -386,6 +402,8 @@ mod tests {
             ("streams", "2"),
             ("workers", "2"),
             ("minutes", "0.5"),
+            ("shards", "2"),
+            ("drain-batch", "4"),
             ("metrics-every", "0.01"),
             (
                 "sql",
@@ -394,6 +412,19 @@ mod tests {
             ),
         ]))
         .expect("mux");
+        // Degenerate ingress configurations are rejected up front.
+        for (flag, value) in [("shards", "0"), ("drain-batch", "0")] {
+            let err = mux(&flags(&[
+                (flag, value),
+                (
+                    "sql",
+                    "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                     WHERE act='jumping' AND obj.include('car')",
+                ),
+            ]))
+            .unwrap_err();
+            assert!(err.to_string().contains(flag), "{err}");
+        }
         // Negative interval is rejected up front.
         let err = mux(&flags(&[
             ("metrics-every", "-1"),

@@ -57,7 +57,8 @@ fn print_usage() {
          \u{20}  ingest  --scene scene.json [--models accurate|fast|ideal] --out catalog.json\n\
          \u{20}  query   (--catalog catalog.json | --scene scene.json) --sql STATEMENT\n\
          \u{20}  mux     --sql \"STMT[; STMT…]\" [--streams K] [--workers N] \
-         [--minutes M] [--policy block|drop-oldest] [--metrics-every SECS]\n\
+         [--shards S] [--drain-batch B] [--minutes M] \
+         [--policy block|drop-oldest] [--metrics-every SECS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  labels  objects|actions"
     );

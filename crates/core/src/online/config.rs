@@ -60,6 +60,13 @@ pub struct OnlineConfig {
     /// selectivities (footnote 5) instead of using the query's order.
     /// Off by default — the paper leaves ordering to "user expertise".
     pub adaptive_order: bool,
+    /// Executor knob: clip tickets a multiplexer worker pulls from a
+    /// session mailbox per state-lock acquisition (`svq-exec` drain
+    /// batching). Batching amortises mailbox and metrics overhead when
+    /// clips are short; it never changes results — each session still
+    /// consumes its clips in feed order. `1` (the default) evaluates
+    /// ticket-at-a-time.
+    pub drain_batch: u32,
 }
 
 impl Default for OnlineConfig {
@@ -74,6 +81,7 @@ impl Default for OnlineConfig {
             bandwidth_shots: 3_000.0,
             warmup_clips: 0,
             adaptive_order: false,
+            drain_batch: 1,
         }
     }
 }
@@ -104,6 +112,12 @@ impl OnlineConfig {
         self.t_act = t_act;
         self
     }
+
+    /// Builder-style override of the executor drain batch size (min 1).
+    pub fn with_drain_batch(mut self, drain_batch: u32) -> Self {
+        self.drain_batch = drain_batch.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +130,7 @@ mod tests {
         assert!(c.t_obj > 0.0 && c.t_obj < 1.0);
         assert!(c.alpha > 0.0 && c.alpha < 1.0);
         assert_eq!(c.update, BackgroundUpdate::NegativeClips);
+        assert_eq!(c.drain_batch, 1, "batching must be opt-in");
     }
 
     #[test]
@@ -123,9 +138,12 @@ mod tests {
         let c = OnlineConfig::default()
             .with_alpha(0.01)
             .with_update(BackgroundUpdate::AllClips)
-            .with_thresholds(0.6, 0.55);
+            .with_thresholds(0.6, 0.55)
+            .with_drain_batch(16);
         assert_eq!(c.alpha, 0.01);
         assert_eq!(c.update, BackgroundUpdate::AllClips);
         assert_eq!((c.t_obj, c.t_act), (0.6, 0.55));
+        assert_eq!(c.drain_batch, 16);
+        assert_eq!(OnlineConfig::default().with_drain_batch(0).drain_batch, 1);
     }
 }

@@ -12,7 +12,11 @@
 //!   pair owns its engine and a FIFO mailbox with a configurable
 //!   backpressure policy; an atomic scheduled flag makes each session an
 //!   actor, so results are byte-identical to sequential runs at any worker
-//!   count.
+//!   count, shard count, or drain batch size.
+//! * [`ingress::Ingress`] — the sharded asynchronous ingress behind
+//!   [`mux::SessionMux::feed`]: streams hash by `VideoId` to per-shard
+//!   queues with one feeder thread each, so the accept path never blocks
+//!   on a full mailbox and a stalled session stalls only its shard.
 //! * [`ingest::parallel_ingest`] — one job per video fanning into
 //!   [`svq_storage::VideoRepository::from_catalogs`], whose `VideoId`-keyed
 //!   merge keeps parallel ingestion deterministic.
@@ -26,13 +30,18 @@
 #![forbid(unsafe_code)]
 
 pub mod ingest;
+pub mod ingress;
 pub mod metrics;
 pub mod mux;
 pub mod pool;
 
 pub use ingest::parallel_ingest;
-pub use metrics::{ExecMetrics, MetricsSnapshot, SessionSnapshot};
-pub use mux::{Backpressure, SessionEngine, SessionError, SessionId, SessionMux, SessionResult};
+pub use ingress::shard_index;
+pub use metrics::{ExecMetrics, MetricsSnapshot, SessionSnapshot, ShardSnapshot};
+pub use mux::{
+    Backpressure, FeedError, MuxOptions, SessionEngine, SessionError, SessionId, SessionMux,
+    SessionResult,
+};
 pub use pool::{Job, WorkerPool};
 
 /// Compile-time thread-safety proofs for everything the executor moves

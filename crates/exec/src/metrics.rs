@@ -34,6 +34,19 @@ impl SessionCounters {
     }
 }
 
+/// Counters for one ingress shard (see `svq_exec::ingress`).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Events accepted into the shard's ingress queue (feeds + finishes).
+    pub enqueued: AtomicU64,
+    /// Clip tickets the shard feeder moved into session mailboxes.
+    pub delivered: AtomicU64,
+    /// Current ingress queue depth (events enqueued and not yet delivered).
+    pub ingress_depth: AtomicU64,
+    /// Nanoseconds the shard feeder spent blocked on full `Block` mailboxes.
+    pub feed_block_nanos: AtomicU64,
+}
+
 /// Counters for the worker pool itself.
 #[derive(Debug, Default)]
 pub struct PoolCounters {
@@ -59,6 +72,7 @@ struct MetricsInner {
     workers: AtomicU64,
     pool: PoolCounters,
     sessions: RwLock<Vec<(String, Arc<SessionCounters>)>>,
+    shards: RwLock<Vec<Arc<ShardCounters>>>,
 }
 
 impl Default for MetricsInner {
@@ -68,6 +82,7 @@ impl Default for MetricsInner {
             workers: AtomicU64::new(0),
             pool: PoolCounters::default(),
             sessions: RwLock::new(Vec::new()),
+            shards: RwLock::new(Vec::new()),
         }
     }
 }
@@ -93,6 +108,14 @@ impl ExecMetrics {
         counters
     }
 
+    /// Register one counter block per ingress shard.
+    pub fn register_shards(&self, n: usize) -> Vec<Arc<ShardCounters>> {
+        let counters: Vec<Arc<ShardCounters>> =
+            (0..n).map(|_| Arc::new(ShardCounters::default())).collect();
+        self.inner.shards.write().extend(counters.iter().cloned());
+        counters
+    }
+
     /// Point-in-time view of every counter plus derived rates.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let elapsed = self.inner.started.elapsed().as_secs_f64().max(1e-9);
@@ -115,6 +138,20 @@ impl ExecMetrics {
             })
             .collect();
         let total_clips: u64 = sessions.iter().map(|s| s.clips_processed).sum();
+        let shards: Vec<ShardSnapshot> = self
+            .inner
+            .shards
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(shard, c)| ShardSnapshot {
+                shard,
+                enqueued: c.enqueued.load(Ordering::Relaxed),
+                delivered: c.delivered.load(Ordering::Relaxed),
+                ingress_depth: c.ingress_depth.load(Ordering::Relaxed),
+                feed_block_ms: c.feed_block_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+            })
+            .collect();
         MetricsSnapshot {
             elapsed_sec: elapsed,
             workers: self.inner.workers.load(Ordering::Relaxed),
@@ -123,6 +160,7 @@ impl ExecMetrics {
             pool_queue_depth: self.inner.pool.queue_depth.load(Ordering::Relaxed),
             total_clips,
             total_clips_per_sec: total_clips as f64 / elapsed,
+            shards,
             sessions,
         }
     }
@@ -207,6 +245,18 @@ pub struct SessionSnapshot {
     pub eval_ms: f64,
 }
 
+/// One ingress shard's metrics at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    pub enqueued: u64,
+    pub delivered: u64,
+    /// Events waiting in the shard's ingress queue right now.
+    pub ingress_depth: u64,
+    /// Total feeder time blocked on full session mailboxes in this shard.
+    pub feed_block_ms: f64,
+}
+
 /// Whole-registry metrics at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -218,6 +268,7 @@ pub struct MetricsSnapshot {
     pub total_clips: u64,
     /// Pool-wide throughput across all sessions.
     pub total_clips_per_sec: f64,
+    pub shards: Vec<ShardSnapshot>,
     pub sessions: Vec<SessionSnapshot>,
 }
 
@@ -235,6 +286,14 @@ impl fmt::Display for MetricsSnapshot {
             self.jobs_panicked,
             self.pool_queue_depth,
         )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {:<2} {:>8} enqueued  {:>8} delivered  ingress {:>4}  \
+                 feed-block {:>8.1} ms",
+                s.shard, s.enqueued, s.delivered, s.ingress_depth, s.feed_block_ms,
+            )?;
+        }
         for s in &self.sessions {
             writeln!(
                 f,
@@ -275,6 +334,28 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("q0/v0"));
         assert!(text.contains("42 clips"));
+    }
+
+    #[test]
+    fn shard_counters_appear_in_snapshots() {
+        let metrics = ExecMetrics::new();
+        let shards = metrics.register_shards(2);
+        shards[0].enqueued.store(41, Ordering::Relaxed);
+        shards[0].delivered.store(40, Ordering::Relaxed);
+        shards[0].ingress_depth.store(1, Ordering::Relaxed);
+        shards[1]
+            .feed_block_nanos
+            .store(2_000_000, Ordering::Relaxed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].shard, 0);
+        assert_eq!(snap.shards[0].enqueued, 41);
+        assert_eq!(snap.shards[0].delivered, 40);
+        assert_eq!(snap.shards[0].ingress_depth, 1);
+        assert!((snap.shards[1].feed_block_ms - 2.0).abs() < 1e-9);
+        let text = snap.to_string();
+        assert!(text.contains("shard 0"), "{text}");
+        assert!(text.contains("41 enqueued"), "{text}");
     }
 
     #[test]

@@ -2,32 +2,43 @@
 //!
 //! A *session* pairs one parsed query's online engine ([`Svaqd`] or
 //! [`ExprSvaqd`]) with one video stream, identified by the oracle it reads.
-//! The multiplexer runs many sessions over one [`WorkerPool`]: feeders
-//! enqueue lightweight clip tickets into per-session mailboxes (bounded
-//! crossbeam channels) and workers perform the heavy per-clip model reads
-//! and engine evaluation.
+//! The multiplexer runs many sessions over one [`WorkerPool`]: the accept
+//! path enqueues lightweight clip tickets into per-shard ingress queues
+//! (see [`crate::ingress`]), shard feeder threads move them into
+//! per-session mailboxes (bounded crossbeam channels), and workers perform
+//! the heavy per-clip model reads and engine evaluation, pulling up to
+//! [`MuxOptions::drain_batch`] tickets per state-lock acquisition.
 //!
-//! Two properties anchor the design:
+//! Three properties anchor the design:
 //!
 //! * **Determinism.** A session is an actor: at most one worker drains a
 //!   given mailbox at a time (an atomic `scheduled` flag arbitrates), and a
 //!   mailbox is FIFO, so each engine consumes its clips in exactly feed
-//!   order regardless of worker count. A multiplexed run is therefore
-//!   byte-identical to running its sessions sequentially.
+//!   order regardless of worker count, shard count, or drain batch size. A
+//!   multiplexed run is therefore byte-identical to running its sessions
+//!   sequentially.
 //! * **Isolation.** A panic while evaluating a clip poisons only the owning
 //!   session — its remaining tickets are discarded and [`SessionMux::wait`]
 //!   reports [`SessionError::Poisoned`] — while every other session and the
-//!   pool keep running.
+//!   pool keep running. Likewise a session stalled on a full
+//!   [`Backpressure::Block`] mailbox stalls only its shard's feeder, never
+//!   the accept path and never other shards.
+//! * **Liveness.** [`SessionMux::feed`] never blocks the caller,
+//!   [`SessionMux::wait`] is idempotent (a condvar-guarded result latch, so
+//!   repeated waits return the same result instead of deadlocking), and the
+//!   pacing sleep that simulates model-inference wait runs outside every
+//!   lock.
 //!
 //! Backpressure on a full mailbox is per session: [`Backpressure::Block`]
-//! stalls the feeder (lossless, what query sessions want) while
+//! stalls the shard feeder (lossless, what query sessions want) while
 //! [`Backpressure::DropOldest`] sheds the oldest waiting clip and counts it
 //! (what live monitoring dashboards want).
 
-use crate::metrics::{ExecMetrics, SessionCounters};
+use crate::ingress::Ingress;
+use crate::metrics::{ExecMetrics, SessionCounters, ShardCounters};
 use crate::pool::WorkerPool;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,7 +52,7 @@ use svq_vision::{CostLedger, OwnedClipView};
 /// Mailbox policy when a session's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backpressure {
-    /// Block the feeder until the worker catches up (lossless).
+    /// Block the shard feeder until the worker catches up (lossless).
     #[default]
     Block,
     /// Drop the oldest waiting clip and count it in the session metrics.
@@ -113,49 +124,151 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-struct SessionState {
+/// Why a [`SessionMux::feed`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedError {
+    /// [`SessionMux::finish_session`] was already called for the session. A
+    /// late ticket would race finalisation and be silently dropped with the
+    /// queue-depth gauge left skewed, so it is a hard error in every build
+    /// profile.
+    SessionClosed,
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::SessionClosed => {
+                write!(f, "feed after finish_session: the stream is closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// Construction knobs for [`SessionMux`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MuxOptions {
+    /// Worker threads evaluating clips.
+    pub workers: usize,
+    /// Ingress shards (feeder threads); streams hash to shards by
+    /// `VideoId`, so a blocked mailbox stalls only its shard.
+    pub shards: usize,
+    /// Clip tickets a worker pulls from a session mailbox per state-lock
+    /// acquisition; batching amortises mailbox and metrics overhead for
+    /// short clips. `1` evaluates ticket-at-a-time.
+    pub drain_batch: usize,
+}
+
+impl MuxOptions {
+    /// Defaults: one ingress shard, unbatched drains.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            shards: 1,
+            drain_batch: 1,
+        }
+    }
+
+    /// Builder-style override of the ingress shard count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style override of the drain batch size (min 1).
+    pub fn with_drain_batch(mut self, drain_batch: usize) -> Self {
+        self.drain_batch = drain_batch.max(1);
+        self
+    }
+}
+
+pub(crate) struct SessionState {
     engine: Option<SessionEngine>,
-    oracle: Arc<DetectionOracle>,
     ledger: CostLedger,
     clips_processed: u64,
     poisoned: bool,
     result: Option<Result<SessionResult, SessionError>>,
 }
 
-struct Session {
+pub(crate) struct Session {
     tx: Sender<ClipId>,
     rx: Receiver<ClipId>,
+    /// Shared read-only clip source; outside the state mutex so feeders can
+    /// read stream metadata (e.g. [`DetectionOracle::clip_count`]) without
+    /// contending with evaluation.
+    oracle: Arc<DetectionOracle>,
     state: Mutex<SessionState>,
+    /// Signalled once `state.result` is latched; makes `wait` idempotent.
+    done: Condvar,
     /// True while a worker owns (or is committed to owning) the drain loop.
     scheduled: AtomicBool,
-    /// Set once the feeder declared end-of-stream.
+    /// Accept-side: set by `finish_session`; later feeds are hard errors.
+    closed: AtomicBool,
+    /// Drain-side: set once the shard feeder delivered end-of-stream.
     finishing: AtomicBool,
     /// Wall seconds slept per *simulated* inference second (bits of `f64`).
     pacing: AtomicU64,
     policy: Backpressure,
+    /// Mailbox pulls per state-lock acquisition (from [`MuxOptions`]).
+    drain_batch: usize,
+    /// The ingress shard this session's stream hashes to.
+    shard: usize,
     counters: Arc<SessionCounters>,
-    done_tx: Sender<()>,
-    done_rx: Receiver<()>,
 }
 
-/// Multiplexes many query sessions over one worker pool.
-pub struct SessionMux {
-    pool: WorkerPool,
+/// What the accept path hands a shard feeder.
+pub(crate) enum IngressEvent {
+    /// Deliver one clip ticket into the session's mailbox.
+    Feed(Arc<Session>, ClipId),
+    /// Deliver the end-of-stream marker (ordered behind prior feeds).
+    Finish(Arc<Session>),
+}
+
+/// Everything shared between the accept path, the shard feeders, and the
+/// worker pool. Feeders hold an `Arc` so they can schedule drains after the
+/// `SessionMux` handle itself is consumed by `shutdown`.
+pub(crate) struct MuxCore {
+    pub(crate) pool: WorkerPool,
     sessions: Mutex<Vec<Arc<Session>>>,
+    drain_batch: usize,
+}
+
+/// Multiplexes many query sessions over one worker pool behind a sharded
+/// asynchronous ingress.
+pub struct SessionMux {
+    // Declared before `core`: dropping the mux joins the shard feeders
+    // (draining every queued ticket) before the pool shuts down.
+    ingress: Ingress,
+    core: Arc<MuxCore>,
 }
 
 impl SessionMux {
-    /// A multiplexer over `workers` threads reporting into `metrics`.
+    /// A multiplexer over `workers` threads reporting into `metrics`, with
+    /// a single ingress shard and unbatched drains.
     pub fn new(workers: usize, metrics: ExecMetrics) -> Self {
-        Self {
-            pool: WorkerPool::new(workers, 1024, metrics),
+        Self::with_options(MuxOptions::new(workers), metrics)
+    }
+
+    /// A multiplexer with explicit shard and drain-batch configuration.
+    pub fn with_options(options: MuxOptions, metrics: ExecMetrics) -> Self {
+        let core = Arc::new(MuxCore {
+            pool: WorkerPool::new(options.workers, 1024, metrics),
             sessions: Mutex::new(Vec::new()),
-        }
+            drain_batch: options.drain_batch.max(1),
+        });
+        let ingress = Ingress::new(options.shards.max(1), core.clone());
+        Self { ingress, core }
     }
 
     /// The metrics registry shared with the pool.
     pub fn metrics(&self) -> &ExecMetrics {
-        self.pool.metrics()
+        self.core.pool.metrics()
+    }
+
+    /// Number of ingress shards.
+    pub fn shard_count(&self) -> usize {
+        self.ingress.shard_count()
     }
 
     /// Register a session: one engine consuming one oracle's clip stream.
@@ -170,82 +283,60 @@ impl SessionMux {
         mailbox_cap: usize,
     ) -> SessionId {
         let (tx, rx) = bounded(mailbox_cap.max(1));
-        let (done_tx, done_rx) = bounded(1);
-        let counters = self.pool.metrics().register_session(label);
+        let counters = self.metrics().register_session(label);
+        let shard = self.ingress.shard_of(oracle.truth().video);
         let session = Arc::new(Session {
             tx,
             rx,
+            oracle,
             state: Mutex::new(SessionState {
                 engine: Some(engine),
-                oracle,
                 ledger: CostLedger::default(),
                 clips_processed: 0,
                 poisoned: false,
                 result: None,
             }),
+            done: Condvar::new(),
             scheduled: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
             finishing: AtomicBool::new(false),
             pacing: AtomicU64::new(0f64.to_bits()),
             policy,
+            drain_batch: self.core.drain_batch,
+            shard,
             counters,
-            done_tx,
-            done_rx,
         });
-        let mut sessions = self.sessions.lock();
+        let mut sessions = self.core.sessions.lock();
         sessions.push(session);
         SessionId(sessions.len() - 1)
     }
 
     fn session(&self, id: SessionId) -> Arc<Session> {
-        self.sessions.lock()[id.0].clone()
+        self.core.sessions.lock()[id.0].clone()
     }
 
-    /// Enqueue one clip for a session, applying its backpressure policy.
-    pub fn feed(&self, id: SessionId, clip: ClipId) {
+    /// Enqueue one clip for a session. Never blocks: the ticket lands on
+    /// the session's ingress shard and a feeder thread applies the
+    /// backpressure policy, so a full mailbox stalls only that shard.
+    /// Feeding a session whose end-of-stream was already declared is a
+    /// hard error in every build profile.
+    pub fn feed(&self, id: SessionId, clip: ClipId) -> Result<(), FeedError> {
         let session = self.session(id);
-        debug_assert!(
-            !session.finishing.load(Ordering::Acquire),
-            "feed after finish_session"
-        );
-        match session.policy {
-            Backpressure::Block => {
-                if let Err(TrySendError::Full(clip)) = session.tx.try_send(clip) {
-                    let blocked = Instant::now();
-                    session.tx.send(clip).expect("session mailbox open");
-                    SessionCounters::add(
-                        &session.counters.feed_block_nanos,
-                        blocked.elapsed().as_nanos() as u64,
-                    );
-                }
-            }
-            Backpressure::DropOldest => {
-                let mut clip = clip;
-                loop {
-                    match session.tx.try_send(clip) {
-                        Ok(()) => break,
-                        Err(TrySendError::Full(returned)) => {
-                            clip = returned;
-                            if session.rx.try_recv().is_ok() {
-                                session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                                session.counters.dropped.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            unreachable!("session mailbox open")
-                        }
-                    }
-                }
-            }
+        if session.closed.load(Ordering::Acquire) {
+            return Err(FeedError::SessionClosed);
         }
-        session.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
-        self.schedule(&session);
+        let shard = session.shard;
+        self.ingress
+            .enqueue(shard, IngressEvent::Feed(session, clip));
+        Ok(())
     }
 
     /// Pace a session to its simulated inference cost: after each clip the
     /// worker sleeps `factor` wall seconds per simulated inference second
-    /// charged by that clip. The simulator's clip evaluation is microseconds
-    /// of table lookups, but deployed SVAQD spends >98 % of its time
-    /// waiting on model inference (§5.2) — pacing restores that wait so
+    /// charged by that clip (accumulated per drain batch, outside every
+    /// lock). The simulator's clip evaluation is microseconds of table
+    /// lookups, but deployed SVAQD spends >98 % of its time waiting on
+    /// model inference (§5.2) — pacing restores that wait so
     /// executor-level concurrency measurements carry over. `0.0` (the
     /// default) disables pacing.
     pub fn set_pacing(&self, id: SessionId, factor: f64) {
@@ -256,19 +347,26 @@ impl SessionMux {
 
     /// Declare end-of-stream for a session. Must be called after the last
     /// [`SessionMux::feed`] for it; the engine finalises once the mailbox
-    /// drains.
+    /// drains. Later feeds fail with [`FeedError::SessionClosed`].
     pub fn finish_session(&self, id: SessionId) {
         let session = self.session(id);
-        session.finishing.store(true, Ordering::Release);
-        self.schedule(&session);
+        session.closed.store(true, Ordering::Release);
+        let shard = session.shard;
+        self.ingress.enqueue(shard, IngressEvent::Finish(session));
     }
 
-    /// Block until a finished session's result is available.
+    /// Block until a finished session's result is available. Idempotent:
+    /// the result is latched, so repeated waits return the same value.
     pub fn wait(&self, id: SessionId) -> Result<SessionResult, SessionError> {
         let session = self.session(id);
-        session.done_rx.recv().expect("session finalised");
-        let result = session.state.lock().result.clone();
-        result.expect("result stored before done signal")
+        let mut state = session.state.lock();
+        while state.result.is_none() {
+            session.done.wait(&mut state);
+        }
+        match &state.result {
+            Some(result) => result.clone(),
+            None => unreachable!("wait loop exits only once a result is latched"),
+        }
     }
 
     /// Convenience: feed every clip of the session's oracle in stream order
@@ -279,23 +377,19 @@ impl SessionMux {
 
     /// Feed several sessions their oracles' clips interleaved round-robin —
     /// the arrival order of concurrent live streams — then declare
-    /// end-of-stream on each. Keeps every session supplied with work, which
-    /// a per-stream sequential feed (blocked on one mailbox at a time)
-    /// would not.
+    /// end-of-stream on each. The enqueue is non-blocking, so this returns
+    /// as soon as every ticket is on its ingress shard.
     pub fn feed_streams(&self, ids: &[SessionId]) {
         let clip_counts: Vec<u64> = ids
             .iter()
-            .map(|&id| {
-                let session = self.session(id);
-                let truth = session.state.lock().oracle.truth().clone();
-                truth.geometry.clip_count(truth.total_frames)
-            })
+            .map(|&id| self.session(id).oracle.clip_count())
             .collect();
         let longest = clip_counts.iter().copied().max().unwrap_or(0);
         for c in 0..longest {
             for (&id, &count) in ids.iter().zip(&clip_counts) {
                 if c < count {
-                    self.feed(id, ClipId::new(c));
+                    self.feed(id, ClipId::new(c))
+                        .expect("feed_streams feeds before declaring end-of-stream");
                 }
             }
         }
@@ -304,92 +398,181 @@ impl SessionMux {
         }
     }
 
-    /// Shut the pool down after all sessions were waited on.
+    /// Shut down after all sessions were waited on: join the shard feeders
+    /// (delivering everything still queued), then drain and join the pool.
     pub fn shutdown(self) {
-        self.pool.shutdown();
-    }
-
-    /// Hand a drain job to the pool unless one is already scheduled.
-    fn schedule(&self, session: &Arc<Session>) {
-        if session
-            .scheduled
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            let session = session.clone();
-            self.pool.submit(Box::new(move || drain(&session)));
+        let Self { ingress, core } = self;
+        drop(ingress);
+        match Arc::try_unwrap(core) {
+            Ok(MuxCore { pool, .. }) => pool.shutdown(),
+            // A feeder clone outliving the join is impossible, but dropping
+            // still drains and joins the pool via its Drop impl.
+            Err(core) => drop(core),
         }
     }
 }
 
-/// Worker side: serially process a session's mailbox, then finalise if the
-/// feeder declared end-of-stream. The `scheduled` flag guarantees only one
+/// Feeder side: move one ingress event into its session, then make sure a
+/// worker is scheduled to react to it. Runs on the shard feeder threads.
+pub(crate) fn deliver(core: &MuxCore, event: IngressEvent, shard: &ShardCounters) {
+    match event {
+        IngressEvent::Feed(session, clip) => {
+            deliver_clip(&session, clip, shard);
+            shard.delivered.fetch_add(1, Ordering::Relaxed);
+            schedule(&core.pool, &session);
+        }
+        IngressEvent::Finish(session) => {
+            session.finishing.store(true, Ordering::Release);
+            schedule(&core.pool, &session);
+        }
+    }
+}
+
+/// Apply the session's backpressure policy to one ticket.
+fn deliver_clip(session: &Session, clip: ClipId, shard: &ShardCounters) {
+    // Count the ticket before it becomes visible to workers: a racing
+    // drain's decrement then always pairs with an earlier increment, so the
+    // queue-depth gauge can never transiently wrap below zero.
+    session.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+    match session.policy {
+        Backpressure::Block => {
+            if let Err(TrySendError::Full(clip)) = session.tx.try_send(clip) {
+                let blocked = Instant::now();
+                session.tx.send(clip).expect("session mailbox open");
+                let nanos = blocked.elapsed().as_nanos() as u64;
+                SessionCounters::add(&session.counters.feed_block_nanos, nanos);
+                SessionCounters::add(&shard.feed_block_nanos, nanos);
+            }
+        }
+        Backpressure::DropOldest => {
+            let mut clip = clip;
+            loop {
+                match session.tx.try_send(clip) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(returned)) => {
+                        clip = returned;
+                        if session.rx.try_recv().is_ok() {
+                            session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            session.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        unreachable!("session mailbox open")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Hand a drain job to the pool unless one is already scheduled.
+fn schedule(pool: &WorkerPool, session: &Arc<Session>) {
+    if session
+        .scheduled
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        let session = session.clone();
+        pool.submit(Box::new(move || drain(&session)));
+    }
+}
+
+/// Worker side: serially process a session's mailbox in batches of up to
+/// `drain_batch` tickets per state-lock acquisition, then finalise if the
+/// feeder delivered end-of-stream. The `scheduled` flag guarantees only one
 /// worker runs this per session; the hand-off re-check closes the race
 /// between draining the last ticket and a feeder enqueueing a new one.
 fn drain(session: &Session) {
+    let batch_cap = session.drain_batch.max(1);
+    let mut batch: Vec<ClipId> = Vec::with_capacity(batch_cap);
     loop {
-        let mut state = session.state.lock();
-        while let Ok(clip) = session.rx.try_recv() {
-            session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            if state.poisoned {
-                continue;
+        // Pull a batch off the mailbox before touching the state lock.
+        while batch.len() < batch_cap {
+            match session.rx.try_recv() {
+                Ok(clip) => {
+                    session.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    batch.push(clip);
+                }
+                Err(_) => break,
             }
-            let started = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let mut view = OwnedClipView::new(state.oracle.clone(), clip);
-                let closed = state
-                    .engine
-                    .as_mut()
-                    .expect("engine present until finish")
-                    .push_clip(&mut view);
-                (*view.ledger(), closed)
-            }));
-            SessionCounters::add(
-                &session.counters.eval_nanos,
-                started.elapsed().as_nanos() as u64,
-            );
-            match outcome {
-                Ok((ledger, _closed)) => {
-                    state.ledger.merge(&ledger);
-                    state.clips_processed += 1;
-                    session
-                        .counters
-                        .clips_processed
-                        .fetch_add(1, Ordering::Relaxed);
-                    let pacing = f64::from_bits(session.pacing.load(Ordering::Relaxed));
-                    if pacing > 0.0 {
-                        std::thread::sleep(std::time::Duration::from_secs_f64(
-                            ledger.inference_ms() / 1e3 * pacing,
-                        ));
+        }
+        if !batch.is_empty() {
+            // One lock acquisition per batch; the pacing sleep accumulates
+            // here and runs after the guard drops, so feeders reading
+            // stream metadata and metrics observers are never blocked on a
+            // simulated-inference wait.
+            let mut sleep_secs = 0.0f64;
+            let mut state = session.state.lock();
+            for clip in batch.drain(..) {
+                if state.poisoned {
+                    continue;
+                }
+                let started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut view = OwnedClipView::new(session.oracle.clone(), clip);
+                    let closed = state
+                        .engine
+                        .as_mut()
+                        .expect("engine present until finish")
+                        .push_clip(&mut view);
+                    (*view.ledger(), closed)
+                }));
+                SessionCounters::add(
+                    &session.counters.eval_nanos,
+                    started.elapsed().as_nanos() as u64,
+                );
+                match outcome {
+                    Ok((ledger, _closed)) => {
+                        state.ledger.merge(&ledger);
+                        state.clips_processed += 1;
+                        session
+                            .counters
+                            .clips_processed
+                            .fetch_add(1, Ordering::Relaxed);
+                        let pacing = f64::from_bits(session.pacing.load(Ordering::Relaxed));
+                        if pacing > 0.0 {
+                            sleep_secs += ledger.inference_ms() / 1e3 * pacing;
+                        }
+                    }
+                    Err(_) => {
+                        state.poisoned = true;
                     }
                 }
-                Err(_) => {
-                    state.poisoned = true;
-                }
             }
+            drop(state);
+            if sleep_secs > 0.0 {
+                #[cfg(feature = "lock-audit")]
+                assert_eq!(
+                    parking_lot::lock_audit::held_count(),
+                    0,
+                    "pacing sleep must not hold any audited lock"
+                );
+                std::thread::sleep(std::time::Duration::from_secs_f64(sleep_secs));
+            }
+            continue;
         }
         // End-of-stream: finalise exactly once, after the mailbox drained.
-        if session.finishing.load(Ordering::Acquire)
-            && state.result.is_none()
-            && session.rx.is_empty()
-        {
-            let result = if state.poisoned {
-                Err(SessionError::Poisoned)
-            } else {
-                let engine = state.engine.take().expect("finalised once");
-                let (sequences, evaluations) = engine.finish();
-                Ok(SessionResult {
-                    sequences,
-                    evaluations,
-                    cost: state.ledger,
-                    clips_processed: state.clips_processed,
-                    dropped: session.counters.dropped.load(Ordering::Relaxed),
-                })
-            };
-            state.result = Some(result);
-            let _ = session.done_tx.try_send(());
+        if session.finishing.load(Ordering::Acquire) && session.rx.is_empty() {
+            let mut state = session.state.lock();
+            if state.result.is_none() && session.rx.is_empty() {
+                let result = if state.poisoned {
+                    Err(SessionError::Poisoned)
+                } else {
+                    let engine = state.engine.take().expect("finalised once");
+                    let (sequences, evaluations) = engine.finish();
+                    Ok(SessionResult {
+                        sequences,
+                        evaluations,
+                        cost: state.ledger,
+                        clips_processed: state.clips_processed,
+                        dropped: session.counters.dropped.load(Ordering::Relaxed),
+                    })
+                };
+                state.result = Some(result);
+                session.done.notify_all();
+            }
+            drop(state);
         }
-        drop(state);
 
         session.scheduled.store(false, Ordering::Release);
         let more_work = !session.rx.is_empty()
@@ -412,6 +595,7 @@ fn drain(session: &Session) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use svq_core::online::OnlineConfig;
     use svq_types::{
         ActionClass, ActionQuery, BBox, FrameId, Interval, ObjectClass, TrackId, VideoGeometry,
@@ -424,6 +608,34 @@ mod tests {
     /// 40 clips (2000 frames); car & jumping on clips 12..=19.
     fn oracle(video: u64, seed: u64) -> Arc<DetectionOracle> {
         let mut gt = GroundTruth::new(VideoId::new(video), VideoGeometry::default(), 2_000);
+        gt.tracks.push(ObjectTrack {
+            class: ObjectClass::named("car"),
+            track: TrackId::new(1),
+            frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+            visibility: 1.0,
+            bbox: BBox::FULL,
+        });
+        gt.actions.push(ActionSpan {
+            class: ActionClass::named("jumping"),
+            frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+            salience: 1.0,
+        });
+        let confusion = SceneConfusion {
+            objects: vec![(ObjectClass::named("car"), 1.0)],
+            actions: vec![(ActionClass::named("jumping"), 1.0)],
+        };
+        Arc::new(DetectionOracle::new(
+            Arc::new(gt),
+            ModelSuite::accurate(),
+            &confusion,
+            seed,
+        ))
+    }
+
+    /// Like [`oracle`] but 300 clips (15 000 frames), for stress tests that
+    /// need long in-order streams.
+    fn long_oracle(video: u64, seed: u64) -> Arc<DetectionOracle> {
+        let mut gt = GroundTruth::new(VideoId::new(video), VideoGeometry::default(), 15_000);
         gt.tracks.push(ObjectTrack {
             class: ObjectClass::named("car"),
             track: TrackId::new(1),
@@ -479,41 +691,60 @@ mod tests {
 
     #[test]
     fn multiplexed_sessions_match_sequential_runs() {
-        let mux = SessionMux::new(4, ExecMetrics::new());
-        let oracles: Vec<_> = (0..6).map(|i| oracle(i, 100 + i)).collect();
-        let ids: Vec<SessionId> = oracles
-            .iter()
-            .enumerate()
-            .map(|(i, o)| {
-                mux.register(
-                    format!("s{i}"),
-                    o.clone(),
-                    svaqd_engine(o),
-                    Backpressure::Block,
-                    16,
-                )
-            })
-            .collect();
-        for &id in &ids {
-            mux.feed_stream(id);
+        // The determinism contract must survive every ingress/batch shape:
+        // sharded feeders and batched drains may reorder *work*, never
+        // *results*.
+        for shards in [1usize, 2, 4] {
+            for drain_batch in [1usize, 4, 16] {
+                let mux = SessionMux::with_options(
+                    MuxOptions::new(4)
+                        .with_shards(shards)
+                        .with_drain_batch(drain_batch),
+                    ExecMetrics::new(),
+                );
+                let oracles: Vec<_> = (0..6).map(|i| oracle(i, 100 + i)).collect();
+                let ids: Vec<SessionId> = oracles
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| {
+                        mux.register(
+                            format!("s{i}"),
+                            o.clone(),
+                            svaqd_engine(o),
+                            Backpressure::Block,
+                            16,
+                        )
+                    })
+                    .collect();
+                for &id in &ids {
+                    mux.feed_stream(id);
+                }
+                for (id, o) in ids.iter().zip(&oracles) {
+                    let got = mux.wait(*id).unwrap();
+                    let (seqs, evals, cost) = sequential(o);
+                    assert_eq!(
+                        got.sequences, seqs,
+                        "drifted at {shards} shards, batch {drain_batch}"
+                    );
+                    assert_eq!(got.evaluations, evals);
+                    assert_eq!(got.clips_processed, 40);
+                    assert_eq!(got.dropped, 0);
+                    // Same clips evaluated in the same order: identical
+                    // inference charge (algorithm wall-clock is not charged
+                    // by either path here).
+                    assert_eq!(got.cost.object_frames, cost.object_frames);
+                    assert_eq!(got.cost.action_shots, cost.action_shots);
+                }
+                let snap = mux.metrics().snapshot();
+                assert_eq!(snap.total_clips, 240);
+                assert_eq!(snap.jobs_panicked, 0);
+                assert_eq!(snap.shards.len(), shards);
+                let delivered: u64 = snap.shards.iter().map(|s| s.delivered).sum();
+                assert_eq!(delivered, 240, "every ticket crosses an ingress shard");
+                assert_eq!(snap.shards.iter().map(|s| s.ingress_depth).sum::<u64>(), 0);
+                mux.shutdown();
+            }
         }
-        for (id, o) in ids.iter().zip(&oracles) {
-            let got = mux.wait(*id).unwrap();
-            let (seqs, evals, cost) = sequential(o);
-            assert_eq!(got.sequences, seqs);
-            assert_eq!(got.evaluations, evals);
-            assert_eq!(got.clips_processed, 40);
-            assert_eq!(got.dropped, 0);
-            // Same clips evaluated in the same order: identical inference
-            // charge (algorithm wall-clock is not charged by either path
-            // here).
-            assert_eq!(got.cost.object_frames, cost.object_frames);
-            assert_eq!(got.cost.action_shots, cost.action_shots);
-        }
-        let snap = mux.metrics().snapshot();
-        assert_eq!(snap.total_clips, 240);
-        assert_eq!(snap.jobs_panicked, 0);
-        mux.shutdown();
     }
 
     #[test]
@@ -530,7 +761,7 @@ mod tests {
             2,
         );
         for c in 0..200u64 {
-            mux.feed(id, ClipId::new(c % 40));
+            mux.feed(id, ClipId::new(c % 40)).unwrap();
         }
         mux.finish_session(id);
         let result = mux.wait(id).unwrap();
@@ -539,6 +770,83 @@ mod tests {
         let snap = mux.metrics().snapshot();
         assert_eq!(snap.sessions[0].dropped, result.dropped);
         mux.shutdown();
+    }
+
+    /// Queue-depth accounting under the feeder/worker `try_recv` race: the
+    /// gauge must never wrap below zero, and every fed ticket must end up
+    /// either processed or counted as dropped — across worker counts and a
+    /// sharded, batched ingress.
+    #[test]
+    fn drop_oldest_queue_depth_never_underflows() {
+        for workers in [1usize, 2, 4] {
+            let mux = Arc::new(SessionMux::with_options(
+                MuxOptions::new(workers).with_shards(2).with_drain_batch(4),
+                ExecMetrics::new(),
+            ));
+            let oracles: Vec<_> = (0..4).map(|i| long_oracle(i, 50 + i)).collect();
+            let ids: Vec<SessionId> = oracles
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    mux.register(
+                        format!("under{i}"),
+                        o.clone(),
+                        svaqd_engine(o),
+                        Backpressure::DropOldest,
+                        1 + i % 2,
+                    )
+                })
+                .collect();
+            // Concurrent observer: sample the gauge while feeders and
+            // workers race. An underflow shows up as a value near u64::MAX.
+            let stop = Arc::new(AtomicBool::new(false));
+            let observer = {
+                let mux = mux.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut max_seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for s in mux.metrics().snapshot().sessions {
+                            max_seen = max_seen.max(s.queue_depth);
+                        }
+                        std::thread::yield_now();
+                    }
+                    max_seen
+                })
+            };
+            // Clip ids must be strictly increasing per session — the engines
+            // require stream order even when DropOldest sheds some of them.
+            const FED: u64 = 300;
+            for c in 0..FED {
+                for &id in &ids {
+                    mux.feed(id, ClipId::new(c)).unwrap();
+                }
+            }
+            for &id in &ids {
+                mux.finish_session(id);
+            }
+            for &id in &ids {
+                let result = mux.wait(id).unwrap();
+                assert_eq!(
+                    result.clips_processed + result.dropped,
+                    FED,
+                    "ticket lost at {workers} workers"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+            let max_seen = observer.join().expect("observer");
+            assert!(
+                max_seen < u64::MAX / 2,
+                "queue_depth underflowed (saw {max_seen}) at {workers} workers"
+            );
+            for s in mux.metrics().snapshot().sessions {
+                assert_eq!(s.queue_depth, 0, "gauge must settle at zero");
+            }
+            Arc::try_unwrap(mux)
+                .ok()
+                .expect("observer joined")
+                .shutdown();
+        }
     }
 
     #[test]
@@ -561,9 +869,9 @@ mod tests {
         );
         // Clip 10_000 is far past the 40-clip video: evaluating it panics
         // inside the oracle, which must poison `bad` and nothing else.
-        mux.feed(bad, ClipId::new(0));
-        mux.feed(bad, ClipId::new(10_000));
-        mux.feed(bad, ClipId::new(1));
+        mux.feed(bad, ClipId::new(0)).unwrap();
+        mux.feed(bad, ClipId::new(10_000)).unwrap();
+        mux.feed(bad, ClipId::new(1)).unwrap();
         mux.finish_session(bad);
         mux.feed_stream(good);
         assert_eq!(mux.wait(bad), Err(SessionError::Poisoned));
@@ -587,6 +895,65 @@ mod tests {
         let result = mux.wait(id).unwrap();
         assert_eq!(result.clips_processed, 0);
         assert!(result.sequences.is_empty());
+        mux.shutdown();
+    }
+
+    /// Regression: `wait` used to consume a `bounded(1)` done token, so a
+    /// second call deadlocked forever. The condvar latch makes it
+    /// idempotent — verified under a 5 s watchdog.
+    #[test]
+    fn wait_twice_returns_the_same_result() {
+        let mux = Arc::new(SessionMux::new(2, ExecMetrics::new()));
+        let o = oracle(0, 9);
+        let id = mux.register(
+            "idempotent".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        mux.feed_stream(id);
+        let waiter = {
+            let mux = mux.clone();
+            std::thread::spawn(move || (mux.wait(id), mux.wait(id)))
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !waiter.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "repeated wait() deadlocked (watchdog fired)"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (first, second) = waiter.join().expect("waiter thread");
+        let first = first.expect("healthy session");
+        assert_eq!(first.clips_processed, 40);
+        assert_eq!(Ok(first), second, "second wait saw a different result");
+        Arc::try_unwrap(mux).ok().expect("waiter joined").shutdown();
+    }
+
+    /// A late feed after `finish_session` is rejected with a hard error —
+    /// identically in debug and release builds (this was a `debug_assert!`
+    /// that silently dropped the ticket in release).
+    #[test]
+    fn feed_after_finish_is_a_hard_error() {
+        let mux = SessionMux::new(1, ExecMetrics::new());
+        let o = oracle(0, 5);
+        let id = mux.register(
+            "closed".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        mux.feed(id, ClipId::new(0)).unwrap();
+        mux.feed(id, ClipId::new(1)).unwrap();
+        mux.finish_session(id);
+        assert_eq!(mux.feed(id, ClipId::new(2)), Err(FeedError::SessionClosed));
+        let result = mux.wait(id).unwrap();
+        assert_eq!(result.clips_processed, 2, "late ticket must not slip in");
+        let snap = mux.metrics().snapshot();
+        assert_eq!(snap.sessions[0].queue_depth, 0, "gauge must stay balanced");
         mux.shutdown();
     }
 }

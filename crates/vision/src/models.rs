@@ -422,6 +422,12 @@ impl DetectionOracle {
         &self.truth
     }
 
+    /// Number of whole clips in this oracle's stream. Cheap metadata read
+    /// for feeders and schedulers — no truth clone, no score-table access.
+    pub fn clip_count(&self) -> u64 {
+        self.truth.geometry.clip_count(self.truth.total_frames)
+    }
+
     /// The simulated model suite.
     pub fn suite(&self) -> &ModelSuite {
         &self.suite

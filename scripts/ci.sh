@@ -18,4 +18,8 @@ cargo run -p svq-lint -q -- --check
 echo "== cargo test --features lock-audit (lock-order deadlock auditor)"
 cargo test --workspace --features lock-audit -q
 
+echo "== repro mux-ingress smoke (1 shard, batch 1, tiny stream)"
+cargo run -q --release -p svq-bench --bin repro -- mux-ingress \
+  --scale 0.02 --out target/ci-results
+
 echo "CI OK"

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use svq_core::offline::ingest;
 use svq_core::online::{OnlineConfig, Svaqd};
 use svq_core::{PaperScoring, ScoringFunctions};
-use svq_exec::{parallel_ingest, Backpressure, ExecMetrics, SessionEngine, SessionMux};
+use svq_exec::{parallel_ingest, Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionMux};
 use svq_storage::VideoRepository;
 use svq_types::{ActionClass, ActionQuery, ClipInterval, ObjectClass, VideoId};
 use svq_vision::models::{DetectionOracle, ModelSuite};
@@ -87,6 +87,56 @@ fn multiplexer_is_worker_count_invariant() {
             );
         }
         mux.shutdown();
+    }
+}
+
+/// The sharded ingress and drain batching are likewise invisible: every
+/// shard-count × drain-batch combination reproduces the sequential runs
+/// byte for byte. Shards only change *which feeder thread* delivers a
+/// session's clips, and batching only changes how many tickets a worker
+/// pulls per state-lock acquisition — never the per-session clip order.
+#[test]
+fn multiplexer_is_shard_and_batch_invariant() {
+    let oracles = oracles(3);
+    let expected: Vec<Vec<ClipInterval>> = oracles.iter().map(|o| sequential_run(o)).collect();
+    for shards in [1, 2, 4] {
+        for drain_batch in [1, 4, 16] {
+            let mux = SessionMux::with_options(
+                MuxOptions::new(4)
+                    .with_shards(shards)
+                    .with_drain_batch(drain_batch),
+                ExecMetrics::new(),
+            );
+            let ids: Vec<_> = oracles
+                .iter()
+                .enumerate()
+                .map(|(i, oracle)| {
+                    let engine = SessionEngine::Svaqd(Svaqd::new(
+                        query(),
+                        oracle.truth().geometry,
+                        OnlineConfig::default().with_drain_batch(drain_batch as u32),
+                        1e-4,
+                        1e-4,
+                    ));
+                    mux.register(
+                        format!("v{i}"),
+                        oracle.clone(),
+                        engine,
+                        Backpressure::Block,
+                        8,
+                    )
+                })
+                .collect();
+            mux.feed_streams(&ids);
+            for (id, expected) in ids.iter().zip(&expected) {
+                let result = mux.wait(*id).expect("healthy session");
+                assert_eq!(
+                    &result.sequences, expected,
+                    "results drifted at {shards} shards, drain batch {drain_batch}"
+                );
+            }
+            mux.shutdown();
+        }
     }
 }
 

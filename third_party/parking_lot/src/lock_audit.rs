@@ -239,6 +239,14 @@ pub(crate) fn released(cell: &LockId) {
     });
 }
 
+/// Number of audited locks the *current thread* holds right now. Lets
+/// subsystems assert guard-hold invariants — e.g. "this sleep runs outside
+/// every lock" — under `--features lock-audit` without instrumenting each
+/// call site by hand.
+pub fn held_count() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
 /// Clear the global graph and all reports. Call between audit scenarios
 /// while no audited locks are held; held-stack state is per-thread and is
 /// intentionally left alone.
