@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 table3 table4 table5 fig4 fig5 runtime table6
-//! table7 table8 rvaq-accuracy ablation mux-throughput mux-ingress.
+//! table7 table8 rvaq-accuracy ablation mux-throughput mux-ingress
+//! ingest-spill.
 
 use svq_bench::experiments::{ExpContext, EXPERIMENTS};
 

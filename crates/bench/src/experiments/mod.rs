@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod ingest_spill;
 pub mod mux_ingress;
 pub mod mux_throughput;
 pub mod offline_tables;
@@ -67,4 +68,5 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ablation", ablation::run),
     ("mux-throughput", mux_throughput::run),
     ("mux-ingress", mux_ingress::run),
+    ("ingest-spill", ingest_spill::run),
 ];

@@ -1,7 +1,7 @@
 //! The `svqact` subcommands.
 
 use crate::args::Flags;
-use svq_core::offline::{ingest as run_ingest, Rvaq, RvaqOptions};
+use svq_core::offline::ingest as run_ingest;
 use svq_core::online::OnlineConfig;
 use svq_query::plan::{LogicalPlan, QueryMode};
 use svq_storage::IngestedVideo;
@@ -65,19 +65,100 @@ pub fn synth(flags: &Flags) -> CliResult {
     Ok(())
 }
 
-/// `svqact ingest` — simulate models over a scene and materialise a catalog.
+/// `svqact ingest` — simulate models over one or more scenes and
+/// materialise catalogs.
+///
+/// One scene with the defaults keeps the classic shape: a single catalog
+/// JSON at `--out`. With `--scenes a.json,b.json`, `--workers N`, or
+/// `--sink spill|mem`, ingestion fans out on the svq-exec pool and `--out`
+/// names a *directory*: `spill` streams every finished catalog straight to
+/// disk through a [`svq_storage::JsonDirSink`] (bounded memory), `mem`
+/// builds the in-RAM repository first and saves it — both produce
+/// byte-identical directories loadable with `VideoRepository::open_dir`.
 pub fn ingest(flags: &Flags) -> CliResult {
-    let video = load_scene(flags.require("scene")?)?;
+    use std::sync::Arc;
+    use svq_exec::{parallel_ingest_into, ExecMetrics};
+    use svq_storage::{JsonDirSink, MemorySink};
+    use svq_types::ScoringFunctions;
+
     let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
     let out = flags.require("out")?;
+    let workers: usize = flags.get_parsed("workers", 1)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let scene_paths: Vec<String> = match (flags.get("scenes"), flags.get("scene")) {
+        (Some(list), _) => list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        (None, Some(one)) => vec![one.to_string()],
+        (None, None) => return Err("ingest needs --scene <file> or --scenes <a,b,…>".into()),
+    };
+    if scene_paths.is_empty() {
+        return Err("--scenes holds no scene path".into());
+    }
+    let config = OnlineConfig::builder().build()?;
     let started = std::time::Instant::now();
-    let oracle = video.oracle(suite);
-    let catalog = run_ingest(&oracle, &PaperScoring, &OnlineConfig::default());
-    catalog.save(out)?;
+
+    // Classic path: one scene, sequential, single catalog file.
+    if scene_paths.len() == 1 && workers == 1 && flags.get("sink").is_none() {
+        let video = load_scene(&scene_paths[0])?;
+        let oracle = video.oracle(suite);
+        let catalog = run_ingest(&oracle, &PaperScoring, &config);
+        catalog.save(out)?;
+        println!(
+            "ingested {} clips with {} in {:.1}s -> {out}",
+            catalog.clip_count,
+            suite.name(),
+            started.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+
+    let oracles: Vec<Arc<_>> = scene_paths
+        .iter()
+        .map(|p| load_scene(p).map(|v| Arc::new(v.oracle(suite))))
+        .collect::<Result<_, _>>()?;
+    let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
+    let metrics = ExecMetrics::new();
+    let report = match flags.get("sink").unwrap_or("spill") {
+        "spill" => parallel_ingest_into(
+            &oracles,
+            scoring,
+            config,
+            workers,
+            metrics.clone(),
+            JsonDirSink::create(out)?,
+        )?,
+        "mem" => {
+            let repo = parallel_ingest_into(
+                &oracles,
+                scoring,
+                config,
+                workers,
+                metrics.clone(),
+                MemorySink::new(),
+            )?;
+            repo.save_dir(out)?
+        }
+        other => return Err(format!("unknown sink {other:?} (mem|spill)").into()),
+    };
+    let ing = metrics.snapshot().ingest;
     println!(
-        "ingested {} clips with {} in {:.1}s -> {out}",
-        catalog.clip_count,
+        "ingested {} catalogs ({} clips, {} bytes) with {} on {workers} workers -> {}",
+        report.videos,
+        report.clips,
+        report.bytes_written,
         suite.name(),
+        report.dir.display()
+    );
+    println!(
+        "hand-off peak {} catalogs (bound {}), sink {:.1}ms, wall {:.2}s",
+        ing.buffered_high_water,
+        workers + 1,
+        ing.sink_ms,
         started.elapsed().as_secs_f64()
     );
     Ok(())
@@ -99,17 +180,20 @@ pub fn query(flags: &Flags) -> CliResult {
             let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
             let oracle = video.oracle(suite);
             let mut stream = VideoStream::new(&oracle);
-            let result = svq_query::execute_online(&plan, &mut stream, OnlineConfig::default())?;
-            println!("{} result sequences:", result.sequences.len());
+            let outcome =
+                svq_query::execute_online(&plan, &mut stream, OnlineConfig::builder().build()?)?;
+            let (sequences, cost) = outcome.online().expect("online plan yields online results");
+            println!("{} result sequences:", sequences.len());
             let geometry = video.truth.geometry;
-            for s in &result.sequences {
+            for s in sequences {
                 let t0 = s.start.raw() * geometry.frames_per_clip() as u64 / geometry.fps as u64;
                 println!("  clips {:>5}..{:<5} (+{t0}s)", s.start.raw(), s.end.raw());
             }
             println!(
-                "simulated inference: {:.1}s; algorithm: {:.1}ms",
-                result.cost.inference_ms() / 1e3,
-                result.cost.algorithm_ms
+                "simulated inference: {:.1}s; algorithm: {:.1}ms; wall: {:.1}ms",
+                cost.inference_ms() / 1e3,
+                cost.algorithm_ms,
+                outcome.wall_ms
             );
         }
         QueryMode::Offline { k } => {
@@ -118,25 +202,15 @@ pub fn query(flags: &Flags) -> CliResult {
                     .require("catalog")
                     .map_err(|_| "offline statements (ORDER BY RANK … LIMIT) need --catalog")?,
             )?;
-            // Re-plan through the executor for validation, but use RVAQ
-            // with exact scores so ranks are user-meaningful.
-            let query = match &plan.predicate {
-                svq_query::plan::PlannedPredicate::Simple(q) => q.clone(),
-                svq_query::plan::PlannedPredicate::Cnf(_) => {
-                    return Err("the offline engine takes the canonical single-action \
-                         conjunction"
-                        .into())
-                }
-            };
-            let result = Rvaq::run(
-                &catalog,
-                &query,
-                &PaperScoring,
-                RvaqOptions::new(k).with_exact_scores(),
-            );
+            // The executor materialises exact scores so ranks are
+            // user-meaningful.
+            let outcome = svq_query::execute_offline(&plan, &catalog, &PaperScoring)?;
+            let result = outcome
+                .offline()
+                .expect("offline plan yields offline results");
             println!(
-                "top-{k} of {} sequences ({} random accesses):",
-                result.total_sequences, result.disk.random_accesses
+                "top-{k} of {} sequences ({} random accesses, {:.1}ms):",
+                result.total_sequences, outcome.disk.random_accesses, outcome.wall_ms
             );
             for (i, r) in result.ranked.iter().enumerate() {
                 println!(
@@ -166,19 +240,11 @@ pub fn mux(flags: &Flags) -> CliResult {
     let minutes: f64 = flags.get_parsed("minutes", 2.0)?;
     let seed: u64 = flags.get_parsed("seed", 42)?;
     let mailbox: usize = flags.get_parsed("mailbox", 64)?;
-    // Ingress shards: feeder threads the streams hash across, so one full
-    // blocking mailbox stalls only its shard, never the accept path.
-    let shards: usize = flags.get_parsed("shards", 1)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
-    // Clip tickets a worker evaluates per session-lock acquisition.
+    // Executor knobs (ingress shard count, per-lock drain batch, pacing)
+    // ride on OnlineConfig; the validating builder below rejects degenerate
+    // values with the field named.
+    let shards: u32 = flags.get_parsed("shards", 1)?;
     let drain_batch: u32 = flags.get_parsed("drain-batch", 1)?;
-    if drain_batch == 0 {
-        return Err("--drain-batch must be at least 1".into());
-    }
-    // Wall seconds slept per simulated inference second (0 = off); makes
-    // throughput numbers reflect the inference-bound regime of deployment.
     let pacing: f64 = flags.get_parsed("pacing", 0.0)?;
     // Periodic progress snapshots to stderr every N seconds (0 = off).
     let metrics_every: f64 = flags.get_parsed("metrics-every", 0.0)?;
@@ -240,10 +306,14 @@ pub fn mux(flags: &Flags) -> CliResult {
 
     // K × Q sessions over one pool behind a sharded ingress.
     let started = std::time::Instant::now();
-    let config = OnlineConfig::default().with_drain_batch(drain_batch);
+    let config = OnlineConfig::builder()
+        .drain_batch(drain_batch)
+        .shards(shards)
+        .pacing(pacing)
+        .build()?;
     let mux = SessionMux::with_options(
         MuxOptions::new(workers)
-            .with_shards(shards)
+            .with_shards(config.shards as usize)
             .with_drain_batch(config.drain_batch as usize),
         ExecMetrics::new(),
     );
@@ -265,7 +335,7 @@ pub fn mux(flags: &Flags) -> CliResult {
                 policy,
                 mailbox,
             );
-            mux.set_pacing(id, pacing);
+            mux.set_pacing(id, config.pacing);
             ids.push(id);
         }
     }
@@ -395,6 +465,65 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ingest_spill_and_mem_dirs_match() {
+        let dir = std::env::temp_dir().join("svqact_cli_spill_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut scenes = Vec::new();
+        for i in 0..3 {
+            let scene = dir.join(format!("scene{i}.json"));
+            synth(&flags(&[
+                ("minutes", "0.5"),
+                ("action", "archery"),
+                ("objects", "person"),
+                ("seed", &format!("{}", 20 + i)),
+                ("out", scene.to_str().unwrap()),
+            ]))
+            .expect("synth");
+            scenes.push(scene.to_str().unwrap().to_string());
+        }
+        let scenes = scenes.join(",");
+        let spill = dir.join("spill");
+        let mem = dir.join("mem");
+        for (sink, out) in [("spill", &spill), ("mem", &mem)] {
+            ingest(&flags(&[
+                ("scenes", &scenes),
+                ("models", "ideal"),
+                ("workers", "2"),
+                ("sink", sink),
+                ("out", out.to_str().unwrap()),
+            ]))
+            .expect(sink);
+        }
+        // Both sinks spell the same bytes onto disk.
+        for name in [
+            "manifest.json",
+            "video-20.json",
+            "video-21.json",
+            "video-22.json",
+        ] {
+            let a = std::fs::read(spill.join(name)).expect(name);
+            let b = std::fs::read(mem.join(name)).expect(name);
+            assert_eq!(a, b, "{name} differs between sinks");
+        }
+        assert!(
+            svq_storage::VideoRepository::open_dir(&spill)
+                .unwrap()
+                .len()
+                == 3
+        );
+        // Degenerate worker counts are rejected up front.
+        let err = ingest(&flags(&[
+            ("scenes", &scenes),
+            ("workers", "0"),
+            ("out", spill.to_str().unwrap()),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("workers"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mux_runs_multiple_streams() {
         // A sub-interval --metrics-every exercises reporter start/stop even
         // when the run finishes before the first periodic snapshot fires.
@@ -412,8 +541,9 @@ mod tests {
             ),
         ]))
         .expect("mux");
-        // Degenerate ingress configurations are rejected up front.
-        for (flag, value) in [("shards", "0"), ("drain-batch", "0")] {
+        // Degenerate ingress configurations are rejected up front by the
+        // OnlineConfig builder, which names the offending field.
+        for (flag, value) in [("shards", "0"), ("drain-batch", "0"), ("pacing", "-1")] {
             let err = mux(&flags(&[
                 (flag, value),
                 (
@@ -423,7 +553,9 @@ mod tests {
                 ),
             ]))
             .unwrap_err();
-            assert!(err.to_string().contains(flag), "{err}");
+            let field = flag.replace('-', "_");
+            assert!(err.to_string().contains(&field), "{err}");
+            assert!(err.to_string().contains("invalid config"), "{err}");
         }
         // Negative interval is rejected up front.
         let err = mux(&flags(&[

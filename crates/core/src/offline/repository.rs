@@ -10,7 +10,7 @@
 
 use super::rvaq::{Rvaq, RvaqOptions};
 use svq_storage::{DiskStats, VideoRepository};
-use svq_types::{ActionQuery, ClipInterval, ScoringFunctions, VideoId};
+use svq_types::{ActionQuery, ClipInterval, ScoringFunctions, SvqResult, VideoId};
 
 /// One globally ranked result.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,19 +35,23 @@ pub struct RepositoryTopK {
 pub struct RepositoryRvaq;
 
 impl RepositoryRvaq {
-    /// Global top-K across every video in the repository.
+    /// Global top-K across every video in the repository. Catalogs stream
+    /// through in `VideoId` order, loading lazily if the repository was
+    /// opened with [`VideoRepository::open_dir`] — a read error on any
+    /// catalog file surfaces as `Err`.
     pub fn run(
         repo: &VideoRepository,
         query: &ActionQuery,
         scoring: &dyn ScoringFunctions,
         k: usize,
-    ) -> RepositoryTopK {
+    ) -> SvqResult<RepositoryTopK> {
         let mut ranked: Vec<GlobalRankedSequence> = Vec::new();
         let mut disk = DiskStats::default();
         let mut total_sequences = 0usize;
-        for catalog in repo.iter() {
+        for catalog in repo.catalogs() {
+            let catalog = catalog?;
             let local = Rvaq::run(
-                catalog,
+                &catalog,
                 query,
                 scoring,
                 RvaqOptions::new(k).with_exact_scores(),
@@ -68,11 +72,11 @@ impl RepositoryRvaq {
                 .then(a.interval.start.cmp(&b.interval.start))
         });
         ranked.truncate(k);
-        RepositoryTopK {
+        Ok(RepositoryTopK {
             ranked,
             disk,
             total_sequences,
-        }
+        })
     }
 }
 
@@ -106,7 +110,7 @@ mod tests {
     #[test]
     fn global_topk_merges_per_video_winners() {
         let (repo, query) = repo();
-        let top = RepositoryRvaq::run(&repo, &query, &PaperScoring, 5);
+        let top = RepositoryRvaq::run(&repo, &query, &PaperScoring, 5).unwrap();
         assert!(top.ranked.len() <= 5);
         assert!(!top.ranked.is_empty());
         // Best-first ordering.
@@ -115,9 +119,10 @@ mod tests {
         }
         // The global winner equals the best per-video winner.
         let mut best_local = None::<GlobalRankedSequence>;
-        for catalog in repo.iter() {
+        for catalog in repo.catalogs() {
+            let catalog = catalog.unwrap();
             let local = Rvaq::run(
-                catalog,
+                &catalog,
                 &query,
                 &PaperScoring,
                 super::RvaqOptions::new(1).with_exact_scores(),
@@ -150,7 +155,7 @@ mod tests {
     #[test]
     fn k_spanning_all_videos() {
         let (repo, query) = repo();
-        let huge = RepositoryRvaq::run(&repo, &query, &PaperScoring, 1_000);
+        let huge = RepositoryRvaq::run(&repo, &query, &PaperScoring, 1_000).unwrap();
         // Capped by per-video truncation at k each: here k >= everything,
         // so the count equals the total sequence count.
         assert_eq!(huge.ranked.len(), huge.total_sequences);

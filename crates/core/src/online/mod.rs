@@ -20,7 +20,7 @@ pub mod ordering;
 mod svaq;
 mod svaqd;
 
-pub use config::{BackgroundUpdate, OnlineConfig};
+pub use config::{BackgroundUpdate, OnlineConfig, OnlineConfigBuilder};
 pub use indicator::{evaluate_clip, evaluate_clip_ordered, ClipEvaluation, CriticalValues};
 pub use merger::SequenceMerger;
 pub use ordering::SelectivityOrderer;

@@ -53,7 +53,7 @@ impl MatchCounts {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        if p + r <= 0.0 {
             0.0
         } else {
             2.0 * p * r / (p + r)

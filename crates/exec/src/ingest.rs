@@ -1,42 +1,65 @@
-//! Parallel repository ingestion.
+//! Parallel repository ingestion over a pluggable [`CatalogSink`].
 //!
 //! Ingestion (§4.1) is query-independent and per-video: each video's catalog
 //! is built from its own detections only. That makes the fan-out trivial to
 //! parallelise — one pool job per video — and the fan-in the only place
-//! determinism could leak. [`parallel_ingest`] closes that hole by merging
-//! finished catalogs through [`VideoRepository::from_catalogs`], which keys
-//! storage by [`svq_types::VideoId`]: the resulting repository is identical
-//! to a sequential ingest no matter how workers interleaved.
+//! determinism (and memory) could leak. [`parallel_ingest_into`] closes both
+//! holes:
+//!
+//! * **Determinism.** The sink decides the merge: [`MemorySink`] keys by
+//!   [`svq_types::VideoId`] and [`svq_storage::JsonDirSink`] canonicalises
+//!   its manifest at finish, so the output is identical to a sequential
+//!   ingest no matter how workers interleaved.
+//! * **Memory.** Workers hand each finished [`svq_storage::IngestedVideo`]
+//!   through a *bounded* (capacity-1) channel to a single consumer that
+//!   feeds the sink. At most `workers + 1` finished catalogs exist at any
+//!   instant — each worker holding one on a blocked send plus the one in
+//!   the channel — instead of the unbounded buffering of the old
+//!   `Vec`-collect fan-in. The spill sink therefore ingests repositories
+//!   far larger than RAM.
+//!
+//! The hand-off depth is tracked in [`ExecMetrics::ingest`]
+//! (`buffered_high_water`), which tests and the `ingest-spill` bench assert
+//! against the `workers + 1` bound.
 
 use crate::metrics::ExecMetrics;
 use crate::pool::WorkerPool;
-use crossbeam::channel::unbounded;
+use crossbeam::channel::bounded;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use svq_core::offline::ingest;
 use svq_core::online::OnlineConfig;
 use svq_core::ScoringFunctions;
-use svq_storage::VideoRepository;
+use svq_storage::{CatalogSink, MemorySink, VideoRepository};
+use svq_types::SvqResult;
 use svq_vision::models::DetectionOracle;
 
-/// Ingest many videos concurrently into one deterministic repository.
+/// Ingest many videos concurrently, streaming each finished catalog into
+/// `sink` the moment a worker completes it.
 ///
 /// Spawns one job per oracle on a fresh pool of `workers` threads (metrics
-/// land in `metrics` under one session entry per video). Panicking ingests
-/// are isolated by the pool; their videos are simply absent from the result,
-/// mirroring how the multiplexer poisons only the failing session.
-pub fn parallel_ingest(
+/// land in `metrics` under one session entry per video, hand-off depth and
+/// sink latency under [`ExecMetrics::ingest`]). Panicking ingests are
+/// isolated by the pool; their videos are simply absent from the result,
+/// mirroring how the multiplexer poisons only the failing session. A sink
+/// error aborts consumption and is returned after the pool drains.
+pub fn parallel_ingest_into<S: CatalogSink>(
     oracles: &[Arc<DetectionOracle>],
     scoring: Arc<dyn ScoringFunctions + Send + Sync>,
     config: OnlineConfig,
     workers: usize,
     metrics: ExecMetrics,
-) -> VideoRepository {
-    let pool = WorkerPool::new(workers, oracles.len().max(1), metrics);
-    let (tx, rx) = unbounded();
+    mut sink: S,
+) -> SvqResult<S::Output> {
+    let pool = WorkerPool::new(workers, oracles.len().max(1), metrics.clone());
+    // Capacity 1: a worker with a finished catalog blocks until the
+    // consumer is ready, bounding resident catalogs at `workers + 1`.
+    let (tx, rx) = bounded(1);
     for oracle in oracles {
         let oracle = oracle.clone();
         let scoring = scoring.clone();
         let tx = tx.clone();
+        let metrics = metrics.clone();
         let counters = pool
             .metrics()
             .register_session(format!("ingest/v{}", oracle.truth().video.raw()));
@@ -45,26 +68,69 @@ pub fn parallel_ingest(
             let catalog = ingest(&oracle, scoring.as_ref(), &config);
             counters
                 .clips_processed
-                .fetch_add(catalog.clip_count, std::sync::atomic::Ordering::Relaxed);
-            counters.eval_nanos.fetch_add(
-                started.elapsed().as_nanos() as u64,
-                std::sync::atomic::Ordering::Relaxed,
-            );
+                .fetch_add(catalog.clip_count, Ordering::Relaxed);
+            counters
+                .eval_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            metrics.ingest().enter_buffer();
             let _ = tx.send(catalog);
         }));
     }
     drop(tx);
-    // Workers drop their tx clones with the job closures; collecting until
-    // disconnect therefore yields exactly the non-panicked catalogs.
-    let catalogs: Vec<_> = rx.iter().collect();
+    // Workers drop their tx clones with the job closures; consuming until
+    // disconnect therefore drains exactly the non-panicked catalogs.
+    let mut sink_error = None;
+    for catalog in rx.iter() {
+        metrics.ingest().exit_buffer();
+        if sink_error.is_some() {
+            continue; // keep draining so workers never block forever
+        }
+        let accepted = std::time::Instant::now();
+        let outcome = sink.accept(catalog);
+        let ing = metrics.ingest();
+        ing.sink_nanos
+            .fetch_add(accepted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match outcome {
+            Ok(()) => {
+                ing.catalogs_sunk.fetch_add(1, Ordering::Relaxed);
+                ing.bytes_written
+                    .store(sink.bytes_written(), Ordering::Relaxed);
+            }
+            Err(e) => sink_error = Some(e),
+        }
+    }
     pool.shutdown();
-    VideoRepository::from_catalogs(catalogs)
+    match sink_error {
+        Some(e) => Err(e),
+        None => sink.finish(),
+    }
+}
+
+/// Ingest many videos concurrently into one deterministic in-memory
+/// repository — [`parallel_ingest_into`] with a [`MemorySink`].
+pub fn parallel_ingest(
+    oracles: &[Arc<DetectionOracle>],
+    scoring: Arc<dyn ScoringFunctions + Send + Sync>,
+    config: OnlineConfig,
+    workers: usize,
+    metrics: ExecMetrics,
+) -> VideoRepository {
+    parallel_ingest_into(
+        oracles,
+        scoring,
+        config,
+        workers,
+        metrics,
+        MemorySink::new(),
+    )
+    .expect("MemorySink never fails")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use svq_core::PaperScoring;
+    use svq_storage::JsonDirSink;
     use svq_types::{ActionClass, ObjectClass, VideoId};
     use svq_vision::models::ModelSuite;
     use svq_vision::synth::{ObjectSpec, ScenarioSpec};
@@ -86,8 +152,8 @@ mod tests {
 
     /// Byte-identical repository comparison via the persistence format.
     fn fingerprint(repo: &VideoRepository) -> Vec<String> {
-        repo.iter()
-            .map(|v| serde_json::to_string(v).unwrap())
+        repo.catalogs()
+            .map(|v| serde_json::to_string(&*v.unwrap()).unwrap())
             .collect()
     }
 
@@ -104,5 +170,53 @@ mod tests {
 
         assert_eq!(parallel.len(), 4);
         assert_eq!(fingerprint(&parallel), fingerprint(&sequential));
+    }
+
+    #[test]
+    fn spilled_ingest_matches_memory_and_bounds_buffering() {
+        let oracles = oracles(6);
+        let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
+        let config = OnlineConfig::default();
+        let workers = 2;
+
+        let memory = parallel_ingest(
+            &oracles,
+            scoring.clone(),
+            config,
+            workers,
+            ExecMetrics::new(),
+        );
+
+        let dir = std::env::temp_dir().join("svq_parallel_spill_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let metrics = ExecMetrics::new();
+        let report = parallel_ingest_into(
+            &oracles,
+            scoring,
+            config,
+            workers,
+            metrics.clone(),
+            JsonDirSink::create(&dir).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.videos, 6);
+        assert!(report.bytes_written > 0);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.ingest.catalogs_built, 6);
+        assert_eq!(snap.ingest.catalogs_sunk, 6);
+        assert_eq!(snap.ingest.buffered, 0, "hand-off drained");
+        assert!(
+            snap.ingest.buffered_high_water <= workers as u64 + 1,
+            "hand-off exceeded workers+1: {}",
+            snap.ingest.buffered_high_water
+        );
+        assert_eq!(snap.ingest.bytes_written, report.bytes_written);
+
+        // The spilled directory reloads into the same repository the
+        // memory sink produced.
+        let reloaded = VideoRepository::open_dir(&dir).unwrap();
+        assert_eq!(fingerprint(&reloaded), fingerprint(&memory));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

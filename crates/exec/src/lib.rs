@@ -17,9 +17,12 @@
 //!   [`mux::SessionMux::feed`]: streams hash by `VideoId` to per-shard
 //!   queues with one feeder thread each, so the accept path never blocks
 //!   on a full mailbox and a stalled session stalls only its shard.
-//! * [`ingest::parallel_ingest`] — one job per video fanning into
-//!   [`svq_storage::VideoRepository::from_catalogs`], whose `VideoId`-keyed
-//!   merge keeps parallel ingestion deterministic.
+//! * [`ingest::parallel_ingest_into`] — one job per video fanning into a
+//!   pluggable [`svq_storage::CatalogSink`] through a bounded hand-off (at
+//!   most `workers + 1` finished catalogs resident): `MemorySink` keeps
+//!   today's in-RAM repository, `JsonDirSink` streams every catalog
+//!   straight to disk so repository scale is bounded by storage, not RAM.
+//!   [`ingest::parallel_ingest`] is the memory-sink shorthand.
 //! * [`metrics::ExecMetrics`] — atomics-only counter registry (clips/sec
 //!   per session and pool-wide, queue depths, stage latencies) snapshotted
 //!   by `svqact mux` and `svq-bench`.
@@ -35,9 +38,11 @@ pub mod metrics;
 pub mod mux;
 pub mod pool;
 
-pub use ingest::parallel_ingest;
+pub use ingest::{parallel_ingest, parallel_ingest_into};
 pub use ingress::shard_index;
-pub use metrics::{ExecMetrics, MetricsSnapshot, SessionSnapshot, ShardSnapshot};
+pub use metrics::{
+    ExecMetrics, IngestCounters, IngestSnapshot, MetricsSnapshot, SessionSnapshot, ShardSnapshot,
+};
 pub use mux::{
     Backpressure, FeedError, MuxOptions, SessionEngine, SessionError, SessionId, SessionMux,
     SessionResult,

@@ -47,6 +47,45 @@ pub struct ShardCounters {
     pub feed_block_nanos: AtomicU64,
 }
 
+/// Counters for the parallel-ingest fan-in (see `svq_exec::ingest`).
+///
+/// "Buffered" counts catalogs a worker has finished building that the
+/// sink consumer has not yet pulled out of the bounded hand-off. With a
+/// capacity-1 hand-off channel the high-water mark is bounded by
+/// `workers + 1` (each worker holding one finished catalog on a blocked
+/// send, plus the one in the channel) — the invariant the spill path
+/// exists to enforce, asserted by tests and the `ingest-spill` bench.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    /// Catalogs completed by workers.
+    pub catalogs_built: AtomicU64,
+    /// Catalogs accepted by the sink.
+    pub catalogs_sunk: AtomicU64,
+    /// Bytes the sink reported durably written (0 for memory sinks).
+    pub bytes_written: AtomicU64,
+    /// Nanoseconds spent inside `CatalogSink::accept` (serialisation +
+    /// write + rename + manifest append for the spill sink).
+    pub sink_nanos: AtomicU64,
+    /// Finished catalogs currently waiting in the hand-off (gauge).
+    pub buffered: AtomicU64,
+    /// High-water mark of `buffered` over the run.
+    pub buffered_high_water: AtomicU64,
+}
+
+impl IngestCounters {
+    /// A worker finished a catalog: it now occupies the hand-off.
+    pub(crate) fn enter_buffer(&self) {
+        self.catalogs_built.fetch_add(1, Ordering::Relaxed);
+        let depth = self.buffered.fetch_add(1, Ordering::Relaxed) + 1;
+        self.buffered_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The consumer pulled a catalog out of the hand-off.
+    pub(crate) fn exit_buffer(&self) {
+        self.buffered.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Counters for the worker pool itself.
 #[derive(Debug, Default)]
 pub struct PoolCounters {
@@ -71,6 +110,7 @@ struct MetricsInner {
     started: Instant,
     workers: AtomicU64,
     pool: PoolCounters,
+    ingest: IngestCounters,
     sessions: RwLock<Vec<(String, Arc<SessionCounters>)>>,
     shards: RwLock<Vec<Arc<ShardCounters>>>,
 }
@@ -81,6 +121,7 @@ impl Default for MetricsInner {
             started: Instant::now(),
             workers: AtomicU64::new(0),
             pool: PoolCounters::default(),
+            ingest: IngestCounters::default(),
             sessions: RwLock::new(Vec::new()),
             shards: RwLock::new(Vec::new()),
         }
@@ -95,6 +136,11 @@ impl ExecMetrics {
     /// Pool-level counters.
     pub fn pool(&self) -> &PoolCounters {
         &self.inner.pool
+    }
+
+    /// Parallel-ingest fan-in counters.
+    pub fn ingest(&self) -> &IngestCounters {
+        &self.inner.ingest
     }
 
     pub(crate) fn set_workers(&self, n: usize) {
@@ -152,6 +198,7 @@ impl ExecMetrics {
                 feed_block_ms: c.feed_block_nanos.load(Ordering::Relaxed) as f64 / 1e6,
             })
             .collect();
+        let ing = &self.inner.ingest;
         MetricsSnapshot {
             elapsed_sec: elapsed,
             workers: self.inner.workers.load(Ordering::Relaxed),
@@ -160,6 +207,14 @@ impl ExecMetrics {
             pool_queue_depth: self.inner.pool.queue_depth.load(Ordering::Relaxed),
             total_clips,
             total_clips_per_sec: total_clips as f64 / elapsed,
+            ingest: IngestSnapshot {
+                catalogs_built: ing.catalogs_built.load(Ordering::Relaxed),
+                catalogs_sunk: ing.catalogs_sunk.load(Ordering::Relaxed),
+                bytes_written: ing.bytes_written.load(Ordering::Relaxed),
+                sink_ms: ing.sink_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+                buffered: ing.buffered.load(Ordering::Relaxed),
+                buffered_high_water: ing.buffered_high_water.load(Ordering::Relaxed),
+            },
             shards,
             sessions,
         }
@@ -257,6 +312,20 @@ pub struct ShardSnapshot {
     pub feed_block_ms: f64,
 }
 
+/// The parallel-ingest fan-in at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IngestSnapshot {
+    pub catalogs_built: u64,
+    pub catalogs_sunk: u64,
+    pub bytes_written: u64,
+    /// Total time inside `CatalogSink::accept` (spill latency).
+    pub sink_ms: f64,
+    /// Finished catalogs currently waiting in the hand-off.
+    pub buffered: u64,
+    /// Peak simultaneous waiting catalogs — bounded by `workers + 1`.
+    pub buffered_high_water: u64,
+}
+
 /// Whole-registry metrics at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -268,6 +337,7 @@ pub struct MetricsSnapshot {
     pub total_clips: u64,
     /// Pool-wide throughput across all sessions.
     pub total_clips_per_sec: f64,
+    pub ingest: IngestSnapshot,
     pub shards: Vec<ShardSnapshot>,
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -286,6 +356,19 @@ impl fmt::Display for MetricsSnapshot {
             self.jobs_panicked,
             self.pool_queue_depth,
         )?;
+        if self.ingest.catalogs_built > 0 {
+            writeln!(
+                f,
+                "  ingest   {:>8} built  {:>8} sunk  {:>10} bytes  sink {:>8.1} ms  \
+                 buffered {} (peak {})",
+                self.ingest.catalogs_built,
+                self.ingest.catalogs_sunk,
+                self.ingest.bytes_written,
+                self.ingest.sink_ms,
+                self.ingest.buffered,
+                self.ingest.buffered_high_water,
+            )?;
+        }
         for s in &self.shards {
             writeln!(
                 f,
@@ -356,6 +439,31 @@ mod tests {
         let text = snap.to_string();
         assert!(text.contains("shard 0"), "{text}");
         assert!(text.contains("41 enqueued"), "{text}");
+    }
+
+    #[test]
+    fn ingest_counters_track_hand_off_high_water() {
+        let metrics = ExecMetrics::new();
+        let ing = metrics.ingest();
+        ing.enter_buffer();
+        ing.enter_buffer();
+        ing.exit_buffer();
+        ing.enter_buffer(); // depth back to 2: peak stays 2
+        ing.catalogs_sunk.store(1, Ordering::Relaxed);
+        ing.bytes_written.store(4_096, Ordering::Relaxed);
+        ing.sink_nanos.store(3_000_000, Ordering::Relaxed);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.ingest.catalogs_built, 3);
+        assert_eq!(snap.ingest.catalogs_sunk, 1);
+        assert_eq!(snap.ingest.buffered, 2);
+        assert_eq!(snap.ingest.buffered_high_water, 2);
+        assert_eq!(snap.ingest.bytes_written, 4_096);
+        assert!((snap.ingest.sink_ms - 3.0).abs() < 1e-9);
+        let text = snap.to_string();
+        assert!(text.contains("ingest"), "{text}");
+        assert!(text.contains("peak 2"), "{text}");
+        // Quiet registries do not print an ingest line.
+        assert!(!ExecMetrics::new().snapshot().to_string().contains("ingest"));
     }
 
     #[test]

@@ -2,20 +2,69 @@
 //!
 //! Online plans run SVAQD (or the CNF engine for extended predicates) over
 //! a [`VideoStream`]; offline plans run RVAQ over an [`IngestedVideo`].
+//! Both entry points return the same [`QueryOutcome`] envelope — mode
+//! payload, disk-access delta, and wall time — so the CLI and the bench
+//! harness report either mode through one code path.
 
 use crate::plan::{LogicalPlan, PlannedPredicate, QueryMode};
+use std::time::Instant;
 use svq_core::expr::ExprSvaqd;
 use svq_core::offline::{Rvaq, RvaqOptions, TopKResult};
 use svq_core::online::{OnlineConfig, OnlineResult, Svaqd};
-use svq_storage::IngestedVideo;
+use svq_storage::{DiskStats, IngestedVideo};
 use svq_types::{ClipInterval, ScoringFunctions, SvqError, SvqResult};
 use svq_vision::{CostLedger, VideoStream};
 
-/// Result of an online statement.
+/// Mode-specific payload of a statement execution.
 #[derive(Debug, Clone, PartialEq)]
-pub struct OnlineExecution {
-    pub sequences: Vec<ClipInterval>,
-    pub cost: CostLedger,
+pub enum QueryResults {
+    /// Online (SVAQD / CNF) output: result sequences plus the simulated
+    /// inference cost the stream accumulated.
+    Online {
+        sequences: Vec<ClipInterval>,
+        cost: CostLedger,
+    },
+    /// Offline (RVAQ) output, with exact scores materialised so ranks are
+    /// user-meaningful.
+    Offline(TopKResult),
+}
+
+/// Uniform envelope returned by [`execute_online`] and [`execute_offline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Mode-specific results.
+    pub results: QueryResults,
+    /// Simulated-disk accesses this execution performed. Always zero for
+    /// online statements — SVAQD never touches the catalog store.
+    pub disk: DiskStats,
+    /// Wall-clock execution time of the engine call, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl QueryOutcome {
+    /// Result sequences in rank order (offline) or stream order (online).
+    pub fn sequences(&self) -> Vec<ClipInterval> {
+        match &self.results {
+            QueryResults::Online { sequences, .. } => sequences.clone(),
+            QueryResults::Offline(topk) => topk.ranked.iter().map(|r| r.interval).collect(),
+        }
+    }
+
+    /// Online payload, if this was an online execution.
+    pub fn online(&self) -> Option<(&[ClipInterval], &CostLedger)> {
+        match &self.results {
+            QueryResults::Online { sequences, cost } => Some((sequences, cost)),
+            QueryResults::Offline(_) => None,
+        }
+    }
+
+    /// Offline payload, if this was an offline execution.
+    pub fn offline(&self) -> Option<&TopKResult> {
+        match &self.results {
+            QueryResults::Online { .. } => None,
+            QueryResults::Offline(topk) => Some(topk),
+        }
+    }
 }
 
 /// Execute an online plan over a stream with SVAQD defaults
@@ -24,7 +73,7 @@ pub fn execute_online(
     plan: &LogicalPlan,
     stream: &mut VideoStream<'_>,
     config: OnlineConfig,
-) -> SvqResult<OnlineExecution> {
+) -> SvqResult<QueryOutcome> {
     match plan.mode {
         QueryMode::Online => {}
         QueryMode::Offline { .. } => {
@@ -33,6 +82,7 @@ pub fn execute_online(
             ))
         }
     }
+    let started = Instant::now();
     let sequences = match &plan.predicate {
         PlannedPredicate::Simple(q) => {
             let OnlineResult { sequences, .. } = Svaqd::run(q.clone(), stream, config, 1e-4, 1e-4);
@@ -40,18 +90,22 @@ pub fn execute_online(
         }
         PlannedPredicate::Cnf(q) => ExprSvaqd::run(q.clone(), stream, config, 1e-4, 1e-4),
     };
-    Ok(OnlineExecution {
-        sequences,
-        cost: *stream.ledger(),
+    Ok(QueryOutcome {
+        results: QueryResults::Online {
+            sequences,
+            cost: *stream.ledger(),
+        },
+        disk: DiskStats::default(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
     })
 }
 
-/// Execute an offline plan against an ingested catalog.
+/// Execute an offline plan against an ingested catalog with exact scores.
 pub fn execute_offline(
     plan: &LogicalPlan,
     catalog: &IngestedVideo,
     scoring: &dyn ScoringFunctions,
-) -> SvqResult<TopKResult> {
+) -> SvqResult<QueryOutcome> {
     let k = match plan.mode {
         QueryMode::Offline { k } => k,
         QueryMode::Online => {
@@ -61,7 +115,16 @@ pub fn execute_offline(
         }
     };
     match &plan.predicate {
-        PlannedPredicate::Simple(q) => Ok(Rvaq::run(catalog, q, scoring, RvaqOptions::new(k))),
+        PlannedPredicate::Simple(q) => {
+            let started = Instant::now();
+            let topk = Rvaq::run(catalog, q, scoring, RvaqOptions::new(k).with_exact_scores());
+            let disk = topk.disk;
+            Ok(QueryOutcome {
+                results: QueryResults::Offline(topk),
+                disk,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            })
+        }
         PlannedPredicate::Cnf(_) => Err(SvqError::InvalidQuery(
             "extended (CNF) predicates are supported online; the offline \
              engine requires the canonical single-action conjunction"
@@ -120,10 +183,15 @@ mod tests {
         let result = execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
         // jumping 500-899 = clips 10..=17; car covers it.
         assert_eq!(
-            result.sequences,
+            result.sequences(),
             vec![Interval::new(ClipId::new(10), ClipId::new(17))]
         );
-        assert!(result.cost.inference_ms() >= 0.0);
+        let (sequences, cost) = result.online().unwrap();
+        assert_eq!(sequences, result.sequences().as_slice());
+        assert!(cost.inference_ms() >= 0.0);
+        assert!(result.offline().is_none());
+        assert_eq!(result.disk, DiskStats::default());
+        assert!(result.wall_ms >= 0.0);
     }
 
     #[test]
@@ -140,11 +208,17 @@ mod tests {
         let oracle = oracle();
         let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
         let result = execute_offline(&plan, &catalog, &PaperScoring).unwrap();
-        assert_eq!(result.ranked.len(), 1);
+        let topk = result.offline().unwrap();
+        assert_eq!(topk.ranked.len(), 1);
         assert_eq!(
-            result.ranked[0].interval,
+            topk.ranked[0].interval,
             Interval::new(ClipId::new(10), ClipId::new(17))
         );
+        // Exact scores are materialised for user-facing ranks.
+        assert!(topk.ranked[0].exact.is_some());
+        assert_eq!(result.sequences(), vec![topk.ranked[0].interval]);
+        assert_eq!(result.disk, topk.disk);
+        assert!(result.online().is_none());
     }
 
     #[test]
@@ -170,7 +244,7 @@ mod tests {
         let mut stream = VideoStream::new(&oracle);
         let result = execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
         assert_eq!(
-            result.sequences,
+            result.sequences(),
             vec![Interval::new(ClipId::new(10), ClipId::new(17))]
         );
     }

@@ -31,6 +31,8 @@
 //! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`plan`] (semantic
 //! analysis against the model vocabularies, logical plan, `EXPLAIN`) →
 //! [`exec`] (binds the plan to the online engines or the offline RVAQ).
+//! Both execution modes return one [`exec::QueryOutcome`] envelope carrying
+//! the mode payload, the disk-access delta, and wall time.
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +42,6 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use exec::{execute_offline, execute_online};
+pub use exec::{execute_offline, execute_online, QueryOutcome, QueryResults};
 pub use parser::parse;
 pub use plan::{LogicalPlan, QueryMode};

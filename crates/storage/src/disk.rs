@@ -93,12 +93,16 @@ impl SimulatedDisk {
         *self.inner.lock() = DiskStats::default();
     }
 
-    /// Counters accumulated since a snapshot.
+    /// Counters accumulated since a snapshot. Saturates at zero: a
+    /// [`SimulatedDisk::reset`] between the snapshot and now leaves the
+    /// live counters *behind* the snapshot, and the delta of interest is
+    /// then "accesses since the reset floor", never a negative (which
+    /// previously underflowed — debug panic, release wrap).
     pub fn since(&self, snapshot: DiskStats) -> DiskStats {
         let now = self.stats();
         DiskStats {
-            sorted_accesses: now.sorted_accesses - snapshot.sorted_accesses,
-            random_accesses: now.random_accesses - snapshot.random_accesses,
+            sorted_accesses: now.sorted_accesses.saturating_sub(snapshot.sorted_accesses),
+            random_accesses: now.random_accesses.saturating_sub(snapshot.random_accesses),
         }
     }
 
@@ -166,6 +170,25 @@ mod tests {
                 random_accesses: 2
             }
         );
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let disk = SimulatedDisk::new();
+        disk.charge_random();
+        disk.charge_random();
+        disk.charge_sorted();
+        let snap = disk.stats();
+        // A reset after the snapshot must not underflow the delta.
+        disk.reset();
+        assert_eq!(disk.since(snap), DiskStats::default());
+        // Accesses after the reset surface once they pass the snapshot
+        // floor component-wise.
+        disk.charge_sorted();
+        disk.charge_sorted();
+        let delta = disk.since(snap);
+        assert_eq!(delta.random_accesses, 0);
+        assert_eq!(delta.sorted_accesses, 1);
     }
 
     #[test]

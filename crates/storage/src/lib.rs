@@ -18,6 +18,14 @@
 //!   sequence sets for one video, plus JSON persistence so a repository can
 //!   be ingested once and queried many times (the paper's single-time
 //!   pre-processing contract).
+//! * [`sink`] — [`sink::CatalogSink`], the streaming fan-in of parallel
+//!   ingestion: [`sink::MemorySink`] keeps catalogs resident,
+//!   [`sink::JsonDirSink`] spills each straight to disk (temp-file +
+//!   rename, append-only manifest) so repository scale is bounded by disk,
+//!   not RAM.
+//! * [`repository`] — [`repository::VideoRepository`], catalogs keyed by
+//!   `VideoId` with lazy directory-backed loading
+//!   ([`repository::VideoRepository::open_dir`]).
 //!
 //! The ingestion *pipeline* (which runs SVAQD per class to produce the
 //! sequence sets) lives in `svq-core::offline::ingest`, since it reuses the
@@ -29,10 +37,12 @@ pub mod catalog;
 pub mod disk;
 pub mod repository;
 pub mod seqset;
+pub mod sink;
 pub mod table;
 
 pub use catalog::IngestedVideo;
 pub use disk::{DiskCostProfile, DiskStats, SimulatedDisk};
 pub use repository::VideoRepository;
 pub use seqset::SequenceSet;
+pub use sink::{read_manifest, CatalogSink, JsonDirSink, ManifestEntry, MemorySink, SpillReport};
 pub use table::ClipScoreTable;

@@ -7,16 +7,42 @@
 //! incremental addition and removal (each video's metadata is
 //! self-contained, so maintenance is O(1) per video) and directory-based
 //! persistence.
+//!
+//! Catalogs are held as `Arc<IngestedVideo>` behind per-slot lazy cells:
+//! a repository opened with [`VideoRepository::open_dir`] knows every
+//! video's identity and clip count from the manifest alone and reads a
+//! catalog file only on the first [`VideoRepository::get`] that touches it,
+//! so offline queries over a large repository no longer pay for loading
+//! every video up front.
 
 use crate::catalog::IngestedVideo;
+use crate::sink::{read_manifest, CatalogSink, JsonDirSink, SpillReport};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use svq_types::{SvqError, SvqResult, VideoId};
+
+/// Where one video's catalog currently lives.
+#[derive(Debug)]
+enum SlotState {
+    /// Resident in memory.
+    Loaded(Arc<IngestedVideo>),
+    /// On disk, to be read on first access.
+    OnDisk(PathBuf),
+}
+
+/// One video's entry: clip count (always known) + lazily loaded catalog.
+#[derive(Debug)]
+struct Slot {
+    clips: u64,
+    state: Mutex<SlotState>,
+}
 
 /// A queryable collection of ingested videos.
 #[derive(Debug, Default)]
 pub struct VideoRepository {
-    videos: BTreeMap<VideoId, IngestedVideo>,
+    videos: BTreeMap<VideoId, Slot>,
 }
 
 impl VideoRepository {
@@ -26,9 +52,20 @@ impl VideoRepository {
     }
 
     /// Add (or replace) one video's catalog. Returns the previous catalog
-    /// if the video was already present.
-    pub fn add(&mut self, catalog: IngestedVideo) -> Option<IngestedVideo> {
-        self.videos.insert(catalog.video, catalog)
+    /// if the video was already present *and* resident (a lazily opened,
+    /// not-yet-loaded predecessor is discarded without reading it).
+    pub fn add(&mut self, catalog: IngestedVideo) -> Option<Arc<IngestedVideo>> {
+        let id = catalog.video;
+        let slot = Slot {
+            clips: catalog.clip_count,
+            state: Mutex::new(SlotState::Loaded(Arc::new(catalog))),
+        };
+        self.videos
+            .insert(id, slot)
+            .and_then(|old| match old.state.into_inner() {
+                SlotState::Loaded(c) => Some(c),
+                SlotState::OnDisk(_) => None,
+            })
     }
 
     /// Build a repository from catalogs arriving in *any* order — the merge
@@ -43,19 +80,47 @@ impl VideoRepository {
         repo
     }
 
-    /// Remove a video.
-    pub fn remove(&mut self, video: VideoId) -> Option<IngestedVideo> {
-        self.videos.remove(&video)
+    /// Remove a video. Returns its catalog if it was resident.
+    pub fn remove(&mut self, video: VideoId) -> Option<Arc<IngestedVideo>> {
+        self.videos
+            .remove(&video)
+            .and_then(|slot| match slot.state.into_inner() {
+                SlotState::Loaded(c) => Some(c),
+                SlotState::OnDisk(_) => None,
+            })
     }
 
-    /// Look up one video's catalog.
-    pub fn get(&self, video: VideoId) -> Option<&IngestedVideo> {
-        self.videos.get(&video)
+    /// Look up one video's catalog, reading it from disk on first access
+    /// if the repository was opened lazily. `Ok(None)` means the video is
+    /// not in the repository; `Err` means its catalog file could not be
+    /// read (the slot stays on disk for a later retry).
+    pub fn get(&self, video: VideoId) -> SvqResult<Option<Arc<IngestedVideo>>> {
+        match self.videos.get(&video) {
+            None => Ok(None),
+            Some(slot) => Self::load_slot(slot).map(Some),
+        }
     }
 
-    /// Iterate catalogs in video-id order.
-    pub fn iter(&self) -> impl Iterator<Item = &IngestedVideo> {
-        self.videos.values()
+    fn load_slot(slot: &Slot) -> SvqResult<Arc<IngestedVideo>> {
+        let mut state = slot.state.lock();
+        match &*state {
+            SlotState::Loaded(c) => Ok(c.clone()),
+            SlotState::OnDisk(path) => {
+                let catalog = Arc::new(IngestedVideo::load(path)?);
+                *state = SlotState::Loaded(catalog.clone());
+                Ok(catalog)
+            }
+        }
+    }
+
+    /// Iterate catalogs in video-id order, loading lazily as needed.
+    pub fn catalogs(&self) -> impl Iterator<Item = SvqResult<Arc<IngestedVideo>>> + '_ {
+        self.videos.values().map(Self::load_slot)
+    }
+
+    /// The video ids present, in order.
+    pub fn video_ids(&self) -> impl Iterator<Item = VideoId> + '_ {
+        self.videos.keys().copied()
     }
 
     /// Number of videos.
@@ -68,22 +133,40 @@ impl VideoRepository {
         self.videos.is_empty()
     }
 
-    /// Total clips across the repository.
+    /// Total clips across the repository. Known without loading anything —
+    /// lazy entries carry their clip counts in the manifest.
     pub fn total_clips(&self) -> u64 {
-        self.videos.values().map(|v| v.clip_count).sum()
+        self.videos.values().map(|s| s.clips).sum()
     }
 
-    /// Persist every catalog to `dir/video-<id>.json`.
-    pub fn save_dir(&self, dir: impl AsRef<Path>) -> SvqResult<()> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        for (id, catalog) in &self.videos {
-            catalog.save(dir.join(format!("video-{}.json", id.raw())))?;
+    /// One video's clip count (without loading its catalog).
+    pub fn clip_count(&self, video: VideoId) -> Option<u64> {
+        self.videos.get(&video).map(|s| s.clips)
+    }
+
+    /// How many catalogs are currently resident in memory. A freshly
+    /// [`VideoRepository::open_dir`]-ed repository reports 0.
+    pub fn loaded_count(&self) -> usize {
+        self.videos
+            .values()
+            .filter(|s| matches!(&*s.state.lock(), SlotState::Loaded(_)))
+            .count()
+    }
+
+    /// Persist every catalog to `dir/video-<id>.json` plus a
+    /// `manifest.json`, through the same [`JsonDirSink`] streaming
+    /// ingestion uses — the directory contents are byte-identical to a
+    /// spilled ingest of the same catalogs.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> SvqResult<SpillReport> {
+        let mut sink = JsonDirSink::create(dir)?;
+        for catalog in self.catalogs() {
+            sink.accept((*catalog?).clone())?;
         }
-        Ok(())
+        sink.finish()
     }
 
-    /// Load every `video-*.json` under `dir`.
+    /// Eagerly load every `video-*.json` under `dir` (manifest optional —
+    /// the catalog files are self-describing).
     pub fn load_dir(dir: impl AsRef<Path>) -> SvqResult<Self> {
         let mut repo = Self::new();
         for entry in std::fs::read_dir(dir.as_ref())? {
@@ -100,6 +183,31 @@ impl VideoRepository {
             )));
         }
         Ok(repo)
+    }
+
+    /// Open a spilled directory lazily: read only `manifest.json`, defer
+    /// each catalog file to the first [`VideoRepository::get`] (or
+    /// [`VideoRepository::catalogs`] step) that touches it.
+    pub fn open_dir(dir: impl AsRef<Path>) -> SvqResult<Self> {
+        let dir = dir.as_ref();
+        let entries = read_manifest(dir)?;
+        if entries.is_empty() {
+            return Err(SvqError::MissingMetadata(format!(
+                "empty manifest under {}",
+                dir.display()
+            )));
+        }
+        let mut videos = BTreeMap::new();
+        for entry in entries {
+            videos.insert(
+                entry.video,
+                Slot {
+                    clips: entry.clips,
+                    state: Mutex::new(SlotState::OnDisk(dir.join(&entry.file))),
+                },
+            );
+        }
+        Ok(Self { videos })
     }
 }
 
@@ -137,26 +245,77 @@ mod tests {
         repo.add(empty_catalog(2, 20));
         assert_eq!(repo.len(), 2);
         assert_eq!(repo.total_clips(), 30);
-        assert!(repo.get(VideoId::new(1)).is_some());
+        assert!(repo.get(VideoId::new(1)).unwrap().is_some());
+        assert_eq!(repo.clip_count(VideoId::new(2)), Some(20));
         let removed = repo.remove(VideoId::new(1)).unwrap();
         assert_eq!(removed.video, VideoId::new(1));
         assert_eq!(repo.total_clips(), 20);
         // Replacement returns the old catalog.
         assert!(repo.add(empty_catalog(2, 25)).is_some());
         assert_eq!(repo.total_clips(), 25);
+        assert_eq!(repo.loaded_count(), 1);
     }
 
     #[test]
-    fn directory_round_trip() {
+    fn directory_round_trip_eager() {
         let mut repo = VideoRepository::new();
         repo.add(empty_catalog(7, 5));
         repo.add(empty_catalog(8, 6));
         let dir = std::env::temp_dir().join("svq_repo_test");
-        repo.save_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let report = repo.save_dir(&dir).unwrap();
+        assert_eq!(report.videos, 2);
+        assert_eq!(report.clips, 11);
         let loaded = VideoRepository::load_dir(&dir).unwrap();
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.total_clips(), 11);
+        assert_eq!(loaded.loaded_count(), 2, "load_dir is eager");
+    }
+
+    #[test]
+    fn open_dir_is_lazy() {
+        let mut repo = VideoRepository::new();
+        repo.add(empty_catalog(3, 4));
+        repo.add(empty_catalog(5, 9));
+        let dir = std::env::temp_dir().join("svq_repo_lazy_test");
+        std::fs::remove_dir_all(&dir).ok();
+        repo.save_dir(&dir).unwrap();
+
+        let lazy = VideoRepository::open_dir(&dir).unwrap();
+        // Identity and clip counts come from the manifest alone.
+        assert_eq!(lazy.len(), 2);
+        assert_eq!(lazy.total_clips(), 13);
+        assert_eq!(lazy.loaded_count(), 0, "nothing read yet");
+        // First get loads exactly one catalog.
+        let c = lazy.get(VideoId::new(5)).unwrap().unwrap();
+        assert_eq!(c.clip_count, 9);
+        assert_eq!(lazy.loaded_count(), 1);
+        // Second get of the same video hits the cache (same Arc).
+        let again = lazy.get(VideoId::new(5)).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&c, &again));
+        // Absent video is None, not an error.
+        assert!(lazy.get(VideoId::new(99)).unwrap().is_none());
+        // Full iteration loads the rest.
+        assert_eq!(lazy.catalogs().filter_map(Result::ok).count(), 2);
+        assert_eq!(lazy.loaded_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_dir_surfaces_missing_catalog_files() {
+        let mut repo = VideoRepository::new();
+        repo.add(empty_catalog(1, 2));
+        let dir = std::env::temp_dir().join("svq_repo_missing_test");
+        std::fs::remove_dir_all(&dir).ok();
+        repo.save_dir(&dir).unwrap();
+        std::fs::remove_file(dir.join("video-1.json")).unwrap();
+        let lazy = VideoRepository::open_dir(&dir).unwrap();
+        // The manifest promised a file that is gone: get errs, membership
+        // and clip counts still answer.
+        assert_eq!(lazy.total_clips(), 2);
+        assert!(lazy.get(VideoId::new(1)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -164,6 +323,7 @@ mod tests {
         let dir = std::env::temp_dir().join("svq_repo_empty_test");
         std::fs::create_dir_all(&dir).unwrap();
         assert!(VideoRepository::load_dir(&dir).is_err());
+        assert!(VideoRepository::open_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

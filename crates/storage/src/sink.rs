@@ -1,0 +1,360 @@
+//! Streaming catalog persistence — the fan-in of parallel ingestion.
+//!
+//! The paper's ingestion phase (§4.1) materialises per-video metadata that
+//! is meant to live on secondary storage: the offline evaluation charges
+//! *disk* accesses, not RAM. A [`CatalogSink`] is the pluggable merge point
+//! that decides where a finished [`IngestedVideo`] goes the moment a worker
+//! completes it:
+//!
+//! * [`MemorySink`] keeps every catalog resident and finishes into a
+//!   [`VideoRepository`] — the historical `Vec`-collect behaviour.
+//! * [`JsonDirSink`] streams each catalog straight to disk as
+//!   `video-<id>.json` (crash-safe: temp file + rename) and records it in
+//!   an append-only `manifest.json`, so repository scale is bounded by
+//!   disk, not RAM. [`VideoRepository::open_dir`] reads the manifest back
+//!   and loads catalogs lazily on first access.
+//!
+//! ## Manifest format
+//!
+//! `manifest.json` is a JSON-lines file: one object per ingested video,
+//! `{"video":<id>,"file":"video-<id>.json","clips":<n>,"bytes":<len>}`.
+//! During ingestion it is strictly append-only — a line is appended (and
+//! flushed) only *after* the catalog file was durably renamed into place,
+//! so a crash mid-ingest leaves a manifest that lists exactly the videos
+//! whose files are complete. [`CatalogSink::finish`] then compacts it into
+//! `VideoId` order (again via temp file + rename), which makes the final
+//! directory contents independent of worker interleaving.
+
+use crate::catalog::IngestedVideo;
+use crate::repository::VideoRepository;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use svq_types::{SvqError, SvqResult, VideoId};
+
+/// File name of the ingestion manifest inside a spill directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One manifest line: a video catalog durably present in the directory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The video the catalog describes.
+    pub video: VideoId,
+    /// Catalog file name relative to the directory (`video-<id>.json`).
+    pub file: String,
+    /// Clip count of the catalog (queryable without loading it).
+    pub clips: u64,
+    /// Content length of the catalog file in bytes.
+    pub bytes: u64,
+}
+
+impl ManifestEntry {
+    /// Render the canonical single-line JSON form (fixed key order, so the
+    /// manifest is byte-deterministic).
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"video\":{},\"file\":{:?},\"clips\":{},\"bytes\":{}}}",
+            self.video.raw(),
+            self.file,
+            self.clips,
+            self.bytes
+        )
+    }
+}
+
+/// Read and parse `dir/manifest.json`.
+pub fn read_manifest(dir: impl AsRef<Path>) -> SvqResult<Vec<ManifestEntry>> {
+    let path = dir.as_ref().join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        entries.push(
+            serde_json::from_str::<ManifestEntry>(line)
+                .map_err(|e| SvqError::Storage(format!("manifest line {line:?}: {e}")))?,
+        );
+    }
+    Ok(entries)
+}
+
+/// Where finished catalogs go as ingestion workers complete them.
+///
+/// `accept` is called once per catalog, from a single consumer thread, in
+/// whatever order workers finish; implementations must not depend on
+/// arrival order for their final output. `finish` seals the sink and
+/// returns its output.
+pub trait CatalogSink {
+    /// What sealing the sink yields (a repository, a spill report, …).
+    type Output;
+
+    /// Take ownership of one finished catalog.
+    fn accept(&mut self, catalog: IngestedVideo) -> SvqResult<()>;
+
+    /// Seal the sink and return its output.
+    fn finish(self) -> SvqResult<Self::Output>;
+
+    /// Bytes this sink has durably written so far (0 for in-memory sinks).
+    fn bytes_written(&self) -> u64 {
+        0
+    }
+}
+
+/// Keep every catalog resident; finish into a [`VideoRepository`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    repo: VideoRepository,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CatalogSink for MemorySink {
+    type Output = VideoRepository;
+
+    fn accept(&mut self, catalog: IngestedVideo) -> SvqResult<()> {
+        self.repo.add(catalog);
+        Ok(())
+    }
+
+    fn finish(self) -> SvqResult<VideoRepository> {
+        Ok(self.repo)
+    }
+}
+
+/// Summary returned by [`JsonDirSink::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillReport {
+    /// The directory the catalogs were written to.
+    pub dir: PathBuf,
+    /// Number of catalogs spilled.
+    pub videos: u64,
+    /// Total clips across all spilled catalogs.
+    pub clips: u64,
+    /// Total catalog bytes written (manifest excluded).
+    pub bytes_written: u64,
+}
+
+/// Stream every catalog straight to `dir/video-<id>.json`.
+///
+/// Crash-safety contract: each catalog is serialised to a hidden temp file
+/// and atomically renamed into place, and only then recorded in the
+/// append-only manifest (flushed per entry). At any instant the manifest
+/// lists exactly the catalogs that are durably complete.
+#[derive(Debug)]
+pub struct JsonDirSink {
+    dir: PathBuf,
+    manifest: std::fs::File,
+    entries: Vec<ManifestEntry>,
+    bytes_written: u64,
+    clips: u64,
+}
+
+impl JsonDirSink {
+    /// Create `dir` (if needed) and start a fresh manifest. Any manifest
+    /// from a previous run is truncated; catalog files are overwritten as
+    /// their videos are re-ingested.
+    pub fn create(dir: impl AsRef<Path>) -> SvqResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = std::fs::File::create(dir.join(MANIFEST_FILE))?;
+        Ok(Self {
+            dir,
+            manifest,
+            entries: Vec::new(),
+            bytes_written: 0,
+            clips: 0,
+        })
+    }
+
+    /// The directory being written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl CatalogSink for JsonDirSink {
+    type Output = SpillReport;
+
+    fn accept(&mut self, catalog: IngestedVideo) -> SvqResult<()> {
+        let id = catalog.video;
+        let clips = catalog.clip_count;
+        let json = serde_json::to_string(&catalog)
+            .map_err(|e| SvqError::Storage(format!("serialise video {}: {e}", id.raw())))?;
+        drop(catalog); // the catalog's memory is released before the write
+        let file = format!("video-{}.json", id.raw());
+        let tmp = self.dir.join(format!(".{file}.tmp"));
+        let path = self.dir.join(&file);
+        std::fs::write(&tmp, &json)?;
+        std::fs::rename(&tmp, &path)?;
+        let entry = ManifestEntry {
+            video: id,
+            file,
+            clips,
+            bytes: json.len() as u64,
+        };
+        writeln!(self.manifest, "{}", entry.to_line())?;
+        self.manifest.flush()?;
+        self.bytes_written += entry.bytes;
+        self.clips += entry.clips;
+        self.entries.retain(|e| e.video != id);
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    fn finish(mut self) -> SvqResult<SpillReport> {
+        // Compact the append-order manifest into VideoId order so the final
+        // directory is identical no matter how workers interleaved.
+        self.entries.sort_by_key(|e| e.video);
+        let mut text = String::new();
+        for entry in &self.entries {
+            text.push_str(&entry.to_line());
+            text.push('\n');
+        }
+        let tmp = self.dir.join(format!(".{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        Ok(SpillReport {
+            dir: self.dir,
+            videos: self.entries.len() as u64,
+            clips: self.clips,
+            bytes_written: self.bytes_written,
+        })
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimulatedDisk;
+    use crate::seqset::SequenceSet;
+    use crate::table::ClipScoreTable;
+    use svq_types::{ActionClass, ObjectClass, VideoGeometry, Vocabulary};
+
+    fn catalog(id: u64, clips: u64) -> IngestedVideo {
+        let disk = SimulatedDisk::new();
+        IngestedVideo::new(
+            VideoId::new(id),
+            VideoGeometry::default(),
+            clips,
+            (0..ObjectClass::cardinality())
+                .map(|_| ClipScoreTable::new(vec![], disk.clone()))
+                .collect(),
+            (0..ActionClass::cardinality())
+                .map(|_| ClipScoreTable::new(vec![], disk.clone()))
+                .collect(),
+            vec![SequenceSet::empty(); ObjectClass::cardinality()],
+            vec![SequenceSet::empty(); ActionClass::cardinality()],
+            disk,
+        )
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn memory_sink_collects_a_repository() {
+        let mut sink = MemorySink::new();
+        sink.accept(catalog(3, 5)).unwrap();
+        sink.accept(catalog(1, 7)).unwrap();
+        assert_eq!(sink.bytes_written(), 0);
+        let repo = sink.finish().unwrap();
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.total_clips(), 12);
+    }
+
+    #[test]
+    fn json_dir_sink_writes_catalogs_and_manifest() {
+        let dir = tmp_dir("svq_sink_basic");
+        let mut sink = JsonDirSink::create(&dir).unwrap();
+        sink.accept(catalog(9, 4)).unwrap();
+        sink.accept(catalog(2, 6)).unwrap();
+        assert!(sink.bytes_written() > 0);
+        let report = sink.finish().unwrap();
+        assert_eq!(report.videos, 2);
+        assert_eq!(report.clips, 10);
+        assert!(dir.join("video-2.json").exists());
+        assert!(dir.join("video-9.json").exists());
+        let entries = read_manifest(&dir).unwrap();
+        // Compacted into VideoId order regardless of arrival order.
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].video, VideoId::new(2));
+        assert_eq!(entries[0].clips, 6);
+        assert_eq!(entries[1].video, VideoId::new(9));
+        assert_eq!(
+            entries[1].bytes,
+            std::fs::metadata(dir.join("video-9.json")).unwrap().len()
+        );
+        // No temp files linger.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "leftover temp file {name:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_is_append_only_until_finish() {
+        let dir = tmp_dir("svq_sink_append");
+        let mut sink = JsonDirSink::create(&dir).unwrap();
+        sink.accept(catalog(5, 3)).unwrap();
+        // Pre-finish (crash window): the manifest already lists video 5.
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].video, VideoId::new(5));
+        sink.accept(catalog(1, 2)).unwrap();
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries[0].video, VideoId::new(5), "append order pre-finish");
+        sink.finish().unwrap();
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries[0].video, VideoId::new(1), "sorted post-finish");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn re_ingesting_a_video_replaces_its_entry() {
+        let dir = tmp_dir("svq_sink_replace");
+        let mut sink = JsonDirSink::create(&dir).unwrap();
+        sink.accept(catalog(4, 3)).unwrap();
+        sink.accept(catalog(4, 8)).unwrap();
+        let report = sink.finish().unwrap();
+        assert_eq!(report.videos, 1);
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].clips, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_lines_round_trip() {
+        let entry = ManifestEntry {
+            video: VideoId::new(17),
+            file: "video-17.json".into(),
+            clips: 42,
+            bytes: 9001,
+        };
+        let line = entry.to_line();
+        assert_eq!(
+            line,
+            "{\"video\":17,\"file\":\"video-17.json\",\"clips\":42,\"bytes\":9001}"
+        );
+        let back: ManifestEntry = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, entry);
+    }
+}

@@ -18,6 +18,8 @@ pub enum SvqError {
     UnknownLabel { kind: &'static str, name: String },
     /// The query is structurally invalid (e.g. no action predicate).
     InvalidQuery(String),
+    /// A configuration value failed validation (builder `build()`).
+    InvalidConfig(String),
     /// A parse error in the SQL-like surface language, with byte offset.
     Parse { message: String, offset: usize },
     /// Ingestion metadata required by the offline engine is missing.
@@ -35,6 +37,7 @@ impl fmt::Display for SvqError {
                 write!(f, "unknown {kind} label: {name:?}")
             }
             SvqError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            SvqError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             SvqError::Parse { message, offset } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }

@@ -77,7 +77,7 @@ impl CostLedger {
     /// ">98 %" figure for the online case.
     pub fn inference_fraction(&self) -> f64 {
         let total = self.total_ms();
-        if total == 0.0 {
+        if total <= 0.0 {
             0.0
         } else {
             self.inference_ms() / total

@@ -54,7 +54,7 @@ impl BurstProcess {
             "rate must be in [0,1), got {rate}"
         );
         assert!(mean_burst >= 1.0, "mean burst must be at least one OU");
-        if rate == 0.0 {
+        if rate <= 0.0 {
             return Self::OFF;
         }
         let exit = 1.0 / mean_burst;
@@ -80,7 +80,7 @@ impl BurstProcess {
 
     /// The stationary activity rate.
     pub fn stationary_rate(&self) -> f64 {
-        if self.enter == 0.0 {
+        if self.enter <= 0.0 {
             0.0
         } else {
             self.enter / (self.enter + self.exit)

@@ -65,14 +65,17 @@ fn run_statement(sql: &str, video: &SyntheticVideo) {
             let result = execute_online(&plan, &mut stream, OnlineConfig::default())
                 .expect("execute online");
             println!("sequences:");
-            for s in &result.sequences {
+            for s in result.sequences() {
                 println!("  clips {}..{}", s.start.raw(), s.end.raw());
             }
         }
         QueryMode::Offline { .. } => {
             let oracle = video.oracle(ModelSuite::accurate());
             let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
-            let result = execute_offline(&plan, &catalog, &PaperScoring).expect("execute offline");
+            let outcome = execute_offline(&plan, &catalog, &PaperScoring).expect("execute offline");
+            let result = outcome
+                .offline()
+                .expect("offline plan yields offline results");
             println!("ranked sequences:");
             for (i, r) in result.ranked.iter().enumerate() {
                 println!(

@@ -22,4 +22,8 @@ echo "== repro mux-ingress smoke (1 shard, batch 1, tiny stream)"
 cargo run -q --release -p svq-bench --bin repro -- mux-ingress \
   --scale 0.02 --out target/ci-results
 
+echo "== repro ingest-spill smoke (workers {1,2}, byte-identity + hand-off bound)"
+cargo run -q --release -p svq-bench --bin repro -- ingest-spill \
+  --scale 0.02 --out target/ci-results
+
 echo "CI OK"

@@ -54,7 +54,9 @@ pub use svq_vision as vision;
 pub mod prelude {
     pub use svq_core::offline::{ingest, FaTopK, PqTraverse, Rvaq, RvaqOptions};
     pub use svq_core::online::{OnlineConfig, Svaq, Svaqd};
-    pub use svq_query::{execute_offline, execute_online, parse, LogicalPlan};
+    pub use svq_query::{
+        execute_offline, execute_online, parse, LogicalPlan, QueryOutcome, QueryResults,
+    };
     pub use svq_storage::{IngestedVideo, SequenceSet};
     pub use svq_types::{
         ActionClass, ActionQuery, ClipId, ClipInterval, FrameId, Interval, ObjectClass,

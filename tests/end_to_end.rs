@@ -118,7 +118,8 @@ fn sql_surface_matches_direct_api() {
         1e-4,
         1e-4,
     );
-    assert_eq!(via_sql.sequences, direct.sequences);
+    assert_eq!(via_sql.sequences(), direct.sequences);
+    assert!(via_sql.online().is_some() && via_sql.offline().is_none());
 }
 
 #[test]
@@ -211,7 +212,7 @@ fn repository_global_topk_end_to_end() {
             &OnlineConfig::default(),
         ));
     }
-    let top = RepositoryRvaq::run(&repo, &query, &PaperScoring, 4);
+    let top = RepositoryRvaq::run(&repo, &query, &PaperScoring, 4).unwrap();
     assert!(!top.ranked.is_empty());
     for w in top.ranked.windows(2) {
         assert!(w[0].score >= w[1].score);
@@ -221,7 +222,7 @@ fn repository_global_topk_end_to_end() {
     repo.save_dir(&dir).unwrap();
     let reloaded = VideoRepository::load_dir(&dir).unwrap();
     std::fs::remove_dir_all(&dir).ok();
-    let again = RepositoryRvaq::run(&reloaded, &query, &PaperScoring, 4);
+    let again = RepositoryRvaq::run(&reloaded, &query, &PaperScoring, 4).unwrap();
     assert_eq!(top.ranked.len(), again.ranked.len());
     for (a, b) in top.ranked.iter().zip(&again.ranked) {
         assert_eq!((a.video, a.interval), (b.video, b.interval));
@@ -241,7 +242,9 @@ fn disjunctive_sql_statement_end_to_end() {
     let plan = LogicalPlan::from_statement(&stmt).unwrap();
     let oracle = video.oracle(ModelSuite::ideal());
     let mut stream = VideoStream::new(&oracle);
-    let via_or = execute_online(&plan, &mut stream, OnlineConfig::default()).unwrap();
+    let via_or = execute_online(&plan, &mut stream, OnlineConfig::default())
+        .unwrap()
+        .sequences();
     // With no kissing in the scene, the disjunction equals the plain query.
     let oracle2 = video.oracle(ModelSuite::ideal());
     let mut stream2 = VideoStream::new(&oracle2);
@@ -254,10 +257,10 @@ fn disjunctive_sql_statement_end_to_end() {
     );
     // The engines differ in estimator diets (ExprSvaqd evaluates every
     // predicate; Svaqd short-circuits), so boundary clips may differ by one.
-    assert_eq!(via_or.sequences.len(), plain.sequences.len());
-    for (a, b) in via_or.sequences.iter().zip(&plain.sequences) {
+    assert_eq!(via_or.len(), plain.sequences.len());
+    for (a, b) in via_or.iter().zip(&plain.sequences) {
         let sym_diff = a.len() + b.len() - 2 * a.overlap_len(b);
         assert!(sym_diff <= 2, "{a:?} vs {b:?}");
     }
-    assert!(!via_or.sequences.is_empty());
+    assert!(!via_or.is_empty());
 }

@@ -153,10 +153,11 @@ fn parallel_ingest_is_deterministic() {
         let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
         let parallel = parallel_ingest(&oracles, scoring, config, workers, ExecMetrics::new());
         assert_eq!(parallel.len(), sequential.len());
-        for (got, want) in parallel.iter().zip(sequential.iter()) {
+        for (got, want) in parallel.catalogs().zip(sequential.catalogs()) {
+            let (got, want) = (got.unwrap(), want.unwrap());
             assert_eq!(
-                serde_json::to_string(got).unwrap(),
-                serde_json::to_string(want).unwrap(),
+                serde_json::to_string(&*got).unwrap(),
+                serde_json::to_string(&*want).unwrap(),
                 "catalog for video {:?} drifted at {workers} workers",
                 want.video
             );
