@@ -10,6 +10,7 @@ pub mod mux_throughput;
 pub mod offline_tables;
 pub mod runtime;
 pub mod rvaq_accuracy;
+pub mod serve_throughput;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -69,4 +70,5 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("mux-throughput", mux_throughput::run),
     ("mux-ingress", mux_ingress::run),
     ("ingest-spill", ingest_spill::run),
+    ("serve-throughput", serve_throughput::run),
 ];

@@ -1,0 +1,249 @@
+//! Load generator for the `svq-serve` service layer.
+//!
+//! Not a paper experiment: the paper executes queries in-process. This
+//! benchmarks the PR 5 TCP service — an in-process server on an ephemeral
+//! port, swept with {1, 4, 16, 64} concurrent clients (smoke: {1, 4})
+//! issuing a mixed `query`/`stream`/`stats` workload — and measures
+//! request throughput and client-observed tail latency per client count.
+//!
+//! Two invariants hold on every configuration:
+//!
+//! * **Byte identity** — every `query`/`stream` outcome that crosses the
+//!   wire is compared, in canonical form (wall-clock fields zeroed, see
+//!   [`svq_query::QueryOutcome::canonical`]), against the outcome of
+//!   in-process execution over an identically-constructed workload. The
+//!   service layer must not change a single result byte.
+//! * **No lost work** — the final [`svq_serve::ServeReport`] accounts for
+//!   exactly the requests issued: nothing rejected, nothing malformed,
+//!   and the closing drain completes inside its deadline with zero
+//!   force-closes.
+//!
+//! Results land in `results/serve-throughput.txt` (table) and
+//! `results/serve-throughput.json` (machine-readable series).
+
+use super::ExpContext;
+use crate::Table;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use svq_core::offline::ingest;
+use svq_core::online::OnlineConfig;
+use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
+use svq_serve::{Client, Request, Response, ServeConfig, Server};
+use svq_storage::VideoRepository;
+use svq_types::{ActionClass, ObjectClass, PaperScoring, VideoId};
+use svq_vision::models::{DetectionOracle, ModelSuite};
+use svq_vision::synth::{ObjectSpec, ScenarioSpec};
+use svq_vision::VideoStream;
+
+const VIDEOS: u64 = 3;
+
+const OFFLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car') \
+     ORDER BY RANK(act, obj) LIMIT 3";
+
+const ONLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car')";
+
+/// Identically-seeded construction reproduces identical detections, so an
+/// oracle built here twice — once for the server, once for the in-process
+/// reference — yields byte-identical outcomes.
+fn oracle(ctx: &ExpContext, video: u64, frames: u64) -> Arc<DetectionOracle> {
+    let spec = ScenarioSpec::activitynet(
+        VideoId::new(video),
+        frames,
+        ActionClass::named("jumping"),
+        vec![ObjectSpec::correlated(ObjectClass::named("car"))],
+        ctx.seed + video,
+    );
+    Arc::new(spec.generate().oracle(ModelSuite::accurate()))
+}
+
+fn canonical_json(outcome: &QueryOutcome) -> String {
+    serde_json::to_string(&outcome.canonical()).expect("outcome encodes")
+}
+
+/// Expected canonical outcomes, computed in-process over an
+/// identically-constructed workload: `[video][0]` = offline `query`,
+/// `[video][1]` = online `stream`.
+fn expected_outcomes(ctx: &ExpContext, frames: u64) -> Vec<[String; 2]> {
+    let offline = LogicalPlan::from_statement(&parse(OFFLINE_SQL).expect("offline sql"))
+        .expect("offline plan");
+    let online =
+        LogicalPlan::from_statement(&parse(ONLINE_SQL).expect("online sql")).expect("online plan");
+    (0..VIDEOS)
+        .map(|v| {
+            let reference = oracle(ctx, v, frames);
+            let catalog = ingest(&reference, &PaperScoring, &OnlineConfig::default());
+            let query = execute_offline(&offline, &catalog, &PaperScoring).expect("offline runs");
+            let mut stream = VideoStream::new(&reference);
+            let streamed =
+                execute_online(&online, &mut stream, OnlineConfig::default()).expect("online runs");
+            [canonical_json(&query), canonical_json(&streamed)]
+        })
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+pub fn run(ctx: &ExpContext) {
+    let smoke = ctx.scale < 0.05;
+    let client_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16, 64] };
+    let rounds: u64 = if smoke { 4 } else { 8 };
+    let frames = ((ctx.scale * 30_000.0) as u64).max(1_500);
+
+    let expected = Arc::new(expected_outcomes(ctx, frames));
+    let oracles: Vec<_> = (0..VIDEOS).map(|v| oracle(ctx, v, frames)).collect();
+    let repo = Arc::new(VideoRepository::from_catalogs(
+        oracles
+            .iter()
+            .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
+    ));
+    let handle = Server::start(
+        ServeConfig {
+            max_conns: client_counts.iter().copied().max().unwrap_or(1) + 32,
+            workers: 4,
+            shards: 2,
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(120),
+            drain_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+        Some(repo),
+        oracles,
+        svq_exec::ExecMetrics::new(),
+    )
+    .expect("server binds an ephemeral port");
+    let addr = handle.local_addr();
+
+    let mut table = Table::new(&["clients", "req/s", "p50 ms", "p95 ms", "p99 ms", "requests"]);
+    let mut series = Vec::new();
+    let mut issued = 0u64;
+    let mut outcomes_compared = 0u64;
+    for &clients in client_counts {
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients as u64)
+            .map(|c| {
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let mut latencies_ms = Vec::with_capacity(rounds as usize);
+                    let mut kinds = [0u64; 3];
+                    for r in 0..rounds {
+                        let video = (c + r) % VIDEOS;
+                        let kind = ((c + r) % 3) as usize;
+                        let request = match kind {
+                            0 => Request::Query {
+                                sql: OFFLINE_SQL.into(),
+                                video: Some(video),
+                            },
+                            1 => Request::Stream {
+                                sql: ONLINE_SQL.into(),
+                                video: Some(video),
+                            },
+                            _ => Request::Stats,
+                        };
+                        let sent = Instant::now();
+                        let response = client.request(&request).expect("exchange completes");
+                        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                        kinds[kind] += 1;
+                        match (kind, response) {
+                            (0 | 1, Response::Outcome(outcome)) => {
+                                assert_eq!(
+                                    canonical_json(&outcome),
+                                    expected[video as usize][kind],
+                                    "wire outcome diverged from in-process execution \
+                                     (kind {kind}, video {video})"
+                                );
+                            }
+                            (2, Response::Stats(_)) => {}
+                            // Deliberate: a protocol violation must abort
+                            // the experiment loudly, like a failed assert.
+                            // svq-lint: allow(panic)
+                            (_, other) => panic!("unexpected response frame: {other:?}"),
+                        }
+                    }
+                    (latencies_ms, kinds)
+                })
+            })
+            .collect();
+        let mut latencies_ms = Vec::new();
+        let mut kinds = [0u64; 3];
+        for worker in workers {
+            let (lat, k) = worker.join().expect("client thread");
+            latencies_ms.extend(lat);
+            for (total, n) in kinds.iter_mut().zip(k) {
+                *total += n;
+            }
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let requests = latencies_ms.len() as u64;
+        issued += requests;
+        outcomes_compared += kinds[0] + kinds[1];
+        assert_eq!(requests, clients as u64 * rounds, "no request went missing");
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let rps = requests as f64 / wall;
+        let (p50, p95, p99) = (
+            percentile(&latencies_ms, 0.50),
+            percentile(&latencies_ms, 0.95),
+            percentile(&latencies_ms, 0.99),
+        );
+        table.row(vec![
+            clients.to_string(),
+            format!("{rps:.1}"),
+            format!("{p50:.2}"),
+            format!("{p95:.2}"),
+            format!("{p99:.2}"),
+            requests.to_string(),
+        ]);
+        series.push(format!(
+            "{{\"clients\": {clients}, \"rounds\": {rounds}, \
+             \"requests\": {requests}, \"wall_sec\": {wall:.3}, \
+             \"req_per_sec\": {rps:.2}, \"p50_ms\": {p50:.3}, \
+             \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \
+             \"queries\": {}, \"streams\": {}, \"stats\": {}, \
+             \"byte_identical\": true}}",
+            kinds[0], kinds[1], kinds[2]
+        ));
+    }
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.requests, issued, "the server answered every request");
+    assert_eq!(report.rejected_busy, 0, "admission never spilled");
+    assert_eq!(
+        report.malformed, 0,
+        "the load generator speaks the protocol"
+    );
+    assert!(report.drained_in_deadline, "the closing drain was clean");
+    assert_eq!(report.forced_closes, 0, "no connection was force-closed");
+
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "\n{VIDEOS} videos x {frames} frames; every one of {outcomes_compared} \
+         query/stream outcomes byte-identical (canonical form) to in-process \
+         execution; {issued} requests answered, clean drain\n"
+    ));
+    ctx.emit("serve-throughput", &rendered);
+    let json = format!(
+        "{{\"experiment\": \"serve-throughput\", \"videos\": {VIDEOS}, \
+         \"frames\": {frames}, \"scale\": {}, \"seed\": {}, \
+         \"smoke\": {smoke}, \"outcomes_compared\": {outcomes_compared}, \
+         \"requests\": {issued}, \"clean_drain\": true, \"sweep\": [\n  {}\n]}}\n",
+        ctx.scale,
+        ctx.seed,
+        series.join(",\n  ")
+    );
+    if std::fs::create_dir_all(&ctx.out_dir).is_ok() {
+        let _ = std::fs::write(ctx.out_dir.join("serve-throughput.json"), json);
+    }
+}

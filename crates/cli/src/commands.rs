@@ -375,6 +375,148 @@ pub fn mux(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// `svqact serve` — run the TCP query service until a wire `shutdown`.
+///
+/// Serves offline `query` requests from `--catalog` (a single catalog JSON
+/// or an ingested directory, loaded lazily) and online `stream` requests
+/// from `--scene`/`--scenes` synthetic scenes; `stats` and `shutdown`
+/// always work. The bound address (which resolves a `:0` ephemeral port)
+/// goes to stderr — and, with `--addr-file`, to a file scripts can poll —
+/// so stdout stays the final report.
+pub fn serve(flags: &Flags) -> CliResult {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use svq_exec::ExecMetrics;
+    use svq_serve::{ServeConfig, Server};
+    use svq_storage::VideoRepository;
+
+    let metrics_every: f64 = flags.get_parsed("metrics-every", 0.0)?;
+    if metrics_every < 0.0 {
+        return Err("--metrics-every must be non-negative".into());
+    }
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        max_conns: flags.get_parsed("max-conns", 64)?,
+        read_timeout: Duration::from_millis(flags.get_parsed("read-timeout-ms", 30_000u64)?),
+        write_timeout: Duration::from_millis(flags.get_parsed("write-timeout-ms", 10_000u64)?),
+        drain_timeout: Duration::from_millis(flags.get_parsed("drain-timeout-ms", 5_000u64)?),
+        max_line: flags.get_parsed("max-line", svq_serve::MAX_LINE_BYTES)?,
+        workers: flags.get_parsed("workers", 2)?,
+        shards: flags.get_parsed("shards", 1)?,
+        mailbox: flags.get_parsed("mailbox", 64)?,
+    };
+    let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
+    let repo = flags
+        .get("catalog")
+        .map(VideoRepository::open_path)
+        .transpose()?
+        .map(Arc::new);
+    let scene_paths: Vec<String> = match (flags.get("scenes"), flags.get("scene")) {
+        (Some(list), _) => list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        (None, Some(one)) => vec![one.to_string()],
+        (None, None) => Vec::new(),
+    };
+    let oracles = scene_paths
+        .iter()
+        .map(|p| load_scene(p).map(|v| Arc::new(v.oracle(suite))))
+        .collect::<Result<Vec<_>, _>>()?;
+    if repo.is_none() && oracles.is_empty() {
+        return Err(
+            "serve needs --catalog (offline queries) and/or --scene/--scenes (live streams)".into(),
+        );
+    }
+    let catalog_videos = repo.as_ref().map_or(0, |r| r.len());
+    let streams = oracles.len();
+
+    let handle = Server::start(config, repo, oracles, ExecMetrics::new())?;
+    let addr = handle.local_addr();
+    eprintln!(
+        "svqact serve: listening on {addr} ({catalog_videos} catalog videos, \
+         {streams} live streams); send a `shutdown` request to drain"
+    );
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let reporter = (metrics_every > 0.0).then(|| {
+        handle
+            .metrics()
+            .spawn_reporter(Duration::from_secs_f64(metrics_every), |snap| {
+                eprint!("{snap}")
+            })
+    });
+    let report = handle.wait();
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    println!(
+        "served {} requests over {} connections ({} busy, {} draining, \
+         {} timed out, {} malformed)",
+        report.requests,
+        report.accepted,
+        report.rejected_busy,
+        report.rejected_draining,
+        report.timed_out,
+        report.malformed
+    );
+    println!(
+        "drain: {} (force-closed {})",
+        if report.drained_in_deadline {
+            "clean within deadline"
+        } else {
+            "deadline expired"
+        },
+        report.forced_closes
+    );
+    Ok(())
+}
+
+/// `svqact request` — one request/response exchange against a running
+/// `svqact serve`. The response frame is printed to stdout verbatim (one
+/// JSON line); an error frame additionally fails the process so scripts
+/// can branch on the exit code.
+pub fn request(flags: &Flags) -> CliResult {
+    use std::time::Duration;
+    use svq_serve::{encode_line, Client, Request, Response};
+
+    let addr = flags.require("addr")?;
+    let timeout_ms: u64 = flags.get_parsed("timeout-ms", 30_000)?;
+    let video: Option<u64> = flags
+        .get("video")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--video has invalid value {v:?}"))
+        })
+        .transpose()?;
+    let request = match flags.get("kind").unwrap_or("query") {
+        "query" => Request::Query {
+            sql: flags.require("sql")?.to_string(),
+            video,
+        },
+        "stream" => Request::Stream {
+            sql: flags.require("sql")?.to_string(),
+            video,
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(
+                format!("unknown request kind {other:?} (query|stream|stats|shutdown)").into(),
+            )
+        }
+    };
+    let mut client = Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))?;
+    let response = client.request(&request)?;
+    print!("{}", encode_line(&response));
+    if let Response::Error { reason, message } = &response {
+        return Err(format!("server refused ({reason}): {message}").into());
+    }
+    Ok(())
+}
+
 /// `svqact explain` — print the logical plan.
 pub fn explain(flags: &Flags) -> CliResult {
     let stmt = svq_query::parse(flags.require("sql")?)?;
@@ -577,6 +719,100 @@ mod tests {
         )]))
         .unwrap_err();
         assert!(err.to_string().contains("online"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_request_round_trip() {
+        let dir = std::env::temp_dir().join("svqact_cli_serve_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let scene = dir.join("scene.json");
+        let catalog = dir.join("catalog.json");
+        synth(&flags(&[
+            ("minutes", "0.5"),
+            ("action", "archery"),
+            ("objects", "person"),
+            ("seed", "5"),
+            ("out", scene.to_str().unwrap()),
+        ]))
+        .expect("synth");
+        ingest(&flags(&[
+            ("scene", scene.to_str().unwrap()),
+            ("models", "ideal"),
+            ("out", catalog.to_str().unwrap()),
+        ]))
+        .expect("ingest");
+
+        // The server blocks until a wire shutdown, so it runs on its own
+        // thread and publishes its ephemeral port through --addr-file.
+        let addr_file = dir.join("addr");
+        let serve_flags = flags(&[
+            ("catalog", catalog.to_str().unwrap()),
+            ("scene", scene.to_str().unwrap()),
+            ("models", "ideal"),
+            ("addr-file", addr_file.to_str().unwrap()),
+            ("drain-timeout-ms", "10000"),
+        ]);
+        let server = std::thread::spawn(move || serve(&serve_flags).map_err(|e| e.to_string()));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(s) if !s.is_empty() => break s,
+                _ if std::time::Instant::now() > deadline => panic!("server never bound"),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+
+        // One exchange of every kind; video is inferred (one of each served).
+        request(&flags(&[("addr", &addr), ("kind", "stats")])).expect("stats");
+        request(&flags(&[
+            ("addr", &addr),
+            ("kind", "query"),
+            (
+                "sql",
+                "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='archery' AND obj.include('person') \
+                 ORDER BY RANK(act,obj) LIMIT 2",
+            ),
+        ]))
+        .expect("offline query over the wire");
+        request(&flags(&[
+            ("addr", &addr),
+            ("kind", "stream"),
+            (
+                "sql",
+                "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='archery' AND obj.include('person')",
+            ),
+        ]))
+        .expect("online stream over the wire");
+
+        // An error frame also fails the process so scripts can branch.
+        let err = request(&flags(&[
+            ("addr", &addr),
+            ("kind", "query"),
+            ("sql", "SELECT nonsense"),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("server refused"), "{err}");
+        let err = request(&flags(&[("addr", &addr), ("kind", "warp")])).unwrap_err();
+        assert!(err.to_string().contains("unknown request kind"), "{err}");
+
+        // A wire shutdown drains the server and unblocks `serve`.
+        request(&flags(&[("addr", &addr), ("kind", "shutdown")])).expect("shutdown");
+        server
+            .join()
+            .expect("serve thread")
+            .expect("serve exits clean");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_flags() {
+        let err = serve(&flags(&[])).unwrap_err();
+        assert!(err.to_string().contains("--catalog"), "{err}");
+        let err = serve(&flags(&[("metrics-every", "-1")])).unwrap_err();
+        assert!(err.to_string().contains("metrics-every"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! svqact query   --catalog catalog.json --sql "SELECT … ORDER BY RANK(act,obj) LIMIT 3"
 //! svqact query   --scene scene.json --sql "SELECT … WHERE act='…'"
 //! svqact mux     --sql "SELECT … WHERE act='…'" --streams 8 --workers 4
+//! svqact serve   --catalog catalogs/ --scene scene.json --addr 127.0.0.1:7741
+//! svqact request --addr 127.0.0.1:7741 --kind query --sql "SELECT …"
 //! svqact explain --sql "SELECT …"
 //! svqact labels  objects|actions
 //! ```
@@ -39,6 +41,8 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "ingest" => commands::ingest(&args::Flags::parse(rest)?),
         "query" => commands::query(&args::Flags::parse(rest)?),
         "mux" => commands::mux(&args::Flags::parse(rest)?),
+        "serve" => commands::serve(&args::Flags::parse(rest)?),
+        "request" => commands::request(&args::Flags::parse(rest)?),
         "explain" => commands::explain(&args::Flags::parse(rest)?),
         "labels" => commands::labels(rest),
         "help" | "--help" | "-h" => {
@@ -62,6 +66,12 @@ fn print_usage() {
          \u{20}  mux     --sql \"STMT[; STMT…]\" [--streams K] [--workers N] \
          [--shards S] [--drain-batch B] [--minutes M] \
          [--policy block|drop-oldest] [--metrics-every SECS]\n\
+         \u{20}  serve   [--catalog FILE|DIR] [--scene scene.json | --scenes a,b,…] \
+         [--addr HOST:PORT] [--addr-file PATH] [--max-conns N] \
+         [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-timeout-ms MS] \
+         [--workers N] [--shards S] [--metrics-every SECS]\n\
+         \u{20}  request --addr HOST:PORT [--kind query|stream|stats|shutdown] \
+         [--sql STATEMENT] [--video ID] [--timeout-ms MS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  labels  objects|actions"
     );

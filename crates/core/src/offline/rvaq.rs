@@ -23,6 +23,7 @@
 use super::bounds::SequenceBounds;
 use super::skip::SkipSet;
 use super::tbclip::TbClip;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use svq_storage::{DiskStats, IngestedVideo};
 use svq_types::{ActionQuery, ClipId, ClipInterval, Clock, ScoringFunctions};
@@ -65,7 +66,7 @@ impl RvaqOptions {
 }
 
 /// One ranked result sequence.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankedSequence {
     pub interval: ClipInterval,
     /// Lower bound on the sequence score at stopping time.
@@ -77,7 +78,7 @@ pub struct RankedSequence {
 }
 
 /// Outcome of a top-K query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopKResult {
     /// The top-K sequences, best first.
     pub ranked: Vec<RankedSequence>,

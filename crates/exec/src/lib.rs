@@ -41,7 +41,8 @@ pub mod pool;
 pub use ingest::{parallel_ingest, parallel_ingest_into};
 pub use ingress::shard_index;
 pub use metrics::{
-    ExecMetrics, IngestCounters, IngestSnapshot, MetricsSnapshot, SessionSnapshot, ShardSnapshot,
+    ExecMetrics, IngestCounters, IngestSnapshot, LatencyHistogram, MetricsSnapshot, ServerCounters,
+    ServerSnapshot, SessionSnapshot, ShardSnapshot,
 };
 pub use mux::{
     Backpressure, FeedError, MuxOptions, SessionEngine, SessionError, SessionId, SessionMux,

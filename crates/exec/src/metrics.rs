@@ -86,6 +86,129 @@ impl IngestCounters {
     }
 }
 
+/// Number of fixed power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds; the last bucket absorbs everything above).
+const LATENCY_BUCKETS: usize = 32;
+
+/// A hand-rolled fixed-bucket latency histogram.
+///
+/// Lock-free: `record` is two relaxed `fetch_add`s on the hot path.
+/// Buckets are powers of two in microseconds, so 32 of them span 1 µs to
+/// over an hour with ≤ 2× relative error — plenty for serving-latency
+/// tails. Quantiles are read at snapshot time and report the *upper* edge
+/// of the bucket holding the requested rank (a conservative estimate:
+/// reported p99 is never below the true p99's bucket).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = (micros.max(1).ilog2() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e6 / n as f64
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds: the upper edge of
+    /// the bucket containing the rank-`ceil(q·n)` observation. 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (1u128 << (i + 1)) as f64 / 1e3;
+            }
+        }
+        // Unreachable while count tracks the buckets; degrade gracefully.
+        (1u128 << LATENCY_BUCKETS) as f64 / 1e3
+    }
+}
+
+/// Counters for the `svq-serve` service layer.
+///
+/// All updates are relaxed atomics on connection/request paths; the
+/// latency histogram covers successfully answered requests end-to-end
+/// (parse → execute → response flushed).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections currently admitted and not yet closed (gauge).
+    pub active_conns: AtomicU64,
+    /// High-water mark of `active_conns`.
+    pub peak_conns: AtomicU64,
+    /// Connections admitted past the admission controller.
+    pub accepted: AtomicU64,
+    /// Connections refused with a `busy` frame (all slots occupied).
+    pub rejected_busy: AtomicU64,
+    /// Connections refused with a `draining` frame (shutdown in progress).
+    pub rejected_draining: AtomicU64,
+    /// Connections closed by a read/write deadline expiring.
+    pub timed_out: AtomicU64,
+    /// Malformed frames answered with a typed error (connection survived).
+    pub malformed: AtomicU64,
+    /// `query` requests answered.
+    pub req_query: AtomicU64,
+    /// `stream` requests answered.
+    pub req_stream: AtomicU64,
+    /// `stats` requests answered.
+    pub req_stats: AtomicU64,
+    /// `shutdown` requests honoured.
+    pub req_shutdown: AtomicU64,
+    /// End-to-end latency of answered requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerCounters {
+    /// A connection was admitted: bump the gauge and its high-water mark.
+    pub fn conn_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let active = self.active_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_conns.fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// An admitted connection finished (any reason).
+    pub fn conn_closed(&self) {
+        self.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Counters for the worker pool itself.
 #[derive(Debug, Default)]
 pub struct PoolCounters {
@@ -111,6 +234,10 @@ struct MetricsInner {
     workers: AtomicU64,
     pool: PoolCounters,
     ingest: IngestCounters,
+    server: ServerCounters,
+    /// Clips processed by sessions that have since been retired — folded
+    /// in so `total_clips` stays monotonic across session churn.
+    retired_clips: AtomicU64,
     sessions: RwLock<Vec<(String, Arc<SessionCounters>)>>,
     shards: RwLock<Vec<Arc<ShardCounters>>>,
 }
@@ -122,6 +249,8 @@ impl Default for MetricsInner {
             workers: AtomicU64::new(0),
             pool: PoolCounters::default(),
             ingest: IngestCounters::default(),
+            server: ServerCounters::default(),
+            retired_clips: AtomicU64::new(0),
             sessions: RwLock::new(Vec::new()),
             shards: RwLock::new(Vec::new()),
         }
@@ -143,6 +272,11 @@ impl ExecMetrics {
         &self.inner.ingest
     }
 
+    /// Service-layer counters.
+    pub fn server(&self) -> &ServerCounters {
+        &self.inner.server
+    }
+
     pub(crate) fn set_workers(&self, n: usize) {
         self.inner.workers.store(n as u64, Ordering::Relaxed);
     }
@@ -152,6 +286,21 @@ impl ExecMetrics {
         let counters = Arc::new(SessionCounters::default());
         self.inner.sessions.write().push((label, counters.clone()));
         counters
+    }
+
+    /// Retire a session's counter block: drop its per-session snapshot line
+    /// while folding its processed-clip total into a monotonic residue, so
+    /// a long-lived server answering thousands of stream requests neither
+    /// grows the snapshot without bound nor loses throughput history.
+    pub fn retire_session(&self, counters: &Arc<SessionCounters>) {
+        let mut sessions = self.inner.sessions.write();
+        if let Some(at) = sessions.iter().position(|(_, c)| Arc::ptr_eq(c, counters)) {
+            let (_, retired) = sessions.remove(at);
+            self.inner.retired_clips.fetch_add(
+                retired.clips_processed.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// Register one counter block per ingress shard.
@@ -183,7 +332,8 @@ impl ExecMetrics {
                 }
             })
             .collect();
-        let total_clips: u64 = sessions.iter().map(|s| s.clips_processed).sum();
+        let total_clips: u64 = sessions.iter().map(|s| s.clips_processed).sum::<u64>()
+            + self.inner.retired_clips.load(Ordering::Relaxed);
         let shards: Vec<ShardSnapshot> = self
             .inner
             .shards
@@ -199,6 +349,30 @@ impl ExecMetrics {
             })
             .collect();
         let ing = &self.inner.ingest;
+        let srv = &self.inner.server;
+        let requests = srv.req_query.load(Ordering::Relaxed)
+            + srv.req_stream.load(Ordering::Relaxed)
+            + srv.req_stats.load(Ordering::Relaxed)
+            + srv.req_shutdown.load(Ordering::Relaxed);
+        let server = ServerSnapshot {
+            active_conns: srv.active_conns.load(Ordering::Relaxed),
+            peak_conns: srv.peak_conns.load(Ordering::Relaxed),
+            accepted: srv.accepted.load(Ordering::Relaxed),
+            rejected_busy: srv.rejected_busy.load(Ordering::Relaxed),
+            rejected_draining: srv.rejected_draining.load(Ordering::Relaxed),
+            timed_out: srv.timed_out.load(Ordering::Relaxed),
+            malformed: srv.malformed.load(Ordering::Relaxed),
+            req_query: srv.req_query.load(Ordering::Relaxed),
+            req_stream: srv.req_stream.load(Ordering::Relaxed),
+            req_stats: srv.req_stats.load(Ordering::Relaxed),
+            req_shutdown: srv.req_shutdown.load(Ordering::Relaxed),
+            requests,
+            requests_per_sec: requests as f64 / elapsed,
+            latency_mean_ms: srv.latency.mean_ms(),
+            latency_p50_ms: srv.latency.quantile_ms(0.50),
+            latency_p95_ms: srv.latency.quantile_ms(0.95),
+            latency_p99_ms: srv.latency.quantile_ms(0.99),
+        };
         MetricsSnapshot {
             elapsed_sec: elapsed,
             workers: self.inner.workers.load(Ordering::Relaxed),
@@ -215,6 +389,7 @@ impl ExecMetrics {
                 buffered: ing.buffered.load(Ordering::Relaxed),
                 buffered_high_water: ing.buffered_high_water.load(Ordering::Relaxed),
             },
+            server,
             shards,
             sessions,
         }
@@ -239,6 +414,12 @@ impl ExecMetrics {
                 let (stop, cv) = &*in_thread;
                 let mut stopped = stop.lock();
                 loop {
+                    // Check before parking: a stop that lands before this
+                    // thread first takes the lock has already spent its
+                    // notification, and nothing else would wake the wait.
+                    if *stopped {
+                        return;
+                    }
                     let timed_out = cv.wait_for(&mut stopped, every).timed_out();
                     if *stopped {
                         return;
@@ -326,6 +507,37 @@ pub struct IngestSnapshot {
     pub buffered_high_water: u64,
 }
 
+/// The `svq-serve` service layer at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerSnapshot {
+    /// Connections currently admitted.
+    pub active_conns: u64,
+    /// Peak simultaneous admitted connections.
+    pub peak_conns: u64,
+    /// Total connections admitted.
+    pub accepted: u64,
+    /// Connections refused with a `busy` frame.
+    pub rejected_busy: u64,
+    /// Connections refused with a `draining` frame.
+    pub rejected_draining: u64,
+    /// Connections closed by an expired deadline.
+    pub timed_out: u64,
+    /// Malformed frames answered with typed errors.
+    pub malformed: u64,
+    pub req_query: u64,
+    pub req_stream: u64,
+    pub req_stats: u64,
+    pub req_shutdown: u64,
+    /// All requests answered.
+    pub requests: u64,
+    /// Answered-request throughput since registry start.
+    pub requests_per_sec: f64,
+    pub latency_mean_ms: f64,
+    pub latency_p50_ms: f64,
+    pub latency_p95_ms: f64,
+    pub latency_p99_ms: f64,
+}
+
 /// Whole-registry metrics at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -338,6 +550,7 @@ pub struct MetricsSnapshot {
     /// Pool-wide throughput across all sessions.
     pub total_clips_per_sec: f64,
     pub ingest: IngestSnapshot,
+    pub server: ServerSnapshot,
     pub shards: Vec<ShardSnapshot>,
     pub sessions: Vec<SessionSnapshot>,
 }
@@ -356,6 +569,34 @@ impl fmt::Display for MetricsSnapshot {
             self.jobs_panicked,
             self.pool_queue_depth,
         )?;
+        if self.server.accepted + self.server.rejected_busy + self.server.rejected_draining > 0 {
+            writeln!(
+                f,
+                "  serve    {:>4} active (peak {})  {:>6} accepted  busy {:>4}  \
+                 draining {:>4}  timeout {:>4}  malformed {:>4}",
+                self.server.active_conns,
+                self.server.peak_conns,
+                self.server.accepted,
+                self.server.rejected_busy,
+                self.server.rejected_draining,
+                self.server.timed_out,
+                self.server.malformed,
+            )?;
+            writeln!(
+                f,
+                "  requests {:>6} ({:>6.0}/s)  query {:>5}  stream {:>5}  stats {:>5}  \
+                 shutdown {:>2}  p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms",
+                self.server.requests,
+                self.server.requests_per_sec,
+                self.server.req_query,
+                self.server.req_stream,
+                self.server.req_stats,
+                self.server.req_shutdown,
+                self.server.latency_p50_ms,
+                self.server.latency_p95_ms,
+                self.server.latency_p99_ms,
+            )?;
+        }
         if self.ingest.catalogs_built > 0 {
             writeln!(
                 f,
@@ -464,6 +705,71 @@ mod tests {
         assert!(text.contains("peak 2"), "{text}");
         // Quiet registries do not print an ingest line.
         assert!(!ExecMetrics::new().snapshot().to_string().contains("ingest"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.5), 0.0, "empty histogram reads 0");
+        assert_eq!(h.mean_ms(), 0.0);
+        // 99 fast observations (~100 µs) and one slow outlier (~50 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        let p100 = h.quantile_ms(1.0);
+        // Bucket upper edges: conservative but within 2x of the truth.
+        assert!((0.1..=0.26).contains(&p50), "p50 = {p50}");
+        assert!(p99 <= p100, "quantiles are monotonic");
+        assert!((50.0..=140.0).contains(&p100), "p100 = {p100}");
+        assert!(h.mean_ms() > 0.0);
+    }
+
+    #[test]
+    fn server_counters_roll_up_into_the_snapshot() {
+        let metrics = ExecMetrics::new();
+        let srv = metrics.server();
+        srv.conn_opened();
+        srv.conn_opened();
+        srv.conn_closed();
+        srv.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        srv.req_query.fetch_add(3, Ordering::Relaxed);
+        srv.req_stats.fetch_add(1, Ordering::Relaxed);
+        srv.latency.record(Duration::from_micros(700));
+        let snap = metrics.snapshot().server;
+        assert_eq!(snap.active_conns, 1);
+        assert_eq!(snap.peak_conns, 2);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected_busy, 1);
+        assert_eq!(snap.requests, 4);
+        assert!(snap.requests_per_sec > 0.0);
+        assert!(snap.latency_p99_ms > 0.0);
+        let text = metrics.snapshot().to_string();
+        assert!(text.contains("serve"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        // Registries that never served do not print server lines.
+        let quiet = ExecMetrics::new().snapshot().to_string();
+        assert!(!quiet.contains("serve"), "{quiet}");
+    }
+
+    #[test]
+    fn retiring_a_session_preserves_clip_totals() {
+        let metrics = ExecMetrics::new();
+        let a = metrics.register_session("stream/1".into());
+        let b = metrics.register_session("stream/2".into());
+        a.clips_processed.store(10, Ordering::Relaxed);
+        b.clips_processed.store(5, Ordering::Relaxed);
+        assert_eq!(metrics.snapshot().total_clips, 15);
+        metrics.retire_session(&a);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.sessions.len(), 1, "retired line is gone");
+        assert_eq!(snap.total_clips, 15, "clip total stays monotonic");
+        // Retiring twice (or an unknown block) is harmless.
+        metrics.retire_session(&a);
+        assert_eq!(metrics.snapshot().total_clips, 15);
     }
 
     #[test]

@@ -230,7 +230,11 @@ pub(crate) enum IngressEvent {
 /// `SessionMux` handle itself is consumed by `shutdown`.
 pub(crate) struct MuxCore {
     pub(crate) pool: WorkerPool,
-    sessions: Mutex<Vec<Arc<Session>>>,
+    /// Slot table: `None` marks a released slot awaiting reuse, so a
+    /// long-lived server registering a session per `stream` request keeps
+    /// the table (and the ids it hands out) bounded by its concurrency,
+    /// not its uptime.
+    sessions: Mutex<Vec<Option<Arc<Session>>>>,
     drain_batch: usize,
 }
 
@@ -307,12 +311,33 @@ impl SessionMux {
             counters,
         });
         let mut sessions = self.core.sessions.lock();
-        sessions.push(session);
-        SessionId(sessions.len() - 1)
+        match sessions.iter().position(Option::is_none) {
+            Some(free) => {
+                sessions[free] = Some(session);
+                SessionId(free)
+            }
+            None => {
+                sessions.push(Some(session));
+                SessionId(sessions.len() - 1)
+            }
+        }
     }
 
     fn session(&self, id: SessionId) -> Arc<Session> {
-        self.core.sessions.lock()[id.0].clone()
+        self.core.sessions.lock()[id.0]
+            .clone()
+            .expect("session id used after release")
+    }
+
+    /// Release a finished session's slot for reuse and retire its metrics
+    /// line (its processed-clip total stays in the registry's monotonic
+    /// residue). Call after [`SessionMux::wait`]; the id is dead afterwards
+    /// and may be handed out again by a later [`SessionMux::register`].
+    pub fn release(&self, id: SessionId) {
+        let taken = self.core.sessions.lock()[id.0]
+            .take()
+            .expect("session id released twice");
+        self.metrics().retire_session(&taken.counters);
     }
 
     /// Enqueue one clip for a session. Never blocks: the ticket lands on
@@ -930,6 +955,60 @@ mod tests {
         assert_eq!(first.clips_processed, 40);
         assert_eq!(Ok(first), second, "second wait saw a different result");
         Arc::try_unwrap(mux).ok().expect("waiter joined").shutdown();
+    }
+
+    /// Slot reuse: releasing a finished session frees its id for the next
+    /// registration and retires its metrics line without losing clip
+    /// totals — the contract a long-lived server leans on.
+    #[test]
+    fn released_slots_are_reused_and_totals_survive() {
+        let mux = SessionMux::new(2, ExecMetrics::new());
+        let o = oracle(0, 11);
+        let first = mux.register(
+            "gen1".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        mux.feed_stream(first);
+        let result = mux.wait(first).unwrap();
+        assert_eq!(result.clips_processed, 40);
+        mux.release(first);
+        let snap = mux.metrics().snapshot();
+        assert_eq!(snap.sessions.len(), 0, "metrics line retired");
+        assert_eq!(snap.total_clips, 40, "clips survive retirement");
+
+        // The freed slot is handed out again; the session works end-to-end.
+        let second = mux.register(
+            "gen2".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        assert_eq!(second, first, "slot is reused");
+        mux.feed_stream(second);
+        assert_eq!(mux.wait(second).unwrap().clips_processed, 40);
+        let snap = mux.metrics().snapshot();
+        assert_eq!(snap.sessions.len(), 1);
+        assert_eq!(snap.total_clips, 80);
+
+        // Occupied slots are untouched: a live third session keeps its id.
+        let third = mux.register(
+            "gen3".into(),
+            o.clone(),
+            svaqd_engine(&o),
+            Backpressure::Block,
+            8,
+        );
+        assert_ne!(third, second);
+        mux.release(second);
+        mux.feed_stream(third);
+        assert_eq!(mux.wait(third).unwrap().clips_processed, 40);
+        mux.release(third);
+        assert_eq!(mux.metrics().snapshot().total_clips, 120);
+        mux.shutdown();
     }
 
     /// A late feed after `finish_session` is rejected with a hard error —

@@ -1,0 +1,12 @@
+//! Fixture: a stderr-only daemon crate (`crates/server`). Exactly one
+//! seeded print violation — the `println!` steals the launcher's stdout —
+//! while the `eprintln!` operational log is the sanctioned idiom and must
+//! stay silent. (`#![forbid(unsafe_code)]` present on purpose: the
+//! forbid-unsafe seed lives in `crates/core`.)
+
+#![forbid(unsafe_code)]
+
+pub fn announce_bound_address(addr: &str) {
+    println!("listening on {addr}"); // print #3 (stdout in a daemon)
+    eprintln!("serve: accepting connections on {addr}"); // allowed: stderr log
+}

@@ -1,0 +1,8 @@
+//! Fixture: the rule-abiding daemon mirror — operational logging goes to
+//! stderr only, so the crate has zero findings.
+
+#![forbid(unsafe_code)]
+
+pub fn announce_bound_address(addr: &str) {
+    eprintln!("serve: accepting connections on {addr}");
+}

@@ -20,6 +20,13 @@ pub const DETERMINISM_CRATES: [&str; 3] = ["types", "scanstats", "core"];
 /// Crates allowed to print to stdout/stderr (user-facing binaries).
 pub const PRINT_CRATES: [&str; 3] = ["cli", "bench", "lint"];
 
+/// Crates allowed to log to stderr but not stdout: long-lived daemons
+/// whose stdout belongs to whoever launched them. `svq-serve` logs
+/// operational events with `eprintln!`; a `println!` there would corrupt
+/// any pipeline consuming the launcher's stdout (e.g. the CI smoke slice
+/// reading the bound address).
+pub const STDERR_CRATES: [&str; 1] = ["server"];
+
 /// HashMap/HashSet methods whose results depend on hash-iteration order.
 const HASH_ITER_METHODS: [&str; 7] = [
     "iter",
@@ -140,6 +147,12 @@ impl FileContext {
         self.crate_name
             .as_deref()
             .is_some_and(|c| PRINT_CRATES.contains(&c))
+    }
+
+    fn may_log_stderr(&self) -> bool {
+        self.crate_name
+            .as_deref()
+            .is_some_and(|c| STDERR_CRATES.contains(&c))
     }
 }
 
@@ -265,7 +278,8 @@ fn float_rule(
 
 /// `println!` / `print!` / `eprintln!` / `eprint!` / `dbg!` outside the
 /// binary crates ({cli, bench, lint}); library crates report through
-/// return values and metrics, not stdout.
+/// return values and metrics, not stdout. Daemon crates ({server}) may
+/// log to stderr (`eprintln!`/`eprint!`) but never own stdout.
 fn print_rule(
     file: &ScannedFile,
     ctx: &FileContext,
@@ -275,28 +289,30 @@ fn print_rule(
     if ctx.may_print() {
         return;
     }
+    let stderr_ok = ctx.may_log_stderr();
     let t = &file.tokens;
     for i in 0..t.len() {
         if !non_test(i) || t[i].kind != TokenKind::Ident {
             continue;
         }
-        if matches!(
-            t[i].text.as_str(),
-            "println" | "print" | "eprintln" | "eprint" | "dbg"
-        ) && t.get(i + 1).is_some_and(|n| n.is_op("!"))
-        {
-            emit(
-                out,
-                file,
-                ctx,
-                Rule::PrintDiscipline,
-                t[i].line,
-                format!(
-                    "`{}!` in a library crate; only cli/bench/lint own stdout",
-                    t[i].text
-                ),
-            );
+        let name = t[i].text.as_str();
+        let stdout_macro = matches!(name, "println" | "print" | "dbg");
+        let stderr_macro = matches!(name, "eprintln" | "eprint");
+        if !(stdout_macro || stderr_macro) || !t.get(i + 1).is_some_and(|n| n.is_op("!")) {
+            continue;
         }
+        if stderr_macro && stderr_ok {
+            continue;
+        }
+        let message = if stderr_ok {
+            format!(
+                "`{name}!` in a stderr-only daemon crate; stdout belongs \
+                 to the launcher — log with `eprintln!`"
+            )
+        } else {
+            format!("`{name}!` in a library crate; only cli/bench/lint own stdout")
+        };
+        emit(out, file, ctx, Rule::PrintDiscipline, t[i].line, message);
     }
 }
 

@@ -21,7 +21,21 @@ fn every_rule_fires_on_the_seeded_fixture() {
     assert_eq!(count(&findings, Rule::Determinism), 4, "{findings:#?}");
     assert_eq!(count(&findings, Rule::PanicDiscipline), 3, "{findings:#?}");
     assert_eq!(count(&findings, Rule::FloatEq), 2, "{findings:#?}");
-    assert_eq!(count(&findings, Rule::PrintDiscipline), 2, "{findings:#?}");
+    // Two in the library fixture + one stdout theft in the stderr-only
+    // daemon fixture (whose `eprintln!` must stay silent).
+    assert_eq!(count(&findings, Rule::PrintDiscipline), 3, "{findings:#?}");
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::PrintDiscipline
+            && f.path.starts_with("crates/server")
+            && f.message.contains("stderr-only")),
+        "{findings:#?}"
+    );
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.path.starts_with("crates/server") && f.message.starts_with("`eprintln")),
+        "daemon stderr logging must not fire: {findings:#?}"
+    );
     assert_eq!(count(&findings, Rule::ForbidUnsafe), 1, "{findings:#?}");
 }
 

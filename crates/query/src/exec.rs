@@ -7,6 +7,7 @@
 //! harness report either mode through one code path.
 
 use crate::plan::{LogicalPlan, PlannedPredicate, QueryMode};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::time::Instant;
 use svq_core::expr::ExprSvaqd;
 use svq_core::offline::{Rvaq, RvaqOptions, TopKResult};
@@ -64,6 +65,99 @@ impl QueryOutcome {
             QueryResults::Online { .. } => None,
             QueryResults::Offline(topk) => Some(topk),
         }
+    }
+
+    /// A copy with every real wall-clock field zeroed.
+    ///
+    /// Sequences, scores, bounds, simulated inference/I/O costs, disk
+    /// accesses, and iteration counts are all deterministic for a fixed
+    /// workload; only `wall_ms`, `cost.algorithm_ms`, and the offline
+    /// `topk.wall_ms` measure the host machine. Comparing canonical forms
+    /// (e.g. their serialized JSON) therefore proves two executions were
+    /// byte-identical where identity is meaningful — the anchor the
+    /// serve-throughput bench and the server tests rely on.
+    pub fn canonical(&self) -> QueryOutcome {
+        let mut out = self.clone();
+        out.wall_ms = 0.0;
+        match &mut out.results {
+            QueryResults::Online { cost, .. } => cost.algorithm_ms = 0.0,
+            QueryResults::Offline(topk) => topk.wall_ms = 0.0,
+        }
+        out
+    }
+}
+
+// The serde stand-in's derive does not support struct variants, so the
+// externally-tagged-by-`mode` wire shape of `QueryResults` is hand-written:
+// `{"mode": "online", "sequences": [...], "cost": {...}}` or
+// `{"mode": "offline", "topk": {...}}`.
+impl Serialize for QueryResults {
+    fn to_value(&self) -> Value {
+        match self {
+            QueryResults::Online { sequences, cost } => Value::Object(vec![
+                ("mode".into(), Value::Str("online".into())),
+                ("sequences".into(), sequences.to_value()),
+                ("cost".into(), cost.to_value()),
+            ]),
+            QueryResults::Offline(topk) => Value::Object(vec![
+                ("mode".into(), Value::Str("offline".into())),
+                ("topk".into(), topk.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for QueryResults {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let mode = match value.get("mode") {
+            Some(Value::Str(s)) => s.as_str(),
+            Some(other) => return Err(DeError::expected("string `mode`", other)),
+            None => return Err(DeError::missing_field("QueryResults", "mode")),
+        };
+        match mode {
+            "online" => {
+                let sequences = value
+                    .get("sequences")
+                    .ok_or_else(|| DeError::missing_field("QueryResults", "sequences"))
+                    .and_then(Deserialize::from_value)?;
+                let cost = value
+                    .get("cost")
+                    .ok_or_else(|| DeError::missing_field("QueryResults", "cost"))
+                    .and_then(Deserialize::from_value)?;
+                Ok(QueryResults::Online { sequences, cost })
+            }
+            "offline" => value
+                .get("topk")
+                .ok_or_else(|| DeError::missing_field("QueryResults", "topk"))
+                .and_then(Deserialize::from_value)
+                .map(QueryResults::Offline),
+            other => Err(DeError(format!("unknown QueryResults mode {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for QueryOutcome {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("results".into(), self.results.to_value()),
+            ("disk".into(), self.disk.to_value()),
+            ("wall_ms".into(), self.wall_ms.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QueryOutcome {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::missing_field("QueryOutcome", name))
+        };
+        Ok(QueryOutcome {
+            results: Deserialize::from_value(field("results")?)?,
+            disk: Deserialize::from_value(field("disk")?)?,
+            wall_ms: Deserialize::from_value(field("wall_ms")?)?,
+        })
     }
 }
 
@@ -230,6 +324,58 @@ mod tests {
         let oracle = oracle();
         let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
         assert!(execute_offline(&plan, &catalog, &PaperScoring).is_err());
+    }
+
+    #[test]
+    fn outcome_json_round_trips_both_modes() {
+        let online_stmt = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('car')",
+        )
+        .unwrap();
+        let offline_stmt = parse(
+            "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS v PRODUCE clipID) \
+             WHERE act='jumping' AND obj.include('car') \
+             ORDER BY RANK(act, obj) LIMIT 2",
+        )
+        .unwrap();
+        let oracle = oracle();
+        let mut stream = VideoStream::new(&oracle);
+        let online = execute_online(
+            &LogicalPlan::from_statement(&online_stmt).unwrap(),
+            &mut stream,
+            OnlineConfig::default(),
+        )
+        .unwrap();
+        let catalog = ingest(&oracle, &PaperScoring, &OnlineConfig::default());
+        let offline = execute_offline(
+            &LogicalPlan::from_statement(&offline_stmt).unwrap(),
+            &catalog,
+            &PaperScoring,
+        )
+        .unwrap();
+        for outcome in [online, offline] {
+            let json = serde_json::to_string(&outcome).unwrap();
+            let back: QueryOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, outcome, "JSON round-trip must be lossless");
+            // Canonicalisation zeroes exactly the wall-clock fields, so two
+            // canonical encodings of the same logical result are equal bytes.
+            let canon = serde_json::to_string(&outcome.canonical()).unwrap();
+            assert_eq!(
+                canon,
+                serde_json::to_string(&back.canonical()).unwrap(),
+                "canonical forms are byte-identical"
+            );
+            assert_eq!(outcome.canonical().wall_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn results_deserialize_rejects_bad_mode() {
+        let err = serde_json::from_str::<QueryResults>("{\"mode\": \"sideways\"}");
+        assert!(err.is_err());
+        let err = serde_json::from_str::<QueryResults>("{\"sequences\": []}");
+        assert!(err.is_err());
     }
 
     #[test]

@@ -57,10 +57,10 @@ pub fn pmf(k: u64, n: u64, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
-    if p == 0.0 {
+    if p <= 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
     let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();

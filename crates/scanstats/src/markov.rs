@@ -53,7 +53,7 @@ impl MarkovTrials {
             let mut next = vec![[0.0f64; 2]; w + 1];
             for (count, row) in cur.iter().enumerate() {
                 for (last, &mass) in row.iter().enumerate() {
-                    if mass == 0.0 {
+                    if mass <= 0.0 {
                         continue;
                     }
                     let p_succ = if last == 1 { self.p11 } else { self.p01 };
@@ -116,7 +116,7 @@ pub fn scan_tail_markov(k: u64, trials: MarkovTrials, w: u32, n: u64) -> f64 {
         let q2 = (1.0
             - crate::exact::scan_tail_exact_markov(k, trials.p01, trials.p11, w, 2 * w as u64))
         .clamp(0.0, 1.0);
-        if q2 == 0.0 {
+        if q2 <= 0.0 {
             return 1.0;
         }
         let q3 = (1.0

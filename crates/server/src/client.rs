@@ -1,0 +1,87 @@
+//! A small blocking client for the line protocol.
+//!
+//! Used by `svqact request`, the serve-throughput load generator, and the
+//! server's own tests. One request/response exchange per call; the
+//! connection stays open across calls (the protocol is strictly
+//! request→response, no pipelining).
+
+use crate::protocol::{
+    encode_line, read_bounded_line, LineEvent, Request, Response, MAX_LINE_BYTES,
+};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use svq_query::QueryOutcome;
+use svq_types::{SvqError, SvqResult};
+
+/// Blocking JSON-lines client.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect with a 30 s I/O deadline.
+    pub fn connect(addr: impl ToSocketAddrs) -> SvqResult<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connect with an explicit per-operation read/write deadline.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> SvqResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Send one request frame and read its response frame.
+    pub fn request(&mut self, request: &Request) -> SvqResult<Response> {
+        self.stream.write_all(encode_line(request).as_bytes())?;
+        self.read_response()
+    }
+
+    /// Send raw bytes as one line (the newline is appended) and read the
+    /// response — the hardening tests' way of speaking malformed frames.
+    pub fn send_raw(&mut self, line: &[u8]) -> SvqResult<Response> {
+        self.stream.write_all(line)?;
+        self.stream.write_all(b"\n")?;
+        self.read_response()
+    }
+
+    /// Read the next response frame off the connection.
+    pub fn read_response(&mut self) -> SvqResult<Response> {
+        match read_bounded_line(&mut self.reader, MAX_LINE_BYTES) {
+            LineEvent::Line(line) => {
+                let text = std::str::from_utf8(&line)
+                    .map_err(|e| SvqError::Storage(format!("response not UTF-8: {e}")))?;
+                serde_json::from_str(text)
+                    .map_err(|e| SvqError::Storage(format!("response not a frame: {e}")))
+            }
+            LineEvent::Eof => Err(SvqError::Storage(
+                "connection closed before a response frame arrived".into(),
+            )),
+            LineEvent::Oversize { .. } => Err(SvqError::Storage(
+                "response frame exceeded the line cap".into(),
+            )),
+            LineEvent::TimedOut => Err(SvqError::Storage(
+                "timed out waiting for a response frame".into(),
+            )),
+            LineEvent::Failed(e) => Err(SvqError::Io(e)),
+        }
+    }
+
+    /// Convenience: a `query`/`stream` exchange that insists on an
+    /// `outcome` frame, converting error frames into [`SvqError::Storage`].
+    pub fn expect_outcome(&mut self, request: &Request) -> SvqResult<QueryOutcome> {
+        match self.request(request)? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Error { reason, message } => Err(SvqError::Storage(format!(
+                "server refused ({reason}): {message}"
+            ))),
+            other => Err(SvqError::Storage(format!(
+                "expected an outcome frame, got {other:?}"
+            ))),
+        }
+    }
+}

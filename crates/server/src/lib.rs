@@ -1,0 +1,40 @@
+//! # svq-serve
+//!
+//! The TCP service layer of the SVQ-ACT reproduction: a long-lived daemon
+//! that answers `query` (offline top-K against an ingested catalog),
+//! `stream` (online SVAQD over a served live stream), `stats`, and
+//! `shutdown` requests over a hand-rolled JSON-lines protocol (see
+//! [`protocol`]).
+//!
+//! Design anchors:
+//!
+//! * **Determinism.** A wire `query`/`stream` response embeds the exact
+//!   [`svq_query::QueryOutcome`] envelope the in-process executors return;
+//!   after [`svq_query::QueryOutcome::canonical`] zeroes the wall-clock
+//!   fields, a served result is byte-identical to a local one — asserted
+//!   by the `serve-throughput` bench on every response.
+//! * **Admission control.** Bounded connection slots; over-limit connects
+//!   are answered with a typed `busy` frame and a clean close, never a
+//!   silent drop.
+//! * **Graceful drain.** [`ServerHandle::shutdown`] (or a wire `shutdown`
+//!   request) lets in-flight requests finish, answers new connects with
+//!   `draining`, and force-closes stragglers only at the drain deadline.
+//! * **Hardened input path.** Oversize, non-UTF-8, truncated-JSON, and
+//!   unknown-kind frames each get a typed error; the connection and the
+//!   server survive all of them.
+//!
+//! This crate is a stderr-only daemon: nothing in it may write to stdout
+//! (enforced by `svq-lint`), which belongs to whatever launched it.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    encode_line, parse_request, read_bounded_line, LineEvent, Request, Response, StatsFrame,
+    MAX_LINE_BYTES,
+};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

@@ -1,0 +1,449 @@
+//! The `svq-serve` wire protocol: JSON lines over TCP.
+//!
+//! One frame per line, UTF-8 JSON, `\n`-terminated, at most
+//! [`MAX_LINE_BYTES`] bytes including the newline. Requests and responses
+//! are externally tagged by a `kind` field:
+//!
+//! ```text
+//! -> {"kind": "query",  "sql": "SELECT …", "video": 3}
+//! -> {"kind": "stream", "sql": "SELECT …", "video": 3}
+//! -> {"kind": "stats"}
+//! -> {"kind": "shutdown"}
+//! <- {"kind": "outcome", "outcome": {…QueryOutcome…}}
+//! <- {"kind": "stats",   "stats": {…StatsFrame…}}
+//! <- {"kind": "bye"}
+//! <- {"kind": "error", "code": "busy", "message": "…"}
+//! ```
+//!
+//! `outcome` frames embed the exact [`QueryOutcome`] envelope the
+//! in-process executors return, so a wire result is byte-identical (in its
+//! canonical form) to calling `execute_offline` / `execute_online`
+//! directly — the determinism anchor the serve-throughput bench asserts.
+//! Error frames carry a stable [`RejectReason`] code; prose rides
+//! separately in `message` and is never part of the contract.
+//!
+//! Malformed input is answered, not dropped: an oversize line, invalid
+//! UTF-8, truncated JSON, or an unknown `kind` each produce a typed error
+//! frame and leave the connection usable (the reader resynchronises on the
+//! next newline).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io::{BufRead, ErrorKind, Read};
+use svq_query::QueryOutcome;
+use svq_types::RejectReason;
+
+/// Hard cap on one frame (request or response line), newline included.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Offline top-K query against the served catalog repository.
+    Query { sql: String, video: Option<u64> },
+    /// Online query over one of the served live streams.
+    Stream { sql: String, video: Option<u64> },
+    /// Metrics snapshot.
+    Stats,
+    /// Ask the server to begin a graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// The `kind` tag on the wire (also the per-kind metrics key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Query { .. } => "query",
+            Request::Stream { .. } => "stream",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A `query`/`stream` result: the unified executor envelope.
+    Outcome(QueryOutcome),
+    /// A `stats` result.
+    Stats(StatsFrame),
+    /// Acknowledgement of `shutdown`; the connection closes after it.
+    Bye,
+    /// A typed refusal. The connection survives unless the reason is
+    /// connection-fatal (`busy`, `draining`, `timeout`).
+    Error {
+        reason: RejectReason,
+        message: String,
+    },
+}
+
+/// The served metrics snapshot, flattened to wire-stable scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsFrame {
+    pub active_conns: u64,
+    pub peak_conns: u64,
+    pub accepted: u64,
+    pub rejected_busy: u64,
+    pub rejected_draining: u64,
+    pub timed_out: u64,
+    pub malformed: u64,
+    pub req_query: u64,
+    pub req_stream: u64,
+    pub req_stats: u64,
+    pub req_shutdown: u64,
+    pub requests: u64,
+    pub latency_p50_ms: f64,
+    pub latency_p95_ms: f64,
+    pub latency_p99_ms: f64,
+    /// Clips evaluated by stream sessions since the server started.
+    pub total_clips: u64,
+}
+
+// Externally tagged by `kind`; hand-written because the derive stand-in
+// has no struct-variant support and because decoding distinguishes
+// unknown kinds from ill-typed fields (different [`RejectReason`]s).
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Query { sql, video } => tagged(
+                "query",
+                vec![
+                    ("sql".into(), sql.to_value()),
+                    ("video".into(), video.to_value()),
+                ],
+            ),
+            Request::Stream { sql, video } => tagged(
+                "stream",
+                vec![
+                    ("sql".into(), sql.to_value()),
+                    ("video".into(), video.to_value()),
+                ],
+            ),
+            Request::Stats => tagged("stats", vec![]),
+            Request::Shutdown => tagged("shutdown", vec![]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match decode_request(value) {
+            Ok(req) => Ok(req),
+            Err((reason, message)) => Err(DeError(format!("{reason}: {message}"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Outcome(outcome) => {
+                tagged("outcome", vec![("outcome".into(), outcome.to_value())])
+            }
+            Response::Stats(stats) => tagged("stats", vec![("stats".into(), stats.to_value())]),
+            Response::Bye => tagged("bye", vec![]),
+            Response::Error { reason, message } => tagged(
+                "error",
+                vec![
+                    ("code".into(), Value::Str(reason.code().into())),
+                    ("message".into(), message.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let kind = match value.get("kind") {
+            Some(Value::Str(k)) => k.as_str(),
+            _ => return Err(DeError("response frame without a string `kind`".into())),
+        };
+        match kind {
+            "outcome" => value
+                .get("outcome")
+                .ok_or_else(|| DeError::missing_field("Response", "outcome"))
+                .and_then(Deserialize::from_value)
+                .map(Response::Outcome),
+            "stats" => value
+                .get("stats")
+                .ok_or_else(|| DeError::missing_field("Response", "stats"))
+                .and_then(Deserialize::from_value)
+                .map(Response::Stats),
+            "bye" => Ok(Response::Bye),
+            "error" => {
+                let code = match value.get("code") {
+                    Some(Value::Str(c)) => c.as_str(),
+                    _ => return Err(DeError::missing_field("Response", "code")),
+                };
+                let reason = RejectReason::from_code(code)
+                    .ok_or_else(|| DeError(format!("unknown error code {code:?}")))?;
+                let message = value
+                    .get("message")
+                    .ok_or_else(|| DeError::missing_field("Response", "message"))
+                    .and_then(Deserialize::from_value)?;
+                Ok(Response::Error { reason, message })
+            }
+            other => Err(DeError(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+fn tagged(kind: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    all.append(&mut fields);
+    Value::Object(all)
+}
+
+/// Encode any frame as one newline-terminated line.
+pub fn encode_line<T: Serialize>(frame: &T) -> String {
+    let mut line = serde_json::to_string(frame).unwrap_or_else(|e| {
+        // The Value tree is built by infallible `to_value`s; the codec has
+        // no failure mode for it. Answer something parseable regardless.
+        format!(
+            "{{\"kind\": \"error\", \"code\": \"internal\", \"message\": {:?}}}",
+            e.to_string()
+        )
+    });
+    line.push('\n');
+    line
+}
+
+fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
+    let kind = match value.get("kind") {
+        Some(Value::Str(k)) => k.clone(),
+        Some(other) => {
+            return Err((
+                RejectReason::BadRequest,
+                format!("`kind` must be a string, got {}", other.kind()),
+            ))
+        }
+        None => {
+            return Err((
+                RejectReason::BadRequest,
+                "request frame without a `kind` field".into(),
+            ))
+        }
+    };
+    let sql = |reason: &str| -> Result<String, (RejectReason, String)> {
+        match value.get("sql") {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            Some(other) => Err((
+                RejectReason::BadRequest,
+                format!("`sql` must be a string, got {}", other.kind()),
+            )),
+            None => Err((
+                RejectReason::BadRequest,
+                format!("`{reason}` requests need a `sql` field"),
+            )),
+        }
+    };
+    let video = || -> Result<Option<u64>, (RejectReason, String)> {
+        match value.get("video") {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => u64::from_value(v).map(Some).map_err(|e| {
+                (
+                    RejectReason::BadRequest,
+                    format!("`video` must be a video id: {e}"),
+                )
+            }),
+        }
+    };
+    match kind.as_str() {
+        "query" => Ok(Request::Query {
+            sql: sql("query")?,
+            video: video()?,
+        }),
+        "stream" => Ok(Request::Stream {
+            sql: sql("stream")?,
+            video: video()?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err((
+            RejectReason::UnknownKind,
+            format!("unknown request kind {other:?} (query|stream|stats|shutdown)"),
+        )),
+    }
+}
+
+/// Decode one raw request line into a [`Request`], mapping each failure
+/// mode to its wire category.
+pub fn parse_request(line: &[u8]) -> Result<Request, (RejectReason, String)> {
+    let text = std::str::from_utf8(line)
+        .map_err(|e| (RejectReason::BadUtf8, format!("request line: {e}")))?;
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| (RejectReason::BadJson, format!("request line: {e}")))?;
+    decode_request(&value)
+}
+
+/// What one bounded line read produced.
+#[derive(Debug)]
+pub enum LineEvent {
+    /// A complete line (without its terminating newline).
+    Line(Vec<u8>),
+    /// The line exceeded the cap. The overflow has been consumed up to and
+    /// including its newline, so the stream is resynchronised; `eof` is
+    /// true when the connection ended mid-overflow.
+    Oversize { eof: bool },
+    /// Clean end of stream (no pending bytes).
+    Eof,
+    /// The read deadline expired.
+    TimedOut,
+    /// Any other transport failure.
+    Failed(std::io::Error),
+}
+
+/// Read one `\n`-terminated line of at most `cap` bytes from a buffered
+/// reader, classifying every failure mode a serving loop must handle.
+pub fn read_bounded_line<R: BufRead + Read>(reader: &mut R, cap: usize) -> LineEvent {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let (consumed, done) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return LineEvent::Failed(e),
+            };
+            if buf.is_empty() {
+                // EOF. Mid-line bytes with no newline are a truncated frame;
+                // surface what arrived (the JSON layer rejects it precisely).
+                return match (overflowed, line.is_empty()) {
+                    (true, _) => LineEvent::Oversize { eof: true },
+                    (false, true) => LineEvent::Eof,
+                    (false, false) => LineEvent::Line(std::mem::take(&mut line)),
+                };
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(at) => {
+                    if !overflowed {
+                        line.extend_from_slice(&buf[..at]);
+                    }
+                    (at + 1, true)
+                }
+                None => {
+                    if !overflowed {
+                        line.extend_from_slice(buf);
+                    }
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if !overflowed && line.len() >= cap {
+            // Too big: stop buffering, keep consuming until the newline so
+            // the connection can carry the next frame.
+            overflowed = true;
+            line.clear();
+        }
+        if done {
+            return if overflowed {
+                LineEvent::Oversize { eof: false }
+            } else {
+                LineEvent::Line(std::mem::take(&mut line))
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let frames = [
+            Request::Query {
+                sql: "SELECT MERGE(clipID) …".into(),
+                video: Some(3),
+            },
+            Request::Stream {
+                sql: "SELECT".into(),
+                video: None,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for frame in frames {
+            let line = encode_line(&frame);
+            assert!(line.ends_with('\n'));
+            let back = parse_request(line.trim_end().as_bytes()).expect("round trip");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn decode_classifies_each_failure() {
+        let cases: [(&[u8], RejectReason); 6] = [
+            (b"\xff\xfe{}", RejectReason::BadUtf8),
+            (b"{\"kind\": \"que", RejectReason::BadJson),
+            (b"not json at all", RejectReason::BadJson),
+            (b"{\"kind\": \"warp\"}", RejectReason::UnknownKind),
+            (b"{\"sql\": \"SELECT\"}", RejectReason::BadRequest),
+            (b"{\"kind\": \"query\"}", RejectReason::BadRequest),
+        ];
+        for (raw, want) in cases {
+            let (reason, message) = parse_request(raw).expect_err("must fail");
+            assert_eq!(reason, want, "{message}");
+            assert!(!message.is_empty());
+        }
+        // `video` must be an id, not prose.
+        let (reason, _) =
+            parse_request(b"{\"kind\": \"query\", \"sql\": \"S\", \"video\": \"three\"}")
+                .expect_err("bad video");
+        assert_eq!(reason, RejectReason::BadRequest);
+    }
+
+    #[test]
+    fn error_frames_round_trip_every_reason() {
+        for reason in svq_types::RejectReason::ALL {
+            let frame = Response::Error {
+                reason,
+                message: format!("because {reason}"),
+            };
+            let line = encode_line(&frame);
+            let back: Response = serde_json::from_str(line.trim_end()).expect("decodes");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn bounded_reader_survives_oversize_and_resyncs() {
+        let mut payload = vec![b'x'; 64];
+        payload.push(b'\n');
+        payload.extend_from_slice(b"after\n");
+        let mut reader = BufReader::with_capacity(8, payload.as_slice());
+        match read_bounded_line(&mut reader, 16) {
+            LineEvent::Oversize { eof: false } => {}
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        // Resynchronised on the next frame.
+        match read_bounded_line(&mut reader, 16) {
+            LineEvent::Line(line) => assert_eq!(line, b"after"),
+            other => panic!("expected line, got {other:?}"),
+        }
+        match read_bounded_line(&mut reader, 16) {
+            LineEvent::Eof => {}
+            other => panic!("expected eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_reader_reports_truncated_tail() {
+        let mut reader = BufReader::new(&b"{\"kind\": \"stats\"}"[..]);
+        match read_bounded_line(&mut reader, 1024) {
+            LineEvent::Line(line) => assert_eq!(line, b"{\"kind\": \"stats\"}"),
+            other => panic!("unterminated tail must surface, got {other:?}"),
+        }
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(matches!(
+            read_bounded_line(&mut reader, 1024),
+            LineEvent::Eof
+        ));
+    }
+}

@@ -1,0 +1,758 @@
+//! The service itself: acceptor, admission control, per-connection
+//! workers, and graceful drain.
+//!
+//! Architecture (`std::net`, thread-per-connection — the build is fully
+//! offline, so there is no async runtime to lean on):
+//!
+//! * An **acceptor** thread owns the listener. Every accepted socket is
+//!   answered: admitted connections get a handler thread; connections over
+//!   the slot limit get a typed `busy` frame and a clean close; during
+//!   drain everyone new gets `draining`. A socket is never silently
+//!   dropped while the server runs.
+//! * **Handler** threads speak the line protocol under per-connection
+//!   read/write deadlines. Malformed frames are answered and survived;
+//!   expired read deadlines answer `timeout` and close.
+//! * The **phase** cell (`running → draining → stopped`) is the drain
+//!   state machine. [`ServerHandle::shutdown`] (or a wire `shutdown`
+//!   request) flips it to draining: idle connections are closed
+//!   immediately, in-flight requests run to completion, and new
+//!   connections are refused with `draining` until teardown. Whoever wins
+//!   the [`ServerHandle::wait`] teardown race force-closes stragglers at
+//!   the drain deadline, joins the acceptor, and latches a [`ServeReport`]
+//!   every other waiter observes — `wait` is idempotent, like the mux's.
+//!
+//! Offline `query` requests execute against a shared lazily-loaded
+//! [`VideoRepository`]; `stream` requests register a session in the shared
+//! [`SessionMux`] and wait for it, so wire results reuse the exact
+//! in-process [`QueryOutcome`] envelopes (see `protocol`).
+
+use crate::protocol::{
+    encode_line, parse_request, read_bounded_line, LineEvent, Request, Response, StatsFrame,
+    MAX_LINE_BYTES,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use svq_core::expr::ExprSvaqd;
+use svq_core::online::{OnlineConfig, Svaqd};
+use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionMux};
+use svq_query::plan::PlannedPredicate;
+use svq_query::{execute_offline, parse, LogicalPlan, QueryMode, QueryOutcome, QueryResults};
+use svq_storage::{DiskStats, VideoRepository};
+use svq_types::{PaperScoring, RejectReason, SvqError, SvqResult, VideoId};
+use svq_vision::models::DetectionOracle;
+
+/// Construction knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Admission limit: connections held concurrently. Over-limit
+    /// connects are answered with a `busy` frame and closed.
+    pub max_conns: usize,
+    /// Per-connection read deadline; an idle connection past it is
+    /// answered with a `timeout` frame and closed.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline (a wedged client cannot pin a
+    /// handler thread forever).
+    pub write_timeout: Duration,
+    /// How long a drain waits for in-flight connections before
+    /// force-closing them.
+    pub drain_timeout: Duration,
+    /// Frame-size cap (bytes, newline included).
+    pub max_line: usize,
+    /// Worker threads in the shared stream-session multiplexer.
+    pub workers: usize,
+    /// Ingress shards in the multiplexer.
+    pub shards: usize,
+    /// Per-session mailbox capacity for `stream` requests.
+    pub mailbox: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_conns: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            max_line: MAX_LINE_BYTES,
+            workers: 2,
+            shards: 1,
+            mailbox: 64,
+        }
+    }
+}
+
+/// What a completed serve run did, latched by [`ServerHandle::wait`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeReport {
+    /// The address actually bound (resolves port 0).
+    pub addr: SocketAddr,
+    pub accepted: u64,
+    pub rejected_busy: u64,
+    pub rejected_draining: u64,
+    pub timed_out: u64,
+    pub malformed: u64,
+    pub requests: u64,
+    /// Whether every connection closed within the drain deadline.
+    pub drained_in_deadline: bool,
+    /// Connections force-closed at the deadline.
+    pub forced_closes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Stopped,
+}
+
+/// One admitted connection's registry entry. The stream clone shares the
+/// socket, so drain can close idle connections (and force-close stragglers
+/// at the deadline) without the handler's cooperation.
+struct ConnEntry {
+    id: u64,
+    stream: TcpStream,
+    /// True while the handler is executing a request (between reading a
+    /// complete line and flushing its response). Drain closes only
+    /// connections observed idle, so in-flight requests complete.
+    busy: Arc<AtomicBool>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    repo: Option<Arc<VideoRepository>>,
+    oracles: BTreeMap<VideoId, Arc<DetectionOracle>>,
+    /// Offline executions on one catalog are serialized: the catalog's
+    /// simulated-disk ledger is shared state, and the per-run `DiskStats`
+    /// delta (part of the deterministic response) would absorb a
+    /// concurrent query's accesses otherwise. One gate per video keeps
+    /// different videos fully parallel.
+    query_gates: BTreeMap<VideoId, Mutex<()>>,
+    mux: SessionMux,
+    metrics: ExecMetrics,
+    phase: Mutex<Phase>,
+    phase_cv: Condvar,
+    /// Admitted-connection count; the condvar signals every close so the
+    /// drain can wait for zero.
+    admitted: Mutex<usize>,
+    admitted_cv: Condvar,
+    conns: Mutex<Vec<ConnEntry>>,
+    next_conn: AtomicU64,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn phase(&self) -> Phase {
+        *self.phase.lock()
+    }
+
+    /// Flip to draining (idempotent): refuse new work, close idle
+    /// connections, let in-flight requests finish.
+    fn begin_drain(&self) {
+        {
+            let mut phase = self.phase.lock();
+            if *phase != Phase::Running {
+                return;
+            }
+            *phase = Phase::Draining;
+            self.phase_cv.notify_all();
+        }
+        // Close connections observed idle so their blocked reads return
+        // now rather than at the read deadline. A connection whose request
+        // is racing this scan at most loses that request — the same
+        // outcome as arriving one instant after the drain began.
+        for conn in self.conns.lock().iter() {
+            if !conn.busy.load(Ordering::Acquire) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Entry point for the service layer.
+pub struct Server;
+
+/// Handle to a running server. Cheap operations only; the heavy teardown
+/// happens in [`ServerHandle::wait`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    /// Claims the (single) teardown; losers of the race wait on the latch.
+    teardown_claimed: AtomicBool,
+    report: Mutex<Option<ServeReport>>,
+    report_cv: Condvar,
+}
+
+impl Server {
+    /// Bind and serve. `repo` backs `query` requests (absent: `query` is
+    /// answered `bad_request`); `oracles` back `stream` requests, keyed by
+    /// their ground truth's video id. Returns once the listener is bound
+    /// and accepting.
+    pub fn start(
+        config: ServeConfig,
+        repo: Option<Arc<VideoRepository>>,
+        oracles: Vec<Arc<DetectionOracle>>,
+        metrics: ExecMetrics,
+    ) -> SvqResult<ServerHandle> {
+        if config.max_conns == 0 {
+            return Err(SvqError::InvalidConfig(
+                "serve: max_conns must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let mux = SessionMux::with_options(
+            MuxOptions::new(config.workers.max(1)).with_shards(config.shards.max(1)),
+            metrics.clone(),
+        );
+        let query_gates = repo
+            .iter()
+            .flat_map(|r| r.video_ids())
+            .map(|id| (id, Mutex::new(())))
+            .collect();
+        let oracles = oracles.into_iter().map(|o| (o.truth().video, o)).collect();
+        let shared = Arc::new(Shared {
+            config,
+            repo,
+            oracles,
+            query_gates,
+            mux,
+            metrics,
+            phase: Mutex::new(Phase::Running),
+            phase_cv: Condvar::new(),
+            admitted: Mutex::new(0),
+            admitted_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            local_addr,
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("svq-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(SvqError::Io)?
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Mutex::new(Some(acceptor)),
+            teardown_claimed: AtomicBool::new(false),
+            report: Mutex::new(None),
+            report_cv: Condvar::new(),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves a `:0` ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The shared metrics registry (server block + mux sessions).
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.shared.metrics
+    }
+
+    /// Trigger a graceful drain and return immediately. Idempotent; also
+    /// triggered by a wire `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Block until the server has fully stopped and return what it did.
+    /// Blocks across the whole serve lifetime if no drain was triggered
+    /// yet. Idempotent: every caller observes the same latched report.
+    pub fn wait(&self) -> ServeReport {
+        {
+            let mut phase = self.shared.phase.lock();
+            while *phase == Phase::Running {
+                self.shared.phase_cv.wait(&mut phase);
+            }
+        }
+        if !self.teardown_claimed.swap(true, Ordering::AcqRel) {
+            let report = self.teardown();
+            *self.report.lock() = Some(report);
+            self.report_cv.notify_all();
+        }
+        let mut latched = self.report.lock();
+        while latched.is_none() {
+            self.report_cv.wait(&mut latched);
+        }
+        match *latched {
+            Some(report) => report,
+            None => unreachable!("wait loop exits only once the report is latched"),
+        }
+    }
+
+    /// The single-winner teardown: wait out the drain, force-close
+    /// stragglers at the deadline, stop the acceptor, report.
+    fn teardown(&self) -> ServeReport {
+        let shared = &self.shared;
+        let deadline = Instant::now() + shared.config.drain_timeout;
+        let mut drained_in_deadline = true;
+        {
+            let mut active = shared.admitted.lock();
+            while *active > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    drained_in_deadline = false;
+                    break;
+                }
+                shared.admitted_cv.wait_for(&mut active, deadline - now);
+            }
+        }
+        let mut forced_closes = 0u64;
+        if !drained_in_deadline {
+            for conn in shared.conns.lock().iter() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                forced_closes += 1;
+            }
+            // The sockets are dead; handlers unwind on their next read or
+            // write. Give them a bounded grace to deregister.
+            let grace = Instant::now() + Duration::from_secs(5);
+            let mut active = shared.admitted.lock();
+            while *active > 0 && Instant::now() < grace {
+                shared
+                    .admitted_cv
+                    .wait_for(&mut active, Duration::from_millis(50));
+            }
+        }
+        {
+            let mut phase = shared.phase.lock();
+            *phase = Phase::Stopped;
+            shared.phase_cv.notify_all();
+        }
+        // Wake the acceptor out of its blocking accept; it observes
+        // `Stopped` and exits (the wake connection is dropped uncounted).
+        let _ = TcpStream::connect(shared.local_addr);
+        if let Some(handle) = self.acceptor.lock().take() {
+            let _ = handle.join();
+        }
+        let snap = shared.metrics.snapshot().server;
+        ServeReport {
+            addr: shared.local_addr,
+            accepted: snap.accepted,
+            rejected_busy: snap.rejected_busy,
+            rejected_draining: snap.rejected_draining,
+            timed_out: snap.timed_out,
+            malformed: snap.malformed,
+            requests: snap.requests,
+            drained_in_deadline,
+            forced_closes,
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.phase() == Phase::Stopped {
+                    return;
+                }
+                continue;
+            }
+        };
+        match shared.phase() {
+            Phase::Stopped => return,
+            Phase::Draining => {
+                shared
+                    .metrics
+                    .server()
+                    .rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                refuse(
+                    stream,
+                    shared,
+                    RejectReason::Draining,
+                    "server is draining towards shutdown",
+                );
+                continue;
+            }
+            Phase::Running => {}
+        }
+        let admitted = {
+            let mut active = shared.admitted.lock();
+            if *active >= shared.config.max_conns {
+                false
+            } else {
+                *active += 1;
+                true
+            }
+        };
+        if !admitted {
+            shared
+                .metrics
+                .server()
+                .rejected_busy
+                .fetch_add(1, Ordering::Relaxed);
+            refuse(
+                stream,
+                shared,
+                RejectReason::Busy,
+                "all connection slots are occupied; retry shortly",
+            );
+            continue;
+        }
+        shared.metrics.server().conn_opened();
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let busy = Arc::new(AtomicBool::new(false));
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(ConnEntry {
+                id: conn_id,
+                stream: clone,
+                busy: busy.clone(),
+            });
+        }
+        let in_thread = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("svq-serve-conn{conn_id}"))
+            .spawn(move || {
+                handle_conn(&in_thread, conn_id, stream, &busy);
+                deregister(&in_thread, conn_id);
+            });
+        if spawned.is_err() {
+            // Could not spawn: undo the admission so the slot is not leaked.
+            deregister(shared, conn_id);
+        }
+    }
+}
+
+/// Answer a refused connection with a typed frame and close it cleanly
+/// (frame, FIN) — never a silent drop.
+fn refuse(mut stream: TcpStream, shared: &Shared, reason: RejectReason, message: &str) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let frame = Response::Error {
+        reason,
+        message: message.into(),
+    };
+    let _ = stream.write_all(encode_line(&frame).as_bytes());
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Remove a finished connection from the registry and release its slot.
+fn deregister(shared: &Shared, conn_id: u64) {
+    shared.conns.lock().retain(|c| c.id != conn_id);
+    shared.metrics.server().conn_closed();
+    let mut active = shared.admitted.lock();
+    *active = active.saturating_sub(1);
+    shared.admitted_cv.notify_all();
+}
+
+/// What a handled request asks the connection loop to do next.
+enum Control {
+    Continue,
+    /// Close the connection and trigger the server-wide drain (shutdown
+    /// acknowledged).
+    Drain,
+}
+
+fn handle_conn(shared: &Arc<Shared>, conn_id: u64, mut stream: TcpStream, busy: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut reqno = 0u64;
+    loop {
+        if shared.phase() != Phase::Running {
+            return;
+        }
+        match read_bounded_line(&mut reader, shared.config.max_line) {
+            LineEvent::Line(line) => {
+                busy.store(true, Ordering::Release);
+                let started = Instant::now();
+                let (response, control, answered_kind) =
+                    respond(shared, conn_id, &mut reqno, &line);
+                let wrote = write_frame(&mut stream, &response);
+                if let Some(kind) = answered_kind {
+                    record_request(shared, kind, started.elapsed());
+                }
+                busy.store(false, Ordering::Release);
+                match (wrote, control) {
+                    (false, _) => return,
+                    (true, Control::Drain) => {
+                        shared.begin_drain();
+                        return;
+                    }
+                    (true, Control::Continue) => {}
+                }
+            }
+            LineEvent::Oversize { eof } => {
+                shared
+                    .metrics
+                    .server()
+                    .malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                let frame = Response::Error {
+                    reason: RejectReason::Oversize,
+                    message: format!(
+                        "request line exceeded {} bytes; frame discarded",
+                        shared.config.max_line
+                    ),
+                };
+                if !write_frame(&mut stream, &frame) || eof {
+                    return;
+                }
+            }
+            LineEvent::TimedOut => {
+                if shared.phase() == Phase::Running {
+                    shared
+                        .metrics
+                        .server()
+                        .timed_out
+                        .fetch_add(1, Ordering::Relaxed);
+                    let frame = Response::Error {
+                        reason: RejectReason::Timeout,
+                        message: "read deadline expired; closing".into(),
+                    };
+                    let _ = write_frame(&mut stream, &frame);
+                }
+                return;
+            }
+            LineEvent::Eof | LineEvent::Failed(_) => return,
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Response) -> bool {
+    stream
+        .write_all(encode_line(frame).as_bytes())
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn record_request(shared: &Shared, kind: &'static str, elapsed: Duration) {
+    let srv = shared.metrics.server();
+    let counter = match kind {
+        "query" => &srv.req_query,
+        "stream" => &srv.req_stream,
+        "stats" => &srv.req_stats,
+        _ => &srv.req_shutdown,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    srv.latency.record(elapsed);
+}
+
+/// Parse and dispatch one request line. Returns the response frame, what
+/// the connection should do next, and the request kind when a well-formed
+/// request was answered (for the per-kind counters and the latency
+/// histogram; malformed lines count under `malformed` instead).
+fn respond(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    reqno: &mut u64,
+    line: &[u8],
+) -> (Response, Control, Option<&'static str>) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err((reason, message)) => {
+            shared
+                .metrics
+                .server()
+                .malformed
+                .fetch_add(1, Ordering::Relaxed);
+            return (Response::Error { reason, message }, Control::Continue, None);
+        }
+    };
+    let kind = request.kind();
+    *reqno += 1;
+    match request {
+        Request::Query { sql, video } => {
+            let response = match do_query(shared, &sql, video) {
+                Ok(outcome) => Response::Outcome(outcome),
+                Err((reason, message)) => Response::Error { reason, message },
+            };
+            (response, Control::Continue, Some(kind))
+        }
+        Request::Stream { sql, video } => {
+            let response = match do_stream(shared, conn_id, *reqno, &sql, video) {
+                Ok(outcome) => Response::Outcome(outcome),
+                Err((reason, message)) => Response::Error { reason, message },
+            };
+            (response, Control::Continue, Some(kind))
+        }
+        Request::Stats => (
+            Response::Stats(stats_frame(shared)),
+            Control::Continue,
+            Some(kind),
+        ),
+        Request::Shutdown => (Response::Bye, Control::Drain, Some(kind)),
+    }
+}
+
+/// Classify an execution-layer error for the wire: anything the client
+/// could have known (bad SQL, wrong mode, unknown label) is `bad_request`;
+/// genuine server-side failures are `internal`.
+fn reject_of(err: &SvqError) -> RejectReason {
+    match err {
+        SvqError::UnknownLabel { .. }
+        | SvqError::InvalidQuery(_)
+        | SvqError::InvalidConfig(_)
+        | SvqError::Parse { .. } => RejectReason::BadRequest,
+        SvqError::MissingMetadata(_) | SvqError::Storage(_) | SvqError::Io(_) => {
+            RejectReason::Internal
+        }
+    }
+}
+
+fn plan_of(sql: &str) -> Result<LogicalPlan, (RejectReason, String)> {
+    let statement = parse(sql).map_err(|e| (reject_of(&e), e.to_string()))?;
+    LogicalPlan::from_statement(&statement).map_err(|e| (reject_of(&e), e.to_string()))
+}
+
+/// Pick the target of a request: the named id, or the sole served one.
+fn target_video(
+    named: Option<u64>,
+    served: impl Iterator<Item = VideoId>,
+    what: &str,
+) -> Result<VideoId, (RejectReason, String)> {
+    if let Some(v) = named {
+        return Ok(VideoId::new(v));
+    }
+    let served: Vec<VideoId> = served.collect();
+    match served.as_slice() {
+        [sole] => Ok(*sole),
+        _ => Err((
+            RejectReason::BadRequest,
+            format!("{} {what}s served; name one with `video`", served.len()),
+        )),
+    }
+}
+
+fn do_query(
+    shared: &Shared,
+    sql: &str,
+    video: Option<u64>,
+) -> Result<QueryOutcome, (RejectReason, String)> {
+    let repo = shared.repo.as_ref().ok_or((
+        RejectReason::BadRequest,
+        "this server holds no offline catalog; only `stream` and `stats` are available".to_string(),
+    ))?;
+    let plan = plan_of(sql)?;
+    if !matches!(plan.mode, QueryMode::Offline { .. }) {
+        return Err((
+            RejectReason::BadRequest,
+            "statement plans online (no ORDER BY RANK … LIMIT); send it as a `stream` request"
+                .into(),
+        ));
+    }
+    let id = target_video(video, repo.video_ids(), "catalog video")?;
+    let catalog = repo
+        .get(id)
+        .map_err(|e| (reject_of(&e), e.to_string()))?
+        .ok_or_else(|| {
+            (
+                RejectReason::UnknownVideo,
+                format!("video {id:?} is not in the served catalog"),
+            )
+        })?;
+    // Serialize per catalog: the simulated-disk delta in the outcome must
+    // not absorb a concurrent query's accesses (see `Shared::query_gates`).
+    let _gate = shared.query_gates.get(&id).map(|g| g.lock());
+    execute_offline(&plan, &catalog, &PaperScoring).map_err(|e| (reject_of(&e), e.to_string()))
+}
+
+fn do_stream(
+    shared: &Shared,
+    conn_id: u64,
+    reqno: u64,
+    sql: &str,
+    video: Option<u64>,
+) -> Result<QueryOutcome, (RejectReason, String)> {
+    if shared.oracles.is_empty() {
+        return Err((
+            RejectReason::BadRequest,
+            "this server holds no live streams; only `query` and `stats` are available".into(),
+        ));
+    }
+    let plan = plan_of(sql)?;
+    if plan.mode != QueryMode::Online {
+        return Err((
+            RejectReason::BadRequest,
+            "statement plans offline (top-K); send it as a `query` request".into(),
+        ));
+    }
+    let id = target_video(video, shared.oracles.keys().copied(), "live stream")?;
+    let oracle = shared.oracles.get(&id).ok_or_else(|| {
+        (
+            RejectReason::UnknownVideo,
+            format!("video {id:?} is not among the served live streams"),
+        )
+    })?;
+    let geometry = oracle.truth().geometry;
+    let engine = match &plan.predicate {
+        PlannedPredicate::Simple(q) => SessionEngine::Svaqd(Svaqd::new(
+            q.clone(),
+            geometry,
+            OnlineConfig::default(),
+            1e-4,
+            1e-4,
+        )),
+        PlannedPredicate::Cnf(q) => SessionEngine::Expr(ExprSvaqd::new(
+            q.clone(),
+            geometry,
+            OnlineConfig::default(),
+            1e-4,
+            1e-4,
+        )),
+    };
+    let started = Instant::now();
+    let session = shared.mux.register(
+        format!("conn{conn_id}/r{reqno}"),
+        oracle.clone(),
+        engine,
+        Backpressure::Block,
+        shared.config.mailbox.max(1),
+    );
+    shared.mux.feed_stream(session);
+    let result = shared.mux.wait(session);
+    shared.mux.release(session);
+    match result {
+        Ok(done) => Ok(QueryOutcome {
+            results: QueryResults::Online {
+                sequences: done.sequences,
+                cost: done.cost,
+            },
+            disk: DiskStats::default(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        }),
+        Err(e) => Err((RejectReason::Internal, e.to_string())),
+    }
+}
+
+fn stats_frame(shared: &Shared) -> StatsFrame {
+    let snap = shared.metrics.snapshot();
+    let s = snap.server;
+    StatsFrame {
+        active_conns: s.active_conns,
+        peak_conns: s.peak_conns,
+        accepted: s.accepted,
+        rejected_busy: s.rejected_busy,
+        rejected_draining: s.rejected_draining,
+        timed_out: s.timed_out,
+        malformed: s.malformed,
+        req_query: s.req_query,
+        req_stream: s.req_stream,
+        req_stats: s.req_stats,
+        req_shutdown: s.req_shutdown,
+        requests: s.requests,
+        latency_p50_ms: s.latency_p50_ms,
+        latency_p95_ms: s.latency_p95_ms,
+        latency_p99_ms: s.latency_p99_ms,
+        total_clips: snap.total_clips,
+    }
+}

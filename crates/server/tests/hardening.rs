@@ -1,0 +1,149 @@
+//! Malformed-input hardening: every rejected frame is answered with a
+//! typed error, and neither the connection nor the server dies — plus a
+//! property test that frame encode/decode round-trips arbitrary request
+//! content.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use svq_serve::{
+    encode_line, parse_request, Client, Request, Response, ServeConfig, Server, MAX_LINE_BYTES,
+};
+use svq_types::RejectReason;
+
+fn start_bare(max_line: usize) -> svq_serve::ServerHandle {
+    Server::start(
+        ServeConfig {
+            max_line,
+            read_timeout: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+        None,
+        Vec::new(),
+        svq_exec::ExecMetrics::new(),
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn each_malformed_shape_gets_its_typed_error_and_the_connection_survives() {
+    let handle = start_bare(1_024);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let cases: [(&[u8], RejectReason); 5] = [
+        (&[0xff, 0xfe, b'{'], RejectReason::BadUtf8),
+        (b"{\"kind\": \"que", RejectReason::BadJson),
+        (b"]][[", RejectReason::BadJson),
+        (b"{\"kind\": \"warp\"}", RejectReason::UnknownKind),
+        (b"{\"video\": 3}", RejectReason::BadRequest),
+    ];
+    for (raw, want) in cases {
+        match client.send_raw(raw).expect("typed error arrives") {
+            Response::Error { reason, message } => {
+                assert_eq!(reason, want, "{message}");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected {want} error, got {other:?}"),
+        }
+    }
+
+    // Oversize line: answered, discarded, and the next frame still parses.
+    let oversized = vec![b'x'; 4_096];
+    match client.send_raw(&oversized).expect("oversize answered") {
+        Response::Error { reason, .. } => assert_eq!(reason, RejectReason::Oversize),
+        other => panic!("expected oversize error, got {other:?}"),
+    }
+
+    // Same connection keeps working after six rejected frames.
+    match client.request(&Request::Stats).expect("stats answers") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.malformed, 6, "all six rejects counted");
+            assert_eq!(stats.requests, 0, "rejects are not answered requests");
+            assert_eq!(stats.active_conns, 1, "connection survived");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // And the server survives for entirely new connections.
+    let mut second = Client::connect(handle.local_addr()).expect("connect");
+    assert!(matches!(
+        second.request(&Request::Stats).expect("stats"),
+        Response::Stats(_)
+    ));
+
+    handle.shutdown();
+    let report = handle.wait();
+    assert_eq!(report.malformed, 6);
+    assert_eq!(report.accepted, 2);
+}
+
+#[test]
+fn an_unterminated_final_frame_is_still_parsed() {
+    // A client that sends a complete JSON object but closes without the
+    // trailing newline: the line reader surfaces the tail, and the
+    // request is answered before the connection winds down.
+    let handle = start_bare(MAX_LINE_BYTES);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    use std::io::Write;
+    use std::net::TcpStream;
+    let mut raw = TcpStream::connect(handle.local_addr()).expect("connect");
+    raw.write_all(b"{\"kind\": \"stats\"}").expect("write");
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reader = std::io::BufReader::new(raw);
+    match svq_serve::read_bounded_line(&mut reader, MAX_LINE_BYTES) {
+        svq_serve::LineEvent::Line(line) => {
+            let text = std::str::from_utf8(&line).expect("utf8 frame");
+            let frame: Response = serde_json::from_str(text).expect("frame parses");
+            assert!(matches!(frame, Response::Stats(_)));
+        }
+        other => panic!("expected a response line, got {other:?}"),
+    }
+    // The well-behaved connection is unaffected.
+    assert!(matches!(
+        client.request(&Request::Stats).expect("stats"),
+        Response::Stats(_)
+    ));
+    handle.shutdown();
+    handle.wait();
+}
+
+proptest! {
+    #[test]
+    fn request_frames_round_trip_arbitrary_content(
+        bytes in prop::collection::vec(0u8..255, 0..48),
+        video in 0u64..1_000_000,
+        has_video in any::<bool>(),
+        kind in 0u8..4,
+    ) {
+        // Arbitrary (possibly non-ASCII) SQL content must survive the
+        // JSON escaping round trip byte-for-byte.
+        let sql = String::from_utf8_lossy(&bytes).into_owned();
+        let video = if has_video { Some(video) } else { None };
+        let frame = match kind {
+            0 => Request::Query { sql, video },
+            1 => Request::Stream { sql, video },
+            2 => Request::Stats,
+            _ => Request::Shutdown,
+        };
+        let line = encode_line(&frame);
+        prop_assert!(line.ends_with('\n'));
+        prop_assert!(!line.trim_end_matches('\n').contains('\n'),
+            "a frame is exactly one line");
+        let back = parse_request(line.trim_end().as_bytes());
+        match back {
+            Ok(decoded) => prop_assert_eq!(decoded, frame),
+            Err((reason, message)) => {
+                prop_assert!(false, "round trip failed: {reason} {message}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_the_parser(
+        bytes in prop::collection::vec(0u8..255, 0..64),
+    ) {
+        // Whatever arrives, the parser returns a typed classification.
+        if let Err((reason, message)) = parse_request(&bytes) {
+            prop_assert!(!message.is_empty(), "{reason} without detail");
+        }
+    }
+}

@@ -209,6 +209,35 @@ impl VideoRepository {
         }
         Ok(Self { videos })
     }
+
+    /// Open whatever catalog artifact `path` names:
+    ///
+    /// * a directory with a `manifest.json` → lazy [`Self::open_dir`];
+    /// * a directory without one → eager [`Self::load_dir`] (pre-manifest
+    ///   layouts remain servable);
+    /// * a single `*.json` catalog file → a one-video repository.
+    ///
+    /// This is the service layer's entry point: `svqact serve --catalog`
+    /// accepts any of the shapes the ingestion commands produce.
+    pub fn open_path(path: impl AsRef<Path>) -> SvqResult<Self> {
+        let path = path.as_ref();
+        if path.is_dir() {
+            if path.join("manifest.json").is_file() {
+                Self::open_dir(path)
+            } else {
+                Self::load_dir(path)
+            }
+        } else if path.is_file() {
+            let mut repo = Self::new();
+            repo.add(IngestedVideo::load(path)?);
+            Ok(repo)
+        } else {
+            Err(SvqError::MissingMetadata(format!(
+                "no catalog file or directory at {}",
+                path.display()
+            )))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +344,36 @@ mod tests {
         // and clip counts still answer.
         assert_eq!(lazy.total_clips(), 2);
         assert!(lazy.get(VideoId::new(1)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_path_dispatches_on_artifact_shape() {
+        let mut repo = VideoRepository::new();
+        repo.add(empty_catalog(11, 3));
+        repo.add(empty_catalog(12, 4));
+        let dir = std::env::temp_dir().join("svq_repo_open_path_test");
+        std::fs::remove_dir_all(&dir).ok();
+        repo.save_dir(&dir).unwrap();
+
+        // Directory with manifest → lazy.
+        let lazy = VideoRepository::open_path(&dir).unwrap();
+        assert_eq!(lazy.total_clips(), 7);
+        assert_eq!(lazy.loaded_count(), 0);
+
+        // Directory without manifest → eager fallback.
+        std::fs::remove_file(dir.join("manifest.json")).unwrap();
+        let eager = VideoRepository::open_path(&dir).unwrap();
+        assert_eq!(eager.total_clips(), 7);
+        assert_eq!(eager.loaded_count(), 2);
+
+        // Single catalog file → one-video repository.
+        let single = VideoRepository::open_path(dir.join("video-12.json")).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.clip_count(VideoId::new(12)), Some(4));
+
+        // Nothing there → typed error.
+        assert!(VideoRepository::open_path(dir.join("absent")).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,80 @@ use std::fmt;
 /// Result alias used across the SVQ-ACT crates.
 pub type SvqResult<T> = Result<T, SvqError>;
 
+/// Typed rejection categories of the `svq-serve` wire protocol.
+///
+/// Every frame a server refuses carries exactly one of these as its stable
+/// wire code (`RejectReason::code`), so clients can branch on the category
+/// without parsing prose. The human-readable detail travels separately in
+/// the error frame's `message` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// Admission control: every connection slot is occupied.
+    Busy,
+    /// The server is draining towards shutdown and accepts no new work.
+    Draining,
+    /// A request line exceeded the frame-size limit.
+    Oversize,
+    /// A request line was not valid UTF-8.
+    BadUtf8,
+    /// A request line was not valid JSON (truncated, trailing bytes, …).
+    BadJson,
+    /// Well-formed JSON that is not a valid request (missing/ill-typed
+    /// fields, an unparseable SQL statement, a mode mismatch, …).
+    BadRequest,
+    /// The `kind` field named no known request kind.
+    UnknownKind,
+    /// The request named a video the server does not hold.
+    UnknownVideo,
+    /// A per-connection read/write deadline expired.
+    Timeout,
+    /// The request was valid but execution failed server-side.
+    Internal,
+}
+
+impl RejectReason {
+    /// Every category, in wire-code order (stable for tests and docs).
+    pub const ALL: [RejectReason; 10] = [
+        RejectReason::Busy,
+        RejectReason::Draining,
+        RejectReason::Oversize,
+        RejectReason::BadUtf8,
+        RejectReason::BadJson,
+        RejectReason::BadRequest,
+        RejectReason::UnknownKind,
+        RejectReason::UnknownVideo,
+        RejectReason::Timeout,
+        RejectReason::Internal,
+    ];
+
+    /// The stable wire code carried in error frames.
+    pub fn code(self) -> &'static str {
+        match self {
+            RejectReason::Busy => "busy",
+            RejectReason::Draining => "draining",
+            RejectReason::Oversize => "oversize",
+            RejectReason::BadUtf8 => "bad_utf8",
+            RejectReason::BadJson => "bad_json",
+            RejectReason::BadRequest => "bad_request",
+            RejectReason::UnknownKind => "unknown_kind",
+            RejectReason::UnknownVideo => "unknown_video",
+            RejectReason::Timeout => "timeout",
+            RejectReason::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire code back into its category.
+    pub fn from_code(code: &str) -> Option<RejectReason> {
+        RejectReason::ALL.into_iter().find(|r| r.code() == code)
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// Errors surfaced by the engine.
 ///
 /// The enum is deliberately small: most internal invariants are enforced by

@@ -37,7 +37,7 @@ pub mod scoring;
 
 pub use clock::{Clock, ManualClock};
 pub use detection::{ActionScore, BBox, Detection, TrackedDetection};
-pub use error::{SvqError, SvqResult};
+pub use error::{RejectReason, SvqError, SvqResult};
 pub use geometry::VideoGeometry;
 pub use ids::{ClipId, FrameId, ShotId, TrackId, VideoId};
 pub use interval::{ClipInterval, FrameInterval, Interval};

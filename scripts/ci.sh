@@ -26,4 +26,36 @@ echo "== repro ingest-spill smoke (workers {1,2}, byte-identity + hand-off bound
 cargo run -q --release -p svq-bench --bin repro -- ingest-spill \
   --scale 0.02 --out target/ci-results
 
+echo "== repro serve-throughput smoke (clients {1,4}, wire byte-identity + clean drain)"
+cargo run -q --release -p svq-bench --bin repro -- serve-throughput \
+  --scale 0.02 --out target/ci-results
+
+echo "== svqact serve round trip (ephemeral port, wire shutdown)"
+SERVE_DIR=target/ci-serve
+rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"
+cargo run -q --release -p svqact -- synth --minutes 2 --action archery \
+  --objects person --seed 7 --out "$SERVE_DIR/scene.json"
+cargo run -q --release -p svqact -- ingest --scene "$SERVE_DIR/scene.json" \
+  --models ideal --out "$SERVE_DIR/catalog.json"
+cargo run -q --release -p svqact -- serve --catalog "$SERVE_DIR/catalog.json" \
+  --scene "$SERVE_DIR/scene.json" --models ideal \
+  --addr-file "$SERVE_DIR/addr" --drain-timeout-ms 10000 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_DIR/addr" ] && break
+  sleep 0.1
+done
+[ -s "$SERVE_DIR/addr" ] || { echo "serve never bound"; kill "$SERVE_PID"; exit 1; }
+ADDR=$(cat "$SERVE_DIR/addr")
+cargo run -q --release -p svqact -- request --addr "$ADDR" --kind stats
+cargo run -q --release -p svqact -- request --addr "$ADDR" --kind query \
+  --sql "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+         WHERE act='archery' AND obj.include('person') \
+         ORDER BY RANK(act,obj) LIMIT 2"
+cargo run -q --release -p svqact -- request --addr "$ADDR" --kind stream \
+  --sql "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+         WHERE act='archery' AND obj.include('person')"
+cargo run -q --release -p svqact -- request --addr "$ADDR" --kind shutdown
+wait "$SERVE_PID"
+
 echo "CI OK"
