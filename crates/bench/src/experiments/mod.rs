@@ -11,6 +11,7 @@ pub mod offline_tables;
 pub mod runtime;
 pub mod rvaq_accuracy;
 pub mod serve_throughput;
+pub mod sim;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -71,4 +72,5 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("mux-ingress", mux_ingress::run),
     ("ingest-spill", ingest_spill::run),
     ("serve-throughput", serve_throughput::run),
+    ("sim", sim::run),
 ];

@@ -525,6 +525,125 @@ pub fn explain(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// `svqact sim` — run deterministic simulation schedules.
+///
+/// Three modes:
+/// * `--scenario NAME --seed S` replays exactly one schedule (add
+///   `--trace true` to print the full event trace; two runs of the same
+///   spec print byte-identical output).
+/// * `--schedules K` sweeps K seeds (over one `--scenario` or all of
+///   them), shrinking any failure and printing its one-line repro.
+/// * `--corpus true` replays every committed corpus schedule.
+pub fn sim(flags: &Flags) -> CliResult {
+    use svq_sim::{
+        find, run_corpus_line, run_one, shrink, sweep, FaultPlan, RunSpec, CORPUS, SCENARIOS,
+    };
+
+    let known = || {
+        SCENARIOS
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    if flags.get_parsed("corpus", false)? {
+        let mut replayed = 0u64;
+        let mut failed = 0u64;
+        for line in CORPUS.lines() {
+            let Some((spec, outcome)) = run_corpus_line(line)? else {
+                continue;
+            };
+            replayed += 1;
+            match &outcome.failure {
+                None => println!("ok   {}", line.trim()),
+                Some(f) => {
+                    failed += 1;
+                    println!("FAIL {} ({f})", line.trim());
+                    println!("     repro: {}", spec.repro_line());
+                }
+            }
+        }
+        println!("corpus: {replayed} schedules replayed, {failed} failed");
+        if failed > 0 {
+            return Err("corpus schedules failed".into());
+        }
+        return Ok(());
+    }
+
+    let faults = FaultPlan::parse(flags.get("faults").unwrap_or("none"))?;
+    let schedules: u64 = flags.get_parsed("schedules", 0)?;
+    if schedules > 0 {
+        let list: Vec<&svq_sim::Scenario> = match flags.get("scenario") {
+            None | Some("all") => SCENARIOS.iter().collect(),
+            Some(name) => vec![find(name)
+                .ok_or_else(|| format!("unknown scenario {name:?} (known: {})", known()))?],
+        };
+        let base_seed: u64 = flags.get_parsed("seed", 0xBA5E)?;
+        let mut failures = 0usize;
+        for scenario in list {
+            let size: u64 = flags.get_parsed("size", scenario.default_size)?;
+            let report = sweep(scenario, base_seed, schedules, size, faults, 3);
+            println!(
+                "{}: {} schedules, {} steps, {:.3}s virtual time, {} failure(s)",
+                scenario.name,
+                report.schedules,
+                report.steps,
+                report.virtual_nanos as f64 / 1e9,
+                report.failures.len()
+            );
+            for failure in &report.failures {
+                println!("  FAIL: {}", failure.detail);
+                println!("  repro: {}", failure.repro);
+            }
+            failures += report.failures.len();
+        }
+        if failures > 0 {
+            return Err(format!("{failures} failing schedule(s); repro lines above").into());
+        }
+        return Ok(());
+    }
+
+    let name = flags
+        .get("scenario")
+        .ok_or("sim needs --scenario NAME (plus --seed), --schedules K, or --corpus true")?;
+    let scenario =
+        find(name).ok_or_else(|| format!("unknown scenario {name:?} (known: {})", known()))?;
+    let spec = RunSpec {
+        scenario,
+        seed: flags.get_parsed("seed", 1)?,
+        size: flags.get_parsed("size", scenario.default_size)?,
+        faults,
+        keep_trace: true,
+    };
+    let outcome = run_one(&spec);
+    if flags.get_parsed("trace", false)? {
+        print!("{}", outcome.render_trace());
+    }
+    println!(
+        "scenario={} seed={} size={} faults={} steps={} virtual_ns={} trace_hash={:016x}",
+        scenario.name,
+        spec.seed,
+        spec.size,
+        spec.faults.label(),
+        outcome.steps,
+        outcome.virtual_nanos,
+        outcome.trace_hash
+    );
+    match outcome.failure {
+        None => {
+            println!("result: ok");
+            Ok(())
+        }
+        Some(f) => {
+            println!("result: FAIL ({f})");
+            let (shrunk, _) = shrink(&spec);
+            println!("repro: {}", shrunk.repro_line());
+            Err("schedule failed; repro line above".into())
+        }
+    }
+}
+
 /// `svqact labels` — list the model vocabularies.
 pub fn labels(rest: &[String]) -> CliResult {
     match rest.first().map(String::as_str) {

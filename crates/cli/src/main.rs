@@ -10,6 +10,9 @@
 //! svqact serve   --catalog catalogs/ --scene scene.json --addr 127.0.0.1:7741
 //! svqact request --addr 127.0.0.1:7741 --kind query --sql "SELECT …"
 //! svqact explain --sql "SELECT …"
+//! svqact sim     --scenario serve_mem --seed 42 --faults drop-conn
+//! svqact sim     --schedules 200 --scenario all
+//! svqact sim     --corpus true
 //! svqact labels  objects|actions
 //! ```
 //!
@@ -44,6 +47,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "serve" => commands::serve(&args::Flags::parse(rest)?),
         "request" => commands::request(&args::Flags::parse(rest)?),
         "explain" => commands::explain(&args::Flags::parse(rest)?),
+        "sim" => commands::sim(&args::Flags::parse(rest)?),
         "labels" => commands::labels(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -73,6 +77,9 @@ fn print_usage() {
          \u{20}  request --addr HOST:PORT [--kind query|stream|stats|shutdown] \
          [--sql STATEMENT] [--video ID] [--timeout-ms MS]\n\
          \u{20}  explain --sql STATEMENT\n\
+         \u{20}  sim     --scenario NAME [--seed N] [--size N] [--faults a,b|none|all] \
+         [--trace true] | --schedules K [--scenario NAME|all] [--seed BASE] | \
+         --corpus true\n\
          \u{20}  labels  objects|actions"
     );
 }

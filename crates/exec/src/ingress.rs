@@ -19,9 +19,9 @@
 use crate::metrics::ShardCounters;
 use crate::mux::{deliver, IngressEvent, MuxCore};
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::rt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use svq_types::VideoId;
 
 /// The sharded ingress: N queues, N feeder threads, shared counters.
@@ -34,7 +34,7 @@ struct Shard {
     /// `rx.iter()` after it drains everything already queued.
     tx: Option<Sender<IngressEvent>>,
     counters: Arc<ShardCounters>,
-    feeder: Option<JoinHandle<()>>,
+    feeder: Option<rt::JoinHandle<()>>,
 }
 
 impl Ingress {
@@ -48,15 +48,13 @@ impl Ingress {
                 let (tx, rx) = unbounded::<IngressEvent>();
                 let core = core.clone();
                 let in_thread = counters.clone();
-                let feeder = std::thread::Builder::new()
-                    .name(format!("svq-ingress-{i}"))
-                    .spawn(move || {
-                        for event in rx.iter() {
-                            in_thread.ingress_depth.fetch_sub(1, Ordering::Relaxed);
-                            deliver(&core, event, &in_thread);
-                        }
-                    })
-                    .expect("spawn ingress feeder");
+                let feeder = rt::spawn(&format!("svq-ingress-{i}"), move || {
+                    for event in rx.iter() {
+                        in_thread.ingress_depth.fetch_sub(1, Ordering::Relaxed);
+                        deliver(&core, event, &in_thread);
+                    }
+                })
+                .expect("spawn ingress feeder");
                 Shard {
                     tx: Some(tx),
                     counters,

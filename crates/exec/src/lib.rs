@@ -46,7 +46,7 @@ pub use metrics::{
 };
 pub use mux::{
     Backpressure, FeedError, MuxOptions, SessionEngine, SessionError, SessionId, SessionMux,
-    SessionResult,
+    SessionResult, POISON_CLIP,
 };
 pub use pool::{Job, WorkerPool};
 

@@ -6,11 +6,10 @@
 //! print. Rates are computed at snapshot time from a monotonic start
 //! instant, so reading metrics never perturbs the hot path.
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{rt, Condvar, Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Counters for one multiplexed session.
@@ -392,6 +391,7 @@ impl ExecMetrics {
             server,
             shards,
             sessions,
+            lock_holds: lock_hold_snapshots(),
         }
     }
 
@@ -408,29 +408,27 @@ impl ExecMetrics {
         let metrics = self.clone();
         let shared = Arc::new((Mutex::new(false), Condvar::new()));
         let in_thread = shared.clone();
-        let handle = std::thread::Builder::new()
-            .name("svq-metrics-reporter".into())
-            .spawn(move || {
-                let (stop, cv) = &*in_thread;
-                let mut stopped = stop.lock();
-                loop {
-                    // Check before parking: a stop that lands before this
-                    // thread first takes the lock has already spent its
-                    // notification, and nothing else would wake the wait.
-                    if *stopped {
-                        return;
-                    }
-                    let timed_out = cv.wait_for(&mut stopped, every).timed_out();
-                    if *stopped {
-                        return;
-                    }
-                    if timed_out {
-                        sink(metrics.snapshot());
-                    }
-                    // Spurious wake with no stop: park again.
+        let handle = rt::spawn("svq-metrics-reporter", move || {
+            let (stop, cv) = &*in_thread;
+            let mut stopped = stop.lock();
+            loop {
+                // Check before parking: a stop that lands before this
+                // thread first takes the lock has already spent its
+                // notification, and nothing else would wake the wait.
+                if *stopped {
+                    return;
                 }
-            })
-            .expect("spawn metrics reporter");
+                let timed_out = cv.wait_for(&mut stopped, every).timed_out();
+                if *stopped {
+                    return;
+                }
+                if timed_out {
+                    sink(metrics.snapshot());
+                }
+                // Spurious wake with no stop: park again.
+            }
+        })
+        .expect("spawn metrics reporter");
         MetricsReporter {
             shared,
             handle: Some(handle),
@@ -442,7 +440,7 @@ impl ExecMetrics {
 /// Dropping it stops the thread.
 pub struct MetricsReporter {
     shared: Arc<(Mutex<bool>, Condvar)>,
-    handle: Option<JoinHandle<()>>,
+    handle: Option<rt::JoinHandle<()>>,
 }
 
 impl MetricsReporter {
@@ -538,6 +536,21 @@ pub struct ServerSnapshot {
     pub latency_p99_ms: f64,
 }
 
+/// Guard-lifetime statistics for one lock-acquisition site, from the
+/// lock-order auditor. Only populated under `--features lock-audit`;
+/// always empty otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockHoldSnapshot {
+    /// `file:line:column` of the `#[track_caller]` acquisition site.
+    pub site: String,
+    /// Guards acquired (and released) at this site.
+    pub count: u64,
+    /// Total milliseconds guards from this site were held.
+    pub total_ms: f64,
+    /// Longest single hold, in milliseconds.
+    pub max_ms: f64,
+}
+
 /// Whole-registry metrics at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -553,6 +566,28 @@ pub struct MetricsSnapshot {
     pub server: ServerSnapshot,
     pub shards: Vec<ShardSnapshot>,
     pub sessions: Vec<SessionSnapshot>,
+    /// Longest-held lock guards per acquisition site (lock-audit builds
+    /// only; empty without the feature).
+    pub lock_holds: Vec<LockHoldSnapshot>,
+}
+
+/// Guard-lifetime report from the lock auditor, longest hold first.
+/// Compiled to an empty list without `--features lock-audit`.
+fn lock_hold_snapshots() -> Vec<LockHoldSnapshot> {
+    #[cfg(feature = "lock-audit")]
+    {
+        parking_lot::lock_audit::guard_report()
+            .into_iter()
+            .map(|h| LockHoldSnapshot {
+                site: h.site,
+                count: h.count,
+                total_ms: h.total_nanos as f64 / 1e6,
+                max_ms: h.max_nanos as f64 / 1e6,
+            })
+            .collect()
+    }
+    #[cfg(not(feature = "lock-audit"))]
+    Vec::new()
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -630,6 +665,15 @@ impl fmt::Display for MetricsSnapshot {
                 s.queue_depth,
                 s.eval_ms,
                 s.feed_block_ms,
+            )?;
+        }
+        // Top guard-hold sites (lock-audit builds only; the list is empty
+        // otherwise). Five is enough to spot the contended lock.
+        for h in self.lock_holds.iter().take(5) {
+            writeln!(
+                f,
+                "  hold     {:<40} {:>8} holds  max {:>8.3} ms  total {:>8.1} ms",
+                h.site, h.count, h.max_ms, h.total_ms,
             )?;
         }
         Ok(())

@@ -47,7 +47,7 @@ use svq_core::expr::ExprSvaqd;
 use svq_core::online::{ClipEvaluation, Svaqd};
 use svq_types::{ClipId, ClipInterval};
 use svq_vision::models::DetectionOracle;
-use svq_vision::{CostLedger, OwnedClipView};
+use svq_vision::{ClipAccess, CostLedger, OwnedClipView};
 
 /// Mailbox policy when a session's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +58,13 @@ pub enum Backpressure {
     /// Drop the oldest waiting clip and count it in the session metrics.
     DropOldest,
 }
+
+/// Sentinel clip id whose evaluation deterministically panics the worker —
+/// the fault-injection hook behind `svq-sim`'s worker-panic scenarios. The
+/// panic is an explicit assert, not an arithmetic-overflow trap, so it
+/// fires identically in debug and release builds. `u64::MAX` can never
+/// name a real clip: every geometry computation overflows long before.
+pub const POISON_CLIP: ClipId = ClipId::new(u64::MAX);
 
 /// The per-session online engine.
 // Variant sizes differ (~576 vs ~360 bytes) but a value is moved exactly
@@ -71,6 +78,10 @@ pub enum SessionEngine {
 
 impl SessionEngine {
     fn push_clip(&mut self, view: &mut OwnedClipView) -> Option<ClipInterval> {
+        assert!(
+            view.clip() != POISON_CLIP,
+            "poison clip evaluated (injected worker fault)"
+        );
         match self {
             SessionEngine::Svaqd(e) => e.push_clip(view),
             SessionEngine::Expr(e) => e.push_clip(view),
@@ -572,7 +583,7 @@ fn drain(session: &Session) {
                     0,
                     "pacing sleep must not hold any audited lock"
                 );
-                std::thread::sleep(std::time::Duration::from_secs_f64(sleep_secs));
+                parking_lot::rt::sleep(std::time::Duration::from_secs_f64(sleep_secs));
             }
             continue;
         }

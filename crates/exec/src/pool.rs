@@ -8,9 +8,9 @@
 
 use crate::metrics::ExecMetrics;
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::rt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::thread::JoinHandle;
 
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -18,7 +18,7 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 /// Fixed-size thread pool with a bounded job queue.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<rt::JoinHandle<()>>,
     metrics: ExecMetrics,
 }
 
@@ -32,19 +32,17 @@ impl WorkerPool {
             .map(|i| {
                 let rx = rx.clone();
                 let metrics = metrics.clone();
-                std::thread::Builder::new()
-                    .name(format!("svq-exec-{i}"))
-                    .spawn(move || {
-                        for job in rx.iter() {
-                            metrics.pool().queue_depth.fetch_sub(1, Ordering::Relaxed);
-                            let outcome = catch_unwind(AssertUnwindSafe(job));
-                            metrics.pool().jobs_executed.fetch_add(1, Ordering::Relaxed);
-                            if outcome.is_err() {
-                                metrics.pool().jobs_panicked.fetch_add(1, Ordering::Relaxed);
-                            }
+                rt::spawn(&format!("svq-exec-{i}"), move || {
+                    for job in rx.iter() {
+                        metrics.pool().queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let outcome = catch_unwind(AssertUnwindSafe(job));
+                        metrics.pool().jobs_executed.fetch_add(1, Ordering::Relaxed);
+                        if outcome.is_err() {
+                            metrics.pool().jobs_panicked.fetch_add(1, Ordering::Relaxed);
                         }
-                    })
-                    .expect("spawn worker")
+                    }
+                })
+                .expect("spawn worker")
             })
             .collect();
         Self {

@@ -25,6 +25,11 @@ pub fn hash_order_abuse() -> Vec<u64> {
         // determinism #4 (`for` over hash set)
         out.push(*id);
     }
+    let renamed = scores; // the move carries hash order with it
+    for (k, _v) in renamed.iter() {
+        // determinism #5 (iterating a moved HashMap of another name)
+        out.push(*k);
+    }
     out
 }
 

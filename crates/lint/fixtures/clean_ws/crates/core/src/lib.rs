@@ -22,6 +22,10 @@ pub fn ordered_iteration(lookup: &HashMap<u64, f64>) -> Vec<u64> {
     for id in &absorbed {
         out.push(*id);
     }
+    // Moving an ordered container stays ordered — no finding for the
+    // renamed binding.
+    let renamed = scores;
+    out.extend(renamed.keys().copied());
     out
 }
 

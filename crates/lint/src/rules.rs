@@ -440,6 +440,46 @@ fn collect_hash_idents(t: &[Token]) -> BTreeSet<String> {
             }
         }
     }
+    // Dataflow fixpoint: a binding whose initialiser is a bare move,
+    // borrow, or clone of a known hash container is itself hash-ordered
+    // (`let alias = scores;`), even though its own declaration never
+    // mentions HashMap/HashSet. Iterate until no new names are learned —
+    // aliases of aliases converge in a pass per link.
+    loop {
+        let mut grew = false;
+        for i in 0..t.len() {
+            if !t[i].is_op("=") || i == 0 || t[i - 1].kind != TokenKind::Ident {
+                continue;
+            }
+            // Skip leading borrows: `= &map;` aliases like `= map;`.
+            let mut j = i + 1;
+            while t.get(j).is_some_and(|n| n.is_op("&") || n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(src) = t.get(j) else { continue };
+            if src.kind != TokenKind::Ident || !names.contains(&src.text) {
+                continue;
+            }
+            // Optional `.clone()` — still the same hash-ordered contents.
+            let mut end = j + 1;
+            if t.get(end).is_some_and(|n| n.is_op("."))
+                && t.get(end + 1).is_some_and(|n| n.is_ident("clone"))
+                && t.get(end + 2).is_some_and(|n| n.is_op("("))
+                && t.get(end + 3).is_some_and(|n| n.is_op(")"))
+            {
+                end += 4;
+            }
+            if !t.get(end).is_some_and(|n| n.is_op(";")) {
+                continue;
+            }
+            if names.insert(t[i - 1].text.clone()) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
     names
 }
 

@@ -18,7 +18,7 @@ fn count(findings: &[svq_lint::Finding], rule: Rule) -> usize {
 #[test]
 fn every_rule_fires_on_the_seeded_fixture() {
     let findings = lint_workspace(&fixture("bad_ws")).expect("fixture walks");
-    assert_eq!(count(&findings, Rule::Determinism), 4, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::Determinism), 5, "{findings:#?}");
     assert_eq!(count(&findings, Rule::PanicDiscipline), 3, "{findings:#?}");
     assert_eq!(count(&findings, Rule::FloatEq), 2, "{findings:#?}");
     // Two in the library fixture + one stdout theft in the stderr-only

@@ -59,7 +59,7 @@ pub fn scan_tail_exact_markov(k: u64, p01: f64, p11: f64, w: u32, n: u64) -> f64
     while filled < w {
         next.iter_mut().for_each(|x| *x = 0.0);
         for (s, &pr) in dist.iter().enumerate() {
-            if pr == 0.0 {
+            if pr <= 0.0 {
                 continue;
             }
             let p_succ = if s & 1 == 1 { p11 } else { p01 };
@@ -83,12 +83,12 @@ pub fn scan_tail_exact_markov(k: u64, p01: f64, p11: f64, w: u32, n: u64) -> f64
     for _ in w as u64..n {
         next.iter_mut().for_each(|x| *x = 0.0);
         for (s, &pr) in dist.iter().enumerate() {
-            if pr == 0.0 {
+            if pr <= 0.0 {
                 continue;
             }
             let p_succ = if s & 1 == 1 { p11 } else { p01 };
             for (bit, pp) in [(0usize, 1.0 - p_succ), (1, p_succ)] {
-                if pp == 0.0 {
+                if pp <= 0.0 {
                     continue;
                 }
                 let ns = ((s << 1) | bit) & mask;

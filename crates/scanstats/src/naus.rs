@@ -116,16 +116,16 @@ pub fn scan_tail_probability(k: u64, p: f64, w: u32, horizon_windows: f64) -> f6
     if k > wu {
         return 0.0;
     }
-    if p == 0.0 {
+    if p <= 0.0 {
         return 0.0;
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return 1.0;
     }
 
     let table = BinomialTable::new(wu, p);
     let q2v = q2(k, wu, p, &table).clamp(0.0, 1.0);
-    if q2v == 0.0 {
+    if q2v <= 0.0 {
         return 1.0;
     }
     let l = horizon_windows.max(2.0);

@@ -8,16 +8,18 @@
 use crate::protocol::{
     encode_line, read_bounded_line, LineEvent, Request, Response, MAX_LINE_BYTES,
 };
+use crate::transport::Conn;
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use svq_query::QueryOutcome;
 use svq_types::{SvqError, SvqResult};
 
-/// Blocking JSON-lines client.
+/// Blocking JSON-lines client over any [`Conn`] — a real TCP socket or an
+/// in-memory loopback half from [`crate::transport::MemTransport`].
 pub struct Client {
-    stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: Box<dyn Conn>,
+    reader: BufReader<Box<dyn Conn>>,
 }
 
 impl Client {
@@ -28,10 +30,15 @@ impl Client {
 
     /// Connect with an explicit per-operation read/write deadline.
     pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> SvqResult<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::over(Box::new(TcpStream::connect(addr)?), timeout)
+    }
+
+    /// Speak the protocol over an already-established connection (the
+    /// simulation harness hands in [`crate::transport::MemConn`] halves).
+    pub fn over(stream: Box<dyn Conn>, timeout: Duration) -> SvqResult<Self> {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let reader = BufReader::new(stream.try_clone_conn()?);
         Ok(Self { stream, reader })
     }
 

@@ -31,6 +31,7 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod transport;
 
 pub use client::Client;
 pub use protocol::{
@@ -38,3 +39,4 @@ pub use protocol::{
     MAX_LINE_BYTES,
 };
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use transport::{mem_pair, Conn, MemConn, MemTransport, TcpTransport, Transport};

@@ -30,13 +30,13 @@ use crate::protocol::{
     encode_line, parse_request, read_bounded_line, LineEvent, Request, Response, StatsFrame,
     MAX_LINE_BYTES,
 };
-use parking_lot::{Condvar, Mutex};
+use crate::transport::{Conn, TcpTransport, Transport};
+use parking_lot::{rt, Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::io::{BufReader, ErrorKind, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use svq_core::expr::ExprSvaqd;
 use svq_core::online::{OnlineConfig, Svaqd};
@@ -120,7 +120,7 @@ enum Phase {
 /// at the deadline) without the handler's cooperation.
 struct ConnEntry {
     id: u64,
-    stream: TcpStream,
+    stream: Box<dyn Conn>,
     /// True while the handler is executing a request (between reading a
     /// complete line and flushing its response). Drain closes only
     /// connections observed idle, so in-flight requests complete.
@@ -129,6 +129,7 @@ struct ConnEntry {
 
 struct Shared {
     config: ServeConfig,
+    transport: Arc<dyn Transport>,
     repo: Option<Arc<VideoRepository>>,
     oracles: BTreeMap<VideoId, Arc<DetectionOracle>>,
     /// Offline executions on one catalog are serialized: the catalog's
@@ -172,7 +173,7 @@ impl Shared {
         // outcome as arriving one instant after the drain began.
         for conn in self.conns.lock().iter() {
             if !conn.busy.load(Ordering::Acquire) {
-                let _ = conn.stream.shutdown(Shutdown::Both);
+                let _ = conn.stream.shutdown_both();
             }
         }
     }
@@ -185,7 +186,7 @@ pub struct Server;
 /// happens in [`ServerHandle::wait`].
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: Mutex<Option<JoinHandle<()>>>,
+    acceptor: Mutex<Option<rt::JoinHandle<()>>>,
     /// Claims the (single) teardown; losers of the race wait on the latch.
     teardown_claimed: AtomicBool,
     report: Mutex<Option<ServeReport>>,
@@ -203,13 +204,27 @@ impl Server {
         oracles: Vec<Arc<DetectionOracle>>,
         metrics: ExecMetrics,
     ) -> SvqResult<ServerHandle> {
+        let transport = Arc::new(TcpTransport::bind(&config.addr)?);
+        Self::start_on(transport, config, repo, oracles, metrics)
+    }
+
+    /// Serve over an explicit [`Transport`] — the seam `svq-sim` uses to
+    /// run the whole service on an in-memory loopback under its
+    /// deterministic scheduler. [`Server::start`] is `start_on` with a
+    /// freshly bound [`TcpTransport`].
+    pub fn start_on(
+        transport: Arc<dyn Transport>,
+        config: ServeConfig,
+        repo: Option<Arc<VideoRepository>>,
+        oracles: Vec<Arc<DetectionOracle>>,
+        metrics: ExecMetrics,
+    ) -> SvqResult<ServerHandle> {
         if config.max_conns == 0 {
             return Err(SvqError::InvalidConfig(
                 "serve: max_conns must be at least 1".into(),
             ));
         }
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
+        let local_addr = transport.local_addr();
         let mux = SessionMux::with_options(
             MuxOptions::new(config.workers.max(1)).with_shards(config.shards.max(1)),
             metrics.clone(),
@@ -222,6 +237,7 @@ impl Server {
         let oracles = oracles.into_iter().map(|o| (o.truth().video, o)).collect();
         let shared = Arc::new(Shared {
             config,
+            transport,
             repo,
             oracles,
             query_gates,
@@ -237,10 +253,7 @@ impl Server {
         });
         let acceptor = {
             let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("svq-serve-acceptor".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .map_err(SvqError::Io)?
+            rt::spawn("svq-serve-acceptor", move || accept_loop(&shared)).map_err(SvqError::Io)?
         };
         Ok(ServerHandle {
             shared,
@@ -298,30 +311,35 @@ impl ServerHandle {
     /// stragglers at the deadline, stop the acceptor, report.
     fn teardown(&self) -> ServeReport {
         let shared = &self.shared;
-        let deadline = Instant::now() + shared.config.drain_timeout;
+        // Deadlines run on `rt::monotonic_nanos` so a simulated drain
+        // consumes virtual time, not wall time.
+        let deadline =
+            rt::monotonic_nanos().saturating_add(shared.config.drain_timeout.as_nanos() as u64);
         let mut drained_in_deadline = true;
         {
             let mut active = shared.admitted.lock();
             while *active > 0 {
-                let now = Instant::now();
+                let now = rt::monotonic_nanos();
                 if now >= deadline {
                     drained_in_deadline = false;
                     break;
                 }
-                shared.admitted_cv.wait_for(&mut active, deadline - now);
+                shared
+                    .admitted_cv
+                    .wait_for(&mut active, Duration::from_nanos(deadline - now));
             }
         }
         let mut forced_closes = 0u64;
         if !drained_in_deadline {
             for conn in shared.conns.lock().iter() {
-                let _ = conn.stream.shutdown(Shutdown::Both);
+                let _ = conn.stream.shutdown_both();
                 forced_closes += 1;
             }
             // The sockets are dead; handlers unwind on their next read or
             // write. Give them a bounded grace to deregister.
-            let grace = Instant::now() + Duration::from_secs(5);
+            let grace = rt::monotonic_nanos().saturating_add(5_000_000_000);
             let mut active = shared.admitted.lock();
-            while *active > 0 && Instant::now() < grace {
+            while *active > 0 && rt::monotonic_nanos() < grace {
                 shared
                     .admitted_cv
                     .wait_for(&mut active, Duration::from_millis(50));
@@ -333,8 +351,8 @@ impl ServerHandle {
             shared.phase_cv.notify_all();
         }
         // Wake the acceptor out of its blocking accept; it observes
-        // `Stopped` and exits (the wake connection is dropped uncounted).
-        let _ = TcpStream::connect(shared.local_addr);
+        // `Stopped` and exits.
+        shared.transport.wake();
         if let Some(handle) = self.acceptor.lock().take() {
             let _ = handle.join();
         }
@@ -353,10 +371,10 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn accept_loop(shared: &Arc<Shared>) {
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
+        let stream = match shared.transport.accept() {
+            Ok(stream) => stream,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => {
                 if shared.phase() == Phase::Stopped {
@@ -409,7 +427,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         shared.metrics.server().conn_opened();
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         let busy = Arc::new(AtomicBool::new(false));
-        if let Ok(clone) = stream.try_clone() {
+        if let Ok(clone) = stream.try_clone_conn() {
             shared.conns.lock().push(ConnEntry {
                 id: conn_id,
                 stream: clone,
@@ -417,12 +435,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             });
         }
         let in_thread = shared.clone();
-        let spawned = std::thread::Builder::new()
-            .name(format!("svq-serve-conn{conn_id}"))
-            .spawn(move || {
-                handle_conn(&in_thread, conn_id, stream, &busy);
-                deregister(&in_thread, conn_id);
-            });
+        let spawned = rt::spawn(&format!("svq-serve-conn{conn_id}"), move || {
+            handle_conn(&in_thread, conn_id, stream, &busy);
+            deregister(&in_thread, conn_id);
+        });
         if spawned.is_err() {
             // Could not spawn: undo the admission so the slot is not leaked.
             deregister(shared, conn_id);
@@ -432,14 +448,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// Answer a refused connection with a typed frame and close it cleanly
 /// (frame, FIN) — never a silent drop.
-fn refuse(mut stream: TcpStream, shared: &Shared, reason: RejectReason, message: &str) {
+fn refuse(mut stream: Box<dyn Conn>, shared: &Shared, reason: RejectReason, message: &str) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let frame = Response::Error {
         reason,
         message: message.into(),
     };
     let _ = stream.write_all(encode_line(&frame).as_bytes());
-    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.shutdown_write();
 }
 
 /// Remove a finished connection from the registry and release its slot.
@@ -459,10 +475,15 @@ enum Control {
     Drain,
 }
 
-fn handle_conn(shared: &Arc<Shared>, conn_id: u64, mut stream: TcpStream, busy: &Arc<AtomicBool>) {
+fn handle_conn(
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    mut stream: Box<dyn Conn>,
+    busy: &Arc<AtomicBool>,
+) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut reader = match stream.try_clone() {
+    let mut reader = match stream.try_clone_conn() {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return,
     };
@@ -528,7 +549,7 @@ fn handle_conn(shared: &Arc<Shared>, conn_id: u64, mut stream: TcpStream, busy: 
     }
 }
 
-fn write_frame(stream: &mut TcpStream, frame: &Response) -> bool {
+fn write_frame(stream: &mut Box<dyn Conn>, frame: &Response) -> bool {
     stream
         .write_all(encode_line(frame).as_bytes())
         .and_then(|()| stream.flush())

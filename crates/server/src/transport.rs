@@ -1,0 +1,461 @@
+//! Transport abstraction: the server's acceptor and handlers speak to
+//! [`Conn`]s produced by a [`Transport`], not to `TcpStream`s directly.
+//!
+//! Two implementations ship:
+//!
+//! * [`TcpTransport`] — the production path, a thin veneer over
+//!   `TcpListener`/`TcpStream` with identical semantics to the pre-trait
+//!   server (including the self-connect acceptor wake).
+//! * [`MemTransport`] — a loopback, in-memory transport whose connections
+//!   are pairs of byte pipes built on this workspace's (simulation-aware)
+//!   `parking_lot` primitives. Under `svq-sim`'s scheduler every blocking
+//!   read, write-wakeup, and read-timeout runs on virtual time, which is
+//!   what lets thousands of client/server schedules execute
+//!   deterministically in milliseconds — and lets fault injection close a
+//!   connection mid-frame at an exact, replayable point.
+//!
+//! Semantics the server relies on, and both transports honour:
+//!
+//! * `read` past a `shutdown_write` from the peer drains buffered bytes,
+//!   then reports EOF (`Ok(0)`) — drain-then-EOF, like a FIN.
+//! * `shutdown_both` is abortive: blocked reads on *either* end return
+//!   promptly (EOF), regardless of buffered data — like an RST.
+//! * An expired read deadline surfaces as `ErrorKind::WouldBlock`, which
+//!   the protocol layer classifies as [`crate::protocol::LineEvent::TimedOut`].
+//! * `try_clone_conn` clones share the underlying stream *and* its
+//!   deadlines, like `TcpStream::try_clone` sharing a file description.
+
+use parking_lot::{rt, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One bidirectional connection, as the serving loops consume it.
+pub trait Conn: Read + Write + Send {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Abortive close of both directions (unblocks the peer's reads).
+    fn shutdown_both(&self) -> io::Result<()>;
+    /// Graceful close of the write direction (peer drains, then sees EOF).
+    fn shutdown_write(&self) -> io::Result<()>;
+    /// A second handle to the same connection (shared stream + deadlines).
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+}
+
+/// Where connections come from. `Send + Sync`: the acceptor thread holds
+/// it while drain-side code calls [`Transport::wake`].
+pub trait Transport: Send + Sync {
+    /// Block until the next connection arrives. An `Err` is not fatal —
+    /// the acceptor re-checks the server phase and loops; [`Transport::wake`]
+    /// deliberately produces one to force that re-check.
+    fn accept(&self) -> io::Result<Box<dyn Conn>>;
+    /// The address clients use ([`MemTransport`] reports a placeholder).
+    fn local_addr(&self) -> SocketAddr;
+    /// Unblock a pending [`Transport::accept`] so the acceptor notices a
+    /// phase change.
+    fn wake(&self);
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+
+    fn shutdown_write(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Write)
+    }
+
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+/// The production transport: a bound `TcpListener`.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Bind `addr` (port 0 picks an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self { listener, addr })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        let (stream, _peer) = self.listener.accept()?;
+        Ok(Box::new(stream))
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn wake(&self) {
+        // A throwaway self-connection pops the blocking accept; the
+        // acceptor re-checks the phase and drops it uncounted.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory
+// ---------------------------------------------------------------------------
+
+/// One direction of a [`MemConn`]: an unbounded byte queue.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+struct PipeState {
+    data: VecDeque<u8>,
+    /// Writer gone: reads drain remaining bytes, then EOF.
+    write_closed: bool,
+    /// Abortive close: reads return EOF immediately, writes fail.
+    hard_closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(PipeState {
+                data: VecDeque::new(),
+                write_closed: false,
+                hard_closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+}
+
+/// One endpoint of an in-memory duplex connection (see [`mem_pair`]).
+pub struct MemConn {
+    /// Bytes the peer wrote to us.
+    rx: Arc<Pipe>,
+    /// Bytes we write to the peer.
+    tx: Arc<Pipe>,
+    /// (read, write) deadlines, shared across clones like a socket's.
+    timeouts: Arc<Mutex<(Option<Duration>, Option<Duration>)>>,
+    /// Live handles to this endpoint (the endpoint plus its clones, like
+    /// fds over one file description); the last one to drop sends the FIN.
+    handles: Arc<std::sync::atomic::AtomicUsize>,
+}
+
+/// A connected pair of in-memory endpoints: bytes written to one are read
+/// from the other.
+pub fn mem_pair() -> (MemConn, MemConn) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    let a = MemConn {
+        rx: b_to_a.clone(),
+        tx: a_to_b.clone(),
+        timeouts: Arc::new(Mutex::new((None, None))),
+        handles: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
+    };
+    let b = MemConn {
+        rx: a_to_b,
+        tx: b_to_a,
+        timeouts: Arc::new(Mutex::new((None, None))),
+        handles: Arc::new(std::sync::atomic::AtomicUsize::new(1)),
+    };
+    (a, b)
+}
+
+impl Drop for MemConn {
+    fn drop(&mut self) {
+        // Dropping the last handle closes gracefully, exactly as dropping
+        // the last clone of a `TcpStream` sends a FIN: the peer drains
+        // whatever was written, then sees EOF instead of blocking forever.
+        if self
+            .handles
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+            == 1
+        {
+            self.close(false);
+        }
+    }
+}
+
+impl Read for MemConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let timeout = self.timeouts.lock().0;
+        let deadline = timeout.map(|t| rt::monotonic_nanos().saturating_add(t.as_nanos() as u64));
+        let mut state = self.rx.state.lock();
+        loop {
+            if state.hard_closed {
+                return Ok(0);
+            }
+            if !state.data.is_empty() {
+                let n = buf.len().min(state.data.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state
+                        .data
+                        .pop_front()
+                        .unwrap_or_else(|| unreachable!("n <= data.len() just checked"));
+                }
+                return Ok(n);
+            }
+            if state.write_closed {
+                return Ok(0);
+            }
+            match deadline {
+                None => {
+                    self.rx.readable.wait(&mut state);
+                }
+                Some(deadline) => {
+                    let now = rt::monotonic_nanos();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            ErrorKind::WouldBlock,
+                            "read deadline expired on in-memory connection",
+                        ));
+                    }
+                    self.rx
+                        .readable
+                        .wait_for(&mut state, Duration::from_nanos(deadline - now));
+                }
+            }
+        }
+    }
+}
+
+impl Write for MemConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.tx.state.lock();
+        if state.hard_closed || state.write_closed {
+            return Err(io::Error::new(
+                ErrorKind::BrokenPipe,
+                "peer closed the in-memory connection",
+            ));
+        }
+        state.data.extend(buf.iter().copied());
+        self.tx.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl MemConn {
+    fn close(&self, hard: bool) {
+        // Like `TcpStream::shutdown`: closing never unsends. Bytes already
+        // written stay deliverable (FIN-after-data), so `tx` is only ever
+        // write-closed. A hard close additionally abandons our receive
+        // direction: our reads EOF at once and the peer's writes fail.
+        {
+            let mut tx = self.tx.state.lock();
+            tx.write_closed = true;
+            self.tx.readable.notify_all();
+        }
+        if hard {
+            let mut rx = self.rx.state.lock();
+            rx.hard_closed = true;
+            self.rx.readable.notify_all();
+        }
+    }
+}
+
+impl Conn for MemConn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeouts.lock().0 = timeout;
+        Ok(())
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        // Writes to the unbounded pipe never block; the deadline is stored
+        // only so clones report a consistent configuration.
+        self.timeouts.lock().1 = timeout;
+        Ok(())
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.close(true);
+        Ok(())
+    }
+
+    fn shutdown_write(&self) -> io::Result<()> {
+        self.close(false);
+        Ok(())
+    }
+
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        self.handles
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        Ok(Box::new(MemConn {
+            rx: self.rx.clone(),
+            tx: self.tx.clone(),
+            timeouts: self.timeouts.clone(),
+            handles: self.handles.clone(),
+        }))
+    }
+}
+
+/// What one [`MemTransport::accept`] dequeues.
+enum Arrival {
+    Conn(MemConn),
+    /// A wake token from [`Transport::wake`]: surface an error so the
+    /// acceptor re-checks the phase.
+    Wake,
+}
+
+/// Loopback transport: [`MemTransport::connect`] hands the caller the
+/// client endpoint and queues the server endpoint for the acceptor.
+pub struct MemTransport {
+    queue: Mutex<VecDeque<Arrival>>,
+    arrived: Condvar,
+}
+
+impl MemTransport {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+        })
+    }
+
+    /// Open a connection to the server behind this transport.
+    pub fn connect(&self) -> MemConn {
+        let (client, server) = mem_pair();
+        self.queue.lock().push_back(Arrival::Conn(server));
+        self.arrived.notify_all();
+        client
+    }
+}
+
+impl Transport for MemTransport {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        let mut queue = self.queue.lock();
+        loop {
+            match queue.pop_front() {
+                Some(Arrival::Conn(conn)) => return Ok(Box::new(conn)),
+                Some(Arrival::Wake) => {
+                    return Err(io::Error::other(
+                        "in-memory transport woken for a phase check",
+                    ))
+                }
+                None => {
+                    self.arrived.wait(&mut queue);
+                }
+            }
+        }
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        // A placeholder: in-memory connections have no real address.
+        SocketAddr::from(([127, 0, 0, 1], 0))
+    }
+
+    fn wake(&self) {
+        self.queue.lock().push_back(Arrival::Wake);
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn mem_pair_round_trips_lines() {
+        let (mut client, server) = mem_pair();
+        client
+            .write_all(b"hello\nworld\n")
+            .expect("pipe accepts writes");
+        let mut reader = BufReader::new(server.try_clone_conn().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("first line");
+        assert_eq!(line, "hello\n");
+        line.clear();
+        reader.read_line(&mut line).expect("second line");
+        assert_eq!(line, "world\n");
+    }
+
+    #[test]
+    fn read_after_shutdown_write_drains_then_eofs() {
+        let (mut client, mut server) = mem_pair();
+        client.write_all(b"tail").expect("pipe accepts writes");
+        client.shutdown_write().expect("graceful close");
+        let mut buf = [0u8; 16];
+        let n = server.read(&mut buf).expect("drains buffered bytes");
+        assert_eq!(&buf[..n], b"tail");
+        assert_eq!(server.read(&mut buf).expect("then EOF"), 0);
+    }
+
+    #[test]
+    fn hard_close_unblocks_reader_immediately() {
+        let (client, mut server) = mem_pair();
+        client.shutdown_both().expect("abortive close");
+        let mut buf = [0u8; 4];
+        assert_eq!(server.read(&mut buf).expect("EOF, not a hang"), 0);
+    }
+
+    #[test]
+    fn read_timeout_reports_would_block() {
+        let (_client, mut server) = mem_pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("deadline stored");
+        let err = server.read(&mut [0u8; 4]).expect_err("deadline expires");
+        assert_eq!(err.kind(), ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn write_after_peer_hard_close_fails() {
+        let (mut client, server) = mem_pair();
+        server.shutdown_both().expect("abortive close");
+        assert!(client.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn dropping_the_last_handle_sends_a_fin() {
+        let (mut client, server) = mem_pair();
+        let clone = server.try_clone_conn().expect("clone");
+        client.write_all(b"bye").expect("pipe accepts writes");
+        drop(server); // one handle left: still open
+        drop(clone); // last handle: graceful close
+        let mut buf = [0u8; 8];
+        let n = client.read(&mut buf).expect("drains before EOF");
+        assert_eq!(n, 0, "nothing was written back; EOF, not a hang");
+    }
+
+    #[test]
+    fn transport_queues_connections_and_wake_tokens() {
+        let transport = MemTransport::new();
+        let mut client = transport.connect();
+        client.write_all(b"ping\n").expect("pipe accepts writes");
+        let mut server = Transport::accept(&*transport).expect("queued connection");
+        let mut buf = [0u8; 5];
+        server.read_exact(&mut buf).expect("bytes flow");
+        assert_eq!(&buf, b"ping\n");
+        transport.wake();
+        assert!(
+            Transport::accept(&*transport).is_err(),
+            "wake surfaces as Err"
+        );
+    }
+}

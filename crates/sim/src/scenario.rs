@@ -1,0 +1,934 @@
+//! Scenarios: the real SVQ-ACT stack wired into the simulated world.
+//!
+//! A scenario is a function that runs as the world's root task. It builds
+//! production components (a [`svq_exec::SessionMux`], a loopback
+//! [`svq_serve`] server, a [`svq_storage`] spill sink), drives them while
+//! the scheduler explores one seeded interleaving, injects whatever the
+//! [`FaultPlan`] enables, and asserts the standing invariants with plain
+//! `assert!` — an assertion failure unwinds the root task and surfaces as
+//! a [`crate::FailureKind::RootPanic`] with the message and trace tail.
+//!
+//! Standing invariants, across every scenario:
+//!
+//! * **Determinism of results** — every non-faulted session's outcome is
+//!   byte-identical to a single-threaded reference run of the same engine
+//!   over the same stream.
+//! * **Fault isolation** — an injected fault poisons at most its own
+//!   session/connection; everyone else still matches the reference.
+//! * **Conservation** — every fed ticket is either processed or counted
+//!   dropped; gauges never wrap below zero.
+//! * **Liveness** — drains, waits, and stops terminate in virtual time
+//!   (a wedge is a detected deadlock/livelock, never a hang).
+
+use crate::rng::{self, SimRng};
+use parking_lot::rt;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::time::Duration;
+use svq_core::offline::ingest;
+use svq_core::online::{OnlineConfig, Svaqd};
+use svq_exec::{
+    parallel_ingest_into, Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionError,
+    SessionMux,
+};
+use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
+use svq_serve::{encode_line, Client, Conn, MemTransport, Request, Response, ServeConfig, Server};
+use svq_storage::{FailingSink, JsonDirSink, VideoRepository};
+use svq_types::{
+    ActionClass, ActionQuery, BBox, ClipId, FrameId, Interval, ObjectClass, PaperScoring,
+    RejectReason, ScoringFunctions, TrackId, VideoGeometry, VideoId,
+};
+use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
+use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
+use svq_vision::VideoStream;
+
+/// Which fault injectors a schedule enables. Each scenario consults the
+/// flags it understands and ignores the rest, so `all` is always a valid
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Feed one out-of-range clip ticket so a worker panics mid-drain.
+    pub worker_panic: bool,
+    /// Close a client connection mid-frame (half-written request line).
+    pub drop_conn: bool,
+    /// A client that stops reading/writing long enough to trip the
+    /// server's read timeout.
+    pub stall_client: bool,
+    /// Fail the ingestion sink partway through a spill, then restart from
+    /// the manifest left behind.
+    pub crash_sink: bool,
+    /// Truncate the recovered manifest mid-line first, as a crash between
+    /// write and flush would.
+    pub torn_manifest: bool,
+}
+
+impl FaultPlan {
+    /// No faults: the reference-behaviour plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every fault injector armed.
+    pub fn all() -> Self {
+        Self {
+            worker_panic: true,
+            drop_conn: true,
+            stall_client: true,
+            crash_sink: true,
+            torn_manifest: true,
+        }
+    }
+
+    /// Parse `none`, `all`, or a comma-separated subset of
+    /// `worker-panic,drop-conn,stall-client,crash-sink,torn-manifest`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "" | "none" => return Ok(Self::none()),
+            "all" => return Ok(Self::all()),
+            _ => {}
+        }
+        let mut plan = Self::none();
+        for part in spec.split(',') {
+            match part.trim() {
+                "worker-panic" => plan.worker_panic = true,
+                "drop-conn" => plan.drop_conn = true,
+                "stall-client" => plan.stall_client = true,
+                "crash-sink" => plan.crash_sink = true,
+                "torn-manifest" => plan.torn_manifest = true,
+                other => {
+                    return Err(format!(
+                        "unknown fault {other:?}; expected none, all, or a comma list of \
+                         worker-panic, drop-conn, stall-client, crash-sink, torn-manifest"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Canonical spelling accepted back by [`FaultPlan::parse`].
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.worker_panic {
+            parts.push("worker-panic");
+        }
+        if self.drop_conn {
+            parts.push("drop-conn");
+        }
+        if self.stall_client {
+            parts.push("stall-client");
+        }
+        if self.crash_sink {
+            parts.push("crash-sink");
+        }
+        if self.torn_manifest {
+            parts.push("torn-manifest");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// Everything a scenario learns about the schedule it runs under.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCtx {
+    /// The schedule seed. The scheduler's RNG is already seeded with it;
+    /// scenarios derive their own decision stream via [`ScenarioCtx::rng`]
+    /// so fault placement varies with the seed but never collides with
+    /// scheduling randomness.
+    pub seed: u64,
+    /// Scale knob — clips per stream, tickets fed, clients connected;
+    /// each scenario documents its meaning. The shrinker halves it.
+    pub size: u64,
+    pub faults: FaultPlan,
+}
+
+impl ScenarioCtx {
+    /// The scenario-level decision stream (fault placement, knob jitter).
+    pub fn rng(&self) -> SimRng {
+        SimRng::new(rng::mix(self.seed ^ 0x005c_e0a9_1a11_u64))
+    }
+}
+
+/// A named, registered scenario.
+pub struct Scenario {
+    pub name: &'static str,
+    pub about: &'static str,
+    /// Default `size` when the caller does not pass one.
+    pub default_size: u64,
+    /// Runs *outside* the simulated world, before every schedule: warms
+    /// process-wide caches (reference outcomes) whose first computation
+    /// would otherwise emit lock events into the first schedule's trace
+    /// and break byte-identical replay.
+    pub prepare: fn(ScenarioCtx),
+    /// Runs as the root task of a simulated world.
+    pub run: fn(ScenarioCtx),
+}
+
+/// Default [`Scenario::prepare`]: nothing to warm.
+fn no_prepare(_ctx: ScenarioCtx) {}
+
+/// Registry, in documentation order.
+pub static SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "mux_pipeline",
+        about: "sessions across a sharded mux match single-threaded reference results; \
+                an injected worker panic poisons only its own session",
+        default_size: 10,
+        prepare: no_prepare,
+        run: mux_pipeline,
+    },
+    Scenario {
+        name: "drop_oldest",
+        about: "DropOldest backpressure conserves tickets (processed + dropped == fed) \
+                and depth gauges never wrap below zero",
+        default_size: 30,
+        prepare: no_prepare,
+        run: drop_oldest,
+    },
+    Scenario {
+        name: "double_wait",
+        about: "two tasks wait() on one session; both get the same latched result \
+                (guards the v3 wait() lost-notify deadlock)",
+        default_size: 8,
+        prepare: no_prepare,
+        run: double_wait,
+    },
+    Scenario {
+        name: "reporter",
+        about: "metrics reporter ticks on virtual time and stop() returns without \
+                consuming an interval (guards the v5 reporter lost-wakeup)",
+        default_size: 2,
+        prepare: no_prepare,
+        run: reporter,
+    },
+    Scenario {
+        name: "serve_mem",
+        about: "the full svq-serve stack over an in-memory loopback transport: \
+                well-behaved clients get byte-identical outcomes while dropped \
+                connections and stalled clients are refused in isolation, and \
+                drain always terminates",
+        default_size: 6,
+        prepare: serve_mem_prepare,
+        run: serve_mem,
+    },
+    Scenario {
+        name: "ingest_crash",
+        about: "parallel ingestion killed at a random sink write (optionally tearing \
+                the manifest tail) restarts from the spill manifest and recovers a \
+                byte-identical repository",
+        default_size: 4,
+        prepare: no_prepare,
+        run: ingest_crash,
+    },
+];
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------------
+
+/// The standing query every scenario session runs.
+fn query() -> ActionQuery {
+    ActionQuery::named("jumping", &["car"])
+}
+
+/// A deterministic oracle: `clips` clips with car + jumping on the middle
+/// third of the video. The oracle seed is derived from (video, clips) only
+/// — *not* the schedule seed — so reference results are shared by every
+/// schedule of the same size and the cache below actually hits.
+fn oracle(video: u64, clips: u64) -> Arc<DetectionOracle> {
+    let frames = clips * 50; // default geometry: 10 fps/shot × 5 shots/clip
+    let band = Interval::new(
+        FrameId::new(frames / 3),
+        FrameId::new((2 * frames / 3).saturating_sub(1).max(frames / 3)),
+    );
+    let mut gt = GroundTruth::new(VideoId::new(video), VideoGeometry::default(), frames);
+    gt.tracks.push(ObjectTrack {
+        class: ObjectClass::named("car"),
+        track: TrackId::new(1),
+        frames: band,
+        visibility: 1.0,
+        bbox: BBox::FULL,
+    });
+    gt.actions.push(ActionSpan {
+        class: ActionClass::named("jumping"),
+        frames: band,
+        salience: 1.0,
+    });
+    let confusion = SceneConfusion {
+        objects: vec![(ObjectClass::named("car"), 1.0)],
+        actions: vec![(ActionClass::named("jumping"), 1.0)],
+    };
+    Arc::new(DetectionOracle::new(
+        Arc::new(gt),
+        ModelSuite::accurate(),
+        &confusion,
+        rng::mix(video.wrapping_mul(31).wrapping_add(clips)),
+    ))
+}
+
+fn engine(oracle: &DetectionOracle) -> SessionEngine {
+    SessionEngine::Svaqd(Svaqd::new(
+        query(),
+        oracle.truth().geometry,
+        OnlineConfig::default(),
+        1e-4,
+        1e-4,
+    ))
+}
+
+/// Canonical byte encoding of a session outcome, for exact comparisons
+/// between the multiplexed run and the single-threaded reference.
+fn canon(
+    sequences: &[svq_types::ClipInterval],
+    evals_len: usize,
+    clips: u64,
+    cost: (u64, u64),
+) -> String {
+    format!(
+        "seqs={sequences:?} evals={evals_len} clips={clips} object_frames={} action_shots={}",
+        cost.0, cost.1
+    )
+}
+
+/// Single-threaded reference for [`oracle`]`(video, clips)`, cached across
+/// schedules. The computation is pure (no locks, no scheduler events), so
+/// a cache hit and a miss leave identical traces.
+fn reference(video: u64, clips: u64) -> Arc<String> {
+    type Cache = OnceLock<StdMutex<BTreeMap<(u64, u64), Arc<String>>>>;
+    static CACHE: Cache = OnceLock::new();
+    let cache = CACHE.get_or_init(|| StdMutex::new(BTreeMap::new()));
+    if let Some(hit) = cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&(video, clips))
+    {
+        return hit.clone();
+    }
+    let oracle = oracle(video, clips);
+    let mut stream = VideoStream::new(&oracle);
+    let mut reference_engine = Svaqd::new(
+        query(),
+        stream.geometry(),
+        OnlineConfig::default(),
+        1e-4,
+        1e-4,
+    );
+    while let Some(mut view) = stream.next_clip() {
+        reference_engine.push_clip(&mut view);
+    }
+    let (seqs, evals) = reference_engine.finish();
+    let ledger = *stream.ledger();
+    let canonical = Arc::new(canon(
+        &seqs,
+        evals.len(),
+        clips,
+        (ledger.object_frames, ledger.action_shots),
+    ));
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert((video, clips), canonical.clone());
+    canonical
+}
+
+// ---------------------------------------------------------------------------
+// mux_pipeline
+// ---------------------------------------------------------------------------
+
+/// Three sessions over a sharded, batched mux; round-robin interleaved
+/// feeds; optional worker-panic fault into session 0 at a seeded offset.
+fn mux_pipeline(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let clips = ctx.size.max(2);
+    let sessions = 3u64;
+    let options = MuxOptions::new(1 + rng.below(3))
+        .with_shards(1 + rng.below(2))
+        .with_drain_batch([1, 2, 4][rng.below(3)]);
+    let mux = SessionMux::with_options(options, ExecMetrics::new());
+
+    let oracles: Vec<Arc<DetectionOracle>> = (0..sessions).map(|v| oracle(v, clips)).collect();
+    let ids: Vec<_> = oracles
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            mux.register(
+                format!("sim{i}"),
+                o.clone(),
+                engine(o),
+                Backpressure::Block,
+                4 + rng.below(8),
+            )
+        })
+        .collect();
+
+    // Round-robin feed with optional poison ticket into session 0.
+    let poison_at = ctx
+        .faults
+        .worker_panic
+        .then(|| rng.below(clips as usize) as u64);
+    let mut fed = 0u64;
+    for c in 0..clips {
+        for (s, &id) in ids.iter().enumerate() {
+            if s == 0 && poison_at == Some(c) {
+                // The poison sentinel panics the evaluating worker; the
+                // pool isolates the panic and poisons only session 0.
+                mux.feed(id, svq_exec::POISON_CLIP).expect("stream open");
+                fed += 1;
+            }
+            mux.feed(id, ClipId::new(c)).expect("stream open");
+            fed += 1;
+        }
+    }
+    for &id in &ids {
+        mux.finish_session(id);
+    }
+
+    for (s, &id) in ids.iter().enumerate() {
+        let poisoned = s == 0 && poison_at.is_some();
+        match mux.wait(id) {
+            Ok(result) => {
+                assert!(
+                    !poisoned,
+                    "session 0 swallowed a poison ticket without failing"
+                );
+                let got = canon(
+                    &result.sequences,
+                    result.evaluations.len(),
+                    result.clips_processed,
+                    (result.cost.object_frames, result.cost.action_shots),
+                );
+                assert_eq!(
+                    got,
+                    *reference(s as u64, clips),
+                    "session {s} drifted from its single-threaded reference"
+                );
+                assert_eq!(result.dropped, 0, "Block policy never drops");
+            }
+            Err(SessionError::Poisoned) => {
+                assert!(poisoned, "session {s} poisoned without an injected fault");
+            }
+        }
+        mux.release(id);
+    }
+
+    let snap = mux.metrics().snapshot();
+    let delivered: u64 = snap.shards.iter().map(|s| s.delivered).sum();
+    assert_eq!(delivered, fed, "every fed ticket crosses an ingress shard");
+    let depth: u64 = snap.shards.iter().map(|s| s.ingress_depth).sum();
+    assert_eq!(depth, 0, "ingress gauges return to zero after drain");
+    assert!(
+        snap.jobs_panicked <= 1,
+        "at most the injected panic: {}",
+        snap.jobs_panicked
+    );
+    if poison_at.is_none() {
+        assert_eq!(snap.jobs_panicked, 0, "no panics without the fault");
+    }
+
+    // Liveness: shutdown must terminate (a wedge here is reported by the
+    // scheduler as deadlock/livelock, never a hang).
+    mux.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// drop_oldest
+// ---------------------------------------------------------------------------
+
+/// One slow worker behind a 2-deep mailbox with `DropOldest`; `size × 5`
+/// tickets fed; a concurrent observer samples snapshots the whole time.
+/// Conservation and gauge sanity are asserted at every sample and at the
+/// end.
+fn drop_oldest(ctx: ScenarioCtx) {
+    let clips = ctx.size.max(4);
+    let mux = Arc::new(SessionMux::new(1, ExecMetrics::new()));
+    let o = oracle(0, clips);
+    let id = mux.register(
+        "lossy".into(),
+        o.clone(),
+        engine(&o),
+        Backpressure::DropOldest,
+        2,
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let mux = mux.clone();
+        let stop = stop.clone();
+        rt::spawn("observer", move || {
+            let mut samples = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let snap = mux.metrics().snapshot();
+                for session in &snap.sessions {
+                    assert!(
+                        session.queue_depth < u64::MAX / 2,
+                        "queue depth gauge wrapped below zero: {}",
+                        session.queue_depth
+                    );
+                }
+                for shard in &snap.shards {
+                    assert!(
+                        shard.ingress_depth < u64::MAX / 2,
+                        "ingress depth gauge wrapped below zero: {}",
+                        shard.ingress_depth
+                    );
+                }
+                samples += 1;
+                rt::sleep(Duration::from_micros(200));
+            }
+            samples
+        })
+        .expect("sim spawn cannot fail")
+    };
+
+    let fed = clips * 5;
+    for i in 0..fed {
+        mux.feed(id, ClipId::new(i % clips)).expect("stream open");
+    }
+    mux.finish_session(id);
+    let result = mux.wait(id).expect("DropOldest session cannot be poisoned");
+    assert_eq!(
+        result.clips_processed + result.dropped,
+        fed,
+        "every ticket is processed or counted dropped"
+    );
+
+    stop.store(true, Ordering::Release);
+    let samples = observer.join().expect("observer does not panic");
+    assert!(samples > 0, "observer sampled at least once");
+
+    let snap = mux.metrics().snapshot();
+    assert_eq!(snap.sessions[0].queue_depth, 0, "mailbox drained");
+    match Arc::try_unwrap(mux) {
+        Ok(mux) => mux.shutdown(),
+        Err(_) => unreachable!("observer joined; root holds the last mux handle"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// double_wait
+// ---------------------------------------------------------------------------
+
+/// Two tasks wait() on the same session concurrently. The result is
+/// latched, so both must return the same value — and both must *return*:
+/// the v3 bug where one waiter consumed the completion notify left the
+/// other parked forever, which this world reports as a deadlock.
+fn double_wait(ctx: ScenarioCtx) {
+    let clips = ctx.size.max(2);
+    let mux = Arc::new(SessionMux::new(2, ExecMetrics::new()));
+    let o = oracle(0, clips);
+    let id = mux.register(
+        "shared".into(),
+        o.clone(),
+        engine(&o),
+        Backpressure::Block,
+        8,
+    );
+
+    let waiters: Vec<_> = (0..2)
+        .map(|w| {
+            let mux = mux.clone();
+            rt::spawn(&format!("waiter{w}"), move || {
+                mux.wait(id).expect("session is never poisoned here")
+            })
+            .expect("sim spawn cannot fail")
+        })
+        .collect();
+
+    mux.feed_stream(id);
+
+    let mut outcomes = Vec::new();
+    for waiter in waiters {
+        let result = waiter.join().expect("waiter does not panic");
+        outcomes.push(canon(
+            &result.sequences,
+            result.evaluations.len(),
+            result.clips_processed,
+            (result.cost.object_frames, result.cost.action_shots),
+        ));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "both waiters observe the same latched result"
+    );
+    assert_eq!(
+        outcomes[0],
+        *reference(0, clips),
+        "latched result matches the single-threaded reference"
+    );
+
+    match Arc::try_unwrap(mux) {
+        Ok(mux) => mux.shutdown(),
+        Err(_) => unreachable!("waiters joined; root holds the last mux handle"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reporter
+// ---------------------------------------------------------------------------
+
+/// The metrics reporter under virtual time: with a 10 ms interval and a
+/// `size × 10 ms + 5 ms` observation window it must tick exactly `size`
+/// times, and `stop()` must return in (virtually) no time at all — the v5
+/// lost-wakeup left stop() waiting out a full interval because the
+/// reporter parked without re-checking the stop flag.
+fn reporter(ctx: ScenarioCtx) {
+    let ticks_expected = ctx.size.clamp(1, 50);
+    let metrics = ExecMetrics::new();
+    let ticks = Arc::new(AtomicU64::new(0));
+    let sink_ticks = ticks.clone();
+    let handle = metrics.spawn_reporter(Duration::from_millis(10), move |_snap| {
+        sink_ticks.fetch_add(1, Ordering::Relaxed);
+    });
+
+    // Observe for `ticks_expected` intervals plus half an interval of
+    // slack, so the count is unambiguous on the virtual clock.
+    rt::sleep(Duration::from_millis(10 * ticks_expected + 5));
+
+    let stop_started = rt::monotonic_nanos();
+    handle.stop();
+    let stop_nanos = rt::monotonic_nanos().saturating_sub(stop_started);
+    assert!(
+        stop_nanos < 5_000_000,
+        "stop() consumed {stop_nanos} ns of virtual time — the reporter \
+         parked without re-checking its stop flag (lost wakeup)"
+    );
+    assert_eq!(
+        ticks.load(Ordering::Relaxed),
+        ticks_expected,
+        "reporter ticks on the virtual clock"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// serve_mem
+// ---------------------------------------------------------------------------
+
+/// The offline statement every simulated `query` request carries (the
+/// serve test fixture: car + jumping, top 3).
+const OFFLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car') \
+     ORDER BY RANK(act, obj) LIMIT 3";
+
+/// The online statement every simulated `stream` request carries.
+const ONLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car')";
+
+/// Canonical (wall-clock-free) byte encoding of a wire outcome.
+fn canonical_json(outcome: &QueryOutcome) -> String {
+    serde_json::to_string(&outcome.canonical())
+        .unwrap_or_else(|e| unreachable!("canonical outcomes always encode: {e}"))
+}
+
+/// In-process reference executions for [`oracle`]`(0, clips)`:
+/// `(offline, online)` canonical outcome JSON. Pure computation, cached
+/// across schedules (same reasoning as [`reference`]).
+fn serve_reference(clips: u64) -> Arc<(String, String)> {
+    type Cache = OnceLock<StdMutex<BTreeMap<u64, Arc<(String, String)>>>>;
+    static CACHE: Cache = OnceLock::new();
+    let cache = CACHE.get_or_init(|| StdMutex::new(BTreeMap::new()));
+    if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&clips) {
+        return hit.clone();
+    }
+    let o = oracle(0, clips);
+    let statement = parse(OFFLINE_SQL).expect("fixture SQL parses");
+    let plan = LogicalPlan::from_statement(&statement).expect("fixture SQL plans");
+    let catalog = ingest(&o, &PaperScoring, &OnlineConfig::default());
+    let offline = execute_offline(&plan, &catalog, &PaperScoring).expect("offline reference runs");
+    let statement = parse(ONLINE_SQL).expect("fixture SQL parses");
+    let plan = LogicalPlan::from_statement(&statement).expect("fixture SQL plans");
+    let mut stream = VideoStream::new(&o);
+    let online =
+        execute_online(&plan, &mut stream, OnlineConfig::default()).expect("online reference runs");
+    let pair = Arc::new((canonical_json(&offline), canonical_json(&online)));
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(clips, pair.clone());
+    pair
+}
+
+/// [`Scenario::prepare`] for [`serve_mem`]: compute the reference outcomes
+/// outside the world so a cache miss never shows up in a trace.
+fn serve_mem_prepare(ctx: ScenarioCtx) {
+    serve_reference(ctx.size.max(2));
+}
+
+/// The full `svq-serve` stack — acceptor, admission, per-connection
+/// handlers, the shared mux — over [`MemTransport`], with concurrent
+/// protocol clients as sim tasks. Optional faults: a connection dropped
+/// abortively mid-frame (`drop_conn`) and a client that stalls past the
+/// server's read deadline (`stall_client`). Invariants: every well-behaved
+/// client's outcomes are byte-identical (canonically) to in-process
+/// execution, faulted connections are refused/closed in isolation, and
+/// shutdown + drain terminate with nothing force-closed.
+fn serve_mem(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let clips = ctx.size.max(2);
+    let reference = serve_reference(clips);
+
+    let o = oracle(0, clips);
+    let repo = Arc::new(VideoRepository::from_catalogs([ingest(
+        &o,
+        &PaperScoring,
+        &OnlineConfig::default(),
+    )]));
+    let transport = MemTransport::new();
+    let read_timeout = Duration::from_millis(50 + rng.below(4) as u64 * 25);
+    let config = ServeConfig {
+        max_conns: 8,
+        read_timeout,
+        write_timeout: Duration::from_millis(200),
+        drain_timeout: Duration::from_millis(200),
+        workers: 1 + rng.below(2),
+        mailbox: 4 + rng.below(8),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start_on(
+        transport.clone(),
+        config,
+        Some(repo),
+        vec![o],
+        ExecMetrics::new(),
+    )
+    .expect("in-memory server starts");
+
+    let mut tasks = Vec::new();
+
+    // Well-behaved clients: one query + one stream each, checked against
+    // the in-process reference byte-for-byte (canonical form).
+    for c in 0..2 {
+        let transport = transport.clone();
+        let reference = reference.clone();
+        tasks.push(
+            rt::spawn(&format!("client{c}"), move || {
+                let mut client =
+                    Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+                        .expect("loopback connect");
+                let served = client
+                    .expect_outcome(&Request::Query {
+                        sql: OFFLINE_SQL.into(),
+                        video: Some(0),
+                    })
+                    .expect("query answered");
+                assert_eq!(
+                    canonical_json(&served),
+                    reference.0,
+                    "served offline outcome drifted from in-process execution"
+                );
+                let served = client
+                    .expect_outcome(&Request::Stream {
+                        sql: ONLINE_SQL.into(),
+                        video: Some(0),
+                    })
+                    .expect("stream answered");
+                assert_eq!(
+                    canonical_json(&served),
+                    reference.1,
+                    "served online outcome drifted from in-process execution"
+                );
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: a connection abortively closed with half a request frame on
+    // the wire. The server may see a truncated line or a bare EOF
+    // (schedule-dependent); either way nobody else notices.
+    if ctx.faults.drop_conn {
+        let transport = transport.clone();
+        let cut = 1 + rng.below(encode_line(&Request::Stats).len() - 2);
+        tasks.push(
+            rt::spawn("dropper", move || {
+                let mut conn = transport.connect();
+                let line = encode_line(&Request::Stats);
+                let _ = std::io::Write::write_all(&mut conn, &line.as_bytes()[..cut]);
+                let _ = conn.shutdown_both();
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: a client that goes silent past the read deadline. It must be
+    // answered with a typed `timeout` frame and a close — never hold its
+    // slot forever.
+    if ctx.faults.stall_client {
+        let transport = transport.clone();
+        tasks.push(
+            rt::spawn("staller", move || {
+                let mut client =
+                    Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+                        .expect("loopback connect");
+                rt::sleep(read_timeout * 2);
+                match client.read_response() {
+                    Ok(Response::Error { reason, .. }) => {
+                        assert_eq!(reason, RejectReason::Timeout, "stall answered with timeout");
+                    }
+                    other => unreachable!("stalled client expected a timeout frame: {other:?}"),
+                }
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    for task in tasks {
+        task.join().expect("client task does not panic");
+    }
+
+    // Shut down over the wire or via the handle — both paths must drain.
+    if rng.chance(1, 2) {
+        let mut client = Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+            .expect("loopback connect");
+        let bye = client
+            .request(&Request::Shutdown)
+            .expect("shutdown answered");
+        assert_eq!(bye, Response::Bye, "wire shutdown acknowledged");
+    } else {
+        handle.shutdown();
+    }
+    let report = handle.wait();
+    assert!(report.accepted >= 2, "both well-behaved clients admitted");
+    assert!(report.requests >= 4, "four data requests served");
+    assert!(
+        report.drained_in_deadline && report.forced_closes == 0,
+        "drain terminates with nothing force-closed: {report:?}"
+    );
+    let expected_timeouts = u64::from(ctx.faults.stall_client);
+    assert_eq!(
+        report.timed_out, expected_timeouts,
+        "exactly the stalled client times out"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: ingest_crash
+// ---------------------------------------------------------------------------
+
+/// Parallel ingestion spilling through [`JsonDirSink`], killed mid-stream
+/// and restarted. Faults: `crash_sink` makes the sink die after a
+/// seed-chosen number of accepts (the process "crashes" with some catalogs
+/// durable and some not); `torn_manifest` additionally tears bytes off the
+/// manifest's final line, as a crash between append and flush would.
+/// Restart resumes from the manifest, re-ingests only what is not durable,
+/// and the recovered directory must be byte-identical — manifest and every
+/// catalog file — to a purely computed reference, under every schedule.
+fn ingest_crash(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let clips = ctx.size.clamp(2, 12);
+    let n_videos = 3u64;
+    let oracles: Vec<Arc<DetectionOracle>> = (0..n_videos).map(|v| oracle(v, clips)).collect();
+    let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
+    let config = OnlineConfig::default();
+    let workers = 1 + rng.below(2);
+
+    // Reference bytes, computed without any sink or pool: per-video catalog
+    // JSON plus the manifest `finish()` must leave behind (VideoId order).
+    let mut expected = Vec::new();
+    let mut want_manifest = String::new();
+    for v in 0..n_videos {
+        let catalog = ingest(&oracles[v as usize], &PaperScoring, &config);
+        let json = serde_json::to_string(&catalog).expect("catalogs always encode");
+        want_manifest.push_str(&format!(
+            "{{\"video\":{v},\"file\":\"video-{v}.json\",\"clips\":{},\"bytes\":{}}}\n",
+            catalog.clip_count,
+            json.len()
+        ));
+        expected.push((format!("video-{v}.json"), json));
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "svq_sim_ingest_{}_{}_{}_{}",
+        std::process::id(),
+        ctx.seed,
+        ctx.size,
+        ctx.faults.label().replace(',', "+")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // First run: dies mid-stream when the crash fault is armed.
+    if ctx.faults.crash_sink {
+        let fail_after = rng.below(n_videos as usize) as u64;
+        let crashed = parallel_ingest_into(
+            &oracles,
+            scoring.clone(),
+            config,
+            workers,
+            ExecMetrics::new(),
+            FailingSink::new(
+                JsonDirSink::create(&dir).expect("spill dir creates"),
+                fail_after,
+            ),
+        );
+        assert!(crashed.is_err(), "the injected sink crash surfaces");
+    } else {
+        let report = parallel_ingest_into(
+            &oracles,
+            scoring.clone(),
+            config,
+            workers,
+            ExecMetrics::new(),
+            JsonDirSink::create(&dir).expect("spill dir creates"),
+        )
+        .expect("uninterrupted ingest completes");
+        assert_eq!(report.videos, n_videos, "every video spilled");
+    }
+
+    if ctx.faults.torn_manifest {
+        // A crash between append and flush leaves a torn final line.
+        let path = dir.join("manifest.json");
+        let text = std::fs::read_to_string(&path).expect("manifest readable");
+        if !text.is_empty() {
+            let keep = text.len().saturating_sub(1 + rng.below(3));
+            std::fs::write(&path, &text.as_bytes()[..keep]).expect("manifest tears");
+        }
+    }
+
+    // Restart: resume the directory, skip what already survived, re-ingest
+    // the rest. (Without faults this is a no-op resume over a complete
+    // directory — it must still converge to the same bytes.)
+    if ctx.faults.crash_sink || ctx.faults.torn_manifest {
+        let resumed = JsonDirSink::resume(&dir).expect("resume reads the manifest");
+        let durable: Vec<u64> = resumed.recovered().iter().map(|e| e.video.raw()).collect();
+        let remaining: Vec<Arc<DetectionOracle>> = oracles
+            .iter()
+            .filter(|o| !durable.contains(&o.truth().video.raw()))
+            .cloned()
+            .collect();
+        let report = parallel_ingest_into(
+            &remaining,
+            scoring,
+            config,
+            workers,
+            ExecMetrics::new(),
+            resumed,
+        )
+        .expect("restarted ingest completes");
+        assert_eq!(
+            report.videos, n_videos,
+            "recovered + re-ingested covers every video"
+        );
+    }
+
+    // Byte identity, file for file, against the purely computed reference —
+    // no matter where the crash landed or how the workers interleaved.
+    let got = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest readable");
+    assert_eq!(got, want_manifest, "manifest drifted from reference bytes");
+    for (name, want) in &expected {
+        let got = std::fs::read_to_string(dir.join(name)).expect("catalog file readable");
+        assert_eq!(&got, want, "{name} drifted from reference bytes");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -44,5 +44,7 @@ pub use catalog::IngestedVideo;
 pub use disk::{DiskCostProfile, DiskStats, SimulatedDisk};
 pub use repository::VideoRepository;
 pub use seqset::SequenceSet;
-pub use sink::{read_manifest, CatalogSink, JsonDirSink, ManifestEntry, MemorySink, SpillReport};
+pub use sink::{
+    read_manifest, CatalogSink, FailingSink, JsonDirSink, ManifestEntry, MemorySink, SpillReport,
+};
 pub use table::ClipScoreTable;

@@ -80,6 +80,32 @@ pub fn read_manifest(dir: impl AsRef<Path>) -> SvqResult<Vec<ManifestEntry>> {
     Ok(entries)
 }
 
+/// Read `dir/manifest.json` as a crash-recovery would: a *final* line that
+/// fails to parse is the torn tail of an interrupted append and is dropped;
+/// a malformed line anywhere earlier is real corruption and errors.
+fn read_manifest_tolerant(dir: &Path) -> SvqResult<Vec<ManifestEntry>> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)?;
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut entries = Vec::new();
+    for (at, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<ManifestEntry>(line) {
+            Ok(entry) => entries.push(entry),
+            Err(_) if at + 1 == lines.len() => break, // torn final append
+            Err(e) => {
+                return Err(SvqError::Storage(format!(
+                    "manifest line {line:?} is corrupt mid-file: {e}"
+                )))
+            }
+        }
+    }
+    Ok(entries)
+}
+
 /// Where finished catalogs go as ingestion workers complete them.
 ///
 /// `accept` is called once per catalog, from a single consumer thread, in
@@ -176,6 +202,109 @@ impl JsonDirSink {
     /// The directory being written to.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Reopen a spill directory a previous (possibly crashed) ingestion
+    /// left behind and continue where it stopped.
+    ///
+    /// The manifest is read tolerantly — a torn final line (crash between
+    /// append and flush) is dropped — and each surviving entry is verified
+    /// against its catalog file on disk; entries whose file is missing or
+    /// has the wrong length are discarded. The recovered manifest is then
+    /// rewritten atomically (temp file + rename) before appends resume, so
+    /// the directory is immediately back under the crash-safety contract.
+    /// [`JsonDirSink::recovered`] lists what survived, letting the caller
+    /// skip videos that are already durable.
+    ///
+    /// A directory with no manifest resumes into an empty sink —
+    /// equivalent to [`JsonDirSink::create`].
+    pub fn resume(dir: impl AsRef<Path>) -> SvqResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        if !dir.join(MANIFEST_FILE).exists() {
+            return Self::create(&dir);
+        }
+        let mut entries = Vec::new();
+        for entry in read_manifest_tolerant(&dir)? {
+            let durable = std::fs::metadata(dir.join(&entry.file))
+                .map(|m| m.len() == entry.bytes)
+                .unwrap_or(false);
+            if durable {
+                // A re-ingested video appears twice; the later line won.
+                entries.retain(|e: &ManifestEntry| e.video != entry.video);
+                entries.push(entry);
+            }
+        }
+        let mut text = String::new();
+        for entry in &entries {
+            text.push_str(&entry.to_line());
+            text.push('\n');
+        }
+        let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        let manifest = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(MANIFEST_FILE))?;
+        let bytes_written = entries.iter().map(|e| e.bytes).sum();
+        let clips = entries.iter().map(|e| e.clips).sum();
+        Ok(Self {
+            dir,
+            manifest,
+            entries,
+            bytes_written,
+            clips,
+        })
+    }
+
+    /// Entries recovered by [`JsonDirSink::resume`] (empty after
+    /// [`JsonDirSink::create`]): videos already durable in the directory.
+    pub fn recovered(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+}
+
+/// A [`CatalogSink`] wrapper that fails deterministically after accepting
+/// `fail_after` catalogs — the fault injector behind the crash-restart
+/// property test and `svq-sim`'s `ingest_crash` scenario. The inner sink
+/// is dropped mid-stream exactly as a crashed process would leave it.
+#[derive(Debug)]
+pub struct FailingSink<S> {
+    inner: S,
+    fail_after: u64,
+    accepted: u64,
+}
+
+impl<S> FailingSink<S> {
+    /// Wrap `inner`, erroring on accept number `fail_after` (0-based).
+    pub fn new(inner: S, fail_after: u64) -> Self {
+        Self {
+            inner,
+            fail_after,
+            accepted: 0,
+        }
+    }
+}
+
+impl<S: CatalogSink> CatalogSink for FailingSink<S> {
+    type Output = S::Output;
+
+    fn accept(&mut self, catalog: IngestedVideo) -> SvqResult<()> {
+        if self.accepted >= self.fail_after {
+            return Err(SvqError::Storage(format!(
+                "injected sink crash after {} catalogs",
+                self.accepted
+            )));
+        }
+        self.accepted += 1;
+        self.inner.accept(catalog)
+    }
+
+    fn finish(self) -> SvqResult<S::Output> {
+        self.inner.finish()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
     }
 }
 
@@ -338,6 +467,72 @@ mod tests {
         let entries = read_manifest(&dir).unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].clips, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_drops_a_torn_final_line_and_continues() {
+        let dir = tmp_dir("svq_sink_resume_torn");
+        let mut sink = JsonDirSink::create(&dir).unwrap();
+        sink.accept(catalog(1, 3)).unwrap();
+        sink.accept(catalog(2, 4)).unwrap();
+        drop(sink); // crash: no finish()
+                    // Tear the manifest mid-append: keep the first line, truncate the
+                    // second partway through.
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let second_start = text.find('\n').unwrap() + 1;
+        let torn_at = second_start + (text.len() - second_start) / 2;
+        std::fs::write(&path, &text.as_bytes()[..torn_at]).unwrap();
+
+        let mut resumed = JsonDirSink::resume(&dir).unwrap();
+        let recovered: Vec<u64> = resumed.recovered().iter().map(|e| e.video.raw()).collect();
+        assert_eq!(recovered, vec![1], "torn line dropped, durable line kept");
+        resumed.accept(catalog(2, 4)).unwrap();
+        let report = resumed.finish().unwrap();
+        assert_eq!(report.videos, 2);
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_discards_entries_whose_file_is_missing() {
+        let dir = tmp_dir("svq_sink_resume_missing");
+        let mut sink = JsonDirSink::create(&dir).unwrap();
+        sink.accept(catalog(7, 2)).unwrap();
+        sink.accept(catalog(8, 2)).unwrap();
+        drop(sink);
+        std::fs::remove_file(dir.join("video-8.json")).unwrap();
+        let resumed = JsonDirSink::resume(&dir).unwrap();
+        let recovered: Vec<u64> = resumed.recovered().iter().map(|e| e.video.raw()).collect();
+        assert_eq!(recovered, vec![7]);
+        // The rewritten manifest no longer lists the lost file.
+        let entries = read_manifest(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_a_fresh_directory_is_create() {
+        let dir = tmp_dir("svq_sink_resume_fresh");
+        let mut sink = JsonDirSink::resume(&dir).unwrap();
+        assert!(sink.recovered().is_empty());
+        sink.accept(catalog(1, 1)).unwrap();
+        assert_eq!(sink.finish().unwrap().videos, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_sink_crashes_on_schedule() {
+        let dir = tmp_dir("svq_sink_failing");
+        let mut sink = FailingSink::new(JsonDirSink::create(&dir).unwrap(), 1);
+        sink.accept(catalog(1, 2)).unwrap();
+        let err = sink.accept(catalog(2, 2)).unwrap_err();
+        assert!(err.to_string().contains("injected sink crash"), "{err}");
+        // The first catalog is durable despite the crash.
+        let resumed = JsonDirSink::resume(&dir).unwrap();
+        assert_eq!(resumed.recovered().len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

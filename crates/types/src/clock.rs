@@ -61,6 +61,40 @@ impl Clock for ManualClock {
     }
 }
 
+/// A clock that delegates every reading to a caller-supplied closure —
+/// the seam a deterministic-simulation harness uses to drive algorithm
+/// timing from its virtual-time scheduler. The closure typically reads
+/// the scheduler's clock; outside a simulation the same type can adapt
+/// any external time source.
+#[derive(Clone)]
+pub struct SimClock {
+    source: std::sync::Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl SimClock {
+    /// A clock whose readings come from `source` (nanoseconds since an
+    /// arbitrary epoch; must be monotonic).
+    pub fn new(source: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        Self {
+            source: std::sync::Arc::new(source),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimClock")
+            .field("now_nanos", &self.now_nanos())
+            .finish()
+    }
+}
+
+impl Clock for SimClock {
+    fn now_nanos(&self) -> u64 {
+        (self.source)()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +113,16 @@ mod tests {
         let c = ManualClock::stepping(Duration::from_micros(5));
         let t0 = c.now_nanos();
         assert_eq!(c.nanos_since(t0), 5_000);
+    }
+
+    #[test]
+    fn sim_clock_reads_its_source() {
+        let backing = std::sync::Arc::new(AtomicU64::new(7));
+        let reads = backing.clone();
+        let c = SimClock::new(move || reads.load(Ordering::Relaxed));
+        assert_eq!(c.now_nanos(), 7);
+        backing.store(1_000, Ordering::Relaxed);
+        assert_eq!(c.now_nanos(), 1_000);
+        assert_eq!(c.nanos_since(7), 993);
     }
 }

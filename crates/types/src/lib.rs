@@ -35,7 +35,7 @@ pub mod labels;
 pub mod query;
 pub mod scoring;
 
-pub use clock::{Clock, ManualClock};
+pub use clock::{Clock, ManualClock, SimClock};
 pub use detection::{ActionScore, BBox, Detection, TrackedDetection};
 pub use error::{RejectReason, SvqError, SvqResult};
 pub use geometry::VideoGeometry;

@@ -30,6 +30,19 @@ echo "== repro serve-throughput smoke (clients {1,4}, wire byte-identity + clean
 cargo run -q --release -p svq-bench --bin repro -- serve-throughput \
   --scale 0.02 --out target/ci-results
 
+echo "== sim smoke (deterministic simulation, \${SIM_SCHEDULES:-40} schedules/scenario)"
+# Fixed base seed + bounded schedule count keeps this slice to seconds of
+# wall time (virtual time does the waiting). A failing schedule prints a
+# one-line `svqact sim --scenario … --seed …` repro command. Raise
+# SIM_SCHEDULES for a deeper nightly sweep; `repro -- sim` at full scale
+# runs the ≥1000-schedule verification sweep.
+SIM_SCHEDULES="${SIM_SCHEDULES:-40}"
+cargo run -q --release -p svqact -- sim --corpus true
+cargo run -q --release -p svqact -- sim --schedules "$SIM_SCHEDULES" \
+  --scenario all --seed 48879
+cargo run -q --release -p svqact -- sim --schedules "$SIM_SCHEDULES" \
+  --scenario all --seed 48879 --faults all
+
 echo "== svqact serve round trip (ephemeral port, wire shutdown)"
 SERVE_DIR=target/ci-serve
 rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"

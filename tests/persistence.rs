@@ -9,7 +9,7 @@ use std::sync::Arc;
 use svq_core::offline::ingest;
 use svq_core::online::OnlineConfig;
 use svq_exec::{parallel_ingest, parallel_ingest_into, ExecMetrics};
-use svq_storage::{read_manifest, JsonDirSink, VideoRepository};
+use svq_storage::{read_manifest, FailingSink, JsonDirSink, VideoRepository};
 use svq_types::{ActionClass, ObjectClass, PaperScoring, ScoringFunctions, VideoId};
 use svq_vision::models::{DetectionOracle, ModelSuite};
 use svq_vision::synth::{ObjectSpec, ScenarioSpec};
@@ -83,6 +83,84 @@ proptest! {
         }
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
+    }
+}
+
+proptest! {
+    /// Crash-restart round trip: kill ingestion at a random sink write
+    /// (optionally tearing the manifest's final line, as a crash between
+    /// append and flush would), resume from the manifest, re-ingest only
+    /// what is not yet durable — and the recovered directory is
+    /// byte-identical to an uninterrupted run, file for file.
+    #[test]
+    fn crash_restart_recovers_byte_identical_repository(
+        n_videos in 2..5usize,
+        fail_after in 0..4u64,
+        workers in 1..3usize,
+        torn in any::<bool>(),
+    ) {
+        let oracles: Vec<Arc<DetectionOracle>> = (0..n_videos as u64)
+            .map(|i| Arc::new(oracle(i, 500 + 100 * i, 70 + i)))
+            .collect();
+        let scoring: Arc<dyn ScoringFunctions + Send + Sync> = Arc::new(PaperScoring);
+        let config = OnlineConfig::default();
+
+        // Uninterrupted reference run.
+        let ref_dir = scratch("crash_ref");
+        std::fs::remove_dir_all(&ref_dir).ok();
+        parallel_ingest_into(
+            &oracles, scoring.clone(), config, workers,
+            ExecMetrics::new(), JsonDirSink::create(&ref_dir).unwrap(),
+        ).unwrap();
+
+        // Crashing run: the sink dies after `fail_after` accepts.
+        let dir = scratch("crash_run");
+        std::fs::remove_dir_all(&dir).ok();
+        let crashed = parallel_ingest_into(
+            &oracles, scoring.clone(), config, workers,
+            ExecMetrics::new(),
+            FailingSink::new(JsonDirSink::create(&dir).unwrap(), fail_after),
+        );
+        prop_assert_eq!(
+            crashed.is_err(),
+            fail_after < n_videos as u64,
+            "the injected crash fires iff it lands within the stream"
+        );
+
+        if torn {
+            // A crash mid-append leaves a torn final manifest line.
+            let path = dir.join("manifest.json");
+            let text = std::fs::read_to_string(&path).unwrap();
+            if !text.is_empty() {
+                std::fs::write(&path, &text.as_bytes()[..text.len() - 2]).unwrap();
+            }
+        }
+
+        // Restart: resume the directory, skip what already survived.
+        let resumed = JsonDirSink::resume(&dir).unwrap();
+        let durable: Vec<u64> =
+            resumed.recovered().iter().map(|e| e.video.raw()).collect();
+        let remaining: Vec<Arc<DetectionOracle>> = oracles
+            .iter()
+            .filter(|o| !durable.contains(&o.truth().video.raw()))
+            .cloned()
+            .collect();
+        parallel_ingest_into(
+            &remaining, scoring, config, workers, ExecMetrics::new(), resumed,
+        ).unwrap();
+
+        // Byte identity, file for file.
+        let mut names: Vec<String> =
+            read_manifest(&ref_dir).unwrap().into_iter().map(|e| e.file).collect();
+        names.push("manifest.json".to_string());
+        prop_assert_eq!(names.len(), n_videos + 1);
+        for name in names {
+            let a = std::fs::read(ref_dir.join(&name)).unwrap();
+            let b = std::fs::read(dir.join(&name)).unwrap();
+            prop_assert_eq!(a, b, "{} drifted across crash-restart", name);
+        }
+        std::fs::remove_dir_all(&ref_dir).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -1,9 +1,16 @@
 //! MPMC channels with crossbeam's API and disconnect semantics.
+//!
+//! Blocking runs on the workspace's `parking_lot` stand-in rather than raw
+//! `std::sync`, so a deterministic-simulation scheduler (parking_lot's
+//! `sim` feature) owns every park/wake point, and `recv_timeout` deadlines
+//! are computed against `parking_lot::rt::monotonic_nanos` — virtual time
+//! inside a simulation, wall time otherwise.
 
+use parking_lot::{rt, Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +115,7 @@ struct Shared<T> {
 
 impl<T> Shared<T> {
     fn lock(&self) -> MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock()
     }
 }
 
@@ -170,10 +177,7 @@ impl<T> Sender<T> {
                 shared.not_empty.notify_one();
                 return Ok(());
             }
-            state = shared
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            shared.not_full.wait(&mut state);
         }
     }
 
@@ -239,10 +243,7 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvError);
             }
-            state = shared
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            shared.not_empty.wait(&mut state);
         }
     }
 
@@ -265,7 +266,7 @@ impl<T> Receiver<T> {
     /// Take the next message, giving up after `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let shared = &*self.shared;
-        let deadline = Instant::now() + timeout;
+        let deadline = rt::monotonic_nanos().saturating_add(timeout.as_nanos() as u64);
         let mut state = shared.lock();
         loop {
             if let Some(value) = state.queue.pop_front() {
@@ -276,15 +277,13 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let now = Instant::now();
+            let now = rt::monotonic_nanos();
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _) = shared
+            shared
                 .not_empty
-                .wait_timeout(state, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            state = guard;
+                .wait_for(&mut state, Duration::from_nanos(deadline - now));
         }
     }
 

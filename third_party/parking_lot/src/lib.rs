@@ -4,12 +4,31 @@
 //! panicked holder does not poison the lock for everyone else (`lock()`
 //! recovers the inner guard), which is exactly the behaviour the exec
 //! subsystem's panic-isolated workers rely on.
+//!
+//! Two optional instrumentation layers share these wrappers:
+//!
+//! * `lock-audit` — a lockdep-style lock-order auditor ([`lock_audit`]).
+//! * `sim` — deterministic-simulation hooks ([`sim`]): when a scheduler is
+//!   installed on the current thread, every block/wake point routes
+//!   through it so a harness can explore interleavings reproducibly. With
+//!   no scheduler installed the primitives behave natively, so merely
+//!   compiling the feature in changes nothing.
+//!
+//! The [`rt`] module (always compiled) is the spawn/sleep/monotonic-time
+//! seam that makes whole subsystems simulable without per-call-site
+//! feature gates.
 
 #[cfg(feature = "lock-audit")]
 pub mod lock_audit;
+pub mod rt;
+#[cfg(feature = "sim")]
+pub mod sim;
 
 use std::sync::{self, TryLockError};
 use std::time::Duration;
+
+#[cfg(feature = "sim")]
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
 #[derive(Debug, Default)]
@@ -23,14 +42,29 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-audit")]
     audit: &'a lock_audit::LockId,
+    // So [`Condvar::wait`] can re-acquire after a simulated park.
+    #[cfg(feature = "sim")]
+    mutex: &'a sync::Mutex<T>,
     // `Option` so [`Condvar::wait`] can temporarily move the std guard out.
     inner: Option<sync::MutexGuard<'a, T>>,
 }
 
-#[cfg(feature = "lock-audit")]
+#[cfg(any(feature = "lock-audit", feature = "sim"))]
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
         lock_audit::released(self.audit);
+        // Release the lock *before* announcing progress, or a woken waiter
+        // re-polls a still-held lock and the scheduler sees a false
+        // deadlock. (The explicit take(); the implicit field drop would
+        // run after this body.)
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            if self.inner.is_some() {
+                drop(self.inner.take());
+                ops.progress("mutex.unlock");
+            }
+        }
     }
 }
 
@@ -50,22 +84,43 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn guard<'a>(&'a self, inner: sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
+            #[cfg(feature = "sim")]
+            mutex: &self.inner,
+            inner: Some(inner),
+        }
+    }
+
     /// Acquire the lock, recovering from poisoning.
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "lock-audit")]
         lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
-        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard {
-            #[cfg(feature = "lock-audit")]
-            audit: &self.audit,
-            inner: Some(guard),
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            ops.yield_point("mutex.lock");
+            loop {
+                match self.inner.try_lock() {
+                    Ok(guard) => return self.guard(guard),
+                    Err(TryLockError::Poisoned(e)) => return self.guard(e.into_inner()),
+                    Err(TryLockError::WouldBlock) => ops.block("mutex.contended"),
+                }
+            }
         }
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.guard(guard)
     }
 
     /// Acquire the lock if free.
     #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            ops.yield_point("mutex.try_lock");
+        }
         let guard = match self.inner.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
@@ -73,11 +128,7 @@ impl<T: ?Sized> Mutex<T> {
         };
         #[cfg(feature = "lock-audit")]
         lock_audit::try_acquired(&self.audit, std::panic::Location::caller());
-        Some(MutexGuard {
-            #[cfg(feature = "lock-audit")]
-            audit: &self.audit,
-            inner: Some(guard),
-        })
+        Some(self.guard(guard))
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -114,26 +165,39 @@ pub struct RwLock<T: ?Sized> {
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-audit")]
     audit: &'a lock_audit::LockId,
-    inner: sync::RwLockReadGuard<'a, T>,
+    // `Option` so Drop can release before announcing simulated progress.
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
 }
 
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-audit")]
     audit: &'a lock_audit::LockId,
-    inner: sync::RwLockWriteGuard<'a, T>,
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
 }
 
-#[cfg(feature = "lock-audit")]
+#[cfg(any(feature = "lock-audit", feature = "sim"))]
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
         lock_audit::released(self.audit);
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            drop(self.inner.take());
+            ops.progress("rwlock.read_unlock");
+        }
     }
 }
 
-#[cfg(feature = "lock-audit")]
+#[cfg(any(feature = "lock-audit", feature = "sim"))]
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "lock-audit")]
         lock_audit::released(self.audit);
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            drop(self.inner.take());
+            ops.progress("rwlock.write_unlock");
+        }
     }
 }
 
@@ -152,26 +216,56 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn read_guard<'a>(&'a self, inner: sync::RwLockReadGuard<'a, T>) -> RwLockReadGuard<'a, T> {
+        RwLockReadGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
+            inner: Some(inner),
+        }
+    }
+
+    fn write_guard<'a>(&'a self, inner: sync::RwLockWriteGuard<'a, T>) -> RwLockWriteGuard<'a, T> {
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-audit")]
+            audit: &self.audit,
+            inner: Some(inner),
+        }
+    }
+
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "lock-audit")]
         lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
-        RwLockReadGuard {
-            #[cfg(feature = "lock-audit")]
-            audit: &self.audit,
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            ops.yield_point("rwlock.read");
+            loop {
+                match self.inner.try_read() {
+                    Ok(guard) => return self.read_guard(guard),
+                    Err(TryLockError::Poisoned(e)) => return self.read_guard(e.into_inner()),
+                    Err(TryLockError::WouldBlock) => ops.block("rwlock.read_contended"),
+                }
+            }
         }
+        self.read_guard(self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "lock-audit")]
         lock_audit::blocking_acquired(&self.audit, std::panic::Location::caller());
-        RwLockWriteGuard {
-            #[cfg(feature = "lock-audit")]
-            audit: &self.audit,
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            ops.yield_point("rwlock.write");
+            loop {
+                match self.inner.try_write() {
+                    Ok(guard) => return self.write_guard(guard),
+                    Err(TryLockError::Poisoned(e)) => return self.write_guard(e.into_inner()),
+                    Err(TryLockError::WouldBlock) => ops.block("rwlock.write_contended"),
+                }
+            }
         }
+        self.write_guard(self.inner.write().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -182,20 +276,20 @@ impl<T: ?Sized> RwLock<T> {
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("read guard present until drop")
     }
 }
 
 impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("write guard present until drop")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("write guard present until drop")
     }
 }
 
@@ -210,15 +304,57 @@ impl WaitTimeoutResult {
 }
 
 /// Condition variable operating on [`MutexGuard`]s, parking_lot style.
+///
+/// Under a simulation, waits park on a notification epoch: `notify_*`
+/// bumps the epoch, a parked waiter wakes once the epoch moves past the
+/// value it sampled while still holding the lock. A notify that lands
+/// before a waiter samples (the classic lost wakeup) leaves the epoch
+/// unchanged from the waiter's point of view — the waiter parks forever
+/// and the scheduler reports the deadlock, which is exactly how
+/// lost-wakeup bugs are surfaced deterministically. Simulated `notify_one`
+/// wakes every waiter (all re-check their predicates), which is legal
+/// under condvars' spurious-wakeup contract.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: sync::Condvar,
+    #[cfg(feature = "sim")]
+    epoch: AtomicU64,
 }
 
 impl Condvar {
     pub const fn new() -> Self {
         Self {
             inner: sync::Condvar::new(),
+            #[cfg(feature = "sim")]
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Release the guard's lock (simulated path), announcing the release.
+    #[cfg(feature = "sim")]
+    fn sim_release<T: ?Sized>(guard: &mut MutexGuard<'_, T>, ops: &dyn sim::SimOps) {
+        #[cfg(feature = "lock-audit")]
+        lock_audit::released(guard.audit);
+        drop(guard.inner.take());
+        ops.progress("condvar.park");
+    }
+
+    /// Re-acquire the guard's lock after a simulated park.
+    #[cfg(feature = "sim")]
+    fn sim_reacquire<'a, T: ?Sized>(guard: &mut MutexGuard<'a, T>, ops: &dyn sim::SimOps) {
+        let mutex: &'a sync::Mutex<T> = guard.mutex;
+        loop {
+            match mutex.try_lock() {
+                Ok(g) => {
+                    guard.inner = Some(g);
+                    return;
+                }
+                Err(TryLockError::Poisoned(e)) => {
+                    guard.inner = Some(e.into_inner());
+                    return;
+                }
+                Err(TryLockError::WouldBlock) => ops.block("condvar.reacquire"),
+            }
         }
     }
 
@@ -227,6 +363,18 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         #[cfg(feature = "lock-audit")]
         let caller = std::panic::Location::caller();
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            let epoch0 = self.epoch.load(Ordering::Relaxed);
+            Self::sim_release(guard, &*ops);
+            while self.epoch.load(Ordering::Relaxed) == epoch0 {
+                ops.block("condvar.wait");
+            }
+            Self::sim_reacquire(guard, &*ops);
+            #[cfg(feature = "lock-audit")]
+            lock_audit::blocking_acquired(guard.audit, caller);
+            return;
+        }
         #[cfg(feature = "lock-audit")]
         lock_audit::released(guard.audit);
         let std_guard = guard.inner.take().expect("guard present");
@@ -250,6 +398,27 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         #[cfg(feature = "lock-audit")]
         let caller = std::panic::Location::caller();
+        #[cfg(feature = "sim")]
+        if let Some(ops) = sim::current() {
+            let epoch0 = self.epoch.load(Ordering::Relaxed);
+            let deadline = ops.now_nanos().saturating_add(timeout.as_nanos() as u64);
+            Self::sim_release(guard, &*ops);
+            let mut timed_out = false;
+            loop {
+                if self.epoch.load(Ordering::Relaxed) != epoch0 {
+                    break;
+                }
+                if ops.now_nanos() >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                ops.block_until("condvar.wait_for", deadline);
+            }
+            Self::sim_reacquire(guard, &*ops);
+            #[cfg(feature = "lock-audit")]
+            lock_audit::blocking_acquired(guard.audit, caller);
+            return WaitTimeoutResult(timed_out);
+        }
         #[cfg(feature = "lock-audit")]
         lock_audit::released(guard.audit);
         let std_guard = guard.inner.take().expect("guard present");
@@ -264,10 +433,24 @@ impl Condvar {
     }
 
     pub fn notify_one(&self) {
+        #[cfg(feature = "sim")]
+        {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            if let Some(ops) = sim::current() {
+                ops.progress("condvar.notify_one");
+            }
+        }
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
+        #[cfg(feature = "sim")]
+        {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            if let Some(ops) = sim::current() {
+                ops.progress("condvar.notify_all");
+            }
+        }
         self.inner.notify_all();
     }
 }
@@ -443,5 +626,36 @@ mod tests {
             assert!(ga.is_some());
         }
         assert_eq!(lock_audit::report_count(), before);
+    }
+
+    /// Guard lifetimes are charged to the `#[track_caller]` acquisition
+    /// site: count, total, and longest single hold.
+    #[cfg(feature = "lock-audit")]
+    #[test]
+    fn lock_audit_reports_guard_lifetimes() {
+        let _serial = AUDIT_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        lock_audit::reset();
+        let m = Mutex::new(0u32);
+        for _ in 0..3 {
+            let mut g = m.lock(); // the site under test
+            *g += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = lock_audit::guard_report();
+        let site = report
+            .iter()
+            .find(|h| h.site.contains("lib.rs") && h.count == 3)
+            .unwrap_or_else(|| panic!("missing hold site: {report:?}"));
+        assert!(
+            site.max_nanos >= 1_000_000 && site.total_nanos >= site.max_nanos,
+            "implausible hold times: {site}"
+        );
+        assert!(site.total_nanos >= 3 * 1_000_000, "{site}");
+        // Sorted longest-hold-first.
+        for pair in report.windows(2) {
+            assert!(pair[0].max_nanos >= pair[1].max_nanos);
+        }
+        lock_audit::reset();
+        assert!(lock_audit::guard_report().is_empty());
     }
 }

@@ -37,6 +37,7 @@ use std::fmt;
 use std::panic::Location;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex as StdMutex;
+use std::time::Instant;
 
 /// Monotonic id source; 0 is reserved for "not yet assigned".
 static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
@@ -73,9 +74,19 @@ impl Default for LockId {
     }
 }
 
+/// One lock this thread currently holds: its audit id plus where and when
+/// the guard was acquired, so the release can charge the hold time to the
+/// acquisition site.
+#[derive(Clone, Copy)]
+struct HeldEntry {
+    id: usize,
+    site: &'static Location<'static>,
+    since: Instant,
+}
+
 thread_local! {
-    /// Audit ids of locks this thread currently holds, in acquisition order.
-    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
 }
 
 /// One lock endpoint of a reported inversion.
@@ -144,6 +155,74 @@ impl Graph {
 
 static GRAPH: StdMutex<Graph> = StdMutex::new(Graph::new());
 
+/// Accumulated guard-hold statistics for one acquisition site.
+#[derive(Clone, Copy, Default)]
+struct HoldStats {
+    count: u64,
+    total_nanos: u64,
+    max_nanos: u64,
+}
+
+/// Guard lifetimes per `#[track_caller]` acquisition site, keyed by
+/// `(file, line, column)`.
+static HOLDS: StdMutex<BTreeMap<(&'static str, u32, u32), HoldStats>> =
+    StdMutex::new(BTreeMap::new());
+
+/// Guard-lifetime report for one acquisition site: how often a guard taken
+/// there was held, and for how long. Contention made visible — a site with
+/// a large `max_nanos` is a lock held across slow work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardHold {
+    /// `file:line:column` of the acquisition.
+    pub site: String,
+    /// Guards acquired at this site (and released) so far.
+    pub count: u64,
+    /// Total nanoseconds guards from this site were held.
+    pub total_nanos: u64,
+    /// Longest single hold, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl fmt::Display for GuardHold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} holds, max {:.3} ms, total {:.3} ms",
+            self.site,
+            self.count,
+            self.max_nanos as f64 / 1e6,
+            self.total_nanos as f64 / 1e6,
+        )
+    }
+}
+
+fn record_hold(site: &'static Location<'static>, nanos: u64) {
+    let mut holds = HOLDS.lock().unwrap_or_else(|e| e.into_inner());
+    let stats = holds
+        .entry((site.file(), site.line(), site.column()))
+        .or_default();
+    stats.count += 1;
+    stats.total_nanos += nanos;
+    stats.max_nanos = stats.max_nanos.max(nanos);
+}
+
+/// Snapshot of guard lifetimes per acquisition site, longest single hold
+/// first (ties broken by site for a deterministic order).
+pub fn guard_report() -> Vec<GuardHold> {
+    let holds = HOLDS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut report: Vec<GuardHold> = holds
+        .iter()
+        .map(|(&(file, line, column), stats)| GuardHold {
+            site: format!("{file}:{line}:{column}"),
+            count: stats.count,
+            total_nanos: stats.total_nanos,
+            max_nanos: stats.max_nanos,
+        })
+        .collect();
+    report.sort_by(|a, b| b.max_nanos.cmp(&a.max_nanos).then(a.site.cmp(&b.site)));
+    report
+}
+
 fn site_string(loc: &Location<'_>) -> String {
     format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
 }
@@ -171,7 +250,7 @@ fn reachable(edges: &BTreeMap<usize, BTreeSet<usize>>, from: usize, to: usize) -
 /// pushes the lock onto this thread's held stack.
 pub(crate) fn blocking_acquired(cell: &LockId, loc: &'static Location<'static>) {
     let wanted = cell.get();
-    let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+    let held: Vec<usize> = HELD.with(|h| h.borrow().iter().map(|e| e.id).collect());
     {
         let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
         g.sites.entry(wanted).or_insert(loc);
@@ -208,7 +287,13 @@ pub(crate) fn blocking_acquired(cell: &LockId, loc: &'static Location<'static>) 
             }
         }
     }
-    HELD.with(|h| h.borrow_mut().push(wanted));
+    HELD.with(|h| {
+        h.borrow_mut().push(HeldEntry {
+            id: wanted,
+            site: loc,
+            since: Instant::now(),
+        })
+    });
 }
 
 /// Record a successful non-blocking acquisition: the lock joins the held
@@ -221,7 +306,13 @@ pub(crate) fn try_acquired(cell: &LockId, loc: &'static Location<'static>) {
         .sites
         .entry(id)
         .or_insert(loc);
-    HELD.with(|h| h.borrow_mut().push(id));
+    HELD.with(|h| {
+        h.borrow_mut().push(HeldEntry {
+            id,
+            site: loc,
+            since: Instant::now(),
+        })
+    });
 }
 
 /// Record a release (guard drop or `Condvar::wait` park): removes the most
@@ -231,12 +322,15 @@ pub(crate) fn released(cell: &LockId) {
     if id == 0 {
         return;
     }
-    HELD.with(|h| {
+    let entry = HELD.with(|h| {
         let mut held = h.borrow_mut();
-        if let Some(pos) = held.iter().rposition(|&x| x == id) {
-            held.remove(pos);
-        }
+        held.iter()
+            .rposition(|e| e.id == id)
+            .map(|pos| held.remove(pos))
     });
+    if let Some(entry) = entry {
+        record_hold(entry.site, entry.since.elapsed().as_nanos() as u64);
+    }
 }
 
 /// Number of audited locks the *current thread* holds right now. Lets
@@ -253,6 +347,8 @@ pub fn held_count() -> usize {
 pub fn reset() {
     let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
     *g = Graph::new();
+    drop(g);
+    HOLDS.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 /// Snapshot of every inversion detected since the last [`reset`].

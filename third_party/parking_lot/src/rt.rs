@@ -1,0 +1,124 @@
+//! Runtime seam for thread spawning, sleeping, and monotonic time.
+//!
+//! Subsystems that create threads or read the monotonic clock go through
+//! this module instead of `std::thread` / `std::time::Instant`. Outside a
+//! simulation the functions are thin wrappers over std; under the `sim`
+//! feature *with a scheduler installed* (see [`crate::sim`]) they route
+//! through the scheduler, so spawned workers become simulated tasks and
+//! sleeps/timeouts consume virtual time. This module is compiled
+//! unconditionally — callers never need their own `cfg(feature = "sim")`.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Handle to a thread (or simulated task) started by [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Os(std::thread::JoinHandle<T>),
+    #[cfg(feature = "sim")]
+    Sim {
+        id: u64,
+        ops: std::sync::Arc<dyn crate::sim::SimOps>,
+        // The task writes its result here just before exiting; empty after
+        // join means the task panicked.
+        slot: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread/task to finish; `Err` if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Os(handle) => handle.join(),
+            #[cfg(feature = "sim")]
+            Inner::Sim { id, ops, slot } => {
+                let panicked = ops.join(id);
+                let value = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match value {
+                    Some(v) if !panicked => Ok(v),
+                    _ => Err(Box::new("simulated task panicked")),
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a named worker thread — or, inside a simulation, register a new
+/// simulated task under the scheduler.
+pub fn spawn<T, F>(name: &str, f: F) -> std::io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(feature = "sim")]
+    if let Some(ops) = crate::sim::current() {
+        use std::sync::{Arc, Mutex};
+        let slot = Arc::new(Mutex::new(None));
+        let sink = slot.clone();
+        let id = ops.spawn(
+            name,
+            Box::new(move || {
+                let value = f();
+                *sink.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            }),
+        );
+        return Ok(JoinHandle {
+            inner: Inner::Sim { id, ops, slot },
+        });
+    }
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .map(|handle| JoinHandle {
+            inner: Inner::Os(handle),
+        })
+}
+
+/// Sleep for `d` — virtual time inside a simulation, wall time otherwise.
+pub fn sleep(d: Duration) {
+    #[cfg(feature = "sim")]
+    if let Some(ops) = crate::sim::current() {
+        ops.sleep(d.as_nanos() as u64);
+        return;
+    }
+    std::thread::sleep(d);
+}
+
+/// Monotonic nanoseconds since an arbitrary process-wide epoch — virtual
+/// time inside a simulation. Use for computing deadlines that must honour
+/// simulated time (`deadline = monotonic_nanos() + timeout`).
+pub fn monotonic_nanos() -> u64 {
+    #[cfg(feature = "sim")]
+    if let Some(ops) = crate::sim::current() {
+        return ops.now_nanos();
+    }
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_joins_with_result() {
+        let h = spawn("rt-test", || 41 + 1).expect("spawn succeeds");
+        assert_eq!(h.join().expect("no panic"), 42);
+    }
+
+    #[test]
+    fn spawn_reports_panic() {
+        let h = spawn("rt-panic", || panic!("boom")).expect("spawn succeeds");
+        assert!(h.join().is_err());
+    }
+
+    #[test]
+    fn monotonic_nanos_is_monotonic() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulation hooks — compiled only under the `sim` feature.
+//!
+//! A deterministic-simulation harness (the `svq-sim` crate) installs a
+//! [`SimOps`] implementation into each thread it owns. Every blocking
+//! primitive in this crate consults [`current`] first: when an ops handle
+//! is installed, the primitive routes its block/wake/sleep/time decisions
+//! through the scheduler instead of the OS, so the harness owns every
+//! interleaving and every clock reading. When no handle is installed
+//! (ordinary tests and production), the primitives take their native
+//! `std::sync` paths unchanged — enabling the feature without installing
+//! a scheduler is behaviourally inert.
+//!
+//! The contract between primitives and scheduler:
+//!
+//! * [`SimOps::yield_point`] — a possible preemption point; the scheduler
+//!   may run any other runnable task before returning.
+//! * [`SimOps::block`] — park until *some* progress event occurs, then
+//!   return; the caller re-checks its condition in a loop. Progress events
+//!   are generation-counted, so a park always observes events that happen
+//!   after it was requested.
+//! * [`SimOps::block_until`] — like `block`, but also wakes once virtual
+//!   time reaches `deadline_nanos`.
+//! * [`SimOps::progress`] — announce a state change other tasks may be
+//!   waiting on (an unlock, a notify, a task exit). Also a preemption
+//!   point.
+//! * Primitives must publish their state change *before* calling
+//!   `progress` — e.g. a guard drop releases the underlying lock first —
+//!   otherwise woken tasks re-poll a stale condition and the scheduler
+//!   reports a spurious deadlock.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Scheduler operations a simulation harness provides to the primitives.
+pub trait SimOps: Send + Sync {
+    /// A possible preemption point (no state change announced).
+    fn yield_point(&self, label: &'static str);
+    /// Park the calling task until the next progress event.
+    fn block(&self, label: &'static str);
+    /// Park until the next progress event or until virtual time reaches
+    /// `deadline_nanos`, whichever first.
+    fn block_until(&self, label: &'static str, deadline_nanos: u64);
+    /// Announce a state change other tasks may be waiting on.
+    fn progress(&self, label: &'static str);
+    /// Current virtual time in nanoseconds.
+    fn now_nanos(&self) -> u64;
+    /// Advance this task past `nanos` of virtual time.
+    fn sleep(&self, nanos: u64);
+    /// Register `f` as a new simulated task named `name`; returns its id.
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) -> u64;
+    /// Park until task `id` finishes; returns whether it panicked.
+    fn join(&self, id: u64) -> bool;
+}
+
+thread_local! {
+    static OPS: RefCell<Option<Arc<dyn SimOps>>> = const { RefCell::new(None) };
+}
+
+/// Install a scheduler handle for the calling thread. Every primitive the
+/// thread touches from now on routes through it.
+pub fn install(ops: Arc<dyn SimOps>) {
+    OPS.with(|o| *o.borrow_mut() = Some(ops));
+}
+
+/// Remove the calling thread's scheduler handle (primitives revert to
+/// their native paths).
+pub fn uninstall() {
+    OPS.with(|o| *o.borrow_mut() = None);
+}
+
+/// The calling thread's scheduler handle, if one is installed.
+pub fn current() -> Option<Arc<dyn SimOps>> {
+    OPS.with(|o| o.borrow().clone())
+}
