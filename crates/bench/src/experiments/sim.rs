@@ -18,10 +18,13 @@
 use super::ExpContext;
 use crate::Table;
 use std::time::Instant;
-use svq_sim::{run_corpus_line, sweep, FaultPlan, CORPUS, SCENARIOS};
+use svq_sim::{run_corpus_line, sweep_persisting, FaultPlan, CORPUS, SCENARIOS};
 
 pub fn run(ctx: &ExpContext) {
     let smoke = ctx.scale < 0.05;
+    // Shrunk failing schedules persist their full event trace next to the
+    // report so a violation can be diffed against a local replay.
+    let trace_dir = ctx.out_dir.join("sim-traces");
     let per_plan: u64 = if smoke { 10 } else { 100 };
     let plans = [("none", FaultPlan::none()), ("all", FaultPlan::all())];
 
@@ -41,13 +44,14 @@ pub fn run(ctx: &ExpContext) {
         for (pi, (label, faults)) in plans.iter().enumerate() {
             let base_seed = ctx.seed ^ ((si as u64) << 8) ^ ((pi as u64) << 4);
             let start = Instant::now();
-            let report = sweep(
+            let report = sweep_persisting(
                 scenario,
                 base_seed,
                 per_plan,
                 scenario.default_size,
                 *faults,
                 3,
+                Some(&trace_dir),
             );
             total_schedules += report.schedules;
             table.row(vec![
@@ -60,7 +64,15 @@ pub fn run(ctx: &ExpContext) {
                 report.failures.len().to_string(),
             ]);
             for failure in report.failures {
-                repro_lines.push(format!("{} [{}]", failure.repro, failure.detail));
+                match &failure.trace {
+                    Some(path) => repro_lines.push(format!(
+                        "{} [{}]  # trace: {}",
+                        failure.repro,
+                        failure.detail,
+                        path.display()
+                    )),
+                    None => repro_lines.push(format!("{} [{}]", failure.repro, failure.detail)),
+                }
             }
         }
     }

@@ -536,8 +536,13 @@ pub fn explain(flags: &Flags) -> CliResult {
 /// * `--corpus true` replays every committed corpus schedule.
 pub fn sim(flags: &Flags) -> CliResult {
     use svq_sim::{
-        find, run_corpus_line, run_one, shrink, sweep, FaultPlan, RunSpec, CORPUS, SCENARIOS,
+        find, persist_trace, run_corpus_line, run_one, shrink, sweep_persisting, FaultPlan,
+        RunSpec, CORPUS, SCENARIOS,
     };
+
+    // Failing schedules persist their shrunk event trace here; the repro
+    // line printed alongside names the file.
+    let trace_dir = std::path::Path::new("results/sim-traces");
 
     let known = || {
         SCENARIOS
@@ -583,7 +588,15 @@ pub fn sim(flags: &Flags) -> CliResult {
         let mut failures = 0usize;
         for scenario in list {
             let size: u64 = flags.get_parsed("size", scenario.default_size)?;
-            let report = sweep(scenario, base_seed, schedules, size, faults, 3);
+            let report = sweep_persisting(
+                scenario,
+                base_seed,
+                schedules,
+                size,
+                faults,
+                3,
+                Some(trace_dir),
+            );
             println!(
                 "{}: {} schedules, {} steps, {:.3}s virtual time, {} failure(s)",
                 scenario.name,
@@ -594,7 +607,12 @@ pub fn sim(flags: &Flags) -> CliResult {
             );
             for failure in &report.failures {
                 println!("  FAIL: {}", failure.detail);
-                println!("  repro: {}", failure.repro);
+                match &failure.trace {
+                    Some(path) => {
+                        println!("  repro: {}  # trace: {}", failure.repro, path.display())
+                    }
+                    None => println!("  repro: {}", failure.repro),
+                }
             }
             failures += report.failures.len();
         }
@@ -638,7 +656,14 @@ pub fn sim(flags: &Flags) -> CliResult {
         Some(f) => {
             println!("result: FAIL ({f})");
             let (shrunk, _) = shrink(&spec);
-            println!("repro: {}", shrunk.repro_line());
+            match persist_trace(&shrunk, trace_dir) {
+                Ok(path) => println!(
+                    "repro: {}  # trace: {}",
+                    shrunk.repro_line(),
+                    path.display()
+                ),
+                Err(_) => println!("repro: {}", shrunk.repro_line()),
+            }
             Err("schedule failed; repro line above".into())
         }
     }

@@ -1,0 +1,53 @@
+//! Fixture: seeded concurrency violations for the workspace-global
+//! passes. Exactly one `lock-cycle` (a cross-function ABBA — the reverse
+//! acquisition is one call hop away from the forward one) and exactly two
+//! `blocking-under-lock` findings (a sleep reached through a call, and a
+//! direct sleep under a guard). The self-tests assert these counts.
+//! (`#![forbid(unsafe_code)]` present on purpose: the forbid-unsafe seed
+//! lives in `crates/core`.)
+
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// Forward order: `a` first, then `b` — one call hop away.
+    pub fn forward(&self) {
+        let a = self.a.lock();
+        self.grab_b(*a);
+    }
+
+    fn grab_b(&self, x: u64) {
+        let mut b = self.b.lock();
+        *b += x;
+    }
+
+    /// Reverse order: `b` first, then `a`. Together with `forward` this
+    /// closes the ABBA cycle — lock-cycle #1.
+    pub fn backward(&self) {
+        let b = self.b.lock();
+        let mut a = self.a.lock();
+        *a += *b;
+    }
+
+    /// The sleep is one call hop away — blocking-under-lock #1.
+    pub fn paced(&self) {
+        let _a = self.a.lock();
+        pause();
+    }
+
+    /// Direct sleep under a guard — blocking-under-lock #2.
+    pub fn throttled(&self) {
+        let _b = self.b.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+fn pause() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

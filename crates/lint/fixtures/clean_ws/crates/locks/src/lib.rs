@@ -1,0 +1,60 @@
+//! Fixture: the rule-abiding mirror of `bad_ws`'s lock crate — every
+//! shape the concurrency passes must *not* flag. Consistent acquisition
+//! order, a `try_lock` inversion (non-blocking attempts take no ordering
+//! edge), a sleep after the guard is dropped, and a justified
+//! suppression.
+
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    /// `a` before `b`, directly.
+    pub fn both(&self) {
+        let _a = self.a.lock();
+        let _b = self.b.lock();
+    }
+
+    /// `a` before `b`, through a call — same order, no cycle.
+    pub fn nested(&self) {
+        let _a = self.a.lock();
+        self.tail();
+    }
+
+    fn tail(&self) {
+        let _b = self.b.lock();
+    }
+
+    /// Inverted order through `try_lock`: a non-blocking attempt cannot
+    /// be the blocking half of a deadlock, so no edge and no cycle.
+    pub fn opportunistic(&self) -> bool {
+        let _b = self.b.lock();
+        if let Some(mut a) = self.a.try_lock() {
+            *a += 1;
+            return true;
+        }
+        false
+    }
+
+    /// The guard dies with its block; the sleep runs lock-free.
+    pub fn pace_outside(&self) {
+        {
+            let _a = self.a.lock();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    /// A visible, deliberate exception is silent.
+    pub fn warm(&self) {
+        let _a = self.a.lock();
+        // Holding `a` across this sleep is required by the warm-up
+        // protocol and cannot deadlock: `a` is a leaf lock here.
+        // svq-lint: allow(blocking-under-lock)
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -127,6 +127,7 @@ mod tests {
             path: PathBuf::from(path),
             line,
             message: String::new(),
+            witness: Vec::new(),
         }
     }
 

@@ -4,19 +4,22 @@
 //! svq-lint                     report every finding (exit 0)
 //! svq-lint --check             fail on findings beyond the baseline
 //! svq-lint --update-baseline   rewrite lint-baseline.txt from current state
+//!     --format human|json      json writes results/lint-report.json too
 //!     --root <dir>             workspace root (default: discovered upward)
 //!     --baseline <file>        baseline path (default: <root>/lint-baseline.txt)
 //! ```
 
 #![forbid(unsafe_code)]
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use svq_lint::{find_workspace_root, lint_workspace, Baseline};
+use svq_lint::{find_workspace_root, lint_workspace_full, Baseline, Finding, StaticLockGraph};
 
 struct Args {
     check: bool,
     update: bool,
+    json: bool,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
 }
@@ -25,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         check: false,
         update: false,
+        json: false,
         root: None,
         baseline: None,
     };
@@ -33,6 +37,11 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--check" => args.check = true,
             "--update-baseline" => args.update = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format expects human|json, got {other:?}")),
+            },
             "--root" => args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?)),
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?))
@@ -41,9 +50,16 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "svq-lint: workspace invariant linter\n\
                      \n\
-                     USAGE: svq-lint [--check | --update-baseline] [--root <dir>] [--baseline <file>]\n\
+                     USAGE: svq-lint [--check | --update-baseline] [--format human|json]\n\
+                     \x20               [--root <dir>] [--baseline <file>]\n\
                      \n\
-                     Rules: determinism, panic, float-eq, print, forbid-unsafe\n\
+                     Per-file rules: determinism, panic, float-eq, print, forbid-unsafe\n\
+                     Workspace concurrency passes: lock-cycle (static lock-order cycles),\n\
+                     blocking-under-lock (sleep/join/bounded-channel/condvar-wait/IO under\n\
+                     a live guard, reached directly or through the call graph).\n\
+                     \n\
+                     --format json writes <root>/results/lint-report.json with every\n\
+                     finding (rule, file, line, witness chain) plus analysis statistics.\n\
                      Suppress inline with `// svq-lint: allow(<rule>)`."
                 );
                 std::process::exit(0);
@@ -67,6 +83,75 @@ fn main() -> ExitCode {
     }
 }
 
+/// Print one finding, then its witness path indented beneath it.
+fn print_finding(f: &Finding) {
+    println!("{f}");
+    for step in &f.witness {
+        println!("    {step}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled report JSON — the offline container has no serde for this
+/// crate, and the shape is flat enough not to need it.
+fn render_json(findings: &[Finding], graph: &StaticLockGraph) -> String {
+    let mut out = String::from("{\n  \"stats\": {");
+    let s = &graph.stats;
+    let _ = write!(
+        out,
+        "\"files\": {}, \"functions\": {}, \"resolved_calls\": {}, \
+         \"unresolved_calls\": {}, \"lock_nodes\": {}, \"lock_edges\": {}, \
+         \"site_pairs\": {}",
+        s.files,
+        s.functions,
+        s.resolved_calls,
+        s.unresolved_calls,
+        s.lock_nodes,
+        s.lock_edges,
+        s.site_pairs
+    );
+    out.push_str("},\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"witness\": [",
+            f.rule.name(),
+            json_escape(&f.path.to_string_lossy()),
+            f.line,
+            json_escape(&f.message),
+        );
+        for (j, step) in f.witness.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json_escape(step));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -78,7 +163,19 @@ fn run() -> Result<ExitCode, String> {
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
 
-    let findings = lint_workspace(&root).map_err(|e| e.to_string())?;
+    let (findings, graph) = lint_workspace_full(&root).map_err(|e| e.to_string())?;
+
+    if args.json {
+        let dir = root.join("results");
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let path = dir.join("lint-report.json");
+        std::fs::write(&path, render_json(&findings, &graph)).map_err(|e| e.to_string())?;
+        println!(
+            "svq-lint: wrote {} ({} findings)",
+            path.display(),
+            findings.len()
+        );
+    }
 
     if args.update {
         let base = Baseline::from_findings(&findings);
@@ -90,6 +187,21 @@ fn run() -> Result<ExitCode, String> {
         );
         return Ok(ExitCode::SUCCESS);
     }
+
+    let stats_line = {
+        let s = &graph.stats;
+        format!(
+            "svq-lint: analyzed {} files / {} functions; call graph {} resolved, \
+             {} unresolved; lock graph {} nodes, {} edges, {} site pairs",
+            s.files,
+            s.functions,
+            s.resolved_calls,
+            s.unresolved_calls,
+            s.lock_nodes,
+            s.lock_edges,
+            s.site_pairs
+        )
+    };
 
     if args.check {
         let base = match std::fs::read_to_string(&baseline_path) {
@@ -106,6 +218,7 @@ fn run() -> Result<ExitCode, String> {
             );
         }
         if result.is_clean() {
+            println!("{stats_line}");
             println!(
                 "svq-lint: clean ({} findings, all within baseline)",
                 findings.len()
@@ -113,7 +226,7 @@ fn run() -> Result<ExitCode, String> {
             return Ok(ExitCode::SUCCESS);
         }
         for f in &result.new_findings {
-            println!("{f}");
+            print_finding(f);
         }
         println!(
             "svq-lint: {} new finding(s) beyond baseline — fix them or, if \
@@ -124,8 +237,9 @@ fn run() -> Result<ExitCode, String> {
     }
 
     for f in &findings {
-        println!("{f}");
+        print_finding(f);
     }
+    println!("{stats_line}");
     println!("svq-lint: {} finding(s)", findings.len());
     Ok(ExitCode::SUCCESS)
 }

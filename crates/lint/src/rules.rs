@@ -53,15 +53,24 @@ pub enum Rule {
     PrintDiscipline,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// A cycle in the static lock-order graph (potential ABBA deadlock
+    /// over *all* paths, not just executed ones).
+    LockCycle,
+    /// A blocking operation (sleep, join, bounded-channel send/recv,
+    /// condvar wait, file/socket I/O) reached — directly or through the
+    /// call graph — while a guard region is live.
+    BlockingUnderLock,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Determinism,
         Rule::PanicDiscipline,
         Rule::FloatEq,
         Rule::PrintDiscipline,
         Rule::ForbidUnsafe,
+        Rule::LockCycle,
+        Rule::BlockingUnderLock,
     ];
 
     /// Stable name used in baselines and suppressions.
@@ -72,6 +81,8 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::PrintDiscipline => "print",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::LockCycle => "lock-cycle",
+            Rule::BlockingUnderLock => "blocking-under-lock",
         }
     }
 
@@ -95,6 +106,9 @@ pub struct Finding {
     pub path: PathBuf,
     pub line: u32,
     pub message: String,
+    /// Witness path for graph-derived findings (`lock-cycle`,
+    /// transitive `blocking-under-lock`): one `file:line` step per hop.
+    pub witness: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -183,6 +197,7 @@ fn emit(
             path: ctx.path.clone(),
             line,
             message,
+            witness: Vec::new(),
         });
     }
 }
@@ -511,6 +526,7 @@ pub fn forbid_unsafe_rule(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<F
             path: ctx.path.clone(),
             line: 1,
             message: "crate root missing `#![forbid(unsafe_code)]`".into(),
+            witness: Vec::new(),
         });
     }
 }

@@ -37,6 +37,49 @@ fn every_rule_fires_on_the_seeded_fixture() {
         "daemon stderr logging must not fire: {findings:#?}"
     );
     assert_eq!(count(&findings, Rule::ForbidUnsafe), 1, "{findings:#?}");
+    // The concurrency passes: one ABBA cycle (the reverse acquisition one
+    // call hop from the forward one), two blocking-under-lock seeds (a
+    // sleep one call away, a direct sleep).
+    assert_eq!(count(&findings, Rule::LockCycle), 1, "{findings:#?}");
+    assert_eq!(
+        count(&findings, Rule::BlockingUnderLock),
+        2,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn lock_cycle_findings_carry_file_line_witnesses() {
+    let findings = lint_workspace(&fixture("bad_ws")).expect("fixture walks");
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == Rule::LockCycle)
+        .expect("the ABBA seed fires");
+    assert!(
+        !cycle.witness.is_empty(),
+        "a cycle without a witness path is unactionable: {cycle:#?}"
+    );
+    // Every witness step names a source site, and both locks of the ABBA
+    // pair appear somewhere in the path.
+    for step in &cycle.witness {
+        assert!(
+            step.contains("crates/locks/src/lib.rs:"),
+            "witness step without a file:line site: {step}"
+        );
+    }
+    let joined = cycle.witness.join("\n");
+    assert!(
+        joined.contains("Pair.a") && joined.contains("Pair.b"),
+        "{joined}"
+    );
+
+    // The one-call-hop blocking finding names the leaf sleep through its
+    // chain, not just the call site.
+    let hop = findings
+        .iter()
+        .find(|f| f.rule == Rule::BlockingUnderLock && !f.witness.is_empty())
+        .expect("the call-hop seed carries a chain witness");
+    assert!(hop.witness.iter().any(|s| s.contains("sleep")), "{hop:#?}");
 }
 
 #[test]

@@ -353,7 +353,11 @@ impl ServerHandle {
         // Wake the acceptor out of its blocking accept; it observes
         // `Stopped` and exits.
         shared.transport.wake();
-        if let Some(handle) = self.acceptor.lock().take() {
+        // Take the handle out first so the `acceptor` mutex is released
+        // before the (blocking) join — a concurrent `stop()` must never
+        // queue behind a join that waits on the accept loop to notice.
+        let handle = self.acceptor.lock().take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
         let snap = shared.metrics.snapshot().server;

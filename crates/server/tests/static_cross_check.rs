@@ -1,0 +1,153 @@
+//! Soundness gate for the static lock graph in `svq-lint`, server side:
+//! every lock ordering the runtime auditor observes while the full TCP
+//! service runs — admission races, mixed traffic, drain — must be covered
+//! by the statically derived graph. See the executor twin in
+//! `crates/exec/tests/static_cross_check.rs` for the rationale. Compiled
+//! only under `cargo test -p svq-serve --features lock-audit`.
+
+#![cfg(feature = "lock-audit")]
+
+use std::sync::Arc;
+use std::time::Duration;
+use svq_core::offline::ingest;
+use svq_core::online::OnlineConfig;
+use svq_serve::{Client, Request, Response, ServeConfig, Server};
+use svq_storage::VideoRepository;
+use svq_types::{
+    ActionClass, BBox, FrameId, Interval, ObjectClass, PaperScoring, TrackId, VideoGeometry,
+    VideoId,
+};
+use svq_vision::models::{DetectionOracle, ModelSuite, SceneConfusion};
+use svq_vision::truth::{ActionSpan, GroundTruth, ObjectTrack};
+
+const OFFLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car') \
+     ORDER BY RANK(act, obj) LIMIT 2";
+
+const ONLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car')";
+
+fn oracle(video: u64, seed: u64) -> Arc<DetectionOracle> {
+    let mut gt = GroundTruth::new(VideoId::new(video), VideoGeometry::default(), 2_000);
+    gt.tracks.push(ObjectTrack {
+        class: ObjectClass::named("car"),
+        track: TrackId::new(1),
+        frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+        visibility: 1.0,
+        bbox: BBox::FULL,
+    });
+    gt.actions.push(ActionSpan {
+        class: ActionClass::named("jumping"),
+        frames: Interval::new(FrameId::new(600), FrameId::new(999)),
+        salience: 1.0,
+    });
+    let confusion = SceneConfusion {
+        objects: vec![(ObjectClass::named("car"), 1.0)],
+        actions: vec![(ActionClass::named("jumping"), 1.0)],
+    };
+    Arc::new(DetectionOracle::new(
+        Arc::new(gt),
+        ModelSuite::accurate(),
+        &confusion,
+        seed,
+    ))
+}
+
+#[test]
+fn runtime_lock_edges_are_covered_by_the_static_graph() {
+    parking_lot::lock_audit::reset();
+
+    let oracles: Vec<_> = (0..3).map(|i| oracle(i, 900 + i)).collect();
+    let repo = Arc::new(VideoRepository::from_catalogs(
+        oracles
+            .iter()
+            .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
+    ));
+    let handle = Server::start(
+        ServeConfig {
+            max_conns: 4,
+            workers: 4,
+            shards: 2,
+            drain_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+        Some(repo),
+        oracles,
+        svq_exec::ExecMetrics::new(),
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..8u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => return,
+                };
+                for round in 0..4u64 {
+                    let video = Some((c + round) % 3);
+                    let result = match (c + round) % 4 {
+                        0 => client.request(&Request::Query {
+                            sql: OFFLINE_SQL.into(),
+                            video,
+                        }),
+                        1 => client.request(&Request::Stream {
+                            sql: ONLINE_SQL.into(),
+                            video,
+                        }),
+                        2 => client.request(&Request::Stats),
+                        _ => client.send_raw(b"{\"kind\": \"warp\"}"),
+                    };
+                    match result {
+                        Ok(Response::Error { reason, .. })
+                            if reason == svq_types::RejectReason::Busy =>
+                        {
+                            return
+                        }
+                        Ok(_) => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    handle.shutdown();
+    let report = handle.wait();
+    assert!(report.accepted >= 1);
+
+    // First-party edges only; the vendored stand-ins take locks of their
+    // own that the workspace analyzer deliberately does not model.
+    let observed: Vec<_> = parking_lot::lock_audit::edge_sites()
+        .into_iter()
+        .filter(|((hf, _), (af, _))| hf.starts_with("crates/") && af.starts_with("crates/"))
+        .collect();
+    assert!(
+        !observed.is_empty(),
+        "workload recorded no first-party lock edges; the gate is vacuous"
+    );
+
+    let root = svq_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let graph = svq_lint::lock_graph(&root).expect("static analysis runs");
+
+    let missing: Vec<String> = observed
+        .iter()
+        .filter(|((hf, hl), (af, al))| !graph.covers((hf, *hl), (af, *al)))
+        .map(|((hf, hl), (af, al))| format!("holding {hf}:{hl} acquired {af}:{al}"))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "{} runtime lock edge(s) missing from the static lock graph \
+         (the guard walker or call resolver lost a region):\n{}",
+        missing.len(),
+        missing.join("\n"),
+    );
+}

@@ -36,7 +36,8 @@ pub mod world;
 
 pub use rng::SimRng;
 pub use runner::{
-    run_corpus_line, run_one, shrink, sweep, RunSpec, SweepFailure, SweepReport, CORPUS,
+    persist_trace, run_corpus_line, run_one, shrink, sweep, sweep_persisting, RunSpec,
+    SweepFailure, SweepReport, CORPUS,
 };
 pub use scenario::{find, FaultPlan, Scenario, ScenarioCtx, SCENARIOS};
 pub use world::{run_world, Failure, FailureKind, ScheduleOutcome, WorldConfig};

@@ -10,6 +10,7 @@
 use crate::rng;
 use crate::scenario::{self, FaultPlan, Scenario, ScenarioCtx};
 use crate::world::{run_world, ScheduleOutcome, WorldConfig};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// One fully named schedule.
@@ -99,11 +100,38 @@ pub fn shrink(failing: &RunSpec) -> (RunSpec, ScheduleOutcome) {
     (best, best_outcome)
 }
 
+/// Re-run `spec` with trace capture and persist the full event trace to
+/// `<dir>/<scenario>-<seed>.txt` for side-by-side diffing against a later
+/// replay. The file leads with the repro command and the outcome, then
+/// one line per event. Determinism makes this safe: the same named
+/// schedule replays the same interleaving whether or not the trace is
+/// kept.
+pub fn persist_trace(spec: &RunSpec, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let traced = RunSpec {
+        keep_trace: true,
+        ..*spec
+    };
+    let outcome = run_one(&traced);
+    let path = dir.join(format!("{}-{}.txt", spec.scenario.name, spec.seed));
+    let mut text = format!("# {}\n", spec.repro_line());
+    match &outcome.failure {
+        Some(f) => text.push_str(&format!("# result: FAIL ({f})\n")),
+        None => text.push_str("# result: ok\n"),
+    }
+    text.push_str(&outcome.render_trace());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
 /// One failure found by a sweep, already shrunk.
 pub struct SweepFailure {
     pub spec: RunSpec,
     pub repro: String,
     pub detail: String,
+    /// Persisted event trace of the shrunk schedule, when the sweep was
+    /// given a trace directory.
+    pub trace: Option<PathBuf>,
 }
 
 /// What a seed sweep observed.
@@ -127,6 +155,29 @@ pub fn sweep(
     size: u64,
     faults: FaultPlan,
     max_failures: usize,
+) -> SweepReport {
+    sweep_persisting(
+        scenario,
+        base_seed,
+        schedules,
+        size,
+        faults,
+        max_failures,
+        None,
+    )
+}
+
+/// [`sweep`], additionally persisting each shrunk failure's event trace
+/// under `trace_dir` (see [`persist_trace`]).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_persisting(
+    scenario: &'static Scenario,
+    base_seed: u64,
+    schedules: u64,
+    size: u64,
+    faults: FaultPlan,
+    max_failures: usize,
+    trace_dir: Option<&Path>,
 ) -> SweepReport {
     let mut report = SweepReport {
         schedules: 0,
@@ -152,10 +203,12 @@ pub fn sweep(
                 .failure
                 .map(|f| f.to_string())
                 .unwrap_or_else(|| "failure vanished during shrink".to_string());
+            let trace = trace_dir.and_then(|dir| persist_trace(&shrunk, dir).ok());
             report.failures.push(SweepFailure {
                 spec: shrunk,
                 repro: shrunk.repro_line(),
                 detail,
+                trace,
             });
             if report.failures.len() >= max_failures.max(1) {
                 break;

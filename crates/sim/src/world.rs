@@ -410,6 +410,10 @@ impl TaskOps {
                 format!("step budget {budget} exhausted without the scenario completing"),
             );
         } else {
+            // The scheduler lock *is* the parking primitive: pick_next may
+            // park a worker, but the wait releases this very guard and the
+            // guard is the only lock a switching task can hold.
+            // svq-lint: allow(blocking-under-lock)
             sched.pick_next();
         }
         self.shared.cv.notify_all();
@@ -451,6 +455,9 @@ impl TaskOps {
         sched.tasks[me].panic_msg = panic_msg;
         sched.progress_gen += 1;
         sched.steps += 1;
+        // Same invariant as `switch`: the scheduler guard is the parking
+        // primitive, and an exiting task holds nothing else.
+        // svq-lint: allow(blocking-under-lock)
         sched.pick_next();
         self.shared.cv.notify_all();
     }
@@ -579,6 +586,9 @@ where
     spawn_task(&shared, "root", Box::new(root));
     {
         let mut sched = shared.lock();
+        // Scheduler guard is the parking primitive (see `switch`); the
+        // bootstrap thread holds nothing else here.
+        // svq-lint: allow(blocking-under-lock)
         sched.pick_next();
     }
     shared.cv.notify_all();

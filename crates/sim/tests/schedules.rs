@@ -2,7 +2,7 @@
 //! simulated world — reproducibility, fault isolation, corpus health, and
 //! randomized sweeps.
 
-use svq_sim::{find, run_corpus_line, run_one, sweep, FaultPlan, RunSpec, CORPUS};
+use svq_sim::{find, persist_trace, run_corpus_line, run_one, sweep, FaultPlan, RunSpec, CORPUS};
 
 fn scenario(name: &str) -> &'static svq_sim::Scenario {
     find(name).expect("registered scenario")
@@ -174,6 +174,33 @@ fn randomized_sweeps_find_no_violations() {
             report.failures[0].repro
         );
     }
+}
+
+/// Persisted traces are named by the schedule, carry the repro command as
+/// their header, and are byte-stable across runs (determinism means a
+/// persisted failure trace can be diffed against a later local replay).
+#[test]
+fn persisted_traces_are_named_and_byte_stable() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("sim-traces");
+    let spec = RunSpec::new(scenario("mux_pipeline"), 0xFACE);
+    let path = persist_trace(&spec, &dir).expect("trace persists");
+    assert_eq!(
+        path.file_name().and_then(|n| n.to_str()),
+        Some("mux_pipeline-64206.txt")
+    );
+    let first = std::fs::read_to_string(&path).expect("trace readable");
+    let mut lines = first.lines();
+    assert_eq!(
+        lines.next(),
+        Some(spec.repro_line().as_str())
+            .map(|l| format!("# {l}"))
+            .as_deref()
+    );
+    assert_eq!(lines.next(), Some("# result: ok"));
+    assert!(lines.next().is_some(), "trace body is non-empty");
+    let again = persist_trace(&spec, &dir).expect("trace persists again");
+    assert_eq!(again, path);
+    assert_eq!(std::fs::read_to_string(&again).unwrap(), first);
 }
 
 /// Fault plans parse round-trip through their canonical labels.

@@ -106,6 +106,11 @@ impl VideoRepository {
         match &*state {
             SlotState::Loaded(c) => Ok(c.clone()),
             SlotState::OnDisk(path) => {
+                // Deliberate: `Slot.state` is a per-video leaf mutex whose
+                // job is to serialize the one lazy disk read — concurrent
+                // readers of the same video must block until the catalog
+                // is resident rather than each re-reading it.
+                // svq-lint: allow(blocking-under-lock)
                 let catalog = Arc::new(IngestedVideo::load(path)?);
                 *state = SlotState::Loaded(catalog.clone());
                 Ok(catalog)

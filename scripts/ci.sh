@@ -12,11 +12,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
-echo "== svq-lint --check (workspace invariants vs lint-baseline.txt)"
+echo "== svq-lint --check (workspace invariants + static lock graph vs lint-baseline.txt)"
+# Hard gate: token rules plus the workspace concurrency passes
+# (lock-cycle, blocking-under-lock). Any finding beyond the committed
+# baseline fails; the baseline only ever ratchets down.
 cargo run -p svq-lint -q -- --check
+cargo run -p svq-lint -q -- --format json >/dev/null  # results/lint-report.json
 
 echo "== cargo test --features lock-audit (lock-order deadlock auditor)"
 cargo test --workspace --features lock-audit -q
+
+echo "== runtime ⊆ static lock-graph cross-check (soundness gate)"
+# Every lock edge the runtime auditor observes in the mux and serve
+# workloads must be admitted by svq-lint's static graph — if not, the
+# static analysis lost a guard region and its rules can't be trusted.
+cargo test -p svq-exec --features lock-audit --test static_cross_check -q
+cargo test -p svq-serve --features lock-audit --test static_cross_check -q
 
 echo "== repro mux-ingress smoke (1 shard, batch 1, tiny stream)"
 cargo run -q --release -p svq-bench --bin repro -- mux-ingress \

@@ -155,6 +155,14 @@ impl Graph {
 
 static GRAPH: StdMutex<Graph> = StdMutex::new(Graph::new());
 
+/// Every observed ordering edge as a pair of acquisition sites:
+/// `((holder file, holder line), (acquired file, acquired line))`. This is
+/// the currency the static analyzer in `svq-lint` also speaks, so the
+/// runtime-observed graph can be checked for containment in the static
+/// one without sharing lock identities across the two worlds.
+static EDGE_SITES: StdMutex<BTreeSet<((&'static str, u32), (&'static str, u32))>> =
+    StdMutex::new(BTreeSet::new());
+
 /// Accumulated guard-hold statistics for one acquisition site.
 #[derive(Clone, Copy, Default)]
 struct HoldStats {
@@ -250,16 +258,21 @@ fn reachable(edges: &BTreeMap<usize, BTreeSet<usize>>, from: usize, to: usize) -
 /// pushes the lock onto this thread's held stack.
 pub(crate) fn blocking_acquired(cell: &LockId, loc: &'static Location<'static>) {
     let wanted = cell.get();
-    let held: Vec<usize> = HELD.with(|h| h.borrow().iter().map(|e| e.id).collect());
+    let held: Vec<(usize, &'static Location<'static>)> =
+        HELD.with(|h| h.borrow().iter().map(|e| (e.id, e.site)).collect());
     {
         let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
         g.sites.entry(wanted).or_insert(loc);
-        for &h in &held {
+        for &(h, h_site) in &held {
             if h == wanted {
                 // Shared re-acquisition (e.g. nested RwLock reads): not an
                 // ordering edge.
                 continue;
             }
+            EDGE_SITES
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(((h_site.file(), h_site.line()), (loc.file(), loc.line())));
             g.edges.entry(h).or_default().insert(wanted);
             // The new edge `h → wanted` closes a cycle iff `h` was already
             // reachable *from* `wanted`.
@@ -349,6 +362,20 @@ pub fn reset() {
     *g = Graph::new();
     drop(g);
     HOLDS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    EDGE_SITES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Every ordering edge observed since the last [`reset`], as
+/// `((holder file, holder line), (acquired file, acquired line))` site
+/// pairs. Paths are as the compiler saw them (workspace-relative for local
+/// crates), matching the static lock graph's site vocabulary.
+pub fn edge_sites() -> Vec<((String, u32), (String, u32))> {
+    EDGE_SITES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|&((hf, hl), (af, al))| ((hf.to_string(), hl), (af.to_string(), al)))
+        .collect()
 }
 
 /// Snapshot of every inversion detected since the last [`reset`].
