@@ -4,7 +4,19 @@
 //! benchmarks the PR 5 TCP service — an in-process server on an ephemeral
 //! port, swept with {1, 4, 16, 64} concurrent clients (smoke: {1, 4})
 //! issuing a mixed `query`/`stream`/`stats` workload — and measures
-//! request throughput and client-observed tail latency per client count.
+//! request throughput and client-observed tail latency per client count,
+//! in two wire modes:
+//!
+//! * **serial** — the classic v1 exchange: one request, wait, one
+//!   response. Measures per-request round-trip behaviour.
+//! * **pipelined** — protocol v2: each client writes its whole round
+//!   budget up front with ids, then collects responses in completion
+//!   order, matching them back by id. Measures how far the shared
+//!   execution pool lets one connection's requests overlap.
+//!
+//! The pipelined mode must not be slower than the serial one at the top
+//! client count (asserted below) — that regression gate is what `ci.sh`
+//! runs in its smoke slice.
 //!
 //! Two invariants hold on every configuration:
 //!
@@ -95,6 +107,45 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
+/// The deterministic request mix: client `c`, round `r` → (request, kind
+/// index, video). Reconstructable from a response id, which is how the
+/// pipelined mode verifies out-of-order completions.
+fn request_of(c: u64, r: u64) -> (Request, usize, u64) {
+    let video = (c + r) % VIDEOS;
+    let kind = ((c + r) % 3) as usize;
+    let request = match kind {
+        0 => Request::Query {
+            sql: OFFLINE_SQL.into(),
+            video: Some(video),
+        },
+        1 => Request::Stream {
+            sql: ONLINE_SQL.into(),
+            video: Some(video),
+        },
+        _ => Request::Stats,
+    };
+    (request, kind, video)
+}
+
+/// Byte-identity check for one response against the in-process reference.
+fn verify_response(response: Response, kind: usize, video: u64, expected: &[[String; 2]]) {
+    match (kind, response) {
+        (0 | 1, Response::Outcome(outcome)) => {
+            assert_eq!(
+                canonical_json(&outcome),
+                expected[video as usize][kind],
+                "wire outcome diverged from in-process execution \
+                 (kind {kind}, video {video})"
+            );
+        }
+        (2, Response::Stats(_)) => {}
+        // Deliberate: a protocol violation must abort the experiment
+        // loudly, like a failed assert.
+        // svq-lint: allow(panic)
+        (_, other) => panic!("unexpected response frame: {other:?}"),
+    }
+}
+
 pub fn run(ctx: &ExpContext) {
     let smoke = ctx.scale < 0.05;
     let client_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16, 64] };
@@ -125,96 +176,116 @@ pub fn run(ctx: &ExpContext) {
     .expect("server binds an ephemeral port");
     let addr = handle.local_addr();
 
-    let mut table = Table::new(&["clients", "req/s", "p50 ms", "p95 ms", "p99 ms", "requests"]);
+    let mut table = Table::new(&[
+        "mode", "clients", "req/s", "p50 ms", "p95 ms", "p99 ms", "requests",
+    ]);
     let mut series = Vec::new();
     let mut issued = 0u64;
     let mut outcomes_compared = 0u64;
+    // req/s per (client count, mode), for the pipelined-vs-serial gate.
+    let mut rates: Vec<(usize, &str, f64)> = Vec::new();
     for &clients in client_counts {
-        let started = Instant::now();
-        let workers: Vec<_> = (0..clients as u64)
-            .map(|c| {
-                let expected = expected.clone();
-                std::thread::spawn(move || {
-                    let mut client = Client::connect(addr).expect("client connects");
-                    let mut latencies_ms = Vec::with_capacity(rounds as usize);
-                    let mut kinds = [0u64; 3];
-                    for r in 0..rounds {
-                        let video = (c + r) % VIDEOS;
-                        let kind = ((c + r) % 3) as usize;
-                        let request = match kind {
-                            0 => Request::Query {
-                                sql: OFFLINE_SQL.into(),
-                                video: Some(video),
-                            },
-                            1 => Request::Stream {
-                                sql: ONLINE_SQL.into(),
-                                video: Some(video),
-                            },
-                            _ => Request::Stats,
-                        };
-                        let sent = Instant::now();
-                        let response = client.request(&request).expect("exchange completes");
-                        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-                        kinds[kind] += 1;
-                        match (kind, response) {
-                            (0 | 1, Response::Outcome(outcome)) => {
-                                assert_eq!(
-                                    canonical_json(&outcome),
-                                    expected[video as usize][kind],
-                                    "wire outcome diverged from in-process execution \
-                                     (kind {kind}, video {video})"
-                                );
+        for mode in ["serial", "pipelined"] {
+            let pipelined = mode == "pipelined";
+            let started = Instant::now();
+            let workers: Vec<_> = (0..clients as u64)
+                .map(|c| {
+                    let expected = expected.clone();
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("client connects");
+                        let mut latencies_ms = Vec::with_capacity(rounds as usize);
+                        let mut kinds = [0u64; 3];
+                        if pipelined {
+                            // Whole budget in flight at once; responses
+                            // matched back by id in completion order.
+                            let batch = Instant::now();
+                            for r in 0..rounds {
+                                let (request, _, _) = request_of(c, r);
+                                client.send(&request, Some(r)).expect("pipelined send");
                             }
-                            (2, Response::Stats(_)) => {}
-                            // Deliberate: a protocol violation must abort
-                            // the experiment loudly, like a failed assert.
-                            // svq-lint: allow(panic)
-                            (_, other) => panic!("unexpected response frame: {other:?}"),
+                            for _ in 0..rounds {
+                                let (id, response) = client.read_tagged().expect("tagged response");
+                                let id = id.expect("v2 responses echo the request id");
+                                latencies_ms.push(batch.elapsed().as_secs_f64() * 1e3);
+                                let (_, kind, video) = request_of(c, id);
+                                kinds[kind] += 1;
+                                verify_response(response, kind, video, &expected);
+                            }
+                        } else {
+                            for r in 0..rounds {
+                                let (request, kind, video) = request_of(c, r);
+                                let sent = Instant::now();
+                                let response =
+                                    client.request(&request).expect("exchange completes");
+                                latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                kinds[kind] += 1;
+                                verify_response(response, kind, video, &expected);
+                            }
                         }
-                    }
-                    (latencies_ms, kinds)
+                        (latencies_ms, kinds)
+                    })
                 })
-            })
-            .collect();
-        let mut latencies_ms = Vec::new();
-        let mut kinds = [0u64; 3];
-        for worker in workers {
-            let (lat, k) = worker.join().expect("client thread");
-            latencies_ms.extend(lat);
-            for (total, n) in kinds.iter_mut().zip(k) {
-                *total += n;
+                .collect();
+            let mut latencies_ms = Vec::new();
+            let mut kinds = [0u64; 3];
+            for worker in workers {
+                let (lat, k) = worker.join().expect("client thread");
+                latencies_ms.extend(lat);
+                for (total, n) in kinds.iter_mut().zip(k) {
+                    *total += n;
+                }
             }
+            let wall = started.elapsed().as_secs_f64();
+            let requests = latencies_ms.len() as u64;
+            issued += requests;
+            outcomes_compared += kinds[0] + kinds[1];
+            assert_eq!(requests, clients as u64 * rounds, "no request went missing");
+            latencies_ms.sort_by(|a, b| a.total_cmp(b));
+            let rps = requests as f64 / wall;
+            rates.push((clients, mode, rps));
+            let (p50, p95, p99) = (
+                percentile(&latencies_ms, 0.50),
+                percentile(&latencies_ms, 0.95),
+                percentile(&latencies_ms, 0.99),
+            );
+            table.row(vec![
+                mode.to_string(),
+                clients.to_string(),
+                format!("{rps:.1}"),
+                format!("{p50:.2}"),
+                format!("{p95:.2}"),
+                format!("{p99:.2}"),
+                requests.to_string(),
+            ]);
+            series.push(format!(
+                "{{\"mode\": \"{mode}\", \"clients\": {clients}, \
+                 \"rounds\": {rounds}, \
+                 \"requests\": {requests}, \"wall_sec\": {wall:.3}, \
+                 \"req_per_sec\": {rps:.2}, \"p50_ms\": {p50:.3}, \
+                 \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \
+                 \"queries\": {}, \"streams\": {}, \"stats\": {}, \
+                 \"byte_identical\": true}}",
+                kinds[0], kinds[1], kinds[2]
+            ));
         }
-        let wall = started.elapsed().as_secs_f64();
-        let requests = latencies_ms.len() as u64;
-        issued += requests;
-        outcomes_compared += kinds[0] + kinds[1];
-        assert_eq!(requests, clients as u64 * rounds, "no request went missing");
-        latencies_ms.sort_by(|a, b| a.total_cmp(b));
-        let rps = requests as f64 / wall;
-        let (p50, p95, p99) = (
-            percentile(&latencies_ms, 0.50),
-            percentile(&latencies_ms, 0.95),
-            percentile(&latencies_ms, 0.99),
-        );
-        table.row(vec![
-            clients.to_string(),
-            format!("{rps:.1}"),
-            format!("{p50:.2}"),
-            format!("{p95:.2}"),
-            format!("{p99:.2}"),
-            requests.to_string(),
-        ]);
-        series.push(format!(
-            "{{\"clients\": {clients}, \"rounds\": {rounds}, \
-             \"requests\": {requests}, \"wall_sec\": {wall:.3}, \
-             \"req_per_sec\": {rps:.2}, \"p50_ms\": {p50:.3}, \
-             \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \
-             \"queries\": {}, \"streams\": {}, \"stats\": {}, \
-             \"byte_identical\": true}}",
-            kinds[0], kinds[1], kinds[2]
-        ));
     }
+
+    // The regression gate: pipelining must never lose to serial exchanges
+    // at the top client count (small tolerance for timer noise).
+    let top = client_counts.iter().copied().max().unwrap_or(1);
+    let rate_of = |mode: &str| {
+        rates
+            .iter()
+            .find(|(c, m, _)| *c == top && *m == mode)
+            .map(|(_, _, r)| *r)
+            .unwrap_or(0.0)
+    };
+    let (serial_rps, pipelined_rps) = (rate_of("serial"), rate_of("pipelined"));
+    assert!(
+        pipelined_rps >= serial_rps * 0.9,
+        "pipelined throughput regressed below serial at {top} clients: \
+         {pipelined_rps:.1} vs {serial_rps:.1} req/s"
+    );
 
     handle.shutdown();
     let report = handle.wait();
@@ -238,7 +309,10 @@ pub fn run(ctx: &ExpContext) {
         "{{\"experiment\": \"serve-throughput\", \"videos\": {VIDEOS}, \
          \"frames\": {frames}, \"scale\": {}, \"seed\": {}, \
          \"smoke\": {smoke}, \"outcomes_compared\": {outcomes_compared}, \
-         \"requests\": {issued}, \"clean_drain\": true, \"sweep\": [\n  {}\n]}}\n",
+         \"requests\": {issued}, \"clean_drain\": true, \
+         \"serial_rps_at_top\": {serial_rps:.2}, \
+         \"pipelined_rps_at_top\": {pipelined_rps:.2}, \
+         \"sweep\": [\n  {}\n]}}\n",
         ctx.scale,
         ctx.seed,
         series.join(",\n  ")

@@ -404,13 +404,19 @@ pub fn serve(flags: &Flags) -> CliResult {
         workers: flags.get_parsed("workers", 2)?,
         shards: flags.get_parsed("shards", 1)?,
         mailbox: flags.get_parsed("mailbox", 64)?,
+        pipeline_depth: flags.get_parsed("pipeline-depth", 64)?,
+        ..ServeConfig::default()
     };
+    if config.pipeline_depth == 0 {
+        return Err("--pipeline-depth must be at least 1".into());
+    }
+    let catalog_cache: usize = flags.get_parsed("catalog-cache", 0)?;
     let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
     let repo = flags
         .get("catalog")
         .map(VideoRepository::open_path)
         .transpose()?
-        .map(Arc::new);
+        .map(|repo| Arc::new(repo.with_cache_capacity(catalog_cache)));
     let scene_paths: Vec<String> = match (flags.get("scenes"), flags.get("scene")) {
         (Some(list), _) => list
             .split(',')
@@ -474,16 +480,25 @@ pub fn serve(flags: &Flags) -> CliResult {
     Ok(())
 }
 
-/// `svqact request` — one request/response exchange against a running
-/// `svqact serve`. The response frame is printed to stdout verbatim (one
-/// JSON line); an error frame additionally fails the process so scripts
-/// can branch on the exit code.
+/// `svqact request` — request/response exchanges against a running
+/// `svqact serve`. Response frames are printed to stdout verbatim (one
+/// JSON line each); an error frame additionally fails the process so
+/// scripts can branch on the exit code.
+///
+/// `--repeat N` pipelines N copies of the request over one connection
+/// using protocol v2 ids 0..N; responses are printed in completion order
+/// with their ids, so the output doubles as a visible record of
+/// out-of-order completion.
 pub fn request(flags: &Flags) -> CliResult {
     use std::time::Duration;
-    use svq_serve::{encode_line, Client, Request, Response};
+    use svq_serve::{encode_line, encode_response_line, Client, Request, Response};
 
     let addr = flags.require("addr")?;
     let timeout_ms: u64 = flags.get_parsed("timeout-ms", 30_000)?;
+    let repeat: u64 = flags.get_parsed("repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
     let video: Option<u64> = flags
         .get("video")
         .map(|v| {
@@ -509,10 +524,27 @@ pub fn request(flags: &Flags) -> CliResult {
         }
     };
     let mut client = Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))?;
-    let response = client.request(&request)?;
-    print!("{}", encode_line(&response));
-    if let Response::Error { reason, message } = &response {
-        return Err(format!("server refused ({reason}): {message}").into());
+    if repeat == 1 {
+        let response = client.request(&request)?;
+        print!("{}", encode_line(&response));
+        if let Response::Error { reason, message } = &response {
+            return Err(format!("server refused ({reason}): {message}").into());
+        }
+        return Ok(());
+    }
+    for id in 0..repeat {
+        client.send(&request, Some(id))?;
+    }
+    let mut refusals = 0u64;
+    for _ in 0..repeat {
+        let (id, response) = client.read_tagged()?;
+        print!("{}", encode_response_line(&response, id));
+        if matches!(response, Response::Error { .. }) {
+            refusals += 1;
+        }
+    }
+    if refusals > 0 {
+        return Err(format!("server refused {refusals} of {repeat} pipelined requests").into());
     }
     Ok(())
 }
@@ -896,6 +928,8 @@ mod tests {
             ("models", "ideal"),
             ("addr-file", addr_file.to_str().unwrap()),
             ("drain-timeout-ms", "10000"),
+            ("pipeline-depth", "8"),
+            ("catalog-cache", "1"),
         ]);
         let server = std::thread::spawn(move || serve(&serve_flags).map_err(|e| e.to_string()));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
@@ -931,6 +965,20 @@ mod tests {
         ]))
         .expect("online stream over the wire");
 
+        // Pipelined repeats over one connection (protocol v2 ids).
+        request(&flags(&[
+            ("addr", &addr),
+            ("kind", "query"),
+            ("repeat", "3"),
+            (
+                "sql",
+                "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+                 WHERE act='archery' AND obj.include('person') \
+                 ORDER BY RANK(act,obj) LIMIT 2",
+            ),
+        ]))
+        .expect("pipelined queries over the wire");
+
         // An error frame also fails the process so scripts can branch.
         let err = request(&flags(&[
             ("addr", &addr),
@@ -957,6 +1005,10 @@ mod tests {
         assert!(err.to_string().contains("--catalog"), "{err}");
         let err = serve(&flags(&[("metrics-every", "-1")])).unwrap_err();
         assert!(err.to_string().contains("metrics-every"), "{err}");
+        let err = serve(&flags(&[("pipeline-depth", "0")])).unwrap_err();
+        assert!(err.to_string().contains("pipeline-depth"), "{err}");
+        let err = request(&flags(&[("addr", "127.0.0.1:1"), ("repeat", "0")])).unwrap_err();
+        assert!(err.to_string().contains("repeat"), "{err}");
     }
 
     #[test]

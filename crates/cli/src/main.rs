@@ -73,9 +73,10 @@ fn print_usage() {
          \u{20}  serve   [--catalog FILE|DIR] [--scene scene.json | --scenes a,b,…] \
          [--addr HOST:PORT] [--addr-file PATH] [--max-conns N] \
          [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-timeout-ms MS] \
-         [--workers N] [--shards S] [--metrics-every SECS]\n\
+         [--workers N] [--shards S] [--pipeline-depth N] [--catalog-cache N] \
+         [--metrics-every SECS]\n\
          \u{20}  request --addr HOST:PORT [--kind query|stream|stats|shutdown] \
-         [--sql STATEMENT] [--video ID] [--timeout-ms MS]\n\
+         [--sql STATEMENT] [--video ID] [--repeat N] [--timeout-ms MS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  sim     --scenario NAME [--seed N] [--size N] [--faults a,b|none|all] \
          [--trace true] | --schedules K [--scenario NAME|all] [--seed BASE] | \

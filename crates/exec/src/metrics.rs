@@ -182,6 +182,12 @@ pub struct ServerCounters {
     pub timed_out: AtomicU64,
     /// Malformed frames answered with a typed error (connection survived).
     pub malformed: AtomicU64,
+    /// Acceptor `accept` failures survived with backoff (e.g. EMFILE).
+    pub accept_errors: AtomicU64,
+    /// Offline `query` requests whose catalog was already resident.
+    pub catalog_hits: AtomicU64,
+    /// Offline `query` requests that had to (re)load their catalog.
+    pub catalog_misses: AtomicU64,
     /// `query` requests answered.
     pub req_query: AtomicU64,
     /// `stream` requests answered.
@@ -361,6 +367,9 @@ impl ExecMetrics {
             rejected_draining: srv.rejected_draining.load(Ordering::Relaxed),
             timed_out: srv.timed_out.load(Ordering::Relaxed),
             malformed: srv.malformed.load(Ordering::Relaxed),
+            accept_errors: srv.accept_errors.load(Ordering::Relaxed),
+            catalog_hits: srv.catalog_hits.load(Ordering::Relaxed),
+            catalog_misses: srv.catalog_misses.load(Ordering::Relaxed),
             req_query: srv.req_query.load(Ordering::Relaxed),
             req_stream: srv.req_stream.load(Ordering::Relaxed),
             req_stats: srv.req_stats.load(Ordering::Relaxed),
@@ -522,6 +531,12 @@ pub struct ServerSnapshot {
     pub timed_out: u64,
     /// Malformed frames answered with typed errors.
     pub malformed: u64,
+    /// Acceptor `accept` failures survived with backoff.
+    pub accept_errors: u64,
+    /// Offline queries served from an already-resident catalog.
+    pub catalog_hits: u64,
+    /// Offline queries that (re)loaded their catalog from disk.
+    pub catalog_misses: u64,
     pub req_query: u64,
     pub req_stream: u64,
     pub req_stats: u64,
@@ -617,6 +632,14 @@ impl fmt::Display for MetricsSnapshot {
                 self.server.timed_out,
                 self.server.malformed,
             )?;
+            if self.server.accept_errors + self.server.catalog_hits + self.server.catalog_misses > 0
+            {
+                writeln!(
+                    f,
+                    "  accept errors {:>4}  catalog hits {:>6}  misses {:>6}",
+                    self.server.accept_errors, self.server.catalog_hits, self.server.catalog_misses,
+                )?;
+            }
             writeln!(
                 f,
                 "  requests {:>6} ({:>6.0}/s)  query {:>5}  stream {:>5}  stats {:>5}  \

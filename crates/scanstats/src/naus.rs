@@ -164,12 +164,61 @@ pub fn critical_value(p: f64, w: u32, horizon_windows: f64, alpha: f64) -> u32 {
     lo
 }
 
+/// Quantisation step of the critical-value grid: 1% relative
+/// (`ln 1.01 ≈ 0.00995`).
+const GRID_LN_STEP: f64 = 0.00995;
+
+/// Process-wide memo of resolved critical values, shared by every
+/// [`CriticalValueTable`] instance. Keyed by `(w, L-bits, α-bits, cell)`;
+/// each entry is evaluated at the cell's canonical probability, so the map
+/// is a pure function of its key — safe to share across threads, queries,
+/// and serve requests without affecting determinism.
+type SharedKey = (u32, u64, u64, i32);
+static SHARED_CRITICALS: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<SharedKey, u32>>,
+> = std::sync::OnceLock::new();
+
+fn shared_criticals() -> &'static std::sync::Mutex<std::collections::HashMap<SharedKey, u32>> {
+    SHARED_CRITICALS.get_or_init(Default::default)
+}
+
+/// Resolve one grid cell through the shared memo. The Naus evaluation runs
+/// outside the lock: a racing thread may compute the same cell twice, but
+/// both arrive at the identical value (pure function of the cell), so the
+/// lock is only ever held for a map probe or insert.
+fn shared_critical_value(window: u32, horizon: f64, alpha: f64, cell: i32) -> u32 {
+    let key = (window, horizon.to_bits(), alpha.to_bits(), cell);
+    {
+        let memo = shared_criticals()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&k) = memo.get(&key) {
+            return k;
+        }
+    }
+    let k = critical_value(CriticalValueTable::cell_p(cell), window, horizon, alpha);
+    shared_criticals()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(key, k);
+    k
+}
+
 /// A memoised critical-value table.
 ///
 /// SVAQD recomputes critical values every time a background probability is
 /// refreshed (Algorithm 3, line 9). Probabilities are quantised onto a log
 /// grid so repeated lookups for near-identical backgrounds hit the cache;
 /// the quantisation (1% relative) is far below the estimator's own noise.
+///
+/// Each entry is evaluated at the *canonical probability of its grid cell*
+/// (not the first probability that happened to land there), which makes a
+/// resolved value a pure function of `(w, L, α, cell)`. That purity lets
+/// every table in the process share one memo behind the scenes: a cold
+/// Naus evaluation costs tens of microseconds and a drifting background
+/// estimate crosses dozens of cells per stream, so without sharing, every
+/// freshly-constructed SVAQD run (one per `stream` request on the serve
+/// path) would re-pay the entire warm-up.
 #[derive(Debug, Clone)]
 pub struct CriticalValueTable {
     window: u32,
@@ -191,20 +240,26 @@ impl CriticalValueTable {
 
     /// Quantisation key: index of `p` on a 1%-relative log grid.
     fn key(p: f64) -> i32 {
-        // ln(1.01) ≈ 0.00995; floor to a grid cell.
-        (p.max(1e-12).ln() / 0.00995).round() as i32
+        (p.max(1e-12).ln() / GRID_LN_STEP).round() as i32
+    }
+
+    /// Canonical probability of a grid cell (its log-space centre).
+    fn cell_p(cell: i32) -> f64 {
+        (cell as f64 * GRID_LN_STEP).exp().min(1.0)
     }
 
     /// The critical value for background probability `p` (cached).
     pub fn critical_value(&mut self, p: f64) -> u32 {
-        let (window, horizon, alpha) = (self.window, self.horizon_windows, self.alpha);
-        *self
-            .cache
-            .entry(Self::key(p))
-            .or_insert_with(|| critical_value(p, window, horizon, alpha))
+        let cell = Self::key(p);
+        if let Some(&k) = self.cache.get(&cell) {
+            return k;
+        }
+        let k = shared_critical_value(self.window, self.horizon_windows, self.alpha, cell);
+        self.cache.insert(cell, k);
+        k
     }
 
-    /// Number of distinct backgrounds resolved so far.
+    /// Number of distinct backgrounds resolved so far by this table.
     pub fn cached_entries(&self) -> usize {
         self.cache.len()
     }
@@ -321,5 +376,30 @@ mod tests {
         assert_eq!(table.cached_entries(), 1);
         let _ = table.critical_value(0.3);
         assert_eq!(table.cached_entries(), 2);
+    }
+
+    #[test]
+    fn tables_agree_regardless_of_lookup_order() {
+        // Entries are evaluated at the canonical probability of their grid
+        // cell, so two tables must resolve identical values no matter which
+        // probabilities they saw first — the property that makes the
+        // process-wide memo safe to share across concurrent queries.
+        let config = ScanConfig::new(50, 200.0, 0.05);
+        let probes = [1e-4, 2.3e-3, 0.017, 0.09, 0.31, 0.0099];
+        let mut forward = CriticalValueTable::new(config);
+        let mut backward = CriticalValueTable::new(config);
+        let hits: Vec<u32> = probes.iter().map(|&p| forward.critical_value(p)).collect();
+        let rev: Vec<u32> = probes
+            .iter()
+            .rev()
+            .map(|&p| backward.critical_value(p))
+            .collect();
+        let rev: Vec<u32> = rev.into_iter().rev().collect();
+        assert_eq!(hits, rev);
+        // Nearby probabilities in the same 1%-relative cell share an entry.
+        let mut jittered = CriticalValueTable::new(config);
+        for (&p, &k) in probes.iter().zip(&hits) {
+            assert_eq!(jittered.critical_value(p * 1.000001), k);
+        }
     }
 }

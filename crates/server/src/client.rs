@@ -1,12 +1,15 @@
 //! A small blocking client for the line protocol.
 //!
 //! Used by `svqact request`, the serve-throughput load generator, and the
-//! server's own tests. One request/response exchange per call; the
-//! connection stays open across calls (the protocol is strictly
-//! request→response, no pipelining).
+//! server's own tests. [`Client::request`] keeps the classic v1 shape —
+//! one request/response exchange per call, strictly ordered. For protocol
+//! v2 pipelining, [`Client::send`] writes an id-tagged request without
+//! waiting and [`Client::read_tagged`] reads whichever response completes
+//! next; the caller matches responses to requests by id.
 
 use crate::protocol::{
-    encode_line, read_bounded_line, LineEvent, Request, Response, MAX_LINE_BYTES,
+    encode_line, encode_request_line, read_bounded_line, LineEvent, Request, Response,
+    ResponseFrame, MAX_LINE_BYTES,
 };
 use crate::transport::Conn;
 use std::io::{BufReader, Write};
@@ -46,6 +49,40 @@ impl Client {
     pub fn request(&mut self, request: &Request) -> SvqResult<Response> {
         self.stream.write_all(encode_line(request).as_bytes())?;
         self.read_response()
+    }
+
+    /// Pipelined send: write one request frame — tagged with `id` when
+    /// given — without waiting for a response. Pair with
+    /// [`Client::read_tagged`]; an id-less send keeps v1 ordering, an
+    /// id-tagged one may complete out of order.
+    pub fn send(&mut self, request: &Request, id: Option<u64>) -> SvqResult<()> {
+        self.stream
+            .write_all(encode_request_line(request, id).as_bytes())?;
+        Ok(())
+    }
+
+    /// Read the next response frame together with the request id it
+    /// answers (`None` for v1 responses and server-initiated frames).
+    pub fn read_tagged(&mut self) -> SvqResult<(Option<u64>, Response)> {
+        match read_bounded_line(&mut self.reader, MAX_LINE_BYTES) {
+            LineEvent::Line(line) => {
+                let text = std::str::from_utf8(&line)
+                    .map_err(|e| SvqError::Storage(format!("response not UTF-8: {e}")))?;
+                let frame: ResponseFrame = serde_json::from_str(text)
+                    .map_err(|e| SvqError::Storage(format!("response not a frame: {e}")))?;
+                Ok((frame.id, frame.response))
+            }
+            LineEvent::Eof => Err(SvqError::Storage(
+                "connection closed before a response frame arrived".into(),
+            )),
+            LineEvent::Oversize { .. } => Err(SvqError::Storage(
+                "response frame exceeded the line cap".into(),
+            )),
+            LineEvent::TimedOut => Err(SvqError::Storage(
+                "timed out waiting for a response frame".into(),
+            )),
+            LineEvent::Failed(e) => Err(SvqError::Io(e)),
+        }
     }
 
     /// Send raw bytes as one line (the newline is appended) and read the

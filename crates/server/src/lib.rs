@@ -13,9 +13,14 @@
 //!   after [`svq_query::QueryOutcome::canonical`] zeroes the wall-clock
 //!   fields, a served result is byte-identical to a local one — asserted
 //!   by the `serve-throughput` bench on every response.
+//! * **Pipelining.** Protocol v2 frames carry a client-chosen `id`; a
+//!   connection may keep many requests in flight (executed on the shared
+//!   `svq-exec` worker pool) and responses echo the id, completing out of
+//!   order. Id-less v1 frames keep strict request→response ordering.
 //! * **Admission control.** Bounded connection slots; over-limit connects
 //!   are answered with a typed `busy` frame and a clean close, never a
-//!   silent drop.
+//!   silent drop — not even when the listener fails or a handler thread
+//!   cannot be spawned.
 //! * **Graceful drain.** [`ServerHandle::shutdown`] (or a wire `shutdown`
 //!   request) lets in-flight requests finish, answers new connects with
 //!   `draining`, and force-closes stragglers only at the drain deadline.
@@ -35,7 +40,8 @@ pub mod transport;
 
 pub use client::Client;
 pub use protocol::{
-    encode_line, parse_request, read_bounded_line, LineEvent, Request, Response, StatsFrame,
+    encode_line, encode_request_line, encode_response_line, parse_request, parse_request_frame,
+    read_bounded_line, LineEvent, Request, RequestFrame, Response, ResponseFrame, StatsFrame,
     MAX_LINE_BYTES,
 };
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

@@ -22,6 +22,16 @@
 //! Error frames carry a stable [`RejectReason`] code; prose rides
 //! separately in `message` and is never part of the contract.
 //!
+//! **Protocol v2 — pipelining.** Any request frame may carry a
+//! client-chosen `id` (a JSON integer); the response to it echoes that
+//! `id` and may arrive out of order relative to other in-flight requests
+//! on the same connection. Frames *without* an `id` keep the v1 contract:
+//! their responses come back in exactly the order the requests were sent
+//! (even when the server executes them concurrently), so v1 clients work
+//! unchanged. The two styles may be mixed on one connection; only the
+//! relative order of the id-less responses is guaranteed. Server-initiated
+//! frames (read-timeout and oversize errors) never carry an `id`.
+//!
 //! Malformed input is answered, not dropped: an oversize line, invalid
 //! UTF-8, truncated JSON, or an unknown `kind` each produce a typed error
 //! frame and leave the connection usable (the reader resynchronises on the
@@ -60,6 +70,16 @@ impl Request {
     }
 }
 
+/// One decoded request line: the request plus its optional v2 pipeline
+/// `id`. Requests without an `id` are v1 frames with strict response
+/// ordering; see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// The client-chosen correlation id, echoed on the response.
+    pub id: Option<u64>,
+    pub request: Request,
+}
+
 /// A server-to-client frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -87,6 +107,12 @@ pub struct StatsFrame {
     pub rejected_draining: u64,
     pub timed_out: u64,
     pub malformed: u64,
+    /// Listener `accept` failures survived with backoff.
+    pub accept_errors: u64,
+    /// Offline catalog fetches answered from resident memory.
+    pub catalog_hits: u64,
+    /// Offline catalog fetches that had to (re)load from disk.
+    pub catalog_misses: u64,
     pub req_query: u64,
     pub req_stream: u64,
     pub req_stats: u64,
@@ -195,6 +221,30 @@ fn tagged(kind: &str, mut fields: Vec<(String, Value)>) -> Value {
     Value::Object(all)
 }
 
+/// Append the pipeline `id` to an already-tagged frame value.
+fn with_id(value: Value, id: Option<u64>) -> Value {
+    match (value, id) {
+        (Value::Object(mut fields), Some(id)) => {
+            fields.push(("id".to_string(), Value::UInt(id)));
+            Value::Object(fields)
+        }
+        (value, _) => value,
+    }
+}
+
+/// Read an optional `id` field off a frame value.
+fn id_of(value: &Value) -> Result<Option<u64>, (RejectReason, String)> {
+    match value.get("id") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => u64::from_value(v).map(Some).map_err(|e| {
+            (
+                RejectReason::BadRequest,
+                format!("`id` must be a non-negative integer: {e}"),
+            )
+        }),
+    }
+}
+
 /// Encode any frame as one newline-terminated line.
 pub fn encode_line<T: Serialize>(frame: &T) -> String {
     let mut line = serde_json::to_string(frame).unwrap_or_else(|e| {
@@ -207,6 +257,37 @@ pub fn encode_line<T: Serialize>(frame: &T) -> String {
     });
     line.push('\n');
     line
+}
+
+/// Encode a request with a pipeline `id` as one newline-terminated line.
+pub fn encode_request_line(request: &Request, id: Option<u64>) -> String {
+    encode_line(&with_id(request.to_value(), id))
+}
+
+/// Encode a response, echoing the request's pipeline `id` when present.
+pub fn encode_response_line(response: &Response, id: Option<u64>) -> String {
+    encode_line(&with_id(response.to_value(), id))
+}
+
+/// One decoded response line: the response plus the echoed pipeline `id`
+/// (absent on v1 responses and server-initiated frames).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    pub id: Option<u64>,
+    pub response: Response,
+}
+
+impl Deserialize for ResponseFrame {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(u64::from_value(v)?),
+        };
+        Ok(ResponseFrame {
+            id,
+            response: Response::from_value(value)?,
+        })
+    }
 }
 
 fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
@@ -268,13 +349,22 @@ fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
 }
 
 /// Decode one raw request line into a [`Request`], mapping each failure
-/// mode to its wire category.
+/// mode to its wire category. Discards any pipeline `id`; servers use
+/// [`parse_request_frame`].
 pub fn parse_request(line: &[u8]) -> Result<Request, (RejectReason, String)> {
+    parse_request_frame(line).map(|frame| frame.request)
+}
+
+/// Decode one raw request line into a [`RequestFrame`] (request plus
+/// optional pipeline `id`), mapping each failure mode to its wire category.
+pub fn parse_request_frame(line: &[u8]) -> Result<RequestFrame, (RejectReason, String)> {
     let text = std::str::from_utf8(line)
         .map_err(|e| (RejectReason::BadUtf8, format!("request line: {e}")))?;
     let value: Value = serde_json::from_str(text)
         .map_err(|e| (RejectReason::BadJson, format!("request line: {e}")))?;
-    decode_request(&value)
+    let request = decode_request(&value)?;
+    let id = id_of(&value)?;
+    Ok(RequestFrame { id, request })
 }
 
 /// What one bounded line read produced.
@@ -397,6 +487,45 @@ mod tests {
             parse_request(b"{\"kind\": \"query\", \"sql\": \"S\", \"video\": \"three\"}")
                 .expect_err("bad video");
         assert_eq!(reason, RejectReason::BadRequest);
+    }
+
+    #[test]
+    fn pipeline_ids_round_trip_and_misfits_are_typed() {
+        // Request side: id survives the encode/decode round trip …
+        let line = encode_request_line(
+            &Request::Query {
+                sql: "SELECT".into(),
+                video: Some(1),
+            },
+            Some(7),
+        );
+        let frame = parse_request_frame(line.trim_end().as_bytes()).expect("round trip");
+        assert_eq!(frame.id, Some(7));
+        // … its absence decodes as a v1 frame …
+        let line = encode_request_line(&Request::Stats, None);
+        let frame = parse_request_frame(line.trim_end().as_bytes()).expect("v1 frame");
+        assert_eq!(frame.id, None);
+        assert!(!line.contains("\"id\""));
+        // … and an ill-typed id is a typed bad_request, not a panic.
+        for raw in [
+            &b"{\"kind\": \"stats\", \"id\": \"seven\"}"[..],
+            &b"{\"kind\": \"stats\", \"id\": -3}"[..],
+            &b"{\"kind\": \"stats\", \"id\": 1.5}"[..],
+        ] {
+            let (reason, message) = parse_request_frame(raw).expect_err("bad id");
+            assert_eq!(reason, RejectReason::BadRequest, "{message}");
+        }
+        // Response side: the echoed id rides outside the Response enum.
+        let line = encode_response_line(&Response::Bye, Some(42));
+        let frame: ResponseFrame = serde_json::from_str(line.trim_end()).expect("decodes");
+        assert_eq!(frame.id, Some(42));
+        assert_eq!(frame.response, Response::Bye);
+        // A v1 decoder ignores the id entirely.
+        let plain: Response = serde_json::from_str(line.trim_end()).expect("v1 decode");
+        assert_eq!(plain, Response::Bye);
+        let line = encode_response_line(&Response::Bye, None);
+        let frame: ResponseFrame = serde_json::from_str(line.trim_end()).expect("decodes");
+        assert_eq!(frame.id, None);
     }
 
     #[test]

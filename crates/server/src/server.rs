@@ -1,17 +1,28 @@
-//! The service itself: acceptor, admission control, per-connection
-//! workers, and graceful drain.
+//! The service itself: acceptor, admission control, pipelined
+//! per-connection I/O threads, and graceful drain.
 //!
-//! Architecture (`std::net`, thread-per-connection — the build is fully
-//! offline, so there is no async runtime to lean on):
+//! Architecture (`std::net`, the build is fully offline, so there is no
+//! async runtime to lean on):
 //!
 //! * An **acceptor** thread owns the listener. Every accepted socket is
-//!   answered: admitted connections get a handler thread; connections over
+//!   answered: admitted connections get a reader thread; connections over
 //!   the slot limit get a typed `busy` frame and a clean close; during
 //!   drain everyone new gets `draining`. A socket is never silently
-//!   dropped while the server runs.
-//! * **Handler** threads speak the line protocol under per-connection
-//!   read/write deadlines. Malformed frames are answered and survived;
-//!   expired read deadlines answer `timeout` and close.
+//!   dropped while the server runs — including when a handler thread
+//!   cannot be spawned (typed `internal` frame) or when the listener
+//!   itself fails persistently (bounded backoff, never a busy-spin).
+//! * A per-connection **reader** thread speaks the line protocol under
+//!   read/write deadlines, but does not execute requests: each decoded
+//!   `query`/`stream` is handed to the shared `svq-exec` worker pool and
+//!   the reader moves on to the next frame, so one connection can have
+//!   many requests in flight (bounded by [`ServeConfig::pipeline_depth`]).
+//!   Malformed frames are answered and survived; expired read deadlines
+//!   answer `timeout`, let the in-flight responses flush, and close.
+//! * A per-connection **writer** thread is the single owner of the write
+//!   half: completions enqueue encoded frames and the writer flushes them
+//!   — immediately for v2 (id-carrying) requests, in strict request order
+//!   for v1 (id-less) ones via a reorder buffer, so pipelined execution
+//!   never reorders a v1 client's responses.
 //! * The **phase** cell (`running → draining → stopped`) is the drain
 //!   state machine. [`ServerHandle::shutdown`] (or a wire `shutdown`
 //!   request) flips it to draining: idle connections are closed
@@ -21,26 +32,30 @@
 //!   the drain deadline, joins the acceptor, and latches a [`ServeReport`]
 //!   every other waiter observes — `wait` is idempotent, like the mux's.
 //!
-//! Offline `query` requests execute against a shared lazily-loaded
-//! [`VideoRepository`]; `stream` requests register a session in the shared
-//! [`SessionMux`] and wait for it, so wire results reuse the exact
-//! in-process [`QueryOutcome`] envelopes (see `protocol`).
+//! Offline `query` requests execute on pool workers against a shared
+//! lazily-loaded [`VideoRepository`] (optionally residency-bounded — see
+//! [`VideoRepository::with_cache_capacity`]); `stream` requests register a
+//! session in the shared [`SessionMux`] and complete through
+//! [`SessionMux::on_result`] callbacks instead of a blocking wait, so wire
+//! results reuse the exact in-process [`QueryOutcome`] envelopes (see
+//! `protocol`) without a request ever pinning a thread.
 
 use crate::protocol::{
-    encode_line, parse_request, read_bounded_line, LineEvent, Request, Response, StatsFrame,
-    MAX_LINE_BYTES,
+    encode_line, encode_response_line, parse_request_frame, read_bounded_line, LineEvent, Request,
+    Response, StatsFrame, MAX_LINE_BYTES,
 };
 use crate::transport::{Conn, TcpTransport, Transport};
 use parking_lot::{rt, Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufReader, ErrorKind, Write};
 use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use svq_core::expr::ExprSvaqd;
 use svq_core::online::{OnlineConfig, Svaqd};
-use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionMux};
+use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionId, SessionMux};
 use svq_query::plan::PlannedPredicate;
 use svq_query::{execute_offline, parse, LogicalPlan, QueryMode, QueryOutcome, QueryResults};
 use svq_storage::{DiskStats, VideoRepository};
@@ -59,20 +74,31 @@ pub struct ServeConfig {
     /// Per-connection read deadline; an idle connection past it is
     /// answered with a `timeout` frame and closed.
     pub read_timeout: Duration,
-    /// Per-connection write deadline (a wedged client cannot pin a
-    /// handler thread forever).
+    /// Per-connection write deadline (a wedged client cannot pin the
+    /// writer thread forever).
     pub write_timeout: Duration,
     /// How long a drain waits for in-flight connections before
     /// force-closing them.
     pub drain_timeout: Duration,
     /// Frame-size cap (bytes, newline included).
     pub max_line: usize,
-    /// Worker threads in the shared stream-session multiplexer.
+    /// Worker threads in the shared execution pool (stream-session
+    /// multiplexing *and* offline query execution).
     pub workers: usize,
     /// Ingress shards in the multiplexer.
     pub shards: usize,
     /// Per-session mailbox capacity for `stream` requests.
     pub mailbox: usize,
+    /// Requests one connection may have in flight (dispatched, response
+    /// not yet flushed). A reader at the bound stops consuming frames
+    /// until a response flushes — per-connection backpressure.
+    pub pipeline_depth: usize,
+    /// Test hook: fail this many handler spawns artificially (exercises
+    /// the spawn-failure answer path, which real resource exhaustion makes
+    /// impractical to reach deterministically). Production configs leave
+    /// this 0.
+    #[doc(hidden)]
+    pub debug_fail_spawns: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +113,8 @@ impl Default for ServeConfig {
             workers: 2,
             shards: 1,
             mailbox: 64,
+            pipeline_depth: 64,
+            debug_fail_spawns: 0,
         }
     }
 }
@@ -101,6 +129,8 @@ pub struct ServeReport {
     pub rejected_draining: u64,
     pub timed_out: u64,
     pub malformed: u64,
+    /// Listener `accept` failures survived with backoff.
+    pub accept_errors: u64,
     pub requests: u64,
     /// Whether every connection closed within the drain deadline.
     pub drained_in_deadline: bool,
@@ -121,10 +151,10 @@ enum Phase {
 struct ConnEntry {
     id: u64,
     stream: Box<dyn Conn>,
-    /// True while the handler is executing a request (between reading a
-    /// complete line and flushing its response). Drain closes only
-    /// connections observed idle, so in-flight requests complete.
-    busy: Arc<AtomicBool>,
+    /// Requests dispatched on this connection whose responses have not
+    /// flushed yet (shared with its [`ConnWriter`]). Drain closes only
+    /// connections observed at zero, so in-flight requests complete.
+    in_flight: Arc<AtomicU64>,
 }
 
 struct Shared {
@@ -148,12 +178,20 @@ struct Shared {
     admitted_cv: Condvar,
     conns: Mutex<Vec<ConnEntry>>,
     next_conn: AtomicU64,
+    /// Remaining injected spawn failures ([`ServeConfig::debug_fail_spawns`]).
+    spawn_faults: AtomicU64,
     local_addr: SocketAddr,
 }
 
 impl Shared {
     fn phase(&self) -> Phase {
         *self.phase.lock()
+    }
+
+    fn take_spawn_fault(&self) -> bool {
+        self.spawn_faults
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
     }
 
     /// Flip to draining (idempotent): refuse new work, close idle
@@ -167,12 +205,19 @@ impl Shared {
             *phase = Phase::Draining;
             self.phase_cv.notify_all();
         }
-        // Close connections observed idle so their blocked reads return
-        // now rather than at the read deadline. A connection whose request
-        // is racing this scan at most loses that request — the same
-        // outcome as arriving one instant after the drain began.
+        self.close_idle_conns();
+    }
+
+    /// Close connections observed idle so their blocked reads return now
+    /// rather than at the read deadline. A connection whose request is
+    /// racing this scan at most loses that request — the same outcome as
+    /// arriving one instant after the drain began. The teardown loop
+    /// re-runs this scan: a pipelined connection may only *become* idle
+    /// (its last response flushed) after the drain began, with its reader
+    /// already parked in a blocked read.
+    fn close_idle_conns(&self) {
         for conn in self.conns.lock().iter() {
-            if !conn.busy.load(Ordering::Acquire) {
+            if conn.in_flight.load(Ordering::Acquire) == 0 {
                 let _ = conn.stream.shutdown_both();
             }
         }
@@ -235,6 +280,7 @@ impl Server {
             .map(|id| (id, Mutex::new(())))
             .collect();
         let oracles = oracles.into_iter().map(|o| (o.truth().video, o)).collect();
+        let spawn_faults = AtomicU64::new(config.debug_fail_spawns);
         let shared = Arc::new(Shared {
             config,
             transport,
@@ -249,6 +295,7 @@ impl Server {
             admitted_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            spawn_faults,
             local_addr,
         });
         let acceptor = {
@@ -316,18 +363,27 @@ impl ServerHandle {
         let deadline =
             rt::monotonic_nanos().saturating_add(shared.config.drain_timeout.as_nanos() as u64);
         let mut drained_in_deadline = true;
-        {
-            let mut active = shared.admitted.lock();
-            while *active > 0 {
+        loop {
+            {
+                let mut active = shared.admitted.lock();
+                if *active == 0 {
+                    break;
+                }
                 let now = rt::monotonic_nanos();
                 if now >= deadline {
                     drained_in_deadline = false;
                     break;
                 }
-                shared
-                    .admitted_cv
-                    .wait_for(&mut active, Duration::from_nanos(deadline - now));
+                // Tick so the idle re-scan below runs even while nothing
+                // deregisters: a connection may become idle only after the
+                // `begin_drain` scan, with its reader parked in a read.
+                let tick = Duration::from_nanos((deadline - now).min(25_000_000));
+                shared.admitted_cv.wait_for(&mut active, tick);
+                if *active == 0 {
+                    break;
+                }
             }
+            shared.close_idle_conns();
         }
         let mut forced_closes = 0u64;
         if !drained_in_deadline {
@@ -368,6 +424,7 @@ impl ServerHandle {
             rejected_draining: snap.rejected_draining,
             timed_out: snap.timed_out,
             malformed: snap.malformed,
+            accept_errors: snap.accept_errors,
             requests: snap.requests,
             drained_in_deadline,
             forced_closes,
@@ -375,12 +432,34 @@ impl ServerHandle {
     }
 }
 
+/// Ceiling of the accept-error backoff. Deep enough to take a persistent
+/// EMFILE from a busy-spin to ~10 syscalls/s, shallow enough that recovery
+/// after the condition clears is prompt.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
 fn accept_loop(shared: &Arc<Shared>) {
+    let mut backoff = Duration::ZERO;
     loop {
         let stream = match shared.transport.accept() {
-            Ok(stream) => stream,
+            Ok(stream) => {
+                backoff = Duration::ZERO;
+                stream
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => {
+                if shared.phase() == Phase::Stopped {
+                    return;
+                }
+                // Persistent accept failures (EMFILE, ENFILE, transport
+                // faults) must not busy-spin the acceptor at 100% CPU:
+                // back off exponentially, bounded, and count each one.
+                shared
+                    .metrics
+                    .server()
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                backoff = (backoff * 2).clamp(Duration::from_millis(1), ACCEPT_BACKOFF_MAX);
+                rt::sleep(backoff);
                 if shared.phase() == Phase::Stopped {
                     return;
                 }
@@ -430,22 +509,44 @@ fn accept_loop(shared: &Arc<Shared>) {
         }
         shared.metrics.server().conn_opened();
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        let busy = Arc::new(AtomicBool::new(false));
-        if let Ok(clone) = stream.try_clone_conn() {
-            shared.conns.lock().push(ConnEntry {
-                id: conn_id,
-                stream: clone,
-                busy: busy.clone(),
-            });
-        }
-        let in_thread = shared.clone();
-        let spawned = rt::spawn(&format!("svq-serve-conn{conn_id}"), move || {
-            handle_conn(&in_thread, conn_id, stream, &busy);
-            deregister(&in_thread, conn_id);
+        let in_flight = Arc::new(AtomicU64::new(0));
+        // Register *before* spawning: a connection that cannot enter the
+        // registry would be invisible to drain (neither closed idle nor
+        // force-closed at the deadline), so a clone failure refuses the
+        // connection instead of admitting it unreachable.
+        let clone = match stream.try_clone_conn() {
+            Ok(clone) => clone,
+            Err(e) => {
+                refuse(
+                    stream,
+                    shared,
+                    RejectReason::Internal,
+                    &format!("connection setup failed: {e}"),
+                );
+                release_slot(shared);
+                continue;
+            }
+        };
+        shared.conns.lock().push(ConnEntry {
+            id: conn_id,
+            stream: clone,
+            in_flight: in_flight.clone(),
         });
+        let in_thread = shared.clone();
+        let spawned = if shared.take_spawn_fault() {
+            Err(std::io::Error::other("injected handler-spawn failure"))
+        } else {
+            rt::spawn(&format!("svq-serve-conn{conn_id}"), move || {
+                handle_conn(&in_thread, conn_id, stream, &in_flight);
+                deregister(&in_thread, conn_id);
+            })
+        };
         if spawned.is_err() {
-            // Could not spawn: undo the admission so the slot is not leaked.
-            deregister(shared, conn_id);
+            // The spawn consumed (and dropped) the accepted socket, but
+            // the registry clone still shares it: answer a typed frame
+            // and close cleanly — never a silent drop.
+            answer_spawn_failure(shared, conn_id);
+            release_slot(shared);
         }
     }
 }
@@ -462,58 +563,317 @@ fn refuse(mut stream: Box<dyn Conn>, shared: &Shared, reason: RejectReason, mess
     let _ = stream.shutdown_write();
 }
 
+/// Spawn-failure path: take the connection's registry entry and answer a
+/// typed `internal` frame on its clone. The write happens after the entry
+/// leaves the registry, outside the `conns` lock.
+fn answer_spawn_failure(shared: &Shared, conn_id: u64) {
+    let entry = {
+        let mut conns = shared.conns.lock();
+        conns
+            .iter()
+            .position(|c| c.id == conn_id)
+            .map(|at| conns.remove(at))
+    };
+    if let Some(mut entry) = entry {
+        let _ = entry
+            .stream
+            .set_write_timeout(Some(shared.config.write_timeout));
+        let frame = Response::Error {
+            reason: RejectReason::Internal,
+            message: "server could not start a connection handler".into(),
+        };
+        let _ = entry.stream.write_all(encode_line(&frame).as_bytes());
+        let _ = entry.stream.shutdown_write();
+    }
+}
+
 /// Remove a finished connection from the registry and release its slot.
 fn deregister(shared: &Shared, conn_id: u64) {
     shared.conns.lock().retain(|c| c.id != conn_id);
+    release_slot(shared);
+}
+
+/// Release one admission slot (registry entry already absent or removed).
+fn release_slot(shared: &Shared) {
     shared.metrics.server().conn_closed();
     let mut active = shared.admitted.lock();
     *active = active.saturating_sub(1);
     shared.admitted_cv.notify_all();
 }
 
-/// What a handled request asks the connection loop to do next.
-enum Control {
-    Continue,
-    /// Close the connection and trigger the server-wide drain (shutdown
-    /// acknowledged).
-    Drain,
+/// Where one response slots into the connection's flush order.
+#[derive(Debug, Clone, Copy)]
+enum Ticket {
+    /// v1 (id-less) request: flush in exactly this per-connection sequence
+    /// position, holding it back until every earlier ordered response
+    /// flushed.
+    Ordered(u64),
+    /// v2 (id-carrying) request: flush as soon as it completes.
+    Unordered,
+}
+
+struct WriterState {
+    /// Encoded lines ready to flush, in flush order.
+    ready: VecDeque<String>,
+    /// Ordered responses completed early, waiting for their turn.
+    held: BTreeMap<u64, String>,
+    /// The next ordered sequence number allowed to flush.
+    next_ordered: u64,
+    /// Reader finished; exit once everything in flight has flushed.
+    closed: bool,
+    /// A write failed; remaining lines are consumed without writing so
+    /// the in-flight accounting still terminates.
+    failed: bool,
+}
+
+/// The per-connection response writer: reader-side dispatch acquires an
+/// in-flight slot per request, completions enqueue encoded frames, and
+/// one writer thread flushes them (see [`Ticket`] for ordering).
+struct ConnWriter {
+    state: Mutex<WriterState>,
+    /// Signals enqueued lines, in-flight decrements, and close.
+    cv: Condvar,
+    /// Mirror of the dispatched-unflushed count, shared with the
+    /// connection's registry entry so drain can observe idleness without
+    /// the state lock. Mutated only under `state`.
+    in_flight: Arc<AtomicU64>,
+}
+
+/// A running [`ConnWriter`] plus its thread, joined by `finish`.
+struct WriterHandle {
+    writer: Arc<ConnWriter>,
+    thread: rt::JoinHandle<()>,
+}
+
+impl ConnWriter {
+    /// Spawn the writer thread owning `stream`'s write half.
+    fn start(
+        conn_id: u64,
+        stream: Box<dyn Conn>,
+        in_flight: Arc<AtomicU64>,
+    ) -> std::io::Result<WriterHandle> {
+        let writer = Arc::new(ConnWriter {
+            state: Mutex::new(WriterState {
+                ready: VecDeque::new(),
+                held: BTreeMap::new(),
+                next_ordered: 0,
+                closed: false,
+                failed: false,
+            }),
+            cv: Condvar::new(),
+            in_flight,
+        });
+        let in_thread = writer.clone();
+        let thread = rt::spawn(&format!("svq-serve-writer{conn_id}"), move || {
+            writer_loop(&in_thread, stream)
+        })?;
+        Ok(WriterHandle { writer, thread })
+    }
+
+    /// Reader side: block until the connection is below `depth` in-flight
+    /// responses, then claim a slot. Every claimed slot must be paired
+    /// with exactly one later [`ConnWriter::enqueue`].
+    fn acquire(&self, depth: u64) {
+        let mut state = self.state.lock();
+        while self.in_flight.load(Ordering::Acquire) >= depth && !state.failed {
+            self.cv.wait(&mut state);
+        }
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Completion side: hand one encoded response line to the writer.
+    fn enqueue(&self, ticket: Ticket, line: String) {
+        let mut state = self.state.lock();
+        match ticket {
+            Ticket::Unordered => state.ready.push_back(line),
+            Ticket::Ordered(seq) => {
+                state.held.insert(seq, line);
+                loop {
+                    let turn = state.next_ordered;
+                    match state.held.remove(&turn) {
+                        Some(line) => {
+                            state.ready.push_back(line);
+                            state.next_ordered += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Reader side: no more requests will be dispatched.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+impl WriterHandle {
+    /// Declare end-of-dispatch and wait for every in-flight response to
+    /// flush (or be dropped after a write failure).
+    fn finish(self) {
+        self.writer.close();
+        let _ = self.thread.join();
+    }
+}
+
+/// The writer thread: pop one flushable line at a time and write it with
+/// no lock held. Exits once the reader closed the dispatch side and the
+/// last in-flight response has flushed.
+fn writer_loop(writer: &ConnWriter, mut stream: Box<dyn Conn>) {
+    loop {
+        let (line, failed) = {
+            let mut state = writer.state.lock();
+            loop {
+                if let Some(line) = state.ready.pop_front() {
+                    break (Some(line), state.failed);
+                }
+                if state.closed && writer.in_flight.load(Ordering::Acquire) == 0 {
+                    break (None, state.failed);
+                }
+                writer.cv.wait(&mut state);
+            }
+        };
+        let Some(line) = line else { return };
+        if !failed {
+            let ok = stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.flush())
+                .is_ok();
+            if !ok {
+                // Unblock the reader (and the peer); later lines are
+                // consumed without writing so accounting terminates.
+                let _ = stream.shutdown_both();
+                writer.state.lock().failed = true;
+            }
+        }
+        let state = writer.state.lock();
+        writer.in_flight.fetch_sub(1, Ordering::AcqRel);
+        writer.cv.notify_all();
+        drop(state);
+    }
+}
+
+/// Everything one dispatched request needs to answer: completion calls
+/// [`Pending::complete`] exactly once, from whatever thread finished the
+/// work.
+struct Pending {
+    shared: Arc<Shared>,
+    writer: Arc<ConnWriter>,
+    ticket: Ticket,
+    id: Option<u64>,
+    kind: &'static str,
+    started: Instant,
+}
+
+impl Pending {
+    fn complete(self, response: Response) {
+        record_request(&self.shared, self.kind, self.started.elapsed());
+        self.writer
+            .enqueue(self.ticket, encode_response_line(&response, self.id));
+    }
 }
 
 fn handle_conn(
     shared: &Arc<Shared>,
     conn_id: u64,
-    mut stream: Box<dyn Conn>,
-    busy: &Arc<AtomicBool>,
+    stream: Box<dyn Conn>,
+    in_flight: &Arc<AtomicU64>,
 ) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut reader = match stream.try_clone_conn() {
         Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
+        Err(_) => {
+            // No read half: answer before closing — never a silent drop.
+            let mut stream = stream;
+            let frame = Response::Error {
+                reason: RejectReason::Internal,
+                message: "connection setup failed".into(),
+            };
+            let _ = stream.write_all(encode_line(&frame).as_bytes());
+            let _ = stream.shutdown_write();
+            return;
+        }
+    };
+    let writer = match ConnWriter::start(conn_id, stream, in_flight.clone()) {
+        Ok(writer) => writer,
+        Err(_) => {
+            // The stream went into the failed spawn attempt; the reader
+            // clone still shares the socket — answer on it.
+            let frame = Response::Error {
+                reason: RejectReason::Internal,
+                message: "server could not start a connection writer".into(),
+            };
+            let half = reader.get_mut();
+            let _ = half.write_all(encode_line(&frame).as_bytes());
+            let _ = half.shutdown_write();
+            return;
+        }
+    };
+    let depth = shared.config.pipeline_depth.max(1) as u64;
+    let mut ordered_seq = 0u64;
+    let ordered = |seq: &mut u64| {
+        let ticket = Ticket::Ordered(*seq);
+        *seq += 1;
+        ticket
     };
     let mut reqno = 0u64;
     loop {
         if shared.phase() != Phase::Running {
-            return;
+            break;
         }
         match read_bounded_line(&mut reader, shared.config.max_line) {
             LineEvent::Line(line) => {
-                busy.store(true, Ordering::Release);
                 let started = Instant::now();
-                let (response, control, answered_kind) =
-                    respond(shared, conn_id, &mut reqno, &line);
-                let wrote = write_frame(&mut stream, &response);
-                if let Some(kind) = answered_kind {
-                    record_request(shared, kind, started.elapsed());
-                }
-                busy.store(false, Ordering::Release);
-                match (wrote, control) {
-                    (false, _) => return,
-                    (true, Control::Drain) => {
-                        shared.begin_drain();
-                        return;
+                match parse_request_frame(&line) {
+                    Err((reason, message)) => {
+                        shared
+                            .metrics
+                            .server()
+                            .malformed
+                            .fetch_add(1, Ordering::Relaxed);
+                        let ticket = ordered(&mut ordered_seq);
+                        writer.writer.acquire(depth);
+                        writer.writer.enqueue(
+                            ticket,
+                            encode_response_line(&Response::Error { reason, message }, None),
+                        );
                     }
-                    (true, Control::Continue) => {}
+                    Ok(frame) => {
+                        reqno += 1;
+                        let ticket = match frame.id {
+                            None => ordered(&mut ordered_seq),
+                            Some(_) => Ticket::Unordered,
+                        };
+                        writer.writer.acquire(depth);
+                        let pending = Pending {
+                            shared: shared.clone(),
+                            writer: writer.writer.clone(),
+                            ticket,
+                            id: frame.id,
+                            kind: frame.request.kind(),
+                            started,
+                        };
+                        match frame.request {
+                            Request::Stats => {
+                                pending.complete(Response::Stats(stats_frame(shared)));
+                            }
+                            Request::Shutdown => {
+                                pending.complete(Response::Bye);
+                                shared.begin_drain();
+                                // Stop reading; the writer flushes the bye
+                                // (and everything still in flight) first.
+                                break;
+                            }
+                            Request::Query { sql, video } => dispatch_query(pending, sql, video),
+                            Request::Stream { sql, video } => {
+                                dispatch_stream(pending, conn_id, reqno, sql, video)
+                            }
+                        }
+                    }
                 }
             }
             LineEvent::Oversize { eof } => {
@@ -522,6 +882,8 @@ fn handle_conn(
                     .server()
                     .malformed
                     .fetch_add(1, Ordering::Relaxed);
+                let ticket = ordered(&mut ordered_seq);
+                writer.writer.acquire(depth);
                 let frame = Response::Error {
                     reason: RejectReason::Oversize,
                     message: format!(
@@ -529,8 +891,11 @@ fn handle_conn(
                         shared.config.max_line
                     ),
                 };
-                if !write_frame(&mut stream, &frame) || eof {
-                    return;
+                writer
+                    .writer
+                    .enqueue(ticket, encode_response_line(&frame, None));
+                if eof {
+                    break;
                 }
             }
             LineEvent::TimedOut => {
@@ -540,24 +905,76 @@ fn handle_conn(
                         .server()
                         .timed_out
                         .fetch_add(1, Ordering::Relaxed);
+                    let ticket = ordered(&mut ordered_seq);
+                    writer.writer.acquire(depth);
                     let frame = Response::Error {
                         reason: RejectReason::Timeout,
                         message: "read deadline expired; closing".into(),
                     };
-                    let _ = write_frame(&mut stream, &frame);
+                    writer
+                        .writer
+                        .enqueue(ticket, encode_response_line(&frame, None));
                 }
-                return;
+                break;
             }
-            LineEvent::Eof | LineEvent::Failed(_) => return,
+            LineEvent::Eof | LineEvent::Failed(_) => break,
         }
     }
+    // Let every dispatched request flush its response before the
+    // connection closes — a stalled pipeline drains, never vanishes.
+    writer.finish();
 }
 
-fn write_frame(stream: &mut Box<dyn Conn>, frame: &Response) -> bool {
-    stream
-        .write_all(encode_line(frame).as_bytes())
-        .and_then(|()| stream.flush())
-        .is_ok()
+/// Run an offline `query` on the shared pool; the response flushes through
+/// the connection's writer whenever it completes.
+fn dispatch_query(pending: Pending, sql: String, video: Option<u64>) {
+    let mux = pending.shared.clone();
+    mux.mux.submit(Box::new(move || {
+        // An acquired in-flight slot must always produce a response, or
+        // drain would wait on it forever: a panicking execution answers
+        // `internal` instead of propagating into the pool's catch-all.
+        let response =
+            match catch_unwind(AssertUnwindSafe(|| do_query(&pending.shared, &sql, video))) {
+                Ok(Ok(outcome)) => Response::Outcome(outcome),
+                Ok(Err((reason, message))) => Response::Error { reason, message },
+                Err(_) => Response::Error {
+                    reason: RejectReason::Internal,
+                    message: "query execution panicked".into(),
+                },
+            };
+        pending.complete(response);
+    }));
+}
+
+/// Validate and register a `stream` request, then complete through the
+/// mux's result callback — no thread blocks waiting on the session.
+fn dispatch_stream(pending: Pending, conn_id: u64, reqno: u64, sql: String, video: Option<u64>) {
+    match prepare_stream(&pending.shared, conn_id, reqno, &sql, video) {
+        Err((reason, message)) => pending.complete(Response::Error { reason, message }),
+        Ok(session) => {
+            let mux = pending.shared.clone();
+            let started = pending.started;
+            mux.mux.on_result(session, move |result| {
+                pending.shared.mux.release(session);
+                let response = match result {
+                    Ok(done) => Response::Outcome(QueryOutcome {
+                        results: QueryResults::Online {
+                            sequences: done.sequences,
+                            cost: done.cost,
+                        },
+                        disk: DiskStats::default(),
+                        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                    }),
+                    Err(e) => Response::Error {
+                        reason: RejectReason::Internal,
+                        message: e.to_string(),
+                    },
+                };
+                pending.complete(response);
+            });
+            mux.mux.feed_stream(session);
+        }
+    }
 }
 
 fn record_request(shared: &Shared, kind: &'static str, elapsed: Duration) {
@@ -570,53 +987,6 @@ fn record_request(shared: &Shared, kind: &'static str, elapsed: Duration) {
     };
     counter.fetch_add(1, Ordering::Relaxed);
     srv.latency.record(elapsed);
-}
-
-/// Parse and dispatch one request line. Returns the response frame, what
-/// the connection should do next, and the request kind when a well-formed
-/// request was answered (for the per-kind counters and the latency
-/// histogram; malformed lines count under `malformed` instead).
-fn respond(
-    shared: &Arc<Shared>,
-    conn_id: u64,
-    reqno: &mut u64,
-    line: &[u8],
-) -> (Response, Control, Option<&'static str>) {
-    let request = match parse_request(line) {
-        Ok(request) => request,
-        Err((reason, message)) => {
-            shared
-                .metrics
-                .server()
-                .malformed
-                .fetch_add(1, Ordering::Relaxed);
-            return (Response::Error { reason, message }, Control::Continue, None);
-        }
-    };
-    let kind = request.kind();
-    *reqno += 1;
-    match request {
-        Request::Query { sql, video } => {
-            let response = match do_query(shared, &sql, video) {
-                Ok(outcome) => Response::Outcome(outcome),
-                Err((reason, message)) => Response::Error { reason, message },
-            };
-            (response, Control::Continue, Some(kind))
-        }
-        Request::Stream { sql, video } => {
-            let response = match do_stream(shared, conn_id, *reqno, &sql, video) {
-                Ok(outcome) => Response::Outcome(outcome),
-                Err((reason, message)) => Response::Error { reason, message },
-            };
-            (response, Control::Continue, Some(kind))
-        }
-        Request::Stats => (
-            Response::Stats(stats_frame(shared)),
-            Control::Continue,
-            Some(kind),
-        ),
-        Request::Shutdown => (Response::Bye, Control::Drain, Some(kind)),
-    }
 }
 
 /// Classify an execution-layer error for the wire: anything the client
@@ -676,8 +1046,8 @@ fn do_query(
         ));
     }
     let id = target_video(video, repo.video_ids(), "catalog video")?;
-    let catalog = repo
-        .get(id)
+    let (catalog, hit) = repo
+        .fetch(id)
         .map_err(|e| (reject_of(&e), e.to_string()))?
         .ok_or_else(|| {
             (
@@ -685,19 +1055,27 @@ fn do_query(
                 format!("video {id:?} is not in the served catalog"),
             )
         })?;
+    let srv = shared.metrics.server();
+    if hit {
+        srv.catalog_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        srv.catalog_misses.fetch_add(1, Ordering::Relaxed);
+    }
     // Serialize per catalog: the simulated-disk delta in the outcome must
     // not absorb a concurrent query's accesses (see `Shared::query_gates`).
     let _gate = shared.query_gates.get(&id).map(|g| g.lock());
     execute_offline(&plan, &catalog, &PaperScoring).map_err(|e| (reject_of(&e), e.to_string()))
 }
 
-fn do_stream(
+/// The synchronous half of a `stream` request: validate the statement and
+/// register its session. Feeding and completion happen asynchronously.
+fn prepare_stream(
     shared: &Shared,
     conn_id: u64,
     reqno: u64,
     sql: &str,
     video: Option<u64>,
-) -> Result<QueryOutcome, (RejectReason, String)> {
+) -> Result<SessionId, (RejectReason, String)> {
     if shared.oracles.is_empty() {
         return Err((
             RejectReason::BadRequest,
@@ -735,28 +1113,13 @@ fn do_stream(
             1e-4,
         )),
     };
-    let started = Instant::now();
-    let session = shared.mux.register(
+    Ok(shared.mux.register(
         format!("conn{conn_id}/r{reqno}"),
         oracle.clone(),
         engine,
         Backpressure::Block,
         shared.config.mailbox.max(1),
-    );
-    shared.mux.feed_stream(session);
-    let result = shared.mux.wait(session);
-    shared.mux.release(session);
-    match result {
-        Ok(done) => Ok(QueryOutcome {
-            results: QueryResults::Online {
-                sequences: done.sequences,
-                cost: done.cost,
-            },
-            disk: DiskStats::default(),
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
-        }),
-        Err(e) => Err((RejectReason::Internal, e.to_string())),
-    }
+    ))
 }
 
 fn stats_frame(shared: &Shared) -> StatsFrame {
@@ -770,6 +1133,9 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
         rejected_draining: s.rejected_draining,
         timed_out: s.timed_out,
         malformed: s.malformed,
+        accept_errors: s.accept_errors,
+        catalog_hits: s.catalog_hits,
+        catalog_misses: s.catalog_misses,
         req_query: s.req_query,
         req_stream: s.req_stream,
         req_stats: s.req_stats,

@@ -33,7 +33,10 @@ use svq_exec::{
     SessionMux,
 };
 use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
-use svq_serve::{encode_line, Client, Conn, MemTransport, Request, Response, ServeConfig, Server};
+use svq_serve::{
+    encode_line, encode_request_line, Client, Conn, MemTransport, Request, Response, ServeConfig,
+    Server,
+};
 use svq_storage::{FailingSink, JsonDirSink, VideoRepository};
 use svq_types::{
     ActionClass, ActionQuery, BBox, ClipId, FrameId, Interval, ObjectClass, PaperScoring,
@@ -215,6 +218,16 @@ pub static SCENARIOS: &[Scenario] = &[
         default_size: 6,
         prepare: serve_mem_prepare,
         run: serve_mem,
+    },
+    Scenario {
+        name: "serve_pipeline",
+        about: "protocol-v2 pipelining over the loopback serve stack: clients burst \
+                id-tagged requests, every response matches its request id with a \
+                byte-identical outcome, dropped and stalled connections fail in \
+                isolation, and drain terminates",
+        default_size: 6,
+        prepare: serve_mem_prepare,
+        run: serve_pipeline,
     },
     Scenario {
         name: "ingest_crash",
@@ -802,6 +815,194 @@ fn serve_mem(ctx: ScenarioCtx) {
     let report = handle.wait();
     assert!(report.accepted >= 2, "both well-behaved clients admitted");
     assert!(report.requests >= 4, "four data requests served");
+    assert!(
+        report.drained_in_deadline && report.forced_closes == 0,
+        "drain terminates with nothing force-closed: {report:?}"
+    );
+    let expected_timeouts = u64::from(ctx.faults.stall_client);
+    assert_eq!(
+        report.timed_out, expected_timeouts,
+        "exactly the stalled client times out"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// serve_pipeline
+// ---------------------------------------------------------------------------
+
+/// Protocol-v2 pipelining under the simulated scheduler: clients burst
+/// id-tagged `query`/`stream`/`stats` frames without waiting, then match
+/// every response back to its request id and check outcomes byte-for-byte
+/// against the in-process reference. Optional faults: a connection aborted
+/// with a complete frame answered and a second frame torn mid-line
+/// (`drop_conn`), and a client silent past the read deadline
+/// (`stall_client`). Invariants: per-id matching (each id answered exactly
+/// once, with the outcome its kind demands), fault isolation, and a drain
+/// that terminates with nothing force-closed.
+fn serve_pipeline(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let clips = ctx.size.max(2);
+    let reference = serve_reference(clips);
+
+    let o = oracle(0, clips);
+    let repo = Arc::new(VideoRepository::from_catalogs([ingest(
+        &o,
+        &PaperScoring,
+        &OnlineConfig::default(),
+    )]));
+    let transport = MemTransport::new();
+    let read_timeout = Duration::from_millis(50 + rng.below(4) as u64 * 25);
+    let config = ServeConfig {
+        max_conns: 8,
+        read_timeout,
+        write_timeout: Duration::from_millis(200),
+        drain_timeout: Duration::from_millis(400),
+        workers: 1 + rng.below(2),
+        mailbox: 4 + rng.below(8),
+        // Depth 2 forces the reader to park at the in-flight bound under
+        // some schedules; deeper depths keep the whole burst in flight.
+        pipeline_depth: 2 + rng.below(4),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start_on(
+        transport.clone(),
+        config,
+        Some(repo),
+        vec![o],
+        ExecMetrics::new(),
+    )
+    .expect("in-memory server starts");
+
+    let mut tasks = Vec::new();
+
+    // Pipelined clients: each bursts `burst` id-tagged requests of rotating
+    // kinds, then reads the whole batch back and matches by id.
+    let mut data_requests = 0u64;
+    for c in 0..2u64 {
+        let transport = transport.clone();
+        let reference = reference.clone();
+        let burst = 3 + rng.below(3) as u64;
+        data_requests += burst;
+        tasks.push(
+            rt::spawn(&format!("pipeliner{c}"), move || {
+                let kind_of = |id: u64| (id + c) % 3;
+                let request_of = |id: u64| match kind_of(id) {
+                    0 => Request::Query {
+                        sql: OFFLINE_SQL.into(),
+                        video: Some(0),
+                    },
+                    1 => Request::Stream {
+                        sql: ONLINE_SQL.into(),
+                        video: Some(0),
+                    },
+                    _ => Request::Stats,
+                };
+                let mut client =
+                    Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+                        .expect("loopback connect");
+                for id in 0..burst {
+                    client
+                        .send(&request_of(id), Some(id))
+                        .expect("pipelined send");
+                }
+                let mut answered = BTreeMap::new();
+                for _ in 0..burst {
+                    let (id, response) = client.read_tagged().expect("tagged response");
+                    let id = id.unwrap_or_else(|| unreachable!("v2 responses echo the id"));
+                    assert!(id < burst, "response for an id never requested: {id}");
+                    assert!(
+                        answered.insert(id, ()).is_none(),
+                        "response id {id} answered twice"
+                    );
+                    match (kind_of(id), response) {
+                        (0, Response::Outcome(outcome)) => assert_eq!(
+                            canonical_json(&outcome),
+                            reference.0,
+                            "pipelined query {id} drifted from in-process execution"
+                        ),
+                        (1, Response::Outcome(outcome)) => assert_eq!(
+                            canonical_json(&outcome),
+                            reference.1,
+                            "pipelined stream {id} drifted from in-process execution"
+                        ),
+                        (2, Response::Stats(_)) => {}
+                        (kind, other) => {
+                            unreachable!("id {id} (kind {kind}) answered with {other:?}")
+                        }
+                    }
+                }
+                assert_eq!(
+                    answered.len() as u64,
+                    burst,
+                    "every id answered exactly once"
+                );
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: an id-tagged connection aborted mid-pipeline — one complete
+    // frame on the wire, a second torn mid-line, then an abortive close.
+    // The complete frame may or may not be answered (the abort races the
+    // writer); nobody else's ids are disturbed either way.
+    if ctx.faults.drop_conn {
+        let transport = transport.clone();
+        let line = encode_request_line(&Request::Stats, Some(7));
+        let cut = 1 + rng.below(line.len() - 2);
+        tasks.push(
+            rt::spawn("dropper", move || {
+                let mut conn = transport.connect();
+                let whole = encode_request_line(&Request::Stats, Some(3));
+                let _ = std::io::Write::write_all(&mut conn, whole.as_bytes());
+                let _ = std::io::Write::write_all(&mut conn, &line.as_bytes()[..cut]);
+                let _ = conn.shutdown_both();
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: a client silent past the read deadline must get a typed
+    // `timeout` frame and a close, exactly as under v1 — pipelining never
+    // lets an idle connection hold its slot.
+    if ctx.faults.stall_client {
+        let transport = transport.clone();
+        tasks.push(
+            rt::spawn("staller", move || {
+                let mut client =
+                    Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+                        .expect("loopback connect");
+                rt::sleep(read_timeout * 2);
+                match client.read_response() {
+                    Ok(Response::Error { reason, .. }) => {
+                        assert_eq!(reason, RejectReason::Timeout, "stall answered with timeout");
+                    }
+                    other => unreachable!("stalled client expected a timeout frame: {other:?}"),
+                }
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    for task in tasks {
+        task.join().expect("client task does not panic");
+    }
+
+    if rng.chance(1, 2) {
+        let mut client = Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+            .expect("loopback connect");
+        let bye = client
+            .request(&Request::Shutdown)
+            .expect("shutdown answered");
+        assert_eq!(bye, Response::Bye, "wire shutdown acknowledged");
+    } else {
+        handle.shutdown();
+    }
+    let report = handle.wait();
+    assert!(report.accepted >= 2, "both pipelined clients admitted");
+    assert!(
+        report.requests >= data_requests,
+        "every pipelined request answered: {report:?}"
+    );
     assert!(
         report.drained_in_deadline && report.forced_closes == 0,
         "drain terminates with nothing force-closed: {report:?}"

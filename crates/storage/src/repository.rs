@@ -18,8 +18,9 @@
 use crate::catalog::IngestedVideo;
 use crate::sink::{read_manifest, CatalogSink, JsonDirSink, SpillReport};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use svq_types::{SvqError, SvqResult, VideoId};
 
@@ -36,19 +37,109 @@ enum SlotState {
 #[derive(Debug)]
 struct Slot {
     clips: u64,
+    /// The catalog file backing this slot, retained after loading so a
+    /// bounded hot cache can evict the slot back to [`SlotState::OnDisk`].
+    /// `None` for catalogs added in memory ([`VideoRepository::add`]) —
+    /// those are pinned and never evicted.
+    path: Option<PathBuf>,
     state: Mutex<SlotState>,
+}
+
+/// The bounded hot-catalog cache: an LRU list over the *disk-backed*
+/// resident slots, plus its observability counters.
+#[derive(Debug)]
+struct HotCache {
+    /// Max disk-backed catalogs resident at once (≥ 1).
+    cap: usize,
+    /// Disk-backed resident videos, least recently used first. Guarded by
+    /// its own leaf mutex — never held together with any slot's state
+    /// lock, so two slots' loads can never deadlock through the cache.
+    lru: Mutex<VecDeque<VideoId>>,
+    evictions: AtomicU64,
+}
+
+impl HotCache {
+    /// Mark `id` most recently used and return the videos now beyond the
+    /// capacity bound, oldest first. Victim slots are flipped back to disk
+    /// by the caller *after* this returns — no slot state lock is ever
+    /// taken while the LRU lock is held.
+    fn touch(&self, id: VideoId) -> Vec<VideoId> {
+        let mut lru = self.lru.lock();
+        if let Some(at) = lru.iter().position(|v| *v == id) {
+            lru.remove(at);
+        }
+        lru.push_back(id);
+        let mut victims = Vec::new();
+        // `id` sits at the back and `cap >= 1`, so it is never its own
+        // victim.
+        while lru.len() > self.cap {
+            if let Some(victim) = lru.pop_front() {
+                victims.push(victim);
+            }
+        }
+        victims
+    }
+}
+
+/// Residency counters for [`VideoRepository::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatalogCacheStats {
+    /// Accesses that found the catalog already resident.
+    pub hits: u64,
+    /// Accesses that had to read the catalog file.
+    pub misses: u64,
+    /// Resident catalogs evicted back to disk by the capacity bound.
+    pub evictions: u64,
+    /// The configured bound; `None` when residency is unbounded.
+    pub capacity: Option<usize>,
 }
 
 /// A queryable collection of ingested videos.
 #[derive(Debug, Default)]
 pub struct VideoRepository {
     videos: BTreeMap<VideoId, Slot>,
+    /// Present when a residency bound was configured via
+    /// [`VideoRepository::with_cache_capacity`].
+    cache: Option<HotCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl VideoRepository {
     /// An empty repository.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bound how many *disk-backed* catalogs stay resident at once: the
+    /// least recently used slot beyond `cap` is evicted back to
+    /// [`SlotState::OnDisk`] (its next access re-reads the file). `0`
+    /// removes the bound. Catalogs added in memory via
+    /// [`VideoRepository::add`] have no backing file and are never
+    /// evicted. Eviction only changes *when* a catalog is read, never what
+    /// a query computes from it, so query outcomes are unaffected.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache = (cap > 0).then(|| HotCache {
+            cap,
+            lru: Mutex::new(VecDeque::new()),
+            evictions: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Hit/miss/eviction counters for the hot-catalog cache. Hits and
+    /// misses are counted even without a configured bound (they describe
+    /// residency, which exists regardless).
+    pub fn cache_stats(&self) -> CatalogCacheStats {
+        CatalogCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self
+                .cache
+                .as_ref()
+                .map_or(0, |c| c.evictions.load(Ordering::Relaxed)),
+            capacity: self.cache.as_ref().map(|c| c.cap),
+        }
     }
 
     /// Add (or replace) one video's catalog. Returns the previous catalog
@@ -58,6 +149,7 @@ impl VideoRepository {
         let id = catalog.video;
         let slot = Slot {
             clips: catalog.clip_count,
+            path: None,
             state: Mutex::new(SlotState::Loaded(Arc::new(catalog))),
         };
         self.videos
@@ -95,32 +187,74 @@ impl VideoRepository {
     /// not in the repository; `Err` means its catalog file could not be
     /// read (the slot stays on disk for a later retry).
     pub fn get(&self, video: VideoId) -> SvqResult<Option<Arc<IngestedVideo>>> {
+        Ok(self.fetch(video)?.map(|(catalog, _hit)| catalog))
+    }
+
+    /// [`VideoRepository::get`] plus whether the catalog was already
+    /// resident (`true` = cache hit) — what a serving layer wants for its
+    /// hit/miss counters.
+    pub fn fetch(&self, video: VideoId) -> SvqResult<Option<(Arc<IngestedVideo>, bool)>> {
         match self.videos.get(&video) {
             None => Ok(None),
-            Some(slot) => Self::load_slot(slot).map(Some),
+            Some(slot) => self.fetch_slot(video, slot).map(Some),
         }
     }
 
-    fn load_slot(slot: &Slot) -> SvqResult<Arc<IngestedVideo>> {
-        let mut state = slot.state.lock();
-        match &*state {
-            SlotState::Loaded(c) => Ok(c.clone()),
-            SlotState::OnDisk(path) => {
-                // Deliberate: `Slot.state` is a per-video leaf mutex whose
-                // job is to serialize the one lazy disk read — concurrent
-                // readers of the same video must block until the catalog
-                // is resident rather than each re-reading it.
-                // svq-lint: allow(blocking-under-lock)
-                let catalog = Arc::new(IngestedVideo::load(path)?);
-                *state = SlotState::Loaded(catalog.clone());
-                Ok(catalog)
+    fn fetch_slot(&self, id: VideoId, slot: &Slot) -> SvqResult<(Arc<IngestedVideo>, bool)> {
+        let (catalog, hit) = {
+            let mut state = slot.state.lock();
+            match &*state {
+                SlotState::Loaded(c) => (c.clone(), true),
+                SlotState::OnDisk(path) => {
+                    // Deliberate: `Slot.state` is a per-video leaf mutex
+                    // whose job is to serialize the one lazy disk read —
+                    // concurrent readers of the same video must block until
+                    // the catalog is resident rather than each re-reading
+                    // it.
+                    // svq-lint: allow(blocking-under-lock)
+                    let catalog = Arc::new(IngestedVideo::load(path)?);
+                    *state = SlotState::Loaded(catalog.clone());
+                    (catalog, false)
+                }
             }
+            // The state guard drops here, before the cache bookkeeping:
+            // the LRU mutex and the slot mutexes are never held together.
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if slot.path.is_some() {
+            if let Some(cache) = &self.cache {
+                for victim in cache.touch(id) {
+                    self.evict(cache, victim);
+                }
+            }
+        }
+        Ok((catalog, hit))
+    }
+
+    /// Flip one evicted video's slot back to [`SlotState::OnDisk`]. A
+    /// query that already holds the catalog's `Arc` keeps it; only future
+    /// accesses re-read the file.
+    fn evict(&self, cache: &HotCache, victim: VideoId) {
+        let Some(slot) = self.videos.get(&victim) else {
+            return;
+        };
+        let Some(path) = &slot.path else { return };
+        let mut state = slot.state.lock();
+        if matches!(&*state, SlotState::Loaded(_)) {
+            *state = SlotState::OnDisk(path.clone());
+            cache.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Iterate catalogs in video-id order, loading lazily as needed.
     pub fn catalogs(&self) -> impl Iterator<Item = SvqResult<Arc<IngestedVideo>>> + '_ {
-        self.videos.values().map(Self::load_slot)
+        self.videos
+            .iter()
+            .map(|(id, slot)| self.fetch_slot(*id, slot).map(|(catalog, _hit)| catalog))
     }
 
     /// The video ids present, in order.
@@ -204,15 +338,20 @@ impl VideoRepository {
         }
         let mut videos = BTreeMap::new();
         for entry in entries {
+            let path = dir.join(&entry.file);
             videos.insert(
                 entry.video,
                 Slot {
                     clips: entry.clips,
-                    state: Mutex::new(SlotState::OnDisk(dir.join(&entry.file))),
+                    path: Some(path.clone()),
+                    state: Mutex::new(SlotState::OnDisk(path)),
                 },
             );
         }
-        Ok(Self { videos })
+        Ok(Self {
+            videos,
+            ..Self::default()
+        })
     }
 
     /// Open whatever catalog artifact `path` names:
@@ -332,6 +471,79 @@ mod tests {
         assert!(lazy.get(VideoId::new(99)).unwrap().is_none());
         // Full iteration loads the rest.
         assert_eq!(lazy.catalogs().filter_map(Result::ok).count(), 2);
+        assert_eq!(lazy.loaded_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_counts() {
+        let mut repo = VideoRepository::new();
+        for id in 1..=3 {
+            repo.add(empty_catalog(id, id));
+        }
+        let dir = std::env::temp_dir().join("svq_repo_cache_test");
+        std::fs::remove_dir_all(&dir).ok();
+        repo.save_dir(&dir).unwrap();
+
+        let lazy = VideoRepository::open_dir(&dir)
+            .unwrap()
+            .with_cache_capacity(2);
+        let (v1, v2, v3) = (VideoId::new(1), VideoId::new(2), VideoId::new(3));
+        // Fill the cache: two misses, both resident.
+        let (_, hit) = lazy.fetch(v1).unwrap().unwrap();
+        assert!(!hit, "first access reads the file");
+        lazy.fetch(v2).unwrap().unwrap();
+        assert_eq!(lazy.loaded_count(), 2);
+        // Re-access v1 (a hit, and it becomes most recently used) …
+        let (_, hit) = lazy.fetch(v1).unwrap().unwrap();
+        assert!(hit, "second access is resident");
+        // … so loading v3 evicts v2, the least recently used.
+        lazy.fetch(v3).unwrap().unwrap();
+        assert_eq!(lazy.loaded_count(), 2, "capacity bound holds");
+        let stats = lazy.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.capacity, Some(2));
+        // The evicted catalog reloads transparently — a miss, another
+        // eviction, same contents.
+        let (c2, hit) = lazy.fetch(v2).unwrap().unwrap();
+        assert!(!hit);
+        assert_eq!(c2.clip_count, 2);
+        assert_eq!(lazy.loaded_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_catalogs_are_pinned_and_unbounded_repos_never_evict() {
+        // `add`ed catalogs have no backing file: the bound cannot apply.
+        let mut repo = VideoRepository::new();
+        for id in 1..=4 {
+            repo.add(empty_catalog(id, 1));
+        }
+        let repo = repo.with_cache_capacity(2);
+        for id in 1..=4 {
+            repo.get(VideoId::new(id)).unwrap().unwrap();
+        }
+        assert_eq!(repo.loaded_count(), 4, "pinned slots never evict");
+        assert_eq!(repo.cache_stats().evictions, 0);
+        assert_eq!(repo.cache_stats().hits, 4);
+
+        // Without a configured bound residency only grows, but the
+        // hit/miss counters still answer.
+        let dir = std::env::temp_dir().join("svq_repo_unbounded_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut on_disk = VideoRepository::new();
+        on_disk.add(empty_catalog(7, 1));
+        on_disk.add(empty_catalog(8, 1));
+        on_disk.save_dir(&dir).unwrap();
+        let lazy = VideoRepository::open_dir(&dir).unwrap();
+        lazy.get(VideoId::new(7)).unwrap().unwrap();
+        lazy.get(VideoId::new(7)).unwrap().unwrap();
+        lazy.get(VideoId::new(8)).unwrap().unwrap();
+        let stats = lazy.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.capacity, None);
         assert_eq!(lazy.loaded_count(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }

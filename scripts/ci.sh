@@ -37,9 +37,18 @@ echo "== repro ingest-spill smoke (workers {1,2}, byte-identity + hand-off bound
 cargo run -q --release -p svq-bench --bin repro -- ingest-spill \
   --scale 0.02 --out target/ci-results
 
-echo "== repro serve-throughput smoke (clients {1,4}, wire byte-identity + clean drain)"
+echo "== repro serve-throughput smoke (clients {1,4}, serial vs pipelined, wire byte-identity + clean drain)"
+# The experiment runs every client count in both serial and pipelined mode
+# and asserts internally that pipelining has not regressed below serial
+# throughput at the top client count. Surface the two rates here and
+# re-check the gate so a regression is visible in the CI log itself.
 cargo run -q --release -p svq-bench --bin repro -- serve-throughput \
   --scale 0.02 --out target/ci-results
+SERIAL_RPS=$(sed -n 's/.*"serial_rps_at_top": \([0-9.]*\).*/\1/p' target/ci-results/serve-throughput.json)
+PIPELINED_RPS=$(sed -n 's/.*"pipelined_rps_at_top": \([0-9.]*\).*/\1/p' target/ci-results/serve-throughput.json)
+echo "   serial ${SERIAL_RPS} req/s vs pipelined ${PIPELINED_RPS} req/s at top client count"
+awk -v s="$SERIAL_RPS" -v p="$PIPELINED_RPS" \
+  'BEGIN { if (s == "" || p == "" || p < 0.9 * s) { print "pipelined throughput regressed below serial"; exit 1 } }'
 
 echo "== sim smoke (deterministic simulation, \${SIM_SCHEDULES:-40} schedules/scenario)"
 # Fixed base seed + bounded schedule count keeps this slice to seconds of
@@ -79,6 +88,12 @@ cargo run -q --release -p svqact -- request --addr "$ADDR" --kind query \
 cargo run -q --release -p svqact -- request --addr "$ADDR" --kind stream \
   --sql "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
          WHERE act='archery' AND obj.include('person')"
+# Pipelined (protocol v2): three id-tagged copies in flight at once.
+cargo run -q --release -p svqact -- request --addr "$ADDR" --kind query \
+  --repeat 3 \
+  --sql "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+         WHERE act='archery' AND obj.include('person') \
+         ORDER BY RANK(act,obj) LIMIT 2"
 cargo run -q --release -p svqact -- request --addr "$ADDR" --kind shutdown
 wait "$SERVE_PID"
 
