@@ -1,0 +1,418 @@
+//! Load generator for the multi-node cluster: a shard router in front of
+//! hash-sliced `svq-serve` processes.
+//!
+//! Not a paper experiment: the paper executes queries in-process. This
+//! benchmarks the cluster layer — {1, 2, 4} shard servers (smoke: {1, 2})
+//! behind one router, swept with {1, 16, 64} concurrent clients (smoke:
+//! {1, 4}) issuing a mixed workload of targeted `query`s, `stream`s,
+//! `stats`, and cross-catalog (`video: "all"`) top-k queries — and
+//! measures routed request throughput and client-observed tail latency
+//! per (shards, clients) cell, in two wire modes:
+//!
+//! * **serial** — one request, wait, one response per round trip.
+//! * **pipelined** — the typed [`svq_serve::Caller`] API: each client
+//!   puts its whole round budget in flight, then waits the [`Pending`]
+//!   handles; the router overlaps the fan-out end to end.
+//!
+//! Two invariants hold on every configuration:
+//!
+//! * **Byte identity** — every outcome that crosses the router is
+//!   compared, in canonical form, against in-process execution over an
+//!   identically-constructed workload. Cross-catalog top-ks must match
+//!   [`svq_query::execute_offline_all`] over the *combined* catalog —
+//!   sharding must not change a result byte, at any shard count.
+//! * **Typed failure** — after the sweep, one shard is killed and the
+//!   router must answer queries for its videos with a typed
+//!   `shard_unavailable` error (and keep serving the survivors), never
+//!   hang.
+//!
+//! Results land in `results/cluster-throughput.txt` (table) and
+//! `results/cluster-throughput.json` (machine-readable series).
+
+use super::ExpContext;
+use crate::Table;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use svq_core::offline::ingest;
+use svq_core::online::OnlineConfig;
+use svq_exec::shard_index;
+use svq_query::{
+    execute_offline, execute_offline_all, execute_online, parse, LogicalPlan, QueryOutcome,
+};
+use svq_serve::{
+    Client, Request, Response, RouteConfig, Router, ServeConfig, Server, ServerHandle, VideoScope,
+};
+use svq_storage::VideoRepository;
+use svq_types::{ActionClass, ObjectClass, PaperScoring, RejectReason, VideoId};
+use svq_vision::models::{DetectionOracle, ModelSuite};
+use svq_vision::synth::{ObjectSpec, ScenarioSpec};
+use svq_vision::VideoStream;
+
+const VIDEOS: u64 = 6;
+
+const OFFLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car') \
+     ORDER BY RANK(act, obj) LIMIT 3";
+
+const ONLINE_SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car')";
+
+/// Identically-seeded construction reproduces identical detections, so an
+/// oracle built here twice — once for a shard, once for the in-process
+/// reference — yields byte-identical outcomes.
+fn oracle(ctx: &ExpContext, video: u64, frames: u64) -> Arc<DetectionOracle> {
+    let spec = ScenarioSpec::activitynet(
+        VideoId::new(video),
+        frames,
+        ActionClass::named("jumping"),
+        vec![ObjectSpec::correlated(ObjectClass::named("car"))],
+        ctx.seed + video,
+    );
+    Arc::new(spec.generate().oracle(ModelSuite::accurate()))
+}
+
+fn canonical_json(outcome: &QueryOutcome) -> String {
+    serde_json::to_string(&outcome.canonical()).expect("outcome encodes")
+}
+
+/// In-process references: `per_video[v] = [offline, online]` canonical
+/// JSON, plus the cross-catalog top-k over the combined repository — the
+/// single-process answer every cluster size must reproduce exactly.
+fn expected_outcomes(ctx: &ExpContext, frames: u64) -> (Vec<[String; 2]>, String) {
+    let offline = LogicalPlan::from_statement(&parse(OFFLINE_SQL).expect("offline sql"))
+        .expect("offline plan");
+    let online =
+        LogicalPlan::from_statement(&parse(ONLINE_SQL).expect("online sql")).expect("online plan");
+    let mut per_video = Vec::new();
+    let mut catalogs = Vec::new();
+    for v in 0..VIDEOS {
+        let reference = oracle(ctx, v, frames);
+        let catalog = ingest(&reference, &PaperScoring, &OnlineConfig::default());
+        let query = execute_offline(&offline, &catalog, &PaperScoring).expect("offline runs");
+        let mut stream = VideoStream::new(&reference);
+        let streamed =
+            execute_online(&online, &mut stream, OnlineConfig::default()).expect("online runs");
+        per_video.push([canonical_json(&query), canonical_json(&streamed)]);
+        catalogs.push(catalog);
+    }
+    let combined = VideoRepository::from_catalogs(catalogs);
+    let all = execute_offline_all(&offline, &combined, &PaperScoring).expect("cluster runs");
+    (per_video, canonical_json(&all))
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One shard server owning the hash slice `shard_index(v, count) == index`
+/// — the placement `svqact serve --shard-index` applies and the router
+/// assumes.
+fn start_shard(ctx: &ExpContext, index: usize, count: usize, frames: u64) -> ServerHandle {
+    let oracles: Vec<_> = (0..VIDEOS)
+        .filter(|&v| shard_index(VideoId::new(v), count) == index)
+        .map(|v| oracle(ctx, v, frames))
+        .collect();
+    let repo = Arc::new(VideoRepository::from_catalogs(
+        oracles
+            .iter()
+            .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
+    ));
+    Server::start(
+        ServeConfig::builder()
+            .max_conns(16)
+            .workers(4)
+            .shards(2)
+            .read_timeout(Duration::from_secs(120))
+            .write_timeout(Duration::from_secs(120))
+            .drain_timeout(Duration::from_secs(30))
+            .build()
+            .expect("config is valid"),
+        Some(repo),
+        oracles,
+        svq_exec::ExecMetrics::new(),
+    )
+    .expect("shard binds an ephemeral port")
+}
+
+/// The deterministic request mix: client `c`, round `r` → (request, kind
+/// index, video). Kind 3 is the cross-catalog top-k, the request only a
+/// cluster can answer by scatter-gather.
+fn request_of(c: u64, r: u64) -> (Request, usize, u64) {
+    let video = (c + r) % VIDEOS;
+    let kind = ((c + r) % 4) as usize;
+    let request = match kind {
+        0 => Request::Query {
+            sql: OFFLINE_SQL.into(),
+            video: VideoScope::One(video),
+        },
+        1 => Request::Stream {
+            sql: ONLINE_SQL.into(),
+            video: Some(video),
+        },
+        2 => Request::Stats,
+        _ => Request::Query {
+            sql: OFFLINE_SQL.into(),
+            video: VideoScope::All,
+        },
+    };
+    (request, kind, video)
+}
+
+/// Byte-identity check for one routed response.
+fn verify_response(
+    response: Response,
+    kind: usize,
+    video: u64,
+    shards: usize,
+    expected: &(Vec<[String; 2]>, String),
+) {
+    match (kind, response) {
+        (0 | 1, Response::Outcome(outcome)) => {
+            assert_eq!(
+                canonical_json(&outcome),
+                expected.0[video as usize][kind],
+                "routed outcome diverged from in-process execution \
+                 (kind {kind}, video {video}, {shards} shards)"
+            );
+        }
+        (2, Response::Stats(stats)) => {
+            assert_eq!(
+                stats.shards, shards as u64,
+                "stats reports the configured fan-out"
+            );
+        }
+        (3, Response::Outcome(outcome)) => {
+            assert_eq!(
+                canonical_json(&outcome),
+                expected.1,
+                "cluster top-k diverged from single-process execution \
+                 ({shards} shards)"
+            );
+        }
+        // Deliberate: a protocol violation must abort the experiment
+        // loudly, like a failed assert.
+        // svq-lint: allow(panic)
+        (_, other) => panic!("unexpected response frame: {other:?}"),
+    }
+}
+
+pub fn run(ctx: &ExpContext) {
+    let smoke = ctx.scale < 0.05;
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let client_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 16, 64] };
+    let rounds: u64 = if smoke { 4 } else { 8 };
+    let frames = ((ctx.scale * 20_000.0) as u64).max(1_000);
+
+    let expected = Arc::new(expected_outcomes(ctx, frames));
+
+    let mut table = Table::new(&[
+        "shards", "mode", "clients", "req/s", "p50 ms", "p95 ms", "p99 ms", "requests",
+    ]);
+    let mut series = Vec::new();
+    let mut outcomes_compared = 0u64;
+    let mut total_requests = 0u64;
+    for &shards in shard_counts {
+        let shard_handles: Vec<_> = (0..shards)
+            .map(|i| start_shard(ctx, i, shards, frames))
+            .collect();
+        let addrs: Vec<String> = shard_handles
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect();
+        let router = Router::start(
+            RouteConfig::builder()
+                .max_conns(client_counts.iter().copied().max().unwrap_or(1) + 32)
+                .read_timeout(Duration::from_secs(120))
+                .write_timeout(Duration::from_secs(120))
+                .drain_timeout(Duration::from_secs(30))
+                .upstream_timeout(Duration::from_secs(120))
+                .build()
+                .expect("config is valid"),
+            &addrs,
+            svq_exec::ExecMetrics::new(),
+        )
+        .expect("router binds an ephemeral port");
+        let addr = router.local_addr();
+
+        for &clients in client_counts {
+            for mode in ["serial", "pipelined"] {
+                let pipelined = mode == "pipelined";
+                let started = Instant::now();
+                let workers: Vec<_> = (0..clients as u64)
+                    .map(|c| {
+                        let expected = expected.clone();
+                        std::thread::spawn(move || {
+                            let mut latencies_ms = Vec::with_capacity(rounds as usize);
+                            let mut kinds = [0u64; 4];
+                            if pipelined {
+                                // The typed call API: the whole budget in
+                                // flight as Pending handles, awaited in
+                                // submission order.
+                                let caller = Client::connect(addr)
+                                    .expect("client connects")
+                                    .into_caller()
+                                    .expect("caller starts");
+                                let batch = Instant::now();
+                                let handles: Vec<_> = (0..rounds)
+                                    .map(|r| {
+                                        let (request, kind, video) = request_of(c, r);
+                                        let pending =
+                                            caller.call(&request).expect("pipelined call");
+                                        (pending, kind, video)
+                                    })
+                                    .collect();
+                                for (pending, kind, video) in handles {
+                                    let response = pending.wait().expect("response arrives");
+                                    latencies_ms.push(batch.elapsed().as_secs_f64() * 1e3);
+                                    kinds[kind] += 1;
+                                    verify_response(response, kind, video, shards, &expected);
+                                }
+                            } else {
+                                let mut client = Client::connect(addr).expect("client connects");
+                                for r in 0..rounds {
+                                    let (request, kind, video) = request_of(c, r);
+                                    let sent = Instant::now();
+                                    let response =
+                                        client.request(&request).expect("exchange completes");
+                                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                    kinds[kind] += 1;
+                                    verify_response(response, kind, video, shards, &expected);
+                                }
+                            }
+                            (latencies_ms, kinds)
+                        })
+                    })
+                    .collect();
+                let mut latencies_ms = Vec::new();
+                let mut kinds = [0u64; 4];
+                for worker in workers {
+                    let (lat, k) = worker.join().expect("client thread");
+                    latencies_ms.extend(lat);
+                    for (total, n) in kinds.iter_mut().zip(k) {
+                        *total += n;
+                    }
+                }
+                let wall = started.elapsed().as_secs_f64();
+                let requests = latencies_ms.len() as u64;
+                total_requests += requests;
+                outcomes_compared += kinds[0] + kinds[1] + kinds[3];
+                assert_eq!(requests, clients as u64 * rounds, "no request went missing");
+                latencies_ms.sort_by(|a, b| a.total_cmp(b));
+                let rps = requests as f64 / wall;
+                let (p50, p95, p99) = (
+                    percentile(&latencies_ms, 0.50),
+                    percentile(&latencies_ms, 0.95),
+                    percentile(&latencies_ms, 0.99),
+                );
+                table.row(vec![
+                    shards.to_string(),
+                    mode.to_string(),
+                    clients.to_string(),
+                    format!("{rps:.1}"),
+                    format!("{p50:.2}"),
+                    format!("{p95:.2}"),
+                    format!("{p99:.2}"),
+                    requests.to_string(),
+                ]);
+                series.push(format!(
+                    "{{\"shards\": {shards}, \"mode\": \"{mode}\", \
+                     \"clients\": {clients}, \"rounds\": {rounds}, \
+                     \"requests\": {requests}, \"wall_sec\": {wall:.3}, \
+                     \"req_per_sec\": {rps:.2}, \"p50_ms\": {p50:.3}, \
+                     \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \
+                     \"queries\": {}, \"streams\": {}, \"stats\": {}, \
+                     \"cluster_topk\": {}, \"byte_identical\": true}}",
+                    kinds[0], kinds[1], kinds[2], kinds[3]
+                ));
+            }
+        }
+
+        // Kill phase (multi-shard clusters): the last shard goes away and
+        // its videos must answer as typed shard_unavailable while the
+        // survivors keep serving.
+        if shards > 1 {
+            let dead_shard = shards - 1;
+            let dead_video =
+                (0..VIDEOS).find(|&v| shard_index(VideoId::new(v), shards) == dead_shard);
+            let live_video =
+                (0..VIDEOS).find(|&v| shard_index(VideoId::new(v), shards) != dead_shard);
+            if let (Some(dead_video), Some(live_video)) = (dead_video, live_video) {
+                let dead = &shard_handles[dead_shard];
+                dead.shutdown();
+                dead.wait();
+                let mut client = Client::connect(addr).expect("client connects");
+                match client
+                    .request(&Request::Query {
+                        sql: OFFLINE_SQL.into(),
+                        video: VideoScope::One(dead_video),
+                    })
+                    .expect("the router answers, never hangs")
+                {
+                    Response::Error { reason, .. } => assert_eq!(
+                        reason,
+                        RejectReason::ShardUnavailable,
+                        "killed shard answers typed"
+                    ),
+                    // svq-lint: allow(panic)
+                    other => panic!("expected shard_unavailable, got {other:?}"),
+                }
+                let (request, kind, video) = (
+                    Request::Query {
+                        sql: OFFLINE_SQL.into(),
+                        video: VideoScope::One(live_video),
+                    },
+                    0,
+                    live_video,
+                );
+                let response = client.request(&request).expect("survivor answers");
+                verify_response(response, kind, video, shards, &expected);
+            }
+        }
+
+        router.shutdown();
+        let report = router.wait();
+        assert_eq!(
+            report.malformed, 0,
+            "the load generator speaks the protocol"
+        );
+        assert!(report.drained_in_deadline, "the router drain was clean");
+        assert_eq!(report.forced_closes, 0, "no connection was force-closed");
+        for shard in shard_handles {
+            shard.shutdown();
+            shard.wait();
+        }
+    }
+
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "\n{VIDEOS} videos x {frames} frames, shard counts {shard_counts:?}; \
+         every one of {outcomes_compared} routed outcomes byte-identical \
+         (canonical form) to in-process execution — including every \
+         cross-catalog top-k vs the combined single-process catalog; \
+         killed shards answered typed shard_unavailable\n"
+    ));
+    ctx.emit("cluster-throughput", &rendered);
+    let json = format!(
+        "{{\"experiment\": \"cluster-throughput\", \"videos\": {VIDEOS}, \
+         \"frames\": {frames}, \"scale\": {}, \"seed\": {}, \
+         \"smoke\": {smoke}, \"shard_counts\": {shard_counts:?}, \
+         \"outcomes_compared\": {outcomes_compared}, \
+         \"requests\": {total_requests}, \"clean_drain\": true, \
+         \"killed_shard_typed\": true, \
+         \"sweep\": [\n  {}\n]}}\n",
+        ctx.scale,
+        ctx.seed,
+        series.join(",\n  ")
+    );
+    if std::fs::create_dir_all(&ctx.out_dir).is_ok() {
+        let _ = std::fs::write(ctx.out_dir.join("cluster-throughput.json"), json);
+    }
+}

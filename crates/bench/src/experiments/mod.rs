@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablation;
+pub mod cluster_throughput;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
@@ -72,5 +73,6 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("mux-ingress", mux_ingress::run),
     ("ingest-spill", ingest_spill::run),
     ("serve-throughput", serve_throughput::run),
+    ("cluster-throughput", cluster_throughput::run),
     ("sim", sim::run),
 ];

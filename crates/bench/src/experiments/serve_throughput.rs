@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 use svq_core::offline::ingest;
 use svq_core::online::OnlineConfig;
 use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
-use svq_serve::{Client, Request, Response, ServeConfig, Server};
+use svq_serve::{Client, Request, Response, ServeConfig, Server, VideoScope};
 use svq_storage::VideoRepository;
 use svq_types::{ActionClass, ObjectClass, PaperScoring, VideoId};
 use svq_vision::models::{DetectionOracle, ModelSuite};
@@ -116,7 +116,7 @@ fn request_of(c: u64, r: u64) -> (Request, usize, u64) {
     let request = match kind {
         0 => Request::Query {
             sql: OFFLINE_SQL.into(),
-            video: Some(video),
+            video: VideoScope::One(video),
         },
         1 => Request::Stream {
             sql: ONLINE_SQL.into(),
@@ -160,15 +160,15 @@ pub fn run(ctx: &ExpContext) {
             .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
     ));
     let handle = Server::start(
-        ServeConfig {
-            max_conns: client_counts.iter().copied().max().unwrap_or(1) + 32,
-            workers: 4,
-            shards: 2,
-            read_timeout: Duration::from_secs(120),
-            write_timeout: Duration::from_secs(120),
-            drain_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_conns(client_counts.iter().copied().max().unwrap_or(1) + 32)
+            .workers(4)
+            .shards(2)
+            .read_timeout(Duration::from_secs(120))
+            .write_timeout(Duration::from_secs(120))
+            .drain_timeout(Duration::from_secs(30))
+            .build()
+            .expect("config is valid"),
         Some(repo),
         oracles,
         svq_exec::ExecMetrics::new(),

@@ -17,6 +17,24 @@ fn load_scene(path: &str) -> Result<SyntheticVideo, Box<dyn std::error::Error>> 
     Ok(serde_json::from_str(&json)?)
 }
 
+/// Rewrite a builder validation message (`"serve: pipeline_depth must be
+/// at least 1"`) into the flag spelling the operator typed
+/// (`"--pipeline-depth must be at least 1"`), so CLI errors name CLI
+/// surface rather than internal field names.
+fn flag_named(err: svq_types::SvqError) -> Box<dyn std::error::Error> {
+    let svq_types::SvqError::InvalidConfig(msg) = err else {
+        return err.to_string().into();
+    };
+    let body = msg
+        .strip_prefix("serve: ")
+        .or_else(|| msg.strip_prefix("route: "))
+        .unwrap_or(&msg);
+    match body.split_once(' ') {
+        Some((field, rest)) => format!("--{} {rest}", field.replace('_', "-")).into(),
+        None => body.to_string().into(),
+    }
+}
+
 fn suite_named(name: &str) -> Result<ModelSuite, String> {
     match name {
         "accurate" => Ok(ModelSuite::accurate()),
@@ -394,29 +412,46 @@ pub fn serve(flags: &Flags) -> CliResult {
     if metrics_every < 0.0 {
         return Err("--metrics-every must be non-negative".into());
     }
-    let config = ServeConfig {
-        addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
-        max_conns: flags.get_parsed("max-conns", 64)?,
-        read_timeout: Duration::from_millis(flags.get_parsed("read-timeout-ms", 30_000u64)?),
-        write_timeout: Duration::from_millis(flags.get_parsed("write-timeout-ms", 10_000u64)?),
-        drain_timeout: Duration::from_millis(flags.get_parsed("drain-timeout-ms", 5_000u64)?),
-        max_line: flags.get_parsed("max-line", svq_serve::MAX_LINE_BYTES)?,
-        workers: flags.get_parsed("workers", 2)?,
-        shards: flags.get_parsed("shards", 1)?,
-        mailbox: flags.get_parsed("mailbox", 64)?,
-        pipeline_depth: flags.get_parsed("pipeline-depth", 64)?,
-        ..ServeConfig::default()
-    };
-    if config.pipeline_depth == 0 {
-        return Err("--pipeline-depth must be at least 1".into());
-    }
-    let catalog_cache: usize = flags.get_parsed("catalog-cache", 0)?;
+    let config = ServeConfig::builder()
+        .addr(flags.get("addr").unwrap_or("127.0.0.1:0").to_string())
+        .max_conns(flags.get_parsed("max-conns", 64)?)
+        .read_timeout(Duration::from_millis(
+            flags.get_parsed("read-timeout-ms", 30_000u64)?,
+        ))
+        .write_timeout(Duration::from_millis(
+            flags.get_parsed("write-timeout-ms", 10_000u64)?,
+        ))
+        .drain_timeout(Duration::from_millis(
+            flags.get_parsed("drain-timeout-ms", 5_000u64)?,
+        ))
+        .max_line(flags.get_parsed("max-line", svq_serve::MAX_LINE_BYTES)?)
+        .workers(flags.get_parsed("workers", 2)?)
+        .shards(flags.get_parsed("shards", 1)?)
+        .mailbox(flags.get_parsed("mailbox", 64)?)
+        .pipeline_depth(flags.get_parsed("pipeline-depth", 64)?)
+        .catalog_cache(match flags.get_parsed("catalog-cache", 0usize)? {
+            0 => None,
+            slots => Some(slots),
+        })
+        .shard_slice(
+            flags.get_parsed("shard-index", 0)?,
+            flags.get_parsed("shard-count", 1)?,
+        )
+        .build()
+        .map_err(flag_named)?;
     let suite = suite_named(flags.get("models").unwrap_or("accurate"))?;
+    let (shard_index, shard_count) = config.shard_slice();
     let repo = flags
         .get("catalog")
         .map(VideoRepository::open_path)
         .transpose()?
-        .map(|repo| Arc::new(repo.with_cache_capacity(catalog_cache)));
+        .map(|repo| {
+            let mut repo = repo.with_cache_capacity(config.catalog_cache().unwrap_or(0));
+            if shard_count > 1 {
+                repo.retain_videos(|v| svq_exec::shard_index(v, shard_count) == shard_index);
+            }
+            Arc::new(repo)
+        });
     let scene_paths: Vec<String> = match (flags.get("scenes"), flags.get("scene")) {
         (Some(list), _) => list
             .split(',')
@@ -435,6 +470,18 @@ pub fn serve(flags: &Flags) -> CliResult {
             "serve needs --catalog (offline queries) and/or --scene/--scenes (live streams)".into(),
         );
     }
+    // The shard slice covers live streams too: a scene fed to every member
+    // of a cluster is retained only by the video's hash owner, so the
+    // cluster-wide inventory (which sole-video resolution consults) counts
+    // each stream once.
+    let oracles: Vec<_> = if shard_count > 1 {
+        oracles
+            .into_iter()
+            .filter(|o| svq_exec::shard_index(o.truth().video, shard_count) == shard_index)
+            .collect()
+    } else {
+        oracles
+    };
     let catalog_videos = repo.as_ref().map_or(0, |r| r.len());
     let streams = oracles.len();
 
@@ -458,6 +505,11 @@ pub fn serve(flags: &Flags) -> CliResult {
     if let Some(reporter) = reporter {
         reporter.stop();
     }
+    print_serve_report(&report);
+    Ok(())
+}
+
+fn print_serve_report(report: &svq_serve::ServeReport) {
     println!(
         "served {} requests over {} connections ({} busy, {} draining, \
          {} timed out, {} malformed)",
@@ -477,6 +529,78 @@ pub fn serve(flags: &Flags) -> CliResult {
         },
         report.forced_closes
     );
+}
+
+/// `svqact route` — run the cluster front door until a wire `shutdown`.
+///
+/// `--shards` lists the shard servers in placement order: the shard at
+/// index `i` must serve the catalog slice started with
+/// `--shard-index i --shard-count N`, because the router picks the owner
+/// of video `v` with the same `shard_index(v, N)` hash. Offline
+/// `query` frames without a `video` scatter to every shard and merge; a
+/// shard that stays unreachable past `--connect-attempts` dials answers
+/// as a typed `shard_unavailable` error, never a hang.
+pub fn route(flags: &Flags) -> CliResult {
+    use std::time::Duration;
+    use svq_exec::ExecMetrics;
+    use svq_serve::{RouteConfig, Router};
+
+    let metrics_every: f64 = flags.get_parsed("metrics-every", 0.0)?;
+    if metrics_every < 0.0 {
+        return Err("--metrics-every must be non-negative".into());
+    }
+    let shards: Vec<String> = flags
+        .require("shards")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("--shards needs at least one HOST:PORT entry".into());
+    }
+    let config = RouteConfig::builder()
+        .addr(flags.get("addr").unwrap_or("127.0.0.1:0").to_string())
+        .max_conns(flags.get_parsed("max-conns", 64)?)
+        .read_timeout(Duration::from_millis(
+            flags.get_parsed("read-timeout-ms", 30_000u64)?,
+        ))
+        .write_timeout(Duration::from_millis(
+            flags.get_parsed("write-timeout-ms", 10_000u64)?,
+        ))
+        .drain_timeout(Duration::from_millis(
+            flags.get_parsed("drain-timeout-ms", 5_000u64)?,
+        ))
+        .max_line(flags.get_parsed("max-line", svq_serve::MAX_LINE_BYTES)?)
+        .pipeline_depth(flags.get_parsed("pipeline-depth", 64)?)
+        .upstream_timeout(Duration::from_millis(
+            flags.get_parsed("upstream-timeout-ms", 30_000u64)?,
+        ))
+        .connect_attempts(flags.get_parsed("connect-attempts", 5)?)
+        .build()
+        .map_err(flag_named)?;
+
+    let handle = Router::start(config, &shards, ExecMetrics::new())?;
+    let addr = handle.local_addr();
+    eprintln!(
+        "svqact route: listening on {addr}, fanning out to {} shard(s); \
+         send a `shutdown` request to drain",
+        shards.len()
+    );
+    if let Some(path) = flags.get("addr-file") {
+        std::fs::write(path, addr.to_string())?;
+    }
+    let reporter = (metrics_every > 0.0).then(|| {
+        handle
+            .metrics()
+            .spawn_reporter(Duration::from_secs_f64(metrics_every), |snap| {
+                eprint!("{snap}")
+            })
+    });
+    let report = handle.wait();
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
+    print_serve_report(&report);
     Ok(())
 }
 
@@ -491,7 +615,7 @@ pub fn serve(flags: &Flags) -> CliResult {
 /// out-of-order completion.
 pub fn request(flags: &Flags) -> CliResult {
     use std::time::Duration;
-    use svq_serve::{encode_line, encode_response_line, Client, Request, Response};
+    use svq_serve::{encode_line, encode_response_line, Client, Request, Response, VideoScope};
 
     let addr = flags.require("addr")?;
     let timeout_ms: u64 = flags.get_parsed("timeout-ms", 30_000)?;
@@ -499,21 +623,31 @@ pub fn request(flags: &Flags) -> CliResult {
     if repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
-    let video: Option<u64> = flags
-        .get("video")
-        .map(|v| {
-            v.parse()
-                .map_err(|_| format!("--video has invalid value {v:?}"))
-        })
-        .transpose()?;
+    // `--video all` is meaningful only for offline queries (cross-catalog
+    // top-k); streams always target one live scene.
+    let video = flags.get("video");
+    let parse_video = |v: &str| -> Result<u64, String> {
+        v.parse()
+            .map_err(|_| format!("--video has invalid value {v:?}"))
+    };
     let request = match flags.get("kind").unwrap_or("query") {
         "query" => Request::Query {
             sql: flags.require("sql")?.to_string(),
-            video,
+            video: match video {
+                None => VideoScope::Sole,
+                Some("all") => VideoScope::All,
+                Some(v) => VideoScope::One(parse_video(v)?),
+            },
         },
         "stream" => Request::Stream {
             sql: flags.require("sql")?.to_string(),
-            video,
+            video: match video {
+                None => None,
+                Some("all") => {
+                    return Err("--video all only applies to --kind query".into());
+                }
+                Some(v) => Some(parse_video(v)?),
+            },
         },
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
@@ -523,8 +657,9 @@ pub fn request(flags: &Flags) -> CliResult {
             )
         }
     };
-    let mut client = Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))?;
+    let client = Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))?;
     if repeat == 1 {
+        let mut client = client;
         let response = client.request(&request)?;
         print!("{}", encode_line(&response));
         if let Response::Error { reason, message } = &response {
@@ -532,13 +667,20 @@ pub fn request(flags: &Flags) -> CliResult {
         }
         return Ok(());
     }
-    for id in 0..repeat {
-        client.send(&request, Some(id))?;
+    // Pipelined mode rides the typed `Caller`: ids are allocated by the
+    // handle and responses matched out of order; printing happens in
+    // completion order, so the output doubles as a visible record of
+    // reordering.
+    let caller = client.into_caller()?;
+    let mut pending = Vec::with_capacity(repeat as usize);
+    for _ in 0..repeat {
+        pending.push(caller.call(&request)?);
     }
     let mut refusals = 0u64;
-    for _ in 0..repeat {
-        let (id, response) = client.read_tagged()?;
-        print!("{}", encode_response_line(&response, id));
+    for handle in pending {
+        let id = handle.id();
+        let response = handle.wait()?;
+        print!("{}", encode_response_line(&response, Some(id)));
         if matches!(response, Response::Error { .. }) {
             refusals += 1;
         }

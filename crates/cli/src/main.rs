@@ -8,7 +8,10 @@
 //! svqact query   --scene scene.json --sql "SELECT … WHERE act='…'"
 //! svqact mux     --sql "SELECT … WHERE act='…'" --streams 8 --workers 4
 //! svqact serve   --catalog catalogs/ --scene scene.json --addr 127.0.0.1:7741
+//! svqact serve   --catalog catalogs/ --shard-index 0 --shard-count 2 --addr 127.0.0.1:7751
+//! svqact route   --shards 127.0.0.1:7751,127.0.0.1:7752 --addr 127.0.0.1:7741
 //! svqact request --addr 127.0.0.1:7741 --kind query --sql "SELECT …"
+//! svqact request --addr 127.0.0.1:7741 --kind query --video all --sql "SELECT …"
 //! svqact explain --sql "SELECT …"
 //! svqact sim     --scenario serve_mem --seed 42 --faults drop-conn
 //! svqact sim     --schedules 200 --scenario all
@@ -45,6 +48,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "query" => commands::query(&args::Flags::parse(rest)?),
         "mux" => commands::mux(&args::Flags::parse(rest)?),
         "serve" => commands::serve(&args::Flags::parse(rest)?),
+        "route" => commands::route(&args::Flags::parse(rest)?),
         "request" => commands::request(&args::Flags::parse(rest)?),
         "explain" => commands::explain(&args::Flags::parse(rest)?),
         "sim" => commands::sim(&args::Flags::parse(rest)?),
@@ -74,9 +78,12 @@ fn print_usage() {
          [--addr HOST:PORT] [--addr-file PATH] [--max-conns N] \
          [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-timeout-ms MS] \
          [--workers N] [--shards S] [--pipeline-depth N] [--catalog-cache N] \
-         [--metrics-every SECS]\n\
+         [--shard-index I --shard-count N] [--metrics-every SECS]\n\
+         \u{20}  route   --shards HOST:PORT,… [--addr HOST:PORT] [--addr-file PATH] \
+         [--max-conns N] [--pipeline-depth N] [--upstream-timeout-ms MS] \
+         [--connect-attempts N] [--metrics-every SECS]\n\
          \u{20}  request --addr HOST:PORT [--kind query|stream|stats|shutdown] \
-         [--sql STATEMENT] [--video ID] [--repeat N] [--timeout-ms MS]\n\
+         [--sql STATEMENT] [--video ID|all] [--repeat N] [--timeout-ms MS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  sim     --scenario NAME [--seed N] [--size N] [--faults a,b|none|all] \
          [--trace true] | --schedules K [--scenario NAME|all] [--seed BASE] | \

@@ -117,7 +117,7 @@ struct Slot {
 
 /// Extract the event sequence of one function.
 pub fn function_events(file: &FileIr, f: &FnIr, tokens: &[Token]) -> Vec<Event> {
-    Walker {
+    let mut events = Walker {
         t: tokens,
         file,
         locals: f.locals.clone(),
@@ -128,7 +128,46 @@ pub fn function_events(file: &FileIr, f: &FnIr, tokens: &[Token]) -> Vec<Event> 
         pending_let: None,
         events: Vec::new(),
     }
-    .run(f.body.0, f.body.1.min(tokens.len()))
+    .run(f.body.0, f.body.1.min(tokens.len()));
+    apply_escapes(file, &mut events);
+    events
+}
+
+/// Apply `svq-lint: guard-escapes(callee)` pragmas: a guard acquired in a
+/// closure's tail position escapes into the enclosing call, which holds
+/// it across its own work — a region the brace-depth walker cannot see
+/// (the call token precedes the acquisition, and the closure's `}` ends
+/// the lexical region). The pragma names the callee; every call to it in
+/// the same function gets the escaped guard added to its held set, so the
+/// fixpoint pairs the acquisition site with everything the callee
+/// reaches.
+fn apply_escapes(file: &FileIr, events: &mut [Event]) {
+    for (&line, callee) in &file.escapes {
+        // Like `allow(..)`, the pragma covers its own line and the next.
+        let Some(guard) = events.iter().find_map(|ev| match &ev.kind {
+            EventKind::Acquire {
+                lock,
+                line: l,
+                blocking,
+            } if *l == line || *l == line + 1 => Some(HeldGuard {
+                lock: lock.clone(),
+                sites: vec![*l],
+                blocking: *blocking,
+            }),
+            _ => None,
+        }) else {
+            continue;
+        };
+        for ev in events.iter_mut() {
+            if let EventKind::Call(call) = &ev.kind {
+                if call.segments.last().is_some_and(|s| s == callee)
+                    && !ev.held.iter().any(|g| g.lock == guard.lock)
+                {
+                    ev.held.push(guard.clone());
+                }
+            }
+        }
+    }
 }
 
 struct PendingLet {
@@ -679,6 +718,29 @@ mod tests {
             .expect("sleep event");
         assert_eq!(block.held.len(), 1);
         assert_eq!(block.held[0].lock, "exec:Mux.state");
+    }
+
+    #[test]
+    fn guard_escapes_pragma_widens_the_enclosing_call() {
+        let src = r#"
+            impl Backend {
+                fn f(&self) {
+                    sweep_all(|id| {
+                        // svq-lint: guard-escapes(sweep_all)
+                        self.gates.get(&id).map(|g| g.lock())
+                    });
+                }
+            }
+        "#;
+        let ev = events_of(src);
+        let call = ev
+            .iter()
+            .find(|e| {
+                matches!(&e.kind, EventKind::Call(c) if c.segments.last().is_some_and(|s| s == "sweep_all"))
+            })
+            .expect("sweep_all call event");
+        assert_eq!(call.held.len(), 1, "{call:?}");
+        assert_eq!(call.held[0].lock, "exec:g");
     }
 
     #[test]

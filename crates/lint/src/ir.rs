@@ -36,6 +36,9 @@ pub struct FileIr {
     /// Names destructured from `let (tx, rx) = bounded(..)`: sends and
     /// receives through these can block on capacity.
     pub bounded: BTreeSet<String>,
+    /// `svq-lint: guard-escapes(callee)` pragmas: acquisition line → the
+    /// callee that holds the escaping guard across its own work.
+    pub escapes: BTreeMap<u32, String>,
 }
 
 /// One function item.
@@ -89,6 +92,7 @@ pub fn build(units: &[SourceUnit]) -> WorkspaceIr {
             test_file: unit.ctx.test_file,
             test_mask: test_mask.clone(),
             bounded: bounded_names(tokens),
+            escapes: unit.scanned.escapes.clone(),
         });
         extract_fns(
             tokens,

@@ -6,14 +6,15 @@
 //! payload, disk-access delta, and wall time — so the CLI and the bench
 //! harness report either mode through one code path.
 
+use crate::cluster::{self, ClusterTopK};
 use crate::plan::{LogicalPlan, PlannedPredicate, QueryMode};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::time::Instant;
 use svq_core::expr::ExprSvaqd;
 use svq_core::offline::{Rvaq, RvaqOptions, TopKResult};
 use svq_core::online::{OnlineConfig, OnlineResult, Svaqd};
-use svq_storage::{DiskStats, IngestedVideo};
-use svq_types::{ClipInterval, ScoringFunctions, SvqError, SvqResult};
+use svq_storage::{DiskStats, IngestedVideo, VideoRepository};
+use svq_types::{ClipInterval, ScoringFunctions, SvqError, SvqResult, VideoId};
 use svq_vision::{CostLedger, VideoStream};
 
 /// Mode-specific payload of a statement execution.
@@ -28,6 +29,9 @@ pub enum QueryResults {
     /// Offline (RVAQ) output, with exact scores materialised so ranks are
     /// user-meaningful.
     Offline(TopKResult),
+    /// Cluster-wide offline output: the scatter-gather merge of per-video
+    /// top-Ks across the whole catalog (see [`crate::cluster`]).
+    Cluster(ClusterTopK),
 }
 
 /// Uniform envelope returned by [`execute_online`] and [`execute_offline`].
@@ -48,6 +52,7 @@ impl QueryOutcome {
         match &self.results {
             QueryResults::Online { sequences, .. } => sequences.clone(),
             QueryResults::Offline(topk) => topk.ranked.iter().map(|r| r.interval).collect(),
+            QueryResults::Cluster(topk) => topk.ranked.iter().map(|r| r.interval).collect(),
         }
     }
 
@@ -55,15 +60,23 @@ impl QueryOutcome {
     pub fn online(&self) -> Option<(&[ClipInterval], &CostLedger)> {
         match &self.results {
             QueryResults::Online { sequences, cost } => Some((sequences, cost)),
-            QueryResults::Offline(_) => None,
+            _ => None,
         }
     }
 
-    /// Offline payload, if this was an offline execution.
+    /// Offline payload, if this was a single-video offline execution.
     pub fn offline(&self) -> Option<&TopKResult> {
         match &self.results {
-            QueryResults::Online { .. } => None,
             QueryResults::Offline(topk) => Some(topk),
+            _ => None,
+        }
+    }
+
+    /// Cluster payload, if this was a catalog-wide offline execution.
+    pub fn cluster(&self) -> Option<&ClusterTopK> {
+        match &self.results {
+            QueryResults::Cluster(topk) => Some(topk),
+            _ => None,
         }
     }
 
@@ -82,6 +95,7 @@ impl QueryOutcome {
         match &mut out.results {
             QueryResults::Online { cost, .. } => cost.algorithm_ms = 0.0,
             QueryResults::Offline(topk) => topk.wall_ms = 0.0,
+            QueryResults::Cluster(topk) => topk.wall_ms = 0.0,
         }
         out
     }
@@ -101,6 +115,10 @@ impl Serialize for QueryResults {
             ]),
             QueryResults::Offline(topk) => Value::Object(vec![
                 ("mode".into(), Value::Str("offline".into())),
+                ("topk".into(), topk.to_value()),
+            ]),
+            QueryResults::Cluster(topk) => Value::Object(vec![
+                ("mode".into(), Value::Str("cluster".into())),
                 ("topk".into(), topk.to_value()),
             ]),
         }
@@ -131,6 +149,11 @@ impl Deserialize for QueryResults {
                 .ok_or_else(|| DeError::missing_field("QueryResults", "topk"))
                 .and_then(Deserialize::from_value)
                 .map(QueryResults::Offline),
+            "cluster" => value
+                .get("topk")
+                .ok_or_else(|| DeError::missing_field("QueryResults", "topk"))
+                .and_then(Deserialize::from_value)
+                .map(QueryResults::Cluster),
             other => Err(DeError(format!("unknown QueryResults mode {other:?}"))),
         }
     }
@@ -225,6 +248,69 @@ pub fn execute_offline(
                 .into(),
         )),
     }
+}
+
+/// Execute an offline plan against *every* video of a repository and merge
+/// the per-video top-Ks into one cluster-wide [`QueryResults::Cluster`]
+/// outcome.
+///
+/// Videos run in `VideoId` order — the repository iterates its `BTreeMap` —
+/// so the execution (and therefore every deterministic field of the
+/// outcome) is a pure function of the catalog contents. The cluster router
+/// reproduces exactly this result by merging shard-local answers; see
+/// [`crate::cluster`] for why the grouping cannot change a byte.
+pub fn execute_offline_all(
+    plan: &LogicalPlan,
+    repo: &VideoRepository,
+    scoring: &dyn ScoringFunctions,
+) -> SvqResult<QueryOutcome> {
+    execute_offline_all_with(plan, repo, scoring, |_, _| ())
+}
+
+/// [`execute_offline_all`] with a per-video hook: called after each
+/// catalog fetch with `(video, cache_hit)`, and whatever it returns (e.g.
+/// a per-video execution gate's guard) is held across that video's
+/// execution. `svq-serve` hooks its hit/miss counters and query gates in
+/// here, so the served cluster path *is* the library path — byte identity
+/// by construction rather than by parallel implementation.
+pub fn execute_offline_all_with<G>(
+    plan: &LogicalPlan,
+    repo: &VideoRepository,
+    scoring: &dyn ScoringFunctions,
+    mut per_video: impl FnMut(VideoId, bool) -> G,
+) -> SvqResult<QueryOutcome> {
+    let k = match plan.mode {
+        QueryMode::Offline { k } => k,
+        QueryMode::Online => {
+            return Err(SvqError::InvalidQuery(
+                "online plan executed against a repository; use execute_online".into(),
+            ))
+        }
+    };
+    let started = Instant::now();
+    let mut parts = Vec::new();
+    let mut disk = DiskStats::default();
+    for video in repo.video_ids().collect::<Vec<_>>() {
+        let Some((catalog, hit)) = repo.fetch(video)? else {
+            continue;
+        };
+        let _guard = per_video(video, hit);
+        let outcome = execute_offline(plan, &catalog, scoring)?;
+        let topk = outcome
+            .offline()
+            .expect("execute_offline returns an offline payload");
+        disk.sorted_accesses += topk.disk.sorted_accesses;
+        disk.random_accesses += topk.disk.random_accesses;
+        parts.push(cluster::part_of_video(video, topk));
+    }
+    let (mut merged, _stats) = cluster::merge_cluster(k, parts);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    merged.wall_ms = wall_ms;
+    Ok(QueryOutcome {
+        results: QueryResults::Cluster(merged),
+        disk,
+        wall_ms,
+    })
 }
 
 #[cfg(test)]

@@ -37,11 +37,16 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod cluster;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use exec::{execute_offline, execute_online, QueryOutcome, QueryResults};
+pub use cluster::{merge_cluster, ClusterPart, ClusterRanked, ClusterTopK, MergeStats};
+pub use exec::{
+    execute_offline, execute_offline_all, execute_offline_all_with, execute_online, QueryOutcome,
+    QueryResults,
+};
 pub use parser::parse;
 pub use plan::{LogicalPlan, QueryMode};

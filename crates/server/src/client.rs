@@ -1,19 +1,30 @@
-//! A small blocking client for the line protocol.
+//! Clients for the line protocol, at two levels.
 //!
-//! Used by `svqact request`, the serve-throughput load generator, and the
-//! server's own tests. [`Client::request`] keeps the classic v1 shape —
-//! one request/response exchange per call, strictly ordered. For protocol
-//! v2 pipelining, [`Client::send`] writes an id-tagged request without
-//! waiting and [`Client::read_tagged`] reads whichever response completes
-//! next; the caller matches responses to requests by id.
+//! [`Client`] is the low-level blocking half: [`Client::request`] keeps
+//! the classic v1 shape — one request/response exchange per call, strictly
+//! ordered — and [`Client::send`] / [`Client::read_tagged`] expose raw
+//! protocol-v2 pipelining where the caller matches responses to requests
+//! by id. The hardening tests and the serve-throughput load generator
+//! deliberately stay at this level to exercise the wire.
+//!
+//! [`Caller`] is the typed pipelined API on top: it owns id allocation
+//! and out-of-order matching behind a demux thread, so concurrent users
+//! share one connection without seeing ids at all. [`Caller::call`]
+//! returns a [`Pending`] handle to `wait()` on; [`Caller::call_with`]
+//! runs a completion callback instead — the router's fan-out path.
+//! `svqact request --repeat` and the cluster router both sit on `Caller`.
 
 use crate::protocol::{
     encode_line, encode_request_line, read_bounded_line, LineEvent, Request, Response,
     ResponseFrame, MAX_LINE_BYTES,
 };
 use crate::transport::Conn;
+use parking_lot::{rt, Condvar, Mutex};
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use svq_query::QueryOutcome;
 use svq_types::{SvqError, SvqResult};
@@ -126,6 +137,301 @@ impl Client {
             other => Err(SvqError::Storage(format!(
                 "expected an outcome frame, got {other:?}"
             ))),
+        }
+    }
+
+    /// Upgrade to the typed pipelined API, reusing this connection. The
+    /// read deadline set at connect time keeps bounding every wait.
+    pub fn into_caller(self) -> SvqResult<Caller> {
+        Caller::start(self.stream, self.reader)
+    }
+}
+
+/// Where a finished [`Caller`] request delivers its result.
+enum Sink {
+    /// A [`Pending`] handle is (or will be) blocked on this slot.
+    Slot(Arc<Slot>),
+    /// Run on the demux thread the moment the response arrives.
+    Callback(Box<dyn FnOnce(SvqResult<Response>) + Send>),
+}
+
+impl Sink {
+    fn fulfill(self, result: SvqResult<Response>) {
+        match self {
+            Sink::Slot(slot) => {
+                *slot.cell.lock() = Some(result);
+                slot.cv.notify_all();
+            }
+            Sink::Callback(done) => done(result),
+        }
+    }
+}
+
+struct Slot {
+    cell: Mutex<Option<SvqResult<Response>>>,
+    cv: Condvar,
+}
+
+/// One in-flight [`Caller::call`]: redeem with [`Pending::wait`].
+///
+/// Dropping the handle abandons the result without disturbing the
+/// connection — the response is discarded on arrival.
+pub struct Pending {
+    slot: Arc<Slot>,
+    id: u64,
+}
+
+impl Pending {
+    /// The protocol-v2 request id this call went out under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives (bounded by the connection's read
+    /// deadline: an expired deadline with requests in flight fails them
+    /// all) and return it.
+    pub fn wait(self) -> SvqResult<Response> {
+        let mut cell = self.slot.cell.lock();
+        loop {
+            match cell.take() {
+                Some(result) => return result,
+                None => self.slot.cv.wait(&mut cell),
+            }
+        }
+    }
+
+    /// Like [`Pending::wait`] but insisting on an `outcome` frame.
+    pub fn wait_outcome(self) -> SvqResult<QueryOutcome> {
+        match self.wait()? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Error { reason, message } => Err(SvqError::Storage(format!(
+                "server refused ({reason}): {message}"
+            ))),
+            other => Err(SvqError::Storage(format!(
+                "expected an outcome frame, got {other:?}"
+            ))),
+        }
+    }
+}
+
+struct CallerInner {
+    /// The write half. `None` once the connection is abandoned; the mutex
+    /// also serializes frames so pipelined writers never interleave lines.
+    write: Mutex<Option<Box<dyn Conn>>>,
+    /// In-flight requests by id, removed when their response demuxes.
+    slots: Mutex<BTreeMap<u64, Sink>>,
+    next_id: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl CallerInner {
+    /// Kill the session: mark dead and fail every in-flight request with
+    /// `why`. Sinks are drained first and fulfilled outside the lock — a
+    /// callback is allowed to issue (and fail) new calls without
+    /// deadlocking on `slots`.
+    fn fail_all(&self, why: &str) {
+        self.alive.store(false, Ordering::Release);
+        let drained: Vec<Sink> = {
+            let mut slots = self.slots.lock();
+            std::mem::take(&mut *slots).into_values().collect()
+        };
+        for sink in drained {
+            sink.fulfill(Err(SvqError::Storage(why.to_string())));
+        }
+    }
+}
+
+/// The typed pipelined client: one connection, many concurrent calls.
+///
+/// A `Caller` owns protocol-v2 id allocation and out-of-order response
+/// matching. [`Caller::call`] tags the request, registers a completion
+/// slot, and returns a [`Pending`] handle immediately; a demux thread
+/// reads whichever response completes next and routes it by id. `&self`
+/// everywhere — clone the `Caller` (cheap, `Arc`) or share references to
+/// pipeline from many threads.
+///
+/// Failure is fail-fast and total: a dead socket, an expired read deadline
+/// with requests in flight, or an untagged server frame fails **every**
+/// in-flight call with a typed error and marks the caller dead
+/// ([`Caller::is_alive`]); later calls are refused. The caller never
+/// reconnects — that policy belongs above (the router's shard links
+/// re-dial with bounded backoff and fresh `Caller`s).
+#[derive(Clone)]
+pub struct Caller {
+    inner: Arc<CallerInner>,
+}
+
+impl Caller {
+    /// Connect with an explicit per-operation read/write deadline.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> SvqResult<Self> {
+        Self::over(Box::new(TcpStream::connect(addr)?), timeout)
+    }
+
+    /// Speak the pipelined protocol over an already-established connection
+    /// (e.g. a [`crate::transport::MemConn`] half in the simulation).
+    pub fn over(stream: Box<dyn Conn>, timeout: Duration) -> SvqResult<Self> {
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone_conn()?);
+        Self::start(stream, reader)
+    }
+
+    fn start(stream: Box<dyn Conn>, reader: BufReader<Box<dyn Conn>>) -> SvqResult<Self> {
+        let inner = Arc::new(CallerInner {
+            write: Mutex::new(Some(stream)),
+            slots: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            alive: AtomicBool::new(true),
+        });
+        let demux_inner = inner.clone();
+        rt::spawn("svq-client-demux", move || demux(&demux_inner, reader)).map_err(SvqError::Io)?;
+        Ok(Self { inner })
+    }
+
+    /// Whether the connection is still usable. `false` after any fatal
+    /// event; in-flight calls at that point have already been failed.
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.load(Ordering::Acquire)
+    }
+
+    /// Send `request` without waiting; redeem the returned [`Pending`]
+    /// with [`Pending::wait`] whenever convenient. Calls from any number
+    /// of threads pipeline onto the one connection.
+    pub fn call(&self, request: &Request) -> SvqResult<Pending> {
+        let slot = Arc::new(Slot {
+            cell: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let id = self.submit(request, Sink::Slot(slot.clone()))?;
+        Ok(Pending { slot, id })
+    }
+
+    /// Send `request` and run `done` with the response when it arrives.
+    /// `done` runs on the demux thread: keep it short and never block it
+    /// on another response from this same caller (that response is behind
+    /// it in the read loop). Returns the request id.
+    pub fn call_with(
+        &self,
+        request: &Request,
+        done: impl FnOnce(SvqResult<Response>) + Send + 'static,
+    ) -> SvqResult<u64> {
+        self.submit(request, Sink::Callback(Box::new(done)))
+    }
+
+    fn submit(&self, request: &Request, sink: Sink) -> SvqResult<u64> {
+        if !self.is_alive() {
+            return Err(SvqError::Storage(
+                "caller connection is dead; open a fresh one".into(),
+            ));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.slots.lock().insert(id, sink);
+        let line = encode_request_line(request, Some(id));
+        let write_result = {
+            let mut write = self.inner.write.lock();
+            match write.as_mut() {
+                // A short frame onto an established socket under the write
+                // deadline; the lock is what keeps concurrent frames from
+                // interleaving mid-line.
+                // svq-lint: allow(blocking-under-lock)
+                Some(conn) => conn.write_all(line.as_bytes()).map_err(SvqError::Io),
+                None => Err(SvqError::Storage(
+                    "caller connection is dead; open a fresh one".into(),
+                )),
+            }
+        };
+        if let Err(e) = write_result {
+            // Unregister before failing the rest so this call reports the
+            // precise write error rather than the generic teardown one.
+            self.inner.slots.lock().remove(&id);
+            self.inner
+                .fail_all("a request write failed; connection abandoned");
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Abandon the connection: shut the socket both ways (the demux thread
+    /// exits on the resulting EOF) and fail any in-flight calls. Safe from
+    /// any thread except a completion callback; idempotent.
+    pub fn close(&self) {
+        if let Some(conn) = self.inner.write.lock().take() {
+            let _ = conn.shutdown_both();
+        }
+        self.inner.fail_all("caller closed; connection abandoned");
+    }
+}
+
+impl Drop for Caller {
+    fn drop(&mut self) {
+        // Last handle out closes the socket so the demux thread exits; no
+        // join — callbacks run on that thread, and the last handle may be
+        // dropped *by* one.
+        if Arc::strong_count(&self.inner) == 1 {
+            self.close();
+        }
+    }
+}
+
+/// The read loop behind a [`Caller`]: route each id-tagged response to its
+/// registered sink; treat anything else as fatal for the session.
+fn demux(inner: &Arc<CallerInner>, mut reader: BufReader<Box<dyn Conn>>) {
+    loop {
+        if !inner.alive.load(Ordering::Acquire) {
+            return;
+        }
+        match read_bounded_line(&mut reader, MAX_LINE_BYTES) {
+            LineEvent::Line(line) => {
+                let frame: Option<ResponseFrame> = std::str::from_utf8(&line)
+                    .ok()
+                    .and_then(|text| serde_json::from_str(text).ok());
+                let Some(frame) = frame else {
+                    inner.fail_all("response was not a protocol frame; connection abandoned");
+                    return;
+                };
+                match frame.id {
+                    Some(id) => {
+                        let sink = inner.slots.lock().remove(&id);
+                        // An unknown id is the late response of a call that
+                        // already failed (e.g. its write erred): discard.
+                        if let Some(sink) = sink {
+                            sink.fulfill(Ok(frame.response));
+                        }
+                    }
+                    // Every request goes out id-tagged, so an untagged
+                    // frame is server-initiated — a reject or a connection
+                    // -level error. It dooms the pipelined session.
+                    None => {
+                        let why = match frame.response {
+                            Response::Error { reason, message } => {
+                                format!("server error ({reason}): {message}")
+                            }
+                            other => format!("unexpected untagged frame: {other:?}"),
+                        };
+                        inner.fail_all(&why);
+                        return;
+                    }
+                }
+            }
+            LineEvent::TimedOut => {
+                if inner.slots.lock().is_empty() {
+                    continue; // idle between calls: keep listening
+                }
+                inner.fail_all("read deadline expired with requests in flight");
+                return;
+            }
+            LineEvent::Eof => {
+                inner.fail_all("connection closed before all responses arrived");
+                return;
+            }
+            LineEvent::Oversize { .. } => {
+                inner.fail_all("response frame exceeded the line cap");
+                return;
+            }
+            LineEvent::Failed(e) => {
+                inner.fail_all(&format!("connection failed: {e}"));
+                return;
+            }
         }
     }
 }

@@ -27,6 +27,12 @@
 //! * **Hardened input path.** Oversize, non-UTF-8, truncated-JSON, and
 //!   unknown-kind frames each get a typed error; the connection and the
 //!   server survive all of them.
+//! * **Clustering.** [`Router`] fronts N hash-partitioned `svq-serve`
+//!   shards behind the identical wire protocol: per-video requests
+//!   forward to the owning shard, `query` with `video: "all"` scatters
+//!   and merges per-shard top-ks byte-identically to a single process,
+//!   and a dead shard surfaces as a typed `shard_unavailable` frame after
+//!   a bounded reconnect — never a hang (see [`router`]).
 //!
 //! This crate is a stderr-only daemon: nothing in it may write to stdout
 //! (enforced by `svq-lint`), which belongs to whatever launched it.
@@ -35,14 +41,16 @@
 
 pub mod client;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod transport;
 
-pub use client::Client;
+pub use client::{Caller, Client, Pending};
 pub use protocol::{
     encode_line, encode_request_line, encode_response_line, parse_request, parse_request_frame,
     read_bounded_line, LineEvent, Request, RequestFrame, Response, ResponseFrame, StatsFrame,
-    MAX_LINE_BYTES,
+    VideoScope, MAX_LINE_BYTES,
 };
-pub use server::{ServeConfig, ServeReport, Server, ServerHandle};
+pub use router::{Connector, RouteConfig, RouteConfigBuilder, Router, TcpConnector};
+pub use server::{ServeConfig, ServeConfigBuilder, ServeReport, Server, ServerHandle};
 pub use transport::{mem_pair, Conn, MemConn, MemTransport, TcpTransport, Transport};

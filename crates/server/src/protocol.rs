@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! -> {"kind": "query",  "sql": "SELECT …", "video": 3}
+//! -> {"kind": "query",  "sql": "SELECT …", "video": "all"}
 //! -> {"kind": "stream", "sql": "SELECT …", "video": 3}
 //! -> {"kind": "stats"}
 //! -> {"kind": "shutdown"}
@@ -14,6 +15,12 @@
 //! <- {"kind": "bye"}
 //! <- {"kind": "error", "code": "busy", "message": "…"}
 //! ```
+//!
+//! A `query` frame's `video` field is a [`VideoScope`]: a concrete id, the
+//! string `"all"` (scatter the offline plan over the whole catalog and
+//! merge — the cluster top-K), or absent (legal only on a single-video
+//! catalog, which is then inferred). `stream` frames always target one
+//! video.
 //!
 //! `outcome` frames embed the exact [`QueryOutcome`] envelope the
 //! in-process executors return, so a wire result is byte-identical (in its
@@ -45,12 +52,50 @@ use svq_types::RejectReason;
 /// Hard cap on one frame (request or response line), newline included.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
+/// Which videos an offline `query` targets.
+///
+/// On the wire: an absent (or `null`) `video` field is [`Sole`], a JSON
+/// integer is [`One`], and the string `"all"` is [`All`]. Any other string
+/// is a typed `bad_request`.
+///
+/// [`Sole`]: VideoScope::Sole
+/// [`One`]: VideoScope::One
+/// [`All`]: VideoScope::All
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoScope {
+    /// No video named: legal only when the server holds exactly one, which
+    /// is then inferred (the v1 convenience contract).
+    Sole,
+    /// One explicitly named video.
+    One(u64),
+    /// Every video the catalog holds — the cluster-wide scatter-gather
+    /// top-K (`QueryResults::Cluster` in the outcome).
+    All,
+}
+
+impl VideoScope {
+    /// The named video, when the scope targets exactly one.
+    pub fn one(self) -> Option<u64> {
+        match self {
+            VideoScope::One(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<Option<u64>> for VideoScope {
+    fn from(video: Option<u64>) -> Self {
+        video.map_or(VideoScope::Sole, VideoScope::One)
+    }
+}
+
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Offline top-K query against the served catalog repository.
-    Query { sql: String, video: Option<u64> },
-    /// Online query over one of the served live streams.
+    Query { sql: String, video: VideoScope },
+    /// Online query over one of the served live streams. Streams always
+    /// target a single (named or sole) video; `"all"` is rejected.
     Stream { sql: String, video: Option<u64> },
     /// Metrics snapshot.
     Stats,
@@ -98,6 +143,14 @@ pub enum Response {
 }
 
 /// The served metrics snapshot, flattened to wire-stable scalars.
+///
+/// A router answers `stats` with the *cluster view*: connection/request
+/// counters and latency percentiles describe its own front door (the
+/// service the client actually talks to), execution counters and
+/// inventory (`catalog_hits`/`catalog_misses`, `catalog_videos`,
+/// `live_streams`, `total_clips`) are summed over every reachable shard,
+/// and `shards`/`shards_up` describe the fan-out. A plain server reports
+/// `shards = 0`.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StatsFrame {
     pub active_conns: u64,
@@ -113,6 +166,10 @@ pub struct StatsFrame {
     pub catalog_hits: u64,
     /// Offline catalog fetches that had to (re)load from disk.
     pub catalog_misses: u64,
+    /// Videos the served catalog repository holds.
+    pub catalog_videos: u64,
+    /// Live streams (detection oracles) the server exposes.
+    pub live_streams: u64,
     pub req_query: u64,
     pub req_stream: u64,
     pub req_stats: u64,
@@ -123,6 +180,10 @@ pub struct StatsFrame {
     pub latency_p99_ms: f64,
     /// Clips evaluated by stream sessions since the server started.
     pub total_clips: u64,
+    /// Upstream shards configured (0 on a non-router server).
+    pub shards: u64,
+    /// Upstream shards that answered the aggregation sweep.
+    pub shards_up: u64,
 }
 
 // Externally tagged by `kind`; hand-written because the derive stand-in
@@ -135,7 +196,14 @@ impl Serialize for Request {
                 "query",
                 vec![
                     ("sql".into(), sql.to_value()),
-                    ("video".into(), video.to_value()),
+                    (
+                        "video".into(),
+                        match video {
+                            VideoScope::Sole => Value::Null,
+                            VideoScope::One(v) => v.to_value(),
+                            VideoScope::All => Value::Str("all".into()),
+                        },
+                    ),
                 ],
             ),
             Request::Stream { sql, video } => tagged(
@@ -319,10 +387,15 @@ fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
             )),
         }
     };
-    let video = || -> Result<Option<u64>, (RejectReason, String)> {
+    let scope = || -> Result<VideoScope, (RejectReason, String)> {
         match value.get("video") {
-            None | Some(Value::Null) => Ok(None),
-            Some(v) => u64::from_value(v).map(Some).map_err(|e| {
+            None | Some(Value::Null) => Ok(VideoScope::Sole),
+            Some(Value::Str(s)) if s == "all" => Ok(VideoScope::All),
+            Some(Value::Str(s)) => Err((
+                RejectReason::BadRequest,
+                format!("`video` must be a video id or \"all\", got {s:?}"),
+            )),
+            Some(v) => u64::from_value(v).map(VideoScope::One).map_err(|e| {
                 (
                     RejectReason::BadRequest,
                     format!("`video` must be a video id: {e}"),
@@ -333,11 +406,22 @@ fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
     match kind.as_str() {
         "query" => Ok(Request::Query {
             sql: sql("query")?,
-            video: video()?,
+            video: scope()?,
         }),
         "stream" => Ok(Request::Stream {
             sql: sql("stream")?,
-            video: video()?,
+            video: match scope()? {
+                VideoScope::Sole => None,
+                VideoScope::One(v) => Some(v),
+                VideoScope::All => {
+                    return Err((
+                        RejectReason::BadRequest,
+                        "`stream` requests target a single video; \
+                         `\"all\"` is only valid for `query`"
+                            .into(),
+                    ))
+                }
+            },
         }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
@@ -450,11 +534,23 @@ mod tests {
         let frames = [
             Request::Query {
                 sql: "SELECT MERGE(clipID) …".into(),
-                video: Some(3),
+                video: VideoScope::One(3),
+            },
+            Request::Query {
+                sql: "SELECT MERGE(clipID) …".into(),
+                video: VideoScope::Sole,
+            },
+            Request::Query {
+                sql: "SELECT MERGE(clipID) …".into(),
+                video: VideoScope::All,
             },
             Request::Stream {
                 sql: "SELECT".into(),
                 video: None,
+            },
+            Request::Stream {
+                sql: "SELECT".into(),
+                video: Some(7),
             },
             Request::Stats,
             Request::Shutdown,
@@ -465,6 +561,35 @@ mod tests {
             let back = parse_request(line.trim_end().as_bytes()).expect("round trip");
             assert_eq!(back, frame);
         }
+    }
+
+    #[test]
+    fn video_scope_wire_shapes() {
+        // "all" only parses for `query` …
+        let req = parse_request(b"{\"kind\": \"query\", \"sql\": \"S\", \"video\": \"all\"}")
+            .expect("query all");
+        assert_eq!(
+            req,
+            Request::Query {
+                sql: "S".into(),
+                video: VideoScope::All
+            }
+        );
+        let (reason, message) =
+            parse_request(b"{\"kind\": \"stream\", \"sql\": \"S\", \"video\": \"all\"}")
+                .expect_err("stream all");
+        assert_eq!(reason, RejectReason::BadRequest);
+        assert!(message.contains("single video"), "{message}");
+        // … any other string is a typed bad_request …
+        let (reason, _) =
+            parse_request(b"{\"kind\": \"query\", \"sql\": \"S\", \"video\": \"every\"}")
+                .expect_err("bad scope");
+        assert_eq!(reason, RejectReason::BadRequest);
+        // … and the scope helpers behave.
+        assert_eq!(VideoScope::One(4).one(), Some(4));
+        assert_eq!(VideoScope::All.one(), None);
+        assert_eq!(VideoScope::from(Some(2)), VideoScope::One(2));
+        assert_eq!(VideoScope::from(None), VideoScope::Sole);
     }
 
     #[test]
@@ -495,7 +620,7 @@ mod tests {
         let line = encode_request_line(
             &Request::Query {
                 sql: "SELECT".into(),
-                video: Some(1),
+                video: VideoScope::One(1),
             },
             Some(7),
         );

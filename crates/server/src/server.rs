@@ -42,7 +42,7 @@
 
 use crate::protocol::{
     encode_line, encode_response_line, parse_request_frame, read_bounded_line, LineEvent, Request,
-    Response, StatsFrame, MAX_LINE_BYTES,
+    Response, StatsFrame, VideoScope, MAX_LINE_BYTES,
 };
 use crate::transport::{Conn, TcpTransport, Transport};
 use parking_lot::{rt, Condvar, Mutex};
@@ -57,48 +57,39 @@ use svq_core::expr::ExprSvaqd;
 use svq_core::online::{OnlineConfig, Svaqd};
 use svq_exec::{Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionId, SessionMux};
 use svq_query::plan::PlannedPredicate;
-use svq_query::{execute_offline, parse, LogicalPlan, QueryMode, QueryOutcome, QueryResults};
+use svq_query::{
+    execute_offline, execute_offline_all_with, parse, LogicalPlan, QueryMode, QueryOutcome,
+    QueryResults,
+};
 use svq_storage::{DiskStats, VideoRepository};
 use svq_types::{PaperScoring, RejectReason, SvqError, SvqResult, VideoId};
 use svq_vision::models::DetectionOracle;
 
-/// Construction knobs for [`Server::start`].
+/// Construction knobs for [`Server::start`], built (and validated) by
+/// [`ServeConfig::builder`].
+///
+/// Fields are private: every construction path — `svqact serve`, the
+/// benches, the simulation scenarios — goes through the builder, so an
+/// out-of-range knob is a typed [`SvqError::InvalidConfig`] naming the
+/// offending field instead of a latent misbehaviour at serve time.
+/// [`ServeConfig::default`] is the builder's starting point and always
+/// valid.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Bind address; port 0 picks an ephemeral port (read it back via
-    /// [`ServerHandle::local_addr`]).
-    pub addr: String,
-    /// Admission limit: connections held concurrently. Over-limit
-    /// connects are answered with a `busy` frame and closed.
-    pub max_conns: usize,
-    /// Per-connection read deadline; an idle connection past it is
-    /// answered with a `timeout` frame and closed.
-    pub read_timeout: Duration,
-    /// Per-connection write deadline (a wedged client cannot pin the
-    /// writer thread forever).
-    pub write_timeout: Duration,
-    /// How long a drain waits for in-flight connections before
-    /// force-closing them.
-    pub drain_timeout: Duration,
-    /// Frame-size cap (bytes, newline included).
-    pub max_line: usize,
-    /// Worker threads in the shared execution pool (stream-session
-    /// multiplexing *and* offline query execution).
-    pub workers: usize,
-    /// Ingress shards in the multiplexer.
-    pub shards: usize,
-    /// Per-session mailbox capacity for `stream` requests.
-    pub mailbox: usize,
-    /// Requests one connection may have in flight (dispatched, response
-    /// not yet flushed). A reader at the bound stops consuming frames
-    /// until a response flushes — per-connection backpressure.
-    pub pipeline_depth: usize,
-    /// Test hook: fail this many handler spawns artificially (exercises
-    /// the spawn-failure answer path, which real resource exhaustion makes
-    /// impractical to reach deterministically). Production configs leave
-    /// this 0.
-    #[doc(hidden)]
-    pub debug_fail_spawns: u64,
+    pub(crate) addr: String,
+    pub(crate) max_conns: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) drain_timeout: Duration,
+    pub(crate) max_line: usize,
+    pub(crate) workers: usize,
+    pub(crate) shards: usize,
+    pub(crate) mailbox: usize,
+    pub(crate) pipeline_depth: usize,
+    pub(crate) catalog_cache: Option<usize>,
+    pub(crate) shard_index: usize,
+    pub(crate) shard_count: usize,
+    pub(crate) debug_fail_spawns: u64,
 }
 
 impl Default for ServeConfig {
@@ -114,8 +105,235 @@ impl Default for ServeConfig {
             shards: 1,
             mailbox: 64,
             pipeline_depth: 64,
+            catalog_cache: None,
+            shard_index: 0,
+            shard_count: 1,
             debug_fail_spawns: 0,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Bind address; port 0 picks an ephemeral port (read it back via
+    /// [`ServerHandle::local_addr`]).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Admission limit: connections held concurrently.
+    pub fn max_conns(&self) -> usize {
+        self.max_conns
+    }
+
+    /// Per-connection read deadline.
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
+    }
+
+    /// Per-connection write deadline.
+    pub fn write_timeout(&self) -> Duration {
+        self.write_timeout
+    }
+
+    /// How long a drain waits before force-closing stragglers.
+    pub fn drain_timeout(&self) -> Duration {
+        self.drain_timeout
+    }
+
+    /// Frame-size cap (bytes, newline included).
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+
+    /// Worker threads in the shared execution pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Ingress shards in the multiplexer.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-session mailbox capacity for `stream` requests.
+    pub fn mailbox(&self) -> usize {
+        self.mailbox
+    }
+
+    /// Requests one connection may have in flight.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Residency bound for the served catalog repository (`None` =
+    /// unbounded). Consumed by the catalog-opening layer (`svqact serve`)
+    /// via [`VideoRepository::with_cache_capacity`]; the server itself
+    /// serves whatever repository it is given.
+    pub fn catalog_cache(&self) -> Option<usize> {
+        self.catalog_cache
+    }
+
+    /// This process's slice of a hash-partitioned catalog: serve only the
+    /// videos with `svq_exec::shard_index(v, shard_count) == shard_index`.
+    /// Consumed by the catalog-opening layer; `(0, 1)` means "everything".
+    pub fn shard_slice(&self) -> (usize, usize) {
+        (self.shard_index, self.shard_count)
+    }
+}
+
+/// Validating builder for [`ServeConfig`]; mirrors `OnlineConfig::builder`.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Admission limit: connections held concurrently.
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.config.max_conns = max_conns;
+        self
+    }
+
+    /// Per-connection read deadline.
+    pub fn read_timeout(mut self, read_timeout: Duration) -> Self {
+        self.config.read_timeout = read_timeout;
+        self
+    }
+
+    /// Per-connection write deadline.
+    pub fn write_timeout(mut self, write_timeout: Duration) -> Self {
+        self.config.write_timeout = write_timeout;
+        self
+    }
+
+    /// Drain deadline before stragglers are force-closed.
+    pub fn drain_timeout(mut self, drain_timeout: Duration) -> Self {
+        self.config.drain_timeout = drain_timeout;
+        self
+    }
+
+    /// Frame-size cap (bytes, newline included).
+    pub fn max_line(mut self, max_line: usize) -> Self {
+        self.config.max_line = max_line;
+        self
+    }
+
+    /// Worker threads in the shared execution pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Ingress shards in the multiplexer.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Per-session mailbox capacity for `stream` requests.
+    pub fn mailbox(mut self, mailbox: usize) -> Self {
+        self.config.mailbox = mailbox;
+        self
+    }
+
+    /// Requests one connection may have in flight (per-connection
+    /// backpressure bound).
+    pub fn pipeline_depth(mut self, pipeline_depth: usize) -> Self {
+        self.config.pipeline_depth = pipeline_depth;
+        self
+    }
+
+    /// Residency bound for the served catalog (`None` = unbounded).
+    pub fn catalog_cache(mut self, catalog_cache: Option<usize>) -> Self {
+        self.config.catalog_cache = catalog_cache;
+        self
+    }
+
+    /// Serve only this slice of a hash-partitioned catalog:
+    /// `shard_index` of `shard_count` (placement by
+    /// `svq_exec::shard_index`). `(0, 1)` serves everything.
+    pub fn shard_slice(mut self, shard_index: usize, shard_count: usize) -> Self {
+        self.config.shard_index = shard_index;
+        self.config.shard_count = shard_count;
+        self
+    }
+
+    /// Test hook: fail this many handler spawns artificially (exercises
+    /// the spawn-failure answer path, which real resource exhaustion makes
+    /// impractical to reach deterministically). Production configs leave
+    /// this 0.
+    #[doc(hidden)]
+    pub fn debug_fail_spawns(mut self, debug_fail_spawns: u64) -> Self {
+        self.config.debug_fail_spawns = debug_fail_spawns;
+        self
+    }
+
+    /// Validate and produce the config. Every failure is a typed
+    /// [`SvqError::InvalidConfig`] naming the offending field.
+    pub fn build(self) -> SvqResult<ServeConfig> {
+        let c = &self.config;
+        let fail = |msg: String| Err(SvqError::InvalidConfig(msg));
+        if c.addr.is_empty() {
+            return fail("serve: addr must not be empty".into());
+        }
+        if c.max_conns == 0 {
+            return fail("serve: max_conns must be at least 1".into());
+        }
+        if c.read_timeout.is_zero() {
+            return fail("serve: read_timeout must be positive".into());
+        }
+        if c.write_timeout.is_zero() {
+            return fail("serve: write_timeout must be positive".into());
+        }
+        if c.drain_timeout.is_zero() {
+            return fail("serve: drain_timeout must be positive".into());
+        }
+        if c.max_line < 64 {
+            return fail(format!(
+                "serve: max_line must be at least 64 bytes, got {}",
+                c.max_line
+            ));
+        }
+        if c.workers == 0 {
+            return fail("serve: workers must be at least 1".into());
+        }
+        if c.shards == 0 {
+            return fail("serve: shards must be at least 1".into());
+        }
+        if c.mailbox == 0 {
+            return fail("serve: mailbox must be at least 1".into());
+        }
+        if c.pipeline_depth == 0 {
+            return fail("serve: pipeline_depth must be at least 1".into());
+        }
+        if c.catalog_cache == Some(0) {
+            return fail(
+                "serve: catalog_cache must be at least 1 slot (omit it for unbounded)".into(),
+            );
+        }
+        if c.shard_count == 0 {
+            return fail("serve: shard_count must be at least 1".into());
+        }
+        if c.shard_index >= c.shard_count {
+            return fail(format!(
+                "serve: shard_index must be below shard_count, got {}/{}",
+                c.shard_index, c.shard_count
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -157,18 +375,28 @@ struct ConnEntry {
     in_flight: Arc<AtomicU64>,
 }
 
-struct Shared {
+/// What executes decoded requests behind the serving core.
+///
+/// The acceptor / admission / per-connection reader & writer / drain
+/// machinery is backend-agnostic: [`LocalBackend`] executes against the
+/// in-process engines, and the cluster router (`crate::router`) forwards
+/// over upstream connections — both behind the same wire behaviour, which
+/// is what lets clients talk to a router exactly as to a single server.
+pub(crate) trait Backend: Send + Sync {
+    /// Answer one decoded request: complete `pending` exactly once, from
+    /// whatever thread finishes the work. `shutdown` frames never reach
+    /// the backend — the serving core answers `bye` and drains itself.
+    fn dispatch(self: Arc<Self>, conn_id: u64, reqno: u64, request: Request, pending: Pending);
+
+    /// Stop backend-owned machinery (upstream links, sessions) during
+    /// teardown, after the drain settled and before the report latches.
+    fn stop(&self) {}
+}
+
+pub(crate) struct Shared {
     config: ServeConfig,
     transport: Arc<dyn Transport>,
-    repo: Option<Arc<VideoRepository>>,
-    oracles: BTreeMap<VideoId, Arc<DetectionOracle>>,
-    /// Offline executions on one catalog are serialized: the catalog's
-    /// simulated-disk ledger is shared state, and the per-run `DiskStats`
-    /// delta (part of the deterministic response) would absorb a
-    /// concurrent query's accesses otherwise. One gate per video keeps
-    /// different videos fully parallel.
-    query_gates: BTreeMap<VideoId, Mutex<()>>,
-    mux: SessionMux,
+    backend: Arc<dyn Backend>,
     metrics: ExecMetrics,
     phase: Mutex<Phase>,
     phase_cv: Condvar,
@@ -264,12 +492,6 @@ impl Server {
         oracles: Vec<Arc<DetectionOracle>>,
         metrics: ExecMetrics,
     ) -> SvqResult<ServerHandle> {
-        if config.max_conns == 0 {
-            return Err(SvqError::InvalidConfig(
-                "serve: max_conns must be at least 1".into(),
-            ));
-        }
-        let local_addr = transport.local_addr();
         let mux = SessionMux::with_options(
             MuxOptions::new(config.workers.max(1)).with_shards(config.shards.max(1)),
             metrics.clone(),
@@ -280,14 +502,36 @@ impl Server {
             .map(|id| (id, Mutex::new(())))
             .collect();
         let oracles = oracles.into_iter().map(|o| (o.truth().video, o)).collect();
-        let spawn_faults = AtomicU64::new(config.debug_fail_spawns);
-        let shared = Arc::new(Shared {
-            config,
-            transport,
+        let backend = Arc::new(LocalBackend {
             repo,
             oracles,
             query_gates,
             mux,
+            metrics: metrics.clone(),
+            mailbox: config.mailbox.max(1),
+        });
+        Self::start_with_backend(transport, config, backend, metrics)
+    }
+
+    /// The backend-agnostic serving core: acceptor, admission, drain —
+    /// shared between [`Server::start_on`] and the cluster router.
+    pub(crate) fn start_with_backend(
+        transport: Arc<dyn Transport>,
+        config: ServeConfig,
+        backend: Arc<dyn Backend>,
+        metrics: ExecMetrics,
+    ) -> SvqResult<ServerHandle> {
+        if config.max_conns == 0 {
+            return Err(SvqError::InvalidConfig(
+                "serve: max_conns must be at least 1".into(),
+            ));
+        }
+        let local_addr = transport.local_addr();
+        let spawn_faults = AtomicU64::new(config.debug_fail_spawns);
+        let shared = Arc::new(Shared {
+            config,
+            transport,
+            backend,
             metrics,
             phase: Mutex::new(Phase::Running),
             phase_cv: Condvar::new(),
@@ -401,6 +645,10 @@ impl ServerHandle {
                     .wait_for(&mut active, Duration::from_millis(50));
             }
         }
+        // The drain settled (or stragglers were force-closed): stop
+        // backend-owned machinery — for a router, the upstream shard links
+        // and their reconnect loops.
+        shared.backend.stop();
         {
             let mut phase = shared.phase.lock();
             *phase = Phase::Stopped;
@@ -416,6 +664,9 @@ impl ServerHandle {
         if let Some(handle) = handle {
             let _ = handle.join();
         }
+        // Release the bound socket: dials after shutdown must be refused,
+        // not parked in a backlog nobody will ever accept.
+        shared.transport.close();
         let snap = shared.metrics.snapshot().server;
         ServeReport {
             addr: shared.local_addr,
@@ -759,7 +1010,7 @@ fn writer_loop(writer: &ConnWriter, mut stream: Box<dyn Conn>) {
 /// Everything one dispatched request needs to answer: completion calls
 /// [`Pending::complete`] exactly once, from whatever thread finished the
 /// work.
-struct Pending {
+pub(crate) struct Pending {
     shared: Arc<Shared>,
     writer: Arc<ConnWriter>,
     ticket: Ticket,
@@ -769,7 +1020,7 @@ struct Pending {
 }
 
 impl Pending {
-    fn complete(self, response: Response) {
+    pub(crate) fn complete(self, response: Response) {
         record_request(&self.shared, self.kind, self.started.elapsed());
         self.writer
             .enqueue(self.ticket, encode_response_line(&response, self.id));
@@ -858,9 +1109,6 @@ fn handle_conn(
                             started,
                         };
                         match frame.request {
-                            Request::Stats => {
-                                pending.complete(Response::Stats(stats_frame(shared)));
-                            }
                             Request::Shutdown => {
                                 pending.complete(Response::Bye);
                                 shared.begin_drain();
@@ -868,10 +1116,10 @@ fn handle_conn(
                                 // (and everything still in flight) first.
                                 break;
                             }
-                            Request::Query { sql, video } => dispatch_query(pending, sql, video),
-                            Request::Stream { sql, video } => {
-                                dispatch_stream(pending, conn_id, reqno, sql, video)
-                            }
+                            request => shared
+                                .backend
+                                .clone()
+                                .dispatch(conn_id, reqno, request, pending),
                         }
                     }
                 }
@@ -925,16 +1173,45 @@ fn handle_conn(
     writer.finish();
 }
 
-/// Run an offline `query` on the shared pool; the response flushes through
-/// the connection's writer whenever it completes.
-fn dispatch_query(pending: Pending, sql: String, video: Option<u64>) {
-    let mux = pending.shared.clone();
-    mux.mux.submit(Box::new(move || {
-        // An acquired in-flight slot must always produce a response, or
-        // drain would wait on it forever: a panicking execution answers
-        // `internal` instead of propagating into the pool's catch-all.
-        let response =
-            match catch_unwind(AssertUnwindSafe(|| do_query(&pending.shared, &sql, video))) {
+/// The in-process execution backend: the engines, catalogs and live
+/// streams a single `svq-serve` instance owns. The cluster router swaps
+/// this for `crate::router`'s forwarding backend behind the same
+/// [`Backend`] seam.
+pub(crate) struct LocalBackend {
+    repo: Option<Arc<VideoRepository>>,
+    oracles: BTreeMap<VideoId, Arc<DetectionOracle>>,
+    /// Per-catalog gates serializing offline queries so the simulated-disk
+    /// delta in one outcome never absorbs a concurrent query's accesses.
+    query_gates: BTreeMap<VideoId, Mutex<()>>,
+    mux: SessionMux,
+    metrics: ExecMetrics,
+    mailbox: usize,
+}
+
+impl Backend for LocalBackend {
+    fn dispatch(self: Arc<Self>, conn_id: u64, reqno: u64, request: Request, pending: Pending) {
+        match request {
+            Request::Stats => pending.complete(Response::Stats(self.stats())),
+            Request::Query { sql, video } => self.dispatch_query(pending, sql, video),
+            Request::Stream { sql, video } => {
+                self.dispatch_stream(conn_id, reqno, sql, video, pending)
+            }
+            // The serving core answers `shutdown` itself; never reached.
+            Request::Shutdown => pending.complete(Response::Bye),
+        }
+    }
+}
+
+impl LocalBackend {
+    /// Run an offline `query` on the shared pool; the response flushes
+    /// through the connection's writer whenever it completes.
+    fn dispatch_query(self: Arc<Self>, pending: Pending, sql: String, video: VideoScope) {
+        let me = self.clone();
+        self.mux.submit(Box::new(move || {
+            // An acquired in-flight slot must always produce a response, or
+            // drain would wait on it forever: a panicking execution answers
+            // `internal` instead of propagating into the pool's catch-all.
+            let response = match catch_unwind(AssertUnwindSafe(|| me.do_query(&sql, video))) {
                 Ok(Ok(outcome)) => Response::Outcome(outcome),
                 Ok(Err((reason, message))) => Response::Error { reason, message },
                 Err(_) => Response::Error {
@@ -942,38 +1219,191 @@ fn dispatch_query(pending: Pending, sql: String, video: Option<u64>) {
                     message: "query execution panicked".into(),
                 },
             };
-        pending.complete(response);
-    }));
-}
+            pending.complete(response);
+        }));
+    }
 
-/// Validate and register a `stream` request, then complete through the
-/// mux's result callback — no thread blocks waiting on the session.
-fn dispatch_stream(pending: Pending, conn_id: u64, reqno: u64, sql: String, video: Option<u64>) {
-    match prepare_stream(&pending.shared, conn_id, reqno, &sql, video) {
-        Err((reason, message)) => pending.complete(Response::Error { reason, message }),
-        Ok(session) => {
-            let mux = pending.shared.clone();
-            let started = pending.started;
-            mux.mux.on_result(session, move |result| {
-                pending.shared.mux.release(session);
-                let response = match result {
-                    Ok(done) => Response::Outcome(QueryOutcome {
-                        results: QueryResults::Online {
-                            sequences: done.sequences,
-                            cost: done.cost,
+    /// Validate and register a `stream` request, then complete through the
+    /// mux's result callback — no thread blocks waiting on the session.
+    fn dispatch_stream(
+        self: Arc<Self>,
+        conn_id: u64,
+        reqno: u64,
+        sql: String,
+        video: Option<u64>,
+        pending: Pending,
+    ) {
+        match self.prepare_stream(conn_id, reqno, &sql, video) {
+            Err((reason, message)) => pending.complete(Response::Error { reason, message }),
+            Ok(session) => {
+                let me = self.clone();
+                let started = pending.started;
+                self.mux.on_result(session, move |result| {
+                    me.mux.release(session);
+                    let response = match result {
+                        Ok(done) => Response::Outcome(QueryOutcome {
+                            results: QueryResults::Online {
+                                sequences: done.sequences,
+                                cost: done.cost,
+                            },
+                            disk: DiskStats::default(),
+                            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                        }),
+                        Err(e) => Response::Error {
+                            reason: RejectReason::Internal,
+                            message: e.to_string(),
                         },
-                        disk: DiskStats::default(),
-                        wall_ms: started.elapsed().as_secs_f64() * 1e3,
-                    }),
-                    Err(e) => Response::Error {
-                        reason: RejectReason::Internal,
-                        message: e.to_string(),
-                    },
-                };
-                pending.complete(response);
-            });
-            mux.mux.feed_stream(session);
+                    };
+                    pending.complete(response);
+                });
+                self.mux.feed_stream(session);
+            }
         }
+    }
+
+    fn do_query(
+        &self,
+        sql: &str,
+        video: VideoScope,
+    ) -> Result<QueryOutcome, (RejectReason, String)> {
+        let repo = self.repo.as_ref().ok_or((
+            RejectReason::BadRequest,
+            "this server holds no offline catalog; only `stream` and `stats` are available"
+                .to_string(),
+        ))?;
+        let plan = plan_of(sql)?;
+        if !matches!(plan.mode, QueryMode::Offline { .. }) {
+            return Err((
+                RejectReason::BadRequest,
+                "statement plans online (no ORDER BY RANK … LIMIT); send it as a `stream` request"
+                    .into(),
+            ));
+        }
+        let id = match video {
+            VideoScope::All => return self.query_all(&plan, repo),
+            VideoScope::One(v) => VideoId::new(v),
+            VideoScope::Sole => target_video(None, repo.video_ids(), "catalog video")?,
+        };
+        self.query_one(&plan, repo, id)
+    }
+
+    fn query_one(
+        &self,
+        plan: &LogicalPlan,
+        repo: &VideoRepository,
+        id: VideoId,
+    ) -> Result<QueryOutcome, (RejectReason, String)> {
+        let (catalog, hit) = repo
+            .fetch(id)
+            .map_err(|e| (reject_of(&e), e.to_string()))?
+            .ok_or_else(|| {
+                (
+                    RejectReason::UnknownVideo,
+                    format!("video {id:?} is not in the served catalog"),
+                )
+            })?;
+        self.count_fetch(hit);
+        // Serialize per catalog: the simulated-disk delta in the outcome
+        // must not absorb a concurrent query's accesses.
+        let _gate = self.query_gates.get(&id).map(|g| g.lock());
+        execute_offline(plan, &catalog, &PaperScoring).map_err(|e| (reject_of(&e), e.to_string()))
+    }
+
+    /// `video: "all"` — the cluster reduction over every served catalog.
+    /// Routed through [`execute_offline_all_with`] so the served path *is*
+    /// the library path (a router merging per-shard answers is therefore
+    /// byte-identical by construction); the per-video hook threads this
+    /// backend's fetch counters and query gates into the shared sweep.
+    fn query_all(
+        &self,
+        plan: &LogicalPlan,
+        repo: &VideoRepository,
+    ) -> Result<QueryOutcome, (RejectReason, String)> {
+        // guard-escapes below widens the gate over the whole sweep, which
+        // statically also covers the *next* video's catalog read; at
+        // runtime the guard drops at the end of each video's iteration,
+        // so no file I/O happens under it. svq-lint: allow(blocking-under-lock)
+        execute_offline_all_with(plan, repo, &PaperScoring, |id, hit| {
+            self.count_fetch(hit);
+            // The guard escapes: the sweep holds it across that video's
+            // execution. svq-lint: guard-escapes(execute_offline_all_with)
+            self.query_gates.get(&id).map(|g| g.lock())
+        })
+        .map_err(|e| (reject_of(&e), e.to_string()))
+    }
+
+    fn count_fetch(&self, hit: bool) {
+        let srv = self.metrics.server();
+        if hit {
+            srv.catalog_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            srv.catalog_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The synchronous half of a `stream` request: validate the statement
+    /// and register its session. Feeding and completion are asynchronous.
+    fn prepare_stream(
+        &self,
+        conn_id: u64,
+        reqno: u64,
+        sql: &str,
+        video: Option<u64>,
+    ) -> Result<SessionId, (RejectReason, String)> {
+        if self.oracles.is_empty() {
+            return Err((
+                RejectReason::BadRequest,
+                "this server holds no live streams; only `query` and `stats` are available".into(),
+            ));
+        }
+        let plan = plan_of(sql)?;
+        if plan.mode != QueryMode::Online {
+            return Err((
+                RejectReason::BadRequest,
+                "statement plans offline (top-K); send it as a `query` request".into(),
+            ));
+        }
+        let id = target_video(video, self.oracles.keys().copied(), "live stream")?;
+        let oracle = self.oracles.get(&id).ok_or_else(|| {
+            (
+                RejectReason::UnknownVideo,
+                format!("video {id:?} is not among the served live streams"),
+            )
+        })?;
+        let geometry = oracle.truth().geometry;
+        let engine = match &plan.predicate {
+            PlannedPredicate::Simple(q) => SessionEngine::Svaqd(Svaqd::new(
+                q.clone(),
+                geometry,
+                OnlineConfig::default(),
+                1e-4,
+                1e-4,
+            )),
+            PlannedPredicate::Cnf(q) => SessionEngine::Expr(ExprSvaqd::new(
+                q.clone(),
+                geometry,
+                OnlineConfig::default(),
+                1e-4,
+                1e-4,
+            )),
+        };
+        Ok(self.mux.register(
+            format!("conn{conn_id}/r{reqno}"),
+            oracle.clone(),
+            engine,
+            Backpressure::Block,
+            self.mailbox.max(1),
+        ))
+    }
+
+    fn stats(&self) -> StatsFrame {
+        let mut frame = base_stats(&self.metrics);
+        frame.catalog_videos = self
+            .repo
+            .as_ref()
+            .map_or(0, |r| r.video_ids().count() as u64);
+        frame.live_streams = self.oracles.len() as u64;
+        frame
     }
 }
 
@@ -1028,102 +1458,12 @@ fn target_video(
     }
 }
 
-fn do_query(
-    shared: &Shared,
-    sql: &str,
-    video: Option<u64>,
-) -> Result<QueryOutcome, (RejectReason, String)> {
-    let repo = shared.repo.as_ref().ok_or((
-        RejectReason::BadRequest,
-        "this server holds no offline catalog; only `stream` and `stats` are available".to_string(),
-    ))?;
-    let plan = plan_of(sql)?;
-    if !matches!(plan.mode, QueryMode::Offline { .. }) {
-        return Err((
-            RejectReason::BadRequest,
-            "statement plans online (no ORDER BY RANK … LIMIT); send it as a `stream` request"
-                .into(),
-        ));
-    }
-    let id = target_video(video, repo.video_ids(), "catalog video")?;
-    let (catalog, hit) = repo
-        .fetch(id)
-        .map_err(|e| (reject_of(&e), e.to_string()))?
-        .ok_or_else(|| {
-            (
-                RejectReason::UnknownVideo,
-                format!("video {id:?} is not in the served catalog"),
-            )
-        })?;
-    let srv = shared.metrics.server();
-    if hit {
-        srv.catalog_hits.fetch_add(1, Ordering::Relaxed);
-    } else {
-        srv.catalog_misses.fetch_add(1, Ordering::Relaxed);
-    }
-    // Serialize per catalog: the simulated-disk delta in the outcome must
-    // not absorb a concurrent query's accesses (see `Shared::query_gates`).
-    let _gate = shared.query_gates.get(&id).map(|g| g.lock());
-    execute_offline(&plan, &catalog, &PaperScoring).map_err(|e| (reject_of(&e), e.to_string()))
-}
-
-/// The synchronous half of a `stream` request: validate the statement and
-/// register its session. Feeding and completion happen asynchronously.
-fn prepare_stream(
-    shared: &Shared,
-    conn_id: u64,
-    reqno: u64,
-    sql: &str,
-    video: Option<u64>,
-) -> Result<SessionId, (RejectReason, String)> {
-    if shared.oracles.is_empty() {
-        return Err((
-            RejectReason::BadRequest,
-            "this server holds no live streams; only `query` and `stats` are available".into(),
-        ));
-    }
-    let plan = plan_of(sql)?;
-    if plan.mode != QueryMode::Online {
-        return Err((
-            RejectReason::BadRequest,
-            "statement plans offline (top-K); send it as a `query` request".into(),
-        ));
-    }
-    let id = target_video(video, shared.oracles.keys().copied(), "live stream")?;
-    let oracle = shared.oracles.get(&id).ok_or_else(|| {
-        (
-            RejectReason::UnknownVideo,
-            format!("video {id:?} is not among the served live streams"),
-        )
-    })?;
-    let geometry = oracle.truth().geometry;
-    let engine = match &plan.predicate {
-        PlannedPredicate::Simple(q) => SessionEngine::Svaqd(Svaqd::new(
-            q.clone(),
-            geometry,
-            OnlineConfig::default(),
-            1e-4,
-            1e-4,
-        )),
-        PlannedPredicate::Cnf(q) => SessionEngine::Expr(ExprSvaqd::new(
-            q.clone(),
-            geometry,
-            OnlineConfig::default(),
-            1e-4,
-            1e-4,
-        )),
-    };
-    Ok(shared.mux.register(
-        format!("conn{conn_id}/r{reqno}"),
-        oracle.clone(),
-        engine,
-        Backpressure::Block,
-        shared.config.mailbox.max(1),
-    ))
-}
-
-fn stats_frame(shared: &Shared) -> StatsFrame {
-    let snap = shared.metrics.snapshot();
+/// The front-door counters every server shape shares: connection and
+/// request accounting from this process's [`ExecMetrics`]. Backends add
+/// what only they know — [`LocalBackend`] its catalog/stream inventory,
+/// the router its cluster view (summed shard counters, `shards_up`).
+pub(crate) fn base_stats(metrics: &ExecMetrics) -> StatsFrame {
+    let snap = metrics.snapshot();
     let s = snap.server;
     StatsFrame {
         active_conns: s.active_conns,
@@ -1136,6 +1476,8 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
         accept_errors: s.accept_errors,
         catalog_hits: s.catalog_hits,
         catalog_misses: s.catalog_misses,
+        catalog_videos: 0,
+        live_streams: 0,
         req_query: s.req_query,
         req_stream: s.req_stream,
         req_stats: s.req_stats,
@@ -1145,5 +1487,7 @@ fn stats_frame(shared: &Shared) -> StatsFrame {
         latency_p95_ms: s.latency_p95_ms,
         latency_p99_ms: s.latency_p99_ms,
         total_clips: snap.total_clips,
+        shards: 0,
+        shards_up: 0,
     }
 }

@@ -56,6 +56,10 @@ pub trait Transport: Send + Sync {
     /// Unblock a pending [`Transport::accept`] so the acceptor notices a
     /// phase change.
     fn wake(&self);
+    /// Stop listening for good: release the bound socket so later dials
+    /// are refused instead of queueing in a backlog nobody will accept.
+    /// Called once by teardown, after the acceptor has exited.
+    fn close(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -86,7 +90,9 @@ impl Conn for TcpStream {
 
 /// The production transport: a bound `TcpListener`.
 pub struct TcpTransport {
-    listener: TcpListener,
+    /// `None` once closed. The acceptor dups the listener per accept so
+    /// this lock is never held across the blocking syscall.
+    listener: Mutex<Option<TcpListener>>,
     addr: SocketAddr,
 }
 
@@ -95,13 +101,25 @@ impl TcpTransport {
     pub fn bind(addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        Ok(Self { listener, addr })
+        Ok(Self {
+            listener: Mutex::new(Some(listener)),
+            addr,
+        })
     }
 }
 
 impl Transport for TcpTransport {
     fn accept(&self) -> io::Result<Box<dyn Conn>> {
-        let (stream, _peer) = self.listener.accept()?;
+        let listener = match self.listener.lock().as_ref() {
+            Some(listener) => listener.try_clone()?,
+            None => {
+                return Err(io::Error::new(
+                    ErrorKind::NotConnected,
+                    "listener is closed",
+                ))
+            }
+        };
+        let (stream, _peer) = listener.accept()?;
         Ok(Box::new(stream))
     }
 
@@ -113,6 +131,14 @@ impl Transport for TcpTransport {
         // A throwaway self-connection pops the blocking accept; the
         // acceptor re-checks the phase and drops it uncounted.
         let _ = TcpStream::connect(self.addr);
+    }
+
+    fn close(&self) {
+        // Dropping the last handle closes the socket, so dials after a
+        // shutdown are refused by the OS rather than parked in the
+        // backlog — which is what lets a router classify a killed shard
+        // as unreachable instead of timing out against silence.
+        self.listener.lock().take();
     }
 }
 
@@ -327,6 +353,7 @@ enum Arrival {
 pub struct MemTransport {
     queue: Mutex<VecDeque<Arrival>>,
     arrived: Condvar,
+    closed: std::sync::atomic::AtomicBool,
 }
 
 impl MemTransport {
@@ -334,6 +361,7 @@ impl MemTransport {
         Arc::new(Self {
             queue: Mutex::new(VecDeque::new()),
             arrived: Condvar::new(),
+            closed: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -343,6 +371,19 @@ impl MemTransport {
         self.queue.lock().push_back(Arrival::Conn(server));
         self.arrived.notify_all();
         client
+    }
+
+    /// [`MemTransport::connect`], refusing once the server has torn the
+    /// transport down — the in-memory analogue of ECONNREFUSED, so a
+    /// router dialling a stopped simulated shard fails fast.
+    pub fn try_connect(&self) -> io::Result<MemConn> {
+        if self.closed.load(std::sync::atomic::Ordering::Acquire) {
+            return Err(io::Error::new(
+                ErrorKind::ConnectionRefused,
+                "in-memory listener is closed",
+            ));
+        }
+        Ok(self.connect())
     }
 }
 
@@ -372,6 +413,19 @@ impl Transport for MemTransport {
     fn wake(&self) {
         self.queue.lock().push_back(Arrival::Wake);
         self.arrived.notify_all();
+    }
+
+    fn close(&self) {
+        self.closed
+            .store(true, std::sync::atomic::Ordering::Release);
+        // Connections queued behind the dead acceptor get an abortive
+        // close so their clients' blocked reads return now, not at their
+        // read deadline.
+        for arrival in self.queue.lock().drain(..) {
+            if let Arrival::Conn(conn) = arrival {
+                let _ = conn.shutdown_both();
+            }
+        }
     }
 }
 

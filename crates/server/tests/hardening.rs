@@ -12,11 +12,11 @@ use svq_types::RejectReason;
 
 fn start_bare(max_line: usize) -> svq_serve::ServerHandle {
     Server::start(
-        ServeConfig {
-            max_line,
-            read_timeout: Duration::from_secs(10),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_line(max_line)
+            .read_timeout(Duration::from_secs(10))
+            .build()
+            .expect("config is valid"),
         None,
         Vec::new(),
         svq_exec::ExecMetrics::new(),
@@ -119,7 +119,7 @@ proptest! {
         let sql = String::from_utf8_lossy(&bytes).into_owned();
         let video = if has_video { Some(video) } else { None };
         let frame = match kind {
-            0 => Request::Query { sql, video },
+            0 => Request::Query { sql, video: video.into() },
             1 => Request::Stream { sql, video },
             2 => Request::Stats,
             _ => Request::Shutdown,

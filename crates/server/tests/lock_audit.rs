@@ -70,13 +70,13 @@ fn serving_workload_has_no_lock_order_inversions() {
             .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
     ));
     let handle = Server::start(
-        ServeConfig {
-            max_conns: 4,
-            workers: 4,
-            shards: 2,
-            drain_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_conns(4)
+            .workers(4)
+            .shards(2)
+            .drain_timeout(Duration::from_secs(30))
+            .build()
+            .expect("config is valid"),
         Some(repo),
         oracles,
         svq_exec::ExecMetrics::new(),
@@ -99,7 +99,7 @@ fn serving_workload_has_no_lock_order_inversions() {
                     let result = match (c + round) % 4 {
                         0 => client.request(&Request::Query {
                             sql: OFFLINE_SQL.into(),
-                            video,
+                            video: video.into(),
                         }),
                         1 => client.request(&Request::Stream {
                             sql: ONLINE_SQL.into(),

@@ -20,6 +20,7 @@ use svq_core::online::OnlineConfig;
 use svq_query::{execute_offline, parse, LogicalPlan, QueryOutcome};
 use svq_serve::{
     Client, Conn, MemTransport, Request, Response, ServeConfig, Server, ServerHandle, Transport,
+    VideoScope,
 };
 use svq_storage::VideoRepository;
 use svq_types::{
@@ -102,11 +103,11 @@ fn pipelined_queries_match_in_process_execution_by_id() {
     // exercising the per-connection backpressure path, not just the fast
     // path where every request fits in flight at once.
     let handle = start(
-        ServeConfig {
-            workers: 4,
-            pipeline_depth: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(4)
+            .pipeline_depth(2)
+            .build()
+            .expect("config is valid"),
         2_000,
     );
     let mut client = Client::connect(handle.local_addr()).expect("connect");
@@ -116,7 +117,7 @@ fn pipelined_queries_match_in_process_execution_by_id() {
             .send(
                 &Request::Query {
                     sql: OFFLINE_SQL.into(),
-                    video: Some(0),
+                    video: VideoScope::One(0),
                 },
                 Some(id),
             )
@@ -309,10 +310,10 @@ fn persistent_accept_errors_back_off_instead_of_busy_spinning() {
 #[test]
 fn failed_handler_spawn_answers_a_typed_internal_frame() {
     let handle = start(
-        ServeConfig {
-            debug_fail_spawns: 1,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .debug_fail_spawns(1)
+            .build()
+            .expect("config is valid"),
         2_000,
     );
 

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use svq_core::offline::ingest;
 use svq_core::online::OnlineConfig;
 use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
-use svq_serve::{Client, Request, Response, ServeConfig, Server, ServerHandle};
+use svq_serve::{Client, Request, Response, ServeConfig, Server, ServerHandle, VideoScope};
 use svq_storage::VideoRepository;
 use svq_types::{
     ActionClass, BBox, FrameId, Interval, ObjectClass, PaperScoring, RejectReason, TrackId,
@@ -96,7 +96,7 @@ fn wire_results_are_byte_identical_to_in_process_execution() {
     let served = client
         .expect_outcome(&Request::Query {
             sql: OFFLINE_SQL.into(),
-            video: Some(0),
+            video: VideoScope::One(0),
         })
         .expect("query answers");
     let reference_oracle = oracle(0, 42, 2_000);
@@ -164,10 +164,10 @@ fn wire_results_are_byte_identical_to_in_process_execution() {
 #[test]
 fn over_limit_connections_get_a_busy_frame_and_a_clean_close() {
     let handle = start(
-        ServeConfig {
-            max_conns: 1,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_conns(1)
+            .build()
+            .expect("config is valid"),
         2_000,
     );
     let mut first = Client::connect(handle.local_addr()).expect("connect");
@@ -221,10 +221,10 @@ fn graceful_drain_finishes_in_flight_work_and_refuses_new_connects() {
     // 3 000 clips: long enough that the stream request is reliably still
     // executing when the drain triggers.
     let handle = start(
-        ServeConfig {
-            drain_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .drain_timeout(Duration::from_secs(30))
+            .build()
+            .expect("config is valid"),
         150_000,
     );
     let addr = handle.local_addr();
@@ -288,10 +288,10 @@ fn graceful_drain_finishes_in_flight_work_and_refuses_new_connects() {
 #[test]
 fn expired_read_deadline_answers_timeout_and_closes() {
     let handle = start(
-        ServeConfig {
-            read_timeout: Duration::from_millis(150),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .read_timeout(Duration::from_millis(150))
+            .build()
+            .expect("config is valid"),
         2_000,
     );
     let mut client = Client::connect(handle.local_addr()).expect("connect");
@@ -325,7 +325,7 @@ fn dispatch_errors_are_typed_and_recoverable() {
         &mut client,
         &Request::Query {
             sql: OFFLINE_SQL.into(),
-            video: Some(9),
+            video: VideoScope::One(9),
         },
         RejectReason::UnknownVideo,
     );
@@ -342,7 +342,7 @@ fn dispatch_errors_are_typed_and_recoverable() {
         &mut client,
         &Request::Query {
             sql: ONLINE_SQL.into(),
-            video: Some(0),
+            video: VideoScope::One(0),
         },
         RejectReason::BadRequest,
     );
@@ -359,7 +359,7 @@ fn dispatch_errors_are_typed_and_recoverable() {
         &mut client,
         &Request::Query {
             sql: "SELECT FROM WHERE".into(),
-            video: Some(0),
+            video: VideoScope::One(0),
         },
         RejectReason::BadRequest,
     );
@@ -368,7 +368,7 @@ fn dispatch_errors_are_typed_and_recoverable() {
     let served = client
         .expect_outcome(&Request::Query {
             sql: OFFLINE_SQL.into(),
-            video: Some(0),
+            video: VideoScope::One(0),
         })
         .expect("query still answers");
     assert!(!served.sequences().is_empty());
@@ -391,7 +391,7 @@ fn a_server_without_a_catalog_rejects_queries_but_streams() {
     match client
         .request(&Request::Query {
             sql: OFFLINE_SQL.into(),
-            video: None,
+            video: VideoScope::Sole,
         })
         .expect("answered")
     {

@@ -11,7 +11,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use svq_core::offline::ingest;
 use svq_core::online::OnlineConfig;
-use svq_serve::{Client, Request, Response, ServeConfig, Server};
+use svq_exec::shard_index;
+use svq_serve::{
+    Client, Request, Response, RouteConfig, Router, ServeConfig, Server, ServerHandle, VideoScope,
+};
 use svq_storage::VideoRepository;
 use svq_types::{
     ActionClass, BBox, FrameId, Interval, ObjectClass, PaperScoring, TrackId, VideoGeometry,
@@ -57,8 +60,46 @@ fn oracle(video: u64, seed: u64) -> Arc<DetectionOracle> {
     ))
 }
 
+/// The audit ledger is process-global, so the two workloads must not
+/// interleave: a concurrent `reset()` would empty the other test's
+/// observation window and trip its vacuity assert.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Shared tail of both workloads: read the runtime ledger, keep
+/// first-party edges, and require each one in the static graph.
+fn assert_edges_covered() {
+    // First-party edges only; the vendored stand-ins take locks of their
+    // own that the workspace analyzer deliberately does not model.
+    let observed: Vec<_> = parking_lot::lock_audit::edge_sites()
+        .into_iter()
+        .filter(|((hf, _), (af, _))| hf.starts_with("crates/") && af.starts_with("crates/"))
+        .collect();
+    assert!(
+        !observed.is_empty(),
+        "workload recorded no first-party lock edges; the gate is vacuous"
+    );
+
+    let root = svq_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let graph = svq_lint::lock_graph(&root).expect("static analysis runs");
+
+    let missing: Vec<String> = observed
+        .iter()
+        .filter(|((hf, hl), (af, al))| !graph.covers((hf, *hl), (af, *al)))
+        .map(|((hf, hl), (af, al))| format!("holding {hf}:{hl} acquired {af}:{al}"))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "{} runtime lock edge(s) missing from the static lock graph \
+         (the guard walker or call resolver lost a region):\n{}",
+        missing.len(),
+        missing.join("\n"),
+    );
+}
+
 #[test]
 fn runtime_lock_edges_are_covered_by_the_static_graph() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     parking_lot::lock_audit::reset();
 
     let oracles: Vec<_> = (0..3).map(|i| oracle(i, 900 + i)).collect();
@@ -68,13 +109,13 @@ fn runtime_lock_edges_are_covered_by_the_static_graph() {
             .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
     ));
     let handle = Server::start(
-        ServeConfig {
-            max_conns: 4,
-            workers: 4,
-            shards: 2,
-            drain_timeout: Duration::from_secs(30),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .max_conns(4)
+            .workers(4)
+            .shards(2)
+            .drain_timeout(Duration::from_secs(30))
+            .build()
+            .expect("config is valid"),
         Some(repo),
         oracles,
         svq_exec::ExecMetrics::new(),
@@ -94,7 +135,7 @@ fn runtime_lock_edges_are_covered_by_the_static_graph() {
                     let result = match (c + round) % 4 {
                         0 => client.request(&Request::Query {
                             sql: OFFLINE_SQL.into(),
-                            video,
+                            video: video.into(),
                         }),
                         1 => client.request(&Request::Stream {
                             sql: ONLINE_SQL.into(),
@@ -123,31 +164,136 @@ fn runtime_lock_edges_are_covered_by_the_static_graph() {
     let report = handle.wait();
     assert!(report.accepted >= 1);
 
-    // First-party edges only; the vendored stand-ins take locks of their
-    // own that the workspace analyzer deliberately does not model.
-    let observed: Vec<_> = parking_lot::lock_audit::edge_sites()
-        .into_iter()
-        .filter(|((hf, _), (af, _))| hf.starts_with("crates/") && af.starts_with("crates/"))
+    assert_edges_covered();
+}
+
+/// The router twin: the same soundness gate over the cluster paths — the
+/// per-shard link cache and its reconnect loop, the scatter-gather state,
+/// the pipelined caller's demux, and the typed failure path when a shard
+/// dies mid-traffic. Every lock edge those take at runtime must be in the
+/// static graph too.
+#[test]
+fn router_runtime_lock_edges_are_covered_by_the_static_graph() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    parking_lot::lock_audit::reset();
+
+    const SHARDS: usize = 2;
+    let videos: Vec<u64> = (0..4).collect();
+    let shard_handles: Vec<ServerHandle> = (0..SHARDS)
+        .map(|index| {
+            let oracles: Vec<_> = videos
+                .iter()
+                .copied()
+                .filter(|&v| shard_index(VideoId::new(v), SHARDS) == index)
+                .map(|v| oracle(v, 900 + v))
+                .collect();
+            let repo = Arc::new(VideoRepository::from_catalogs(
+                oracles
+                    .iter()
+                    .map(|o| ingest(o, &PaperScoring, &OnlineConfig::default())),
+            ));
+            Server::start(
+                ServeConfig::builder()
+                    .max_conns(8)
+                    .workers(2)
+                    .shards(2)
+                    .drain_timeout(Duration::from_secs(30))
+                    .build()
+                    .expect("config is valid"),
+                Some(repo),
+                oracles,
+                svq_exec::ExecMetrics::new(),
+            )
+            .expect("shard starts")
+        })
         .collect();
-    assert!(
-        !observed.is_empty(),
-        "workload recorded no first-party lock edges; the gate is vacuous"
-    );
-
-    let root = svq_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
-        .expect("workspace root");
-    let graph = svq_lint::lock_graph(&root).expect("static analysis runs");
-
-    let missing: Vec<String> = observed
+    let addrs: Vec<String> = shard_handles
         .iter()
-        .filter(|((hf, hl), (af, al))| !graph.covers((hf, *hl), (af, *al)))
-        .map(|((hf, hl), (af, al))| format!("holding {hf}:{hl} acquired {af}:{al}"))
+        .map(|s| s.local_addr().to_string())
         .collect();
-    assert!(
-        missing.is_empty(),
-        "{} runtime lock edge(s) missing from the static lock graph \
-         (the guard walker or call resolver lost a region):\n{}",
-        missing.len(),
-        missing.join("\n"),
-    );
+    let router = Router::start(
+        RouteConfig::builder()
+            .max_conns(8)
+            .drain_timeout(Duration::from_secs(30))
+            .upstream_timeout(Duration::from_secs(10))
+            .connect_attempts(2)
+            .build()
+            .expect("config is valid"),
+        &addrs,
+        svq_exec::ExecMetrics::new(),
+    )
+    .expect("router starts");
+    let addr = router.local_addr();
+
+    // Mixed routed traffic: targeted queries and streams (single-shard
+    // forward), stats and cross-catalog top-k (scatter-gather), all
+    // through the pipelined caller so the demux threads run too.
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let caller = match Client::connect(addr).and_then(Client::into_caller) {
+                    Ok(caller) => caller,
+                    Err(_) => return,
+                };
+                let pending: Vec<_> = (0..4u64)
+                    .filter_map(|round| {
+                        let video = (c + round) % 4;
+                        let request = match (c + round) % 4 {
+                            0 => Request::Query {
+                                sql: OFFLINE_SQL.into(),
+                                video: VideoScope::One(video),
+                            },
+                            1 => Request::Stream {
+                                sql: ONLINE_SQL.into(),
+                                video: Some(video),
+                            },
+                            2 => Request::Stats,
+                            _ => Request::Query {
+                                sql: OFFLINE_SQL.into(),
+                                video: VideoScope::All,
+                            },
+                        };
+                        caller.call(&request).ok()
+                    })
+                    .collect();
+                for handle in pending {
+                    let _ = handle.wait();
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Kill one shard and drive the typed-unavailable path: the dead
+    // link's reconnect/backoff locks and the error fan-in.
+    let dead = &shard_handles[SHARDS - 1];
+    dead.shutdown();
+    dead.wait();
+    let dead_video = videos
+        .iter()
+        .copied()
+        .find(|&v| shard_index(VideoId::new(v), SHARDS) == SHARDS - 1)
+        .expect("some video hashes to the dead shard");
+    if let Ok(mut client) = Client::connect(addr) {
+        let _ = client.request(&Request::Query {
+            sql: OFFLINE_SQL.into(),
+            video: VideoScope::One(dead_video),
+        });
+        let _ = client.request(&Request::Query {
+            sql: OFFLINE_SQL.into(),
+            video: VideoScope::All,
+        });
+    }
+
+    router.shutdown();
+    let report = router.wait();
+    assert!(report.accepted >= 1);
+    for shard in &shard_handles {
+        shard.shutdown();
+        shard.wait();
+    }
+
+    assert_edges_covered();
 }

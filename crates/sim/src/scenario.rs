@@ -32,10 +32,12 @@ use svq_exec::{
     parallel_ingest_into, Backpressure, ExecMetrics, MuxOptions, SessionEngine, SessionError,
     SessionMux,
 };
-use svq_query::{execute_offline, execute_online, parse, LogicalPlan, QueryOutcome};
+use svq_query::{
+    execute_offline, execute_offline_all, execute_online, parse, LogicalPlan, QueryOutcome,
+};
 use svq_serve::{
-    encode_line, encode_request_line, Client, Conn, MemTransport, Request, Response, ServeConfig,
-    Server,
+    encode_line, encode_request_line, Client, Conn, Connector, MemTransport, Request, Response,
+    RouteConfig, Router, ServeConfig, Server, Transport, VideoScope,
 };
 use svq_storage::{FailingSink, JsonDirSink, VideoRepository};
 use svq_types::{
@@ -64,6 +66,9 @@ pub struct FaultPlan {
     /// Truncate the recovered manifest mid-line first, as a crash between
     /// write and flush would.
     pub torn_manifest: bool,
+    /// A cluster shard that accepts upstream connections but never answers
+    /// a frame, so the router's upstream read deadline is what fails it.
+    pub stall_shard: bool,
 }
 
 impl FaultPlan {
@@ -80,11 +85,12 @@ impl FaultPlan {
             stall_client: true,
             crash_sink: true,
             torn_manifest: true,
+            stall_shard: true,
         }
     }
 
     /// Parse `none`, `all`, or a comma-separated subset of
-    /// `worker-panic,drop-conn,stall-client,crash-sink,torn-manifest`.
+    /// `worker-panic,drop-conn,stall-client,crash-sink,torn-manifest,stall-shard`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         match spec.trim() {
             "" | "none" => return Ok(Self::none()),
@@ -99,10 +105,12 @@ impl FaultPlan {
                 "stall-client" => plan.stall_client = true,
                 "crash-sink" => plan.crash_sink = true,
                 "torn-manifest" => plan.torn_manifest = true,
+                "stall-shard" => plan.stall_shard = true,
                 other => {
                     return Err(format!(
                         "unknown fault {other:?}; expected none, all, or a comma list of \
-                         worker-panic, drop-conn, stall-client, crash-sink, torn-manifest"
+                         worker-panic, drop-conn, stall-client, crash-sink, torn-manifest, \
+                         stall-shard"
                     ))
                 }
             }
@@ -127,6 +135,9 @@ impl FaultPlan {
         }
         if self.torn_manifest {
             parts.push("torn-manifest");
+        }
+        if self.stall_shard {
+            parts.push("stall-shard");
         }
         if parts.is_empty() {
             "none".to_string()
@@ -228,6 +239,16 @@ pub static SCENARIOS: &[Scenario] = &[
         default_size: 6,
         prepare: serve_mem_prepare,
         run: serve_pipeline,
+    },
+    Scenario {
+        name: "cluster_router",
+        about: "a shard router fronting two in-memory shard servers: routed outcomes \
+                are byte-identical to in-process execution, a dead or stalled shard \
+                answers as a typed shard_unavailable (never a hang), and the router's \
+                drain terminates",
+        default_size: 4,
+        prepare: cluster_router_prepare,
+        run: cluster_router,
     },
     Scenario {
         name: "ingest_crash",
@@ -701,15 +722,15 @@ fn serve_mem(ctx: ScenarioCtx) {
     )]));
     let transport = MemTransport::new();
     let read_timeout = Duration::from_millis(50 + rng.below(4) as u64 * 25);
-    let config = ServeConfig {
-        max_conns: 8,
-        read_timeout,
-        write_timeout: Duration::from_millis(200),
-        drain_timeout: Duration::from_millis(200),
-        workers: 1 + rng.below(2),
-        mailbox: 4 + rng.below(8),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder()
+        .max_conns(8)
+        .read_timeout(read_timeout)
+        .write_timeout(Duration::from_millis(200))
+        .drain_timeout(Duration::from_millis(200))
+        .workers(1 + rng.below(2))
+        .mailbox(4 + rng.below(8))
+        .build()
+        .expect("config is valid");
     let handle = Server::start_on(
         transport.clone(),
         config,
@@ -734,7 +755,7 @@ fn serve_mem(ctx: ScenarioCtx) {
                 let served = client
                     .expect_outcome(&Request::Query {
                         sql: OFFLINE_SQL.into(),
-                        video: Some(0),
+                        video: VideoScope::One(0),
                     })
                     .expect("query answered");
                 assert_eq!(
@@ -852,18 +873,18 @@ fn serve_pipeline(ctx: ScenarioCtx) {
     )]));
     let transport = MemTransport::new();
     let read_timeout = Duration::from_millis(50 + rng.below(4) as u64 * 25);
-    let config = ServeConfig {
-        max_conns: 8,
-        read_timeout,
-        write_timeout: Duration::from_millis(200),
-        drain_timeout: Duration::from_millis(400),
-        workers: 1 + rng.below(2),
-        mailbox: 4 + rng.below(8),
+    let config = ServeConfig::builder()
+        .max_conns(8)
+        .read_timeout(read_timeout)
+        .write_timeout(Duration::from_millis(200))
+        .drain_timeout(Duration::from_millis(400))
+        .workers(1 + rng.below(2))
+        .mailbox(4 + rng.below(8))
         // Depth 2 forces the reader to park at the in-flight bound under
         // some schedules; deeper depths keep the whole burst in flight.
-        pipeline_depth: 2 + rng.below(4),
-        ..ServeConfig::default()
-    };
+        .pipeline_depth(2 + rng.below(4))
+        .build()
+        .expect("config is valid");
     let handle = Server::start_on(
         transport.clone(),
         config,
@@ -889,7 +910,7 @@ fn serve_pipeline(ctx: ScenarioCtx) {
                 let request_of = |id: u64| match kind_of(id) {
                     0 => Request::Query {
                         sql: OFFLINE_SQL.into(),
-                        video: Some(0),
+                        video: VideoScope::One(0),
                     },
                     1 => Request::Stream {
                         sql: ONLINE_SQL.into(),
@@ -1011,6 +1032,296 @@ fn serve_pipeline(ctx: ScenarioCtx) {
     assert_eq!(
         report.timed_out, expected_timeouts,
         "exactly the stalled client times out"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// cluster_router
+// ---------------------------------------------------------------------------
+
+/// The two videos a simulated cluster serves: the first ids that
+/// `svq_exec::shard_index` places on shard 0 and shard 1 of a two-shard
+/// cluster, so placement in the scenario is exactly the deployed hash.
+fn cluster_videos() -> (u64, u64) {
+    let on = |shard: usize| {
+        (0u64..64)
+            .find(|&v| svq_exec::shard_index(VideoId::new(v), 2) == shard)
+            .unwrap_or_else(|| unreachable!("splitmix64 covers both shards within 64 ids"))
+    };
+    (on(0), on(1))
+}
+
+/// In-process references for the cluster scenario, cached across schedules:
+/// canonical offline outcome JSON per video, plus the cross-catalog
+/// (`video: "all"`) outcome over the combined repository.
+fn cluster_reference(clips: u64) -> Arc<(BTreeMap<u64, String>, String)> {
+    type Cache = OnceLock<StdMutex<BTreeMap<u64, Arc<(BTreeMap<u64, String>, String)>>>>;
+    static CACHE: Cache = OnceLock::new();
+    let cache = CACHE.get_or_init(|| StdMutex::new(BTreeMap::new()));
+    if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&clips) {
+        return hit.clone();
+    }
+    let (va, vb) = cluster_videos();
+    let statement = parse(OFFLINE_SQL).expect("fixture SQL parses");
+    let plan = LogicalPlan::from_statement(&statement).expect("fixture SQL plans");
+    let mut per_video = BTreeMap::new();
+    let mut catalogs = Vec::new();
+    for v in [va, vb] {
+        let catalog = ingest(&oracle(v, clips), &PaperScoring, &OnlineConfig::default());
+        let outcome =
+            execute_offline(&plan, &catalog, &PaperScoring).expect("offline reference runs");
+        per_video.insert(v, canonical_json(&outcome));
+        catalogs.push(catalog);
+    }
+    let combined = VideoRepository::from_catalogs(catalogs);
+    let all = execute_offline_all(&plan, &combined, &PaperScoring).expect("cluster reference runs");
+    let entry = Arc::new((per_video, canonical_json(&all)));
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(clips, entry.clone());
+    entry
+}
+
+/// [`Scenario::prepare`] for [`cluster_router`].
+fn cluster_router_prepare(ctx: ScenarioCtx) {
+    cluster_reference(ctx.size.max(2));
+}
+
+/// One shard server owning exactly `video`, over its own [`MemTransport`].
+fn start_mem_shard(
+    transport: Arc<MemTransport>,
+    video: u64,
+    clips: u64,
+) -> svq_serve::ServerHandle {
+    let o = oracle(video, clips);
+    let repo = Arc::new(VideoRepository::from_catalogs([ingest(
+        &o,
+        &PaperScoring,
+        &OnlineConfig::default(),
+    )]));
+    let config = ServeConfig::builder()
+        .max_conns(8)
+        .read_timeout(Duration::from_secs(2))
+        .write_timeout(Duration::from_millis(200))
+        .drain_timeout(Duration::from_millis(400))
+        .workers(1)
+        .build()
+        .expect("config is valid");
+    Server::start_on(transport, config, Some(repo), vec![o], ExecMetrics::new())
+        .expect("in-memory shard starts")
+}
+
+/// A router fronting two in-memory shard servers, with faults at both
+/// layers. `stall_shard` replaces shard 1 with an acceptor that takes
+/// connections but never answers a frame — the router's upstream read
+/// deadline must convert the silence into a typed `shard_unavailable`,
+/// never a hang. The always-on kill phase (when shard 1 is real) shuts it
+/// down and asserts the same typed answer over refused dials. `drop_conn`
+/// aborts a front-door connection mid-frame. Shard 0 must stay untouched
+/// by every fault, and the router's drain must terminate with nothing
+/// force-closed.
+fn cluster_router(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let clips = ctx.size.max(2);
+    let reference = cluster_reference(clips);
+    let (va, vb) = cluster_videos();
+
+    let shard_a = MemTransport::new();
+    let shard_b = MemTransport::new();
+    let server_a = start_mem_shard(shard_a.clone(), va, clips);
+
+    // Shard 1: a real server, or — under the stall fault — an acceptor
+    // that parks every connection unanswered until told to stop.
+    let mut server_b = None;
+    let mut staller = None;
+    let stall_stop = Arc::new(AtomicBool::new(false));
+    if ctx.faults.stall_shard {
+        let transport = shard_b.clone();
+        let stop = stall_stop.clone();
+        staller = Some(
+            rt::spawn("stalled-shard", move || {
+                let mut parked = Vec::new();
+                loop {
+                    match transport.accept() {
+                        Ok(conn) => parked.push(conn),
+                        Err(_) if stop.load(Ordering::Acquire) => break,
+                        Err(_) => {}
+                    }
+                }
+                drop(parked);
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    } else {
+        server_b = Some(start_mem_shard(shard_b.clone(), vb, clips));
+    }
+
+    // The router: upstream deadlines far below the client's read timeout,
+    // so a stalled shard resolves typed while the client still waits.
+    let upstream_timeout = Duration::from_millis(100 + rng.below(4) as u64 * 50);
+    let front = MemTransport::new();
+    let config = RouteConfig::builder()
+        .max_conns(8)
+        .read_timeout(Duration::from_secs(2))
+        .write_timeout(Duration::from_millis(200))
+        .drain_timeout(Duration::from_millis(400))
+        .upstream_timeout(upstream_timeout)
+        .connect_attempts(2)
+        .build()
+        .expect("config is valid");
+    let connectors: Vec<Arc<dyn Connector>> = vec![shard_a.clone(), shard_b.clone()];
+    let router = Router::start_on(front.clone(), config, connectors, ExecMetrics::new())
+        .expect("in-memory router starts");
+
+    let mut client =
+        Client::over(Box::new(front.connect()), Duration::from_secs(10)).expect("loopback connect");
+
+    // Fault: a front-door connection aborted mid-frame. The router's own
+    // protocol hardening answers it; nobody else notices.
+    let dropper = ctx.faults.drop_conn.then(|| {
+        let transport = front.clone();
+        let cut = 1 + rng.below(encode_line(&Request::Stats).len() - 2);
+        rt::spawn("dropper", move || {
+            let mut conn = transport.connect();
+            let line = encode_line(&Request::Stats);
+            let _ = std::io::Write::write_all(&mut conn, &line.as_bytes()[..cut]);
+            let _ = conn.shutdown_both();
+        })
+        .expect("sim spawn cannot fail")
+    });
+
+    let query_one = |v: u64| Request::Query {
+        sql: OFFLINE_SQL.into(),
+        video: VideoScope::One(v),
+    };
+    let query_all = Request::Query {
+        sql: OFFLINE_SQL.into(),
+        video: VideoScope::All,
+    };
+    let expect_unavailable = |client: &mut Client, request: &Request, what: &str| match client
+        .request(request)
+        .expect("typed answer, not a hang")
+    {
+        Response::Error { reason, message } => {
+            assert_eq!(
+                reason,
+                RejectReason::ShardUnavailable,
+                "{what}: wrong reason ({message})"
+            );
+            assert!(
+                message.contains("shard 1"),
+                "{what} names the shard: {message}"
+            );
+        }
+        other => unreachable!("{what} expected shard_unavailable, got {other:?}"),
+    };
+
+    // Shard 0 serves byte-identically through the router, whatever the
+    // fault plan does to shard 1.
+    let served = client
+        .expect_outcome(&query_one(va))
+        .expect("shard 0 query answered");
+    assert_eq!(
+        canonical_json(&served),
+        reference.0[&va],
+        "routed outcome for video {va} drifted from in-process execution"
+    );
+
+    if ctx.faults.stall_shard {
+        // The stalled shard resolves typed at the upstream deadline.
+        expect_unavailable(&mut client, &query_one(vb), "stalled targeted query");
+        expect_unavailable(&mut client, &query_all, "stalled cluster top-k");
+    } else {
+        // Healthy cluster: targeted, cross-catalog, and aggregate views.
+        let served = client
+            .expect_outcome(&query_one(vb))
+            .expect("shard 1 query answered");
+        assert_eq!(
+            canonical_json(&served),
+            reference.0[&vb],
+            "routed outcome for video {vb} drifted from in-process execution"
+        );
+        let served = client
+            .expect_outcome(&query_all)
+            .expect("cluster top-k answered");
+        assert_eq!(
+            canonical_json(&served),
+            reference.1,
+            "routed cluster top-k drifted from in-process execution"
+        );
+        match client.request(&Request::Stats).expect("stats answered") {
+            Response::Stats(stats) => {
+                assert_eq!(
+                    (stats.shards, stats.shards_up),
+                    (2, 2),
+                    "healthy cluster view"
+                );
+                assert_eq!(stats.catalog_videos, 2, "summed catalogs");
+            }
+            other => unreachable!("stats expected, got {other:?}"),
+        }
+
+        // Kill phase: a shard shut down mid-service answers as typed
+        // shard_unavailable over refused dials — and only that shard.
+        let dead = server_b
+            .take()
+            .unwrap_or_else(|| unreachable!("real shard exists"));
+        dead.shutdown();
+        dead.wait();
+        expect_unavailable(&mut client, &query_one(vb), "killed targeted query");
+        expect_unavailable(&mut client, &query_all, "killed cluster top-k");
+    }
+
+    // Fault isolation: shard 0 still serves, and stats degrade to a
+    // best-effort cluster view rather than failing.
+    let served = client
+        .expect_outcome(&query_one(va))
+        .expect("shard 0 survives the faults");
+    assert_eq!(
+        canonical_json(&served),
+        reference.0[&va],
+        "shard 0 drifted after faults elsewhere"
+    );
+    match client.request(&Request::Stats).expect("stats answered") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.shards, 2, "configured fan-out");
+            assert_eq!(stats.shards_up, 1, "the faulted shard counts down");
+        }
+        other => unreachable!("stats expected, got {other:?}"),
+    }
+
+    if let Some(dropper) = dropper {
+        dropper.join().expect("dropper does not panic");
+    }
+
+    // Drain the router — over the wire or via the handle — and the
+    // surviving shard. Both must terminate with nothing force-closed.
+    if rng.chance(1, 2) {
+        let bye = client
+            .request(&Request::Shutdown)
+            .expect("shutdown answered");
+        assert_eq!(bye, Response::Bye, "wire shutdown acknowledged");
+    } else {
+        router.shutdown();
+    }
+    drop(client);
+    let report = router.wait();
+    assert!(
+        report.drained_in_deadline && report.forced_closes == 0,
+        "router drain terminates with nothing force-closed: {report:?}"
+    );
+
+    if let Some(staller) = staller {
+        stall_stop.store(true, Ordering::Release);
+        shard_b.wake();
+        staller.join().expect("stalled shard acceptor exits");
+    }
+    server_a.shutdown();
+    let report = server_a.wait();
+    assert!(
+        report.drained_in_deadline,
+        "shard drain terminates: {report:?}"
     );
 }
 

@@ -172,6 +172,17 @@ impl VideoRepository {
         repo
     }
 
+    /// Keep only the videos for which `keep` returns true — how a cluster
+    /// shard restricts an opened repository to its hash slice before
+    /// serving. Dropped slots release their resident catalogs; lazily
+    /// backed slots simply forget their files (nothing on disk changes).
+    pub fn retain_videos(&mut self, mut keep: impl FnMut(VideoId) -> bool) {
+        self.videos.retain(|id, _| keep(*id));
+        if let Some(cache) = &self.cache {
+            cache.lru.lock().retain(|id| self.videos.contains_key(id));
+        }
+    }
+
     /// Remove a video. Returns its catalog if it was resident.
     pub fn remove(&mut self, video: VideoId) -> Option<Arc<IngestedVideo>> {
         self.videos

@@ -34,11 +34,15 @@ pub enum RejectReason {
     Timeout,
     /// The request was valid but execution failed server-side.
     Internal,
+    /// A cluster router could not reach the shard that owns the request
+    /// (connect refused, upstream connection died, or the shard timed out)
+    /// even after its bounded reconnect budget.
+    ShardUnavailable,
 }
 
 impl RejectReason {
     /// Every category, in wire-code order (stable for tests and docs).
-    pub const ALL: [RejectReason; 10] = [
+    pub const ALL: [RejectReason; 11] = [
         RejectReason::Busy,
         RejectReason::Draining,
         RejectReason::Oversize,
@@ -49,6 +53,7 @@ impl RejectReason {
         RejectReason::UnknownVideo,
         RejectReason::Timeout,
         RejectReason::Internal,
+        RejectReason::ShardUnavailable,
     ];
 
     /// The stable wire code carried in error frames.
@@ -64,6 +69,7 @@ impl RejectReason {
             RejectReason::UnknownVideo => "unknown_video",
             RejectReason::Timeout => "timeout",
             RejectReason::Internal => "internal",
+            RejectReason::ShardUnavailable => "shard_unavailable",
         }
     }
 

@@ -50,6 +50,14 @@ echo "   serial ${SERIAL_RPS} req/s vs pipelined ${PIPELINED_RPS} req/s at top c
 awk -v s="$SERIAL_RPS" -v p="$PIPELINED_RPS" \
   'BEGIN { if (s == "" || p == "" || p < 0.9 * s) { print "pipelined throughput regressed below serial"; exit 1 } }'
 
+echo "== repro cluster-throughput smoke (shards {1,2}, scatter-gather byte-identity + killed-shard typed error)"
+# The experiment internally asserts every routed outcome — including the
+# cross-catalog top-k scatter-gather — byte-identical to single-process
+# execution, and that a killed shard answers as a typed shard_unavailable.
+cargo run -q --release -p svq-bench --bin repro -- cluster-throughput \
+  --scale 0.02 --out target/ci-results
+grep -q '"killed_shard_typed": true' target/ci-results/cluster-throughput.json
+
 echo "== sim smoke (deterministic simulation, \${SIM_SCHEDULES:-40} schedules/scenario)"
 # Fixed base seed + bounded schedule count keeps this slice to seconds of
 # wall time (virtual time does the waiting). A failing schedule prints a
@@ -96,5 +104,54 @@ cargo run -q --release -p svqact -- request --addr "$ADDR" --kind query \
          ORDER BY RANK(act,obj) LIMIT 2"
 cargo run -q --release -p svqact -- request --addr "$ADDR" --kind shutdown
 wait "$SERVE_PID"
+
+echo "== svqact route round trip (2 hash-sliced shards behind one router, wire shutdown)"
+CLUSTER_DIR=target/ci-cluster
+rm -rf "$CLUSTER_DIR" && mkdir -p "$CLUSTER_DIR"
+cargo run -q --release -p svqact -- serve --catalog "$SERVE_DIR/catalog.json" \
+  --scene "$SERVE_DIR/scene.json" --models ideal \
+  --shard-index 0 --shard-count 2 \
+  --addr-file "$CLUSTER_DIR/shard0.addr" --drain-timeout-ms 10000 &
+SHARD0_PID=$!
+cargo run -q --release -p svqact -- serve --catalog "$SERVE_DIR/catalog.json" \
+  --scene "$SERVE_DIR/scene.json" --models ideal \
+  --shard-index 1 --shard-count 2 \
+  --addr-file "$CLUSTER_DIR/shard1.addr" --drain-timeout-ms 10000 &
+SHARD1_PID=$!
+for f in shard0.addr shard1.addr; do
+  for _ in $(seq 1 100); do
+    [ -s "$CLUSTER_DIR/$f" ] && break
+    sleep 0.1
+  done
+  [ -s "$CLUSTER_DIR/$f" ] || { echo "$f never bound"; exit 1; }
+done
+cargo run -q --release -p svqact -- route \
+  --shards "$(cat "$CLUSTER_DIR/shard0.addr"),$(cat "$CLUSTER_DIR/shard1.addr")" \
+  --addr-file "$CLUSTER_DIR/route.addr" --drain-timeout-ms 10000 &
+ROUTE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$CLUSTER_DIR/route.addr" ] && break
+  sleep 0.1
+done
+[ -s "$CLUSTER_DIR/route.addr" ] || { echo "route never bound"; exit 1; }
+RADDR=$(cat "$CLUSTER_DIR/route.addr")
+# Cluster stats view, cross-catalog scatter-gather top-k, and a stream
+# whose omitted target is resolved by a cluster-wide sole-video check.
+cargo run -q --release -p svqact -- request --addr "$RADDR" --kind stats
+cargo run -q --release -p svqact -- request --addr "$RADDR" --kind query \
+  --video all \
+  --sql "SELECT MERGE(clipID), RANK(act,obj) FROM (PROCESS v PRODUCE clipID) \
+         WHERE act='archery' AND obj.include('person') \
+         ORDER BY RANK(act,obj) LIMIT 2"
+cargo run -q --release -p svqact -- request --addr "$RADDR" --kind stream \
+  --sql "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID) \
+         WHERE act='archery' AND obj.include('person')"
+cargo run -q --release -p svqact -- request --addr "$RADDR" --kind shutdown
+wait "$ROUTE_PID"
+cargo run -q --release -p svqact -- request \
+  --addr "$(cat "$CLUSTER_DIR/shard0.addr")" --kind shutdown
+cargo run -q --release -p svqact -- request \
+  --addr "$(cat "$CLUSTER_DIR/shard1.addr")" --kind shutdown
+wait "$SHARD0_PID" "$SHARD1_PID"
 
 echo "CI OK"
