@@ -6,6 +6,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig45;
 pub mod ingest_spill;
+pub mod monitor_fanout;
 pub mod mux_ingress;
 pub mod mux_throughput;
 pub mod offline_tables;
@@ -74,5 +75,6 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("ingest-spill", ingest_spill::run),
     ("serve-throughput", serve_throughput::run),
     ("cluster-throughput", cluster_throughput::run),
+    ("monitor-fanout", monitor_fanout::run),
     ("sim", sim::run),
 ];

@@ -1,0 +1,280 @@
+//! Standing-query fan-out under load.
+//!
+//! Not a paper experiment: the paper queries stored or streamed footage on
+//! demand. This benchmarks the PR 10 subscription subsystem — an
+//! in-process `svq-serve` with a paced live source, swept with
+//! {1, 64, 1024, 4096} standing subscriptions (smoke: {1, 64}) fanned out
+//! from at most 16 client connections — and measures aggregate pushed
+//! events per second plus client-observed delivery lag percentiles
+//! (server fan-out timestamp → client receipt, same monotonic clock, one
+//! live-drained probe subscription per connection).
+//!
+//! Two invariants hold on every configuration, for **every** subscription:
+//!
+//! * **Zero silent drops.** Event `seq`s arrive strictly increasing and
+//!   `> from_seq`; the events received equal the terminal frame's
+//!   `delivered`; `delivered + missed == total`; and any gap is accounted
+//!   — `lagged` notices never report more than the terminal `missed`.
+//!   The server-side counters must agree with the client-side tally.
+//! * **Clean teardown.** Every subscription ends in a terminal
+//!   `unsubscribed` frame when the source exhausts, the drain completes
+//!   inside its deadline, and no connection is force-closed.
+//!
+//! Results land in `results/monitor-fanout.txt` (table) and
+//! `results/monitor-fanout.json` (machine-readable series).
+
+use super::ExpContext;
+use crate::Table;
+use parking_lot::rt;
+use std::time::{Duration, Instant};
+use svq_serve::{Caller, Request, Response, ServeConfig, Server};
+
+const SQL: &str = "SELECT MERGE(clipID) AS Sequence \
+     FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+     act USING ActionRecognizer) \
+     WHERE act='jumping' AND obj.include('car')";
+
+/// What one subscription saw, verified against its terminal frame.
+struct SubTally {
+    events: u64,
+    lagged_reported: u64,
+    delivered: u64,
+    missed: u64,
+    total: u64,
+    /// Receipt lags (client clock − fan-out stamp), probe subs only.
+    lags_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drain one subscription to its terminal frame, checking order and
+/// accounting along the way. `probe` records receipt lag per event.
+fn drain(sub: &svq_serve::Subscription, probe: bool) -> SubTally {
+    let mut tally = SubTally {
+        events: 0,
+        lagged_reported: 0,
+        delivered: 0,
+        missed: 0,
+        total: 0,
+        lags_ms: Vec::new(),
+    };
+    let mut last_seq = sub.from_seq();
+    loop {
+        match sub.next().expect("subscription stream stays healthy") {
+            Some(Response::Event { seq, at, .. }) => {
+                assert!(
+                    seq > last_seq,
+                    "event seqs must be strictly increasing past from_seq \
+                     ({seq} after {last_seq})"
+                );
+                last_seq = seq;
+                tally.events += 1;
+                if probe {
+                    let now = rt::monotonic_nanos();
+                    tally.lags_ms.push(now.saturating_sub(at) as f64 / 1e6);
+                }
+            }
+            Some(Response::Lagged { missed, .. }) => {
+                assert!(missed > 0, "a lagged notice reports a non-empty gap");
+                tally.lagged_reported += missed;
+            }
+            Some(Response::Drift { .. }) => {}
+            Some(Response::Unsubscribed {
+                delivered,
+                missed,
+                total,
+                ..
+            }) => {
+                tally.delivered = delivered;
+                tally.missed = missed;
+                tally.total = total;
+            }
+            // Deliberate: a protocol violation must abort the experiment
+            // loudly, like a failed assert.
+            // svq-lint: allow(panic)
+            Some(other) => panic!("unexpected pushed frame: {other:?}"),
+            None => break,
+        }
+    }
+    assert_eq!(
+        tally.events, tally.delivered,
+        "every delivered event reached the client (no silent drop)"
+    );
+    assert_eq!(
+        tally.delivered + tally.missed,
+        tally.total,
+        "the terminal accounting closes"
+    );
+    assert!(
+        tally.lagged_reported <= tally.missed,
+        "lagged notices never report more than the terminal missed count"
+    );
+    tally
+}
+
+pub fn run(ctx: &ExpContext) {
+    let smoke = ctx.scale < 0.05;
+    let fleet: &[usize] = if smoke {
+        &[1, 64]
+    } else {
+        &[1, 64, 1024, 4096]
+    };
+    // 600 source clips replayed at 200 clips/s: a 3 s window, long enough
+    // that every subscriber joins early in the replay.
+    let (minutes, rate) = if smoke { (10, 400) } else { (20, 200) };
+
+    let mut table = Table::new(&[
+        "subs",
+        "conns",
+        "events",
+        "events/s",
+        "lag p50 ms",
+        "lag p95 ms",
+        "lag p99 ms",
+        "missed",
+    ]);
+    let mut series = Vec::new();
+    for &n in fleet {
+        let source = svq_serve::LiveSourceConfig::parse(&format!(
+            "action=jumping,objects=car,minutes={minutes},rate={rate},seed={}",
+            ctx.seed
+        ))
+        .expect("source spec parses");
+        let conns = n.min(16);
+        let per_conn = n / conns;
+        let handle = Server::start_with_source(
+            ServeConfig::builder()
+                .max_conns(conns + 8)
+                .workers(4)
+                .shards(2)
+                .read_timeout(Duration::from_secs(120))
+                .write_timeout(Duration::from_secs(120))
+                .drain_timeout(Duration::from_secs(30))
+                .build()
+                .expect("config is valid"),
+            None,
+            Vec::new(),
+            Some(source),
+            svq_exec::ExecMetrics::new(),
+        )
+        .expect("server binds an ephemeral port");
+        let addr = handle.local_addr();
+
+        let started = Instant::now();
+        let workers: Vec<_> = (0..conns)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let caller =
+                        Caller::connect(addr, Duration::from_secs(120)).expect("caller connects");
+                    let subs: Vec<_> = (0..per_conn)
+                        .map(|_| caller.subscribe(SQL, None, 0).expect("subscribe acks"))
+                        .collect();
+                    // The first subscription is the probe: drained live so
+                    // its receipt lag is mailbox-wait-free. The rest are
+                    // drained afterwards — their frames buffer client-side
+                    // meanwhile, which distorts lag but not accounting.
+                    let mut tallies: Vec<SubTally> = Vec::with_capacity(subs.len());
+                    for (i, sub) in subs.iter().enumerate() {
+                        tallies.push(drain(sub, i == 0));
+                    }
+                    tallies
+                })
+            })
+            .collect();
+        let mut tallies = Vec::with_capacity(n);
+        for worker in workers {
+            tallies.extend(worker.join().expect("connection thread"));
+        }
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(tallies.len(), n, "every subscription reached its terminal");
+
+        let events: u64 = tallies.iter().map(|t| t.events).sum();
+        let missed: u64 = tallies.iter().map(|t| t.missed).sum();
+        let total: u64 = tallies.iter().map(|t| t.total).sum();
+        assert_eq!(events + missed, total, "fleet-wide accounting closes");
+        assert!(events > 0, "the source produced events for the fleet");
+        let mut lags: Vec<f64> = tallies
+            .iter()
+            .flat_map(|t| t.lags_ms.iter().copied())
+            .collect();
+        lags.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p95, p99) = (
+            percentile(&lags, 0.50),
+            percentile(&lags, 0.95),
+            percentile(&lags, 0.99),
+        );
+
+        // The server's books must agree with the client-side tally.
+        let verifier = Caller::connect(addr, Duration::from_secs(120)).expect("verifier connects");
+        let stats = match verifier.call(&Request::Stats).and_then(|p| p.wait()) {
+            Ok(Response::Stats(frame)) => frame,
+            // svq-lint: allow(panic)
+            other => panic!("stats exchange failed: {other:?}"),
+        };
+        assert_eq!(stats.subs_opened, n as u64, "every subscribe was counted");
+        assert_eq!(
+            stats.subs_active, 0,
+            "the source end retired every subscription"
+        );
+        assert_eq!(
+            stats.subs_events, events,
+            "server event count matches client receipts"
+        );
+        assert_eq!(
+            stats.subs_missed, missed,
+            "server missed count matches the terminals"
+        );
+        verifier.close();
+
+        handle.shutdown();
+        let report = handle.wait();
+        assert!(report.drained_in_deadline, "the closing drain was clean");
+        assert_eq!(report.forced_closes, 0, "no connection was force-closed");
+
+        let rps = events as f64 / wall;
+        table.row(vec![
+            n.to_string(),
+            conns.to_string(),
+            events.to_string(),
+            format!("{rps:.0}"),
+            format!("{p50:.3}"),
+            format!("{p95:.3}"),
+            format!("{p99:.3}"),
+            missed.to_string(),
+        ]);
+        series.push(format!(
+            "{{\"subs\": {n}, \"conns\": {conns}, \"events\": {events}, \
+             \"missed\": {missed}, \"total\": {total}, \"wall_sec\": {wall:.3}, \
+             \"events_per_sec\": {rps:.2}, \"lag_p50_ms\": {p50:.4}, \
+             \"lag_p95_ms\": {p95:.4}, \"lag_p99_ms\": {p99:.4}, \
+             \"accounting_closed\": true}}"
+        ));
+    }
+
+    let mut rendered = table.render();
+    rendered.push_str(&format!(
+        "\n{} source clips at {rate} clips/s; every subscription's event seqs \
+         strictly increasing with delivered + missed == total (zero silent \
+         drops); clean drain at every fleet size\n",
+        minutes * 30
+    ));
+    ctx.emit("monitor-fanout", &rendered);
+    let json = format!(
+        "{{\"experiment\": \"monitor-fanout\", \"clips\": {}, \"rate\": {rate}, \
+         \"scale\": {}, \"seed\": {}, \"smoke\": {smoke}, \
+         \"sweep\": [\n  {}\n]}}\n",
+        minutes * 30,
+        ctx.scale,
+        ctx.seed,
+        series.join(",\n  ")
+    );
+    if std::fs::create_dir_all(&ctx.out_dir).is_ok() {
+        let _ = std::fs::write(ctx.out_dir.join("monitor-fanout.json"), json);
+    }
+}

@@ -465,9 +465,22 @@ pub fn serve(flags: &Flags) -> CliResult {
         .iter()
         .map(|p| load_scene(p).map(|v| Arc::new(v.oracle(suite))))
         .collect::<Result<Vec<_>, _>>()?;
-    if repo.is_none() && oracles.is_empty() {
+    // A paced live source for standing `subscribe` queries (see
+    // DESIGN.md); a server may run on a source alone.
+    let source = flags
+        .get("source")
+        .map(svq_serve::LiveSourceConfig::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let source_note = source
+        .as_ref()
+        .map(|s| format!(", live source video {} at {} clips/s", s.video, s.rate))
+        .unwrap_or_default();
+    if repo.is_none() && oracles.is_empty() && source.is_none() {
         return Err(
-            "serve needs --catalog (offline queries) and/or --scene/--scenes (live streams)".into(),
+            "serve needs --catalog (offline queries), --scene/--scenes (live \
+                    streams), and/or --source (standing queries)"
+                .into(),
         );
     }
     // The shard slice covers live streams too: a scene fed to every member
@@ -485,11 +498,11 @@ pub fn serve(flags: &Flags) -> CliResult {
     let catalog_videos = repo.as_ref().map_or(0, |r| r.len());
     let streams = oracles.len();
 
-    let handle = Server::start(config, repo, oracles, ExecMetrics::new())?;
+    let handle = Server::start_with_source(config, repo, oracles, source, ExecMetrics::new())?;
     let addr = handle.local_addr();
     eprintln!(
         "svqact serve: listening on {addr} ({catalog_videos} catalog videos, \
-         {streams} live streams); send a `shutdown` request to drain"
+         {streams} live streams{source_note}); send a `shutdown` request to drain"
     );
     if let Some(path) = flags.get("addr-file") {
         std::fs::write(path, addr.to_string())?;
@@ -615,7 +628,9 @@ pub fn route(flags: &Flags) -> CliResult {
 /// out-of-order completion.
 pub fn request(flags: &Flags) -> CliResult {
     use std::time::Duration;
-    use svq_serve::{encode_line, encode_response_line, Client, Request, Response, VideoScope};
+    use svq_serve::{
+        encode_line, encode_response_line, Client, Request, Response, RetryPolicy, VideoScope,
+    };
 
     let addr = flags.require("addr")?;
     let timeout_ms: u64 = flags.get_parsed("timeout-ms", 30_000)?;
@@ -623,6 +638,12 @@ pub fn request(flags: &Flags) -> CliResult {
     if repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
+    // Bounded re-issues when a routed shard is down (`shard_unavailable`);
+    // off by default because only the operator knows the request is safe
+    // to repeat.
+    let retries: u32 = flags.get_parsed("retries", 0)?;
+    let retry_backoff_ms: u64 = flags.get_parsed("retry-backoff-ms", 100)?;
+    let policy = RetryPolicy::new(retries, Duration::from_millis(retry_backoff_ms));
     // `--video all` is meaningful only for offline queries (cross-catalog
     // top-k); streams always target one live scene.
     let video = flags.get("video");
@@ -658,7 +679,7 @@ pub fn request(flags: &Flags) -> CliResult {
         }
     };
     let client = Client::connect_with_timeout(addr, Duration::from_millis(timeout_ms))?;
-    if repeat == 1 {
+    if repeat == 1 && retries == 0 {
         let mut client = client;
         let response = client.request(&request)?;
         print!("{}", encode_line(&response));
@@ -667,11 +688,30 @@ pub fn request(flags: &Flags) -> CliResult {
         }
         return Ok(());
     }
+    let caller = client.into_caller()?;
+    if retries > 0 {
+        // Retrying mode is sequential: each exchange settles (retried under
+        // the policy as needed) before the next goes out.
+        let mut refusals = 0u64;
+        for _ in 0..repeat {
+            let response = caller.call_retrying(&request, policy)?;
+            print!("{}", encode_line(&response));
+            if matches!(response, Response::Error { .. }) {
+                refusals += 1;
+            }
+        }
+        if refusals > 0 {
+            return Err(format!(
+                "server refused {refusals} of {repeat} request(s) after {retries} retr(y/ies)"
+            )
+            .into());
+        }
+        return Ok(());
+    }
     // Pipelined mode rides the typed `Caller`: ids are allocated by the
     // handle and responses matched out of order; printing happens in
     // completion order, so the output doubles as a visible record of
     // reordering.
-    let caller = client.into_caller()?;
     let mut pending = Vec::with_capacity(repeat as usize);
     for _ in 0..repeat {
         pending.push(caller.call(&request)?);
@@ -687,6 +727,53 @@ pub fn request(flags: &Flags) -> CliResult {
     }
     if refusals > 0 {
         return Err(format!("server refused {refusals} of {repeat} pipelined requests").into());
+    }
+    Ok(())
+}
+
+/// `svqact subscribe` — open a standing query against a `serve --source`
+/// server and stream its pushed frames.
+///
+/// Each pushed frame (`event`, `drift`, `lagged`, and the terminal
+/// `unsubscribed`) is printed to stdout as one JSON line, in arrival
+/// order. The stream ends when the source is exhausted, or — with
+/// `--events N` — after N events, when an explicit `unsubscribe` is sent
+/// and the tail drained through the terminal accounting frame.
+pub fn subscribe(flags: &Flags) -> CliResult {
+    use std::time::Duration;
+    use svq_serve::{encode_line, Caller, Response};
+
+    let addr = flags.require("addr")?;
+    let sql = flags.require("sql")?;
+    let timeout_ms: u64 = flags.get_parsed("timeout-ms", 120_000)?;
+    let video: Option<u64> = flags.get("video").map(str::parse).transpose()?;
+    let drift_every: u64 = flags.get_parsed("drift-every", 0)?;
+    let events: u64 = flags.get_parsed("events", 0)?;
+
+    let caller = Caller::connect(addr, Duration::from_millis(timeout_ms))?;
+    let sub = caller.subscribe(sql, video, drift_every)?;
+    eprintln!(
+        "svqact subscribe: subscription {} open from seq {}",
+        sub.sub(),
+        sub.from_seq()
+    );
+    let mut seen = 0u64;
+    let mut asked_close = false;
+    while let Some(frame) = sub.next()? {
+        let terminal = matches!(frame, Response::Unsubscribed { .. });
+        if matches!(frame, Response::Event { .. }) {
+            seen += 1;
+        }
+        print!("{}", encode_line(&frame));
+        if terminal {
+            break;
+        }
+        if events > 0 && seen >= events && !asked_close {
+            // The ack duplicates the terminal frame already headed for the
+            // push mailbox; the loop above prints that copy.
+            let _ = sub.unsubscribe()?;
+            asked_close = true;
+        }
     }
     Ok(())
 }

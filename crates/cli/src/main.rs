@@ -12,6 +12,8 @@
 //! svqact route   --shards 127.0.0.1:7751,127.0.0.1:7752 --addr 127.0.0.1:7741
 //! svqact request --addr 127.0.0.1:7741 --kind query --sql "SELECT …"
 //! svqact request --addr 127.0.0.1:7741 --kind query --video all --sql "SELECT …"
+//! svqact serve   --source action=jumping,objects=car,rate=120 --addr 127.0.0.1:7741
+//! svqact subscribe --addr 127.0.0.1:7741 --sql "SELECT … WHERE act='…'" --events 3
 //! svqact explain --sql "SELECT …"
 //! svqact sim     --scenario serve_mem --seed 42 --faults drop-conn
 //! svqact sim     --schedules 200 --scenario all
@@ -50,6 +52,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "serve" => commands::serve(&args::Flags::parse(rest)?),
         "route" => commands::route(&args::Flags::parse(rest)?),
         "request" => commands::request(&args::Flags::parse(rest)?),
+        "subscribe" => commands::subscribe(&args::Flags::parse(rest)?),
         "explain" => commands::explain(&args::Flags::parse(rest)?),
         "sim" => commands::sim(&args::Flags::parse(rest)?),
         "labels" => commands::labels(rest),
@@ -78,12 +81,15 @@ fn print_usage() {
          [--addr HOST:PORT] [--addr-file PATH] [--max-conns N] \
          [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-timeout-ms MS] \
          [--workers N] [--shards S] [--pipeline-depth N] [--catalog-cache N] \
-         [--shard-index I --shard-count N] [--metrics-every SECS]\n\
+         [--shard-index I --shard-count N] [--source KEY=VAL,…] [--metrics-every SECS]\n\
          \u{20}  route   --shards HOST:PORT,… [--addr HOST:PORT] [--addr-file PATH] \
          [--max-conns N] [--pipeline-depth N] [--upstream-timeout-ms MS] \
          [--connect-attempts N] [--metrics-every SECS]\n\
          \u{20}  request --addr HOST:PORT [--kind query|stream|stats|shutdown] \
-         [--sql STATEMENT] [--video ID|all] [--repeat N] [--timeout-ms MS]\n\
+         [--sql STATEMENT] [--video ID|all] [--repeat N] [--retries N] \
+         [--retry-backoff-ms MS] [--timeout-ms MS]\n\
+         \u{20}  subscribe --addr HOST:PORT --sql STATEMENT [--video ID] \
+         [--drift-every N] [--events N] [--timeout-ms MS]\n\
          \u{20}  explain --sql STATEMENT\n\
          \u{20}  sim     --scenario NAME [--seed N] [--size N] [--faults a,b|none|all] \
          [--trace true] | --schedules K [--scenario NAME|all] [--seed BASE] | \

@@ -254,6 +254,19 @@ impl ExprSvaqd {
         self.merger.push(clip, positive)
     }
 
+    /// Current per-predicate background activation estimates, in the
+    /// engine's distinct-predicate order (the drift surface a standing
+    /// query snapshots).
+    pub fn backgrounds(&self) -> Vec<f64> {
+        self.estimators.iter().map(|e| e.estimate()).collect()
+    }
+
+    /// Current per-predicate critical run lengths, matching
+    /// [`ExprSvaqd::backgrounds`] positionally.
+    pub fn criticals(&self) -> Vec<u32> {
+        self.criticals.clone()
+    }
+
     /// End of stream.
     pub fn finish(self) -> Vec<ClipInterval> {
         self.merger.finish()

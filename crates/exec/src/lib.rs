@@ -45,8 +45,8 @@ pub use metrics::{
     ServerSnapshot, SessionSnapshot, ShardSnapshot,
 };
 pub use mux::{
-    Backpressure, FeedError, MuxOptions, SessionEngine, SessionError, SessionId, SessionMux,
-    SessionResult, POISON_CLIP,
+    Backpressure, ClipNotice, FeedError, MuxOptions, SessionEngine, SessionError, SessionId,
+    SessionMux, SessionResult, POISON_CLIP,
 };
 pub use pool::{Job, WorkerPool};
 

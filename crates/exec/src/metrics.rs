@@ -192,10 +192,26 @@ pub struct ServerCounters {
     pub req_query: AtomicU64,
     /// `stream` requests answered.
     pub req_stream: AtomicU64,
+    /// `subscribe` requests answered.
+    pub req_subscribe: AtomicU64,
+    /// `unsubscribe` requests answered.
+    pub req_unsubscribe: AtomicU64,
     /// `stats` requests answered.
     pub req_stats: AtomicU64,
     /// `shutdown` requests honoured.
     pub req_shutdown: AtomicU64,
+    /// Standing subscriptions currently registered (gauge).
+    pub subs_active: AtomicU64,
+    /// High-water mark of `subs_active`.
+    pub subs_peak: AtomicU64,
+    /// Subscriptions ever registered.
+    pub subs_opened: AtomicU64,
+    /// `event` frames handed to subscription push queues.
+    pub subs_events: AtomicU64,
+    /// `lagged` gap notices pushed after a push-queue overflow.
+    pub subs_lagged: AtomicU64,
+    /// Events dropped (and counted) because a push queue was at budget.
+    pub subs_missed: AtomicU64,
     /// End-to-end latency of answered requests.
     pub latency: LatencyHistogram,
 }
@@ -211,6 +227,20 @@ impl ServerCounters {
     /// An admitted connection finished (any reason).
     pub fn conn_closed(&self) {
         self.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A subscription was registered: bump the gauge and its high-water
+    /// mark.
+    pub fn sub_opened(&self) {
+        self.subs_opened.fetch_add(1, Ordering::Relaxed);
+        let active = self.subs_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.subs_peak.fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// A subscription was torn down (unsubscribe, connection close, or
+    /// source end).
+    pub fn sub_closed(&self) {
+        self.subs_active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -357,6 +387,8 @@ impl ExecMetrics {
         let srv = &self.inner.server;
         let requests = srv.req_query.load(Ordering::Relaxed)
             + srv.req_stream.load(Ordering::Relaxed)
+            + srv.req_subscribe.load(Ordering::Relaxed)
+            + srv.req_unsubscribe.load(Ordering::Relaxed)
             + srv.req_stats.load(Ordering::Relaxed)
             + srv.req_shutdown.load(Ordering::Relaxed);
         let server = ServerSnapshot {
@@ -372,8 +404,16 @@ impl ExecMetrics {
             catalog_misses: srv.catalog_misses.load(Ordering::Relaxed),
             req_query: srv.req_query.load(Ordering::Relaxed),
             req_stream: srv.req_stream.load(Ordering::Relaxed),
+            req_subscribe: srv.req_subscribe.load(Ordering::Relaxed),
+            req_unsubscribe: srv.req_unsubscribe.load(Ordering::Relaxed),
             req_stats: srv.req_stats.load(Ordering::Relaxed),
             req_shutdown: srv.req_shutdown.load(Ordering::Relaxed),
+            subs_active: srv.subs_active.load(Ordering::Relaxed),
+            subs_peak: srv.subs_peak.load(Ordering::Relaxed),
+            subs_opened: srv.subs_opened.load(Ordering::Relaxed),
+            subs_events: srv.subs_events.load(Ordering::Relaxed),
+            subs_lagged: srv.subs_lagged.load(Ordering::Relaxed),
+            subs_missed: srv.subs_missed.load(Ordering::Relaxed),
             requests,
             requests_per_sec: requests as f64 / elapsed,
             latency_mean_ms: srv.latency.mean_ms(),
@@ -539,8 +579,22 @@ pub struct ServerSnapshot {
     pub catalog_misses: u64,
     pub req_query: u64,
     pub req_stream: u64,
+    pub req_subscribe: u64,
+    pub req_unsubscribe: u64,
     pub req_stats: u64,
     pub req_shutdown: u64,
+    /// Standing-query subscriptions currently registered.
+    pub subs_active: u64,
+    /// Peak simultaneous subscriptions.
+    pub subs_peak: u64,
+    /// Subscriptions ever opened.
+    pub subs_opened: u64,
+    /// `event` frames pushed to subscribers.
+    pub subs_events: u64,
+    /// `lagged` notices pushed when a push queue overflowed.
+    pub subs_lagged: u64,
+    /// Events dropped (and accounted) across all lagged subscribers.
+    pub subs_missed: u64,
     /// All requests answered.
     pub requests: u64,
     /// Answered-request throughput since registry start.
@@ -654,6 +708,19 @@ impl fmt::Display for MetricsSnapshot {
                 self.server.latency_p95_ms,
                 self.server.latency_p99_ms,
             )?;
+            if self.server.subs_opened > 0 {
+                writeln!(
+                    f,
+                    "  subs     {:>4} active (peak {})  {:>6} opened  events {:>8}  \
+                     lagged {:>4}  missed {:>6}",
+                    self.server.subs_active,
+                    self.server.subs_peak,
+                    self.server.subs_opened,
+                    self.server.subs_events,
+                    self.server.subs_lagged,
+                    self.server.subs_missed,
+                )?;
+            }
         }
         if self.ingest.catalogs_built > 0 {
             writeln!(

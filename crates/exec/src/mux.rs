@@ -94,7 +94,45 @@ impl SessionEngine {
             SessionEngine::Expr(e) => (e.finish(), Vec::new()),
         }
     }
+
+    /// The dynamic p(t) estimator's current drift surface: per-predicate
+    /// background activation estimates and the matching critical run
+    /// lengths, positionally aligned (objects in query order, then the
+    /// action; distinct-predicate order for CNF engines).
+    fn drift(&self) -> (Vec<f64>, Vec<u32>) {
+        match self {
+            SessionEngine::Svaqd(e) => {
+                let crit = e.criticals();
+                let mut criticals = crit.objects.clone();
+                criticals.push(crit.action);
+                (e.backgrounds(), criticals)
+            }
+            SessionEngine::Expr(e) => (e.backgrounds(), e.criticals()),
+        }
+    }
 }
+
+/// What a per-clip observer (see [`SessionMux::set_observer`]) is handed
+/// after each successfully evaluated clip.
+#[derive(Debug, Clone)]
+pub struct ClipNotice {
+    /// The evaluated clip.
+    pub clip: ClipId,
+    /// The result interval this clip closed, if any.
+    pub closed: Option<ClipInterval>,
+    /// Clips the session has evaluated so far, this one included (a
+    /// 1-based position in the session's feed order).
+    pub clips_processed: u64,
+    /// Per-predicate background activation estimates (objects in query
+    /// order then the action; distinct-predicate order for CNF).
+    pub backgrounds: Vec<f64>,
+    /// Critical run lengths matching `backgrounds` positionally.
+    pub criticals: Vec<u32>,
+}
+
+/// Per-clip observer hook; runs on the draining worker, outside every mux
+/// lock.
+type ClipObserver = Box<dyn Fn(ClipNotice) + Send + Sync>;
 
 /// Handle to a registered session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,6 +265,10 @@ pub(crate) struct Session {
     finishing: AtomicBool,
     /// Wall seconds slept per *simulated* inference second (bits of `f64`).
     pacing: AtomicU64,
+    /// Set-once per-clip observer ([`SessionMux::set_observer`]); a
+    /// `OnceLock` so the drain loop reads it without any lock-order
+    /// entanglement with `state`.
+    observer: std::sync::OnceLock<ClipObserver>,
     policy: Backpressure,
     /// Mailbox pulls per state-lock acquisition (from [`MuxOptions`]).
     drain_batch: usize,
@@ -324,6 +366,7 @@ impl SessionMux {
             closed: AtomicBool::new(false),
             finishing: AtomicBool::new(false),
             pacing: AtomicU64::new(0f64.to_bits()),
+            observer: std::sync::OnceLock::new(),
             policy,
             drain_batch: self.core.drain_batch,
             shard,
@@ -387,6 +430,20 @@ impl SessionMux {
         self.session(id)
             .pacing
             .store(factor.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Attach a per-clip observer to a session: `observer` runs on the
+    /// draining worker after every successfully evaluated clip, outside
+    /// every mux lock, carrying the clip, any closed result interval, and
+    /// the engine's current drift surface. Set-once (a second call
+    /// panics), before the first feed — the standing-query fan-out hooks
+    /// its pushes here.
+    pub fn set_observer<F>(&self, id: SessionId, observer: F)
+    where
+        F: Fn(ClipNotice) + Send + Sync + 'static,
+    {
+        let set = self.session(id).observer.set(Box::new(observer));
+        assert!(set.is_ok(), "session observer set twice");
     }
 
     /// Declare end-of-stream for a session. Must be called after the last
@@ -576,6 +633,10 @@ fn drain(session: &Session) {
             // stream metadata and metrics observers are never blocked on a
             // simulated-inference wait.
             let mut sleep_secs = 0.0f64;
+            // Notices accumulate under the state lock (they read the
+            // engine) and fire after it drops, like the pacing sleep.
+            let observing = session.observer.get().is_some();
+            let mut notices: Vec<ClipNotice> = Vec::new();
             let mut state = session.state.lock();
             for clip in batch.drain(..) {
                 if state.poisoned {
@@ -596,13 +657,25 @@ fn drain(session: &Session) {
                     started.elapsed().as_nanos() as u64,
                 );
                 match outcome {
-                    Ok((ledger, _closed)) => {
+                    Ok((ledger, closed)) => {
                         state.ledger.merge(&ledger);
                         state.clips_processed += 1;
                         session
                             .counters
                             .clips_processed
                             .fetch_add(1, Ordering::Relaxed);
+                        if observing {
+                            if let Some(engine) = state.engine.as_ref() {
+                                let (backgrounds, criticals) = engine.drift();
+                                notices.push(ClipNotice {
+                                    clip,
+                                    closed,
+                                    clips_processed: state.clips_processed,
+                                    backgrounds,
+                                    criticals,
+                                });
+                            }
+                        }
                         let pacing = f64::from_bits(session.pacing.load(Ordering::Relaxed));
                         if pacing > 0.0 {
                             sleep_secs += ledger.inference_ms() / 1e3 * pacing;
@@ -614,6 +687,11 @@ fn drain(session: &Session) {
                 }
             }
             drop(state);
+            if let Some(observer) = session.observer.get() {
+                for notice in notices {
+                    observer(notice);
+                }
+            }
             if sleep_secs > 0.0 {
                 #[cfg(feature = "lock-audit")]
                 assert_eq!(

@@ -20,14 +20,14 @@ use crate::protocol::{
 };
 use crate::transport::Conn;
 use parking_lot::{rt, Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use svq_query::QueryOutcome;
-use svq_types::{SvqError, SvqResult};
+use svq_types::{RejectReason, SvqError, SvqResult};
 
 /// Blocking JSON-lines client over any [`Conn`] — a real TCP socket or an
 /// in-memory loopback half from [`crate::transport::MemTransport`].
@@ -214,12 +214,83 @@ impl Pending {
     }
 }
 
+/// Push-frame mailbox shared between a [`Subscription`] handle and the
+/// demux thread.
+struct SubShared {
+    queue: Mutex<SubQueue>,
+    cv: Condvar,
+}
+
+struct SubQueue {
+    frames: VecDeque<Response>,
+    /// The terminal frame arrived: nothing further will be pushed.
+    done: bool,
+    /// The session died; [`Subscription::next`] surfaces this as an error
+    /// once queued frames drain.
+    failed: Option<String>,
+}
+
+impl SubShared {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            queue: Mutex::new(SubQueue {
+                frames: VecDeque::new(),
+                done: false,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Deliver one demuxed frame; `terminal` closes the mailbox.
+    fn push(&self, frame: Response, terminal: bool) {
+        let mut queue = self.queue.lock();
+        queue.frames.push_back(frame);
+        if terminal {
+            queue.done = true;
+        }
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, why: &str) {
+        let mut queue = self.queue.lock();
+        if queue.failed.is_none() {
+            queue.failed = Some(why.to_string());
+        }
+        queue.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Block for the next frame: queued frames first, then the failure (if
+    /// any), then `None` once the mailbox closed cleanly.
+    fn next(&self) -> SvqResult<Option<Response>> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(frame) = queue.frames.pop_front() {
+                return Ok(Some(frame));
+            }
+            if let Some(why) = queue.failed.as_deref() {
+                return Err(SvqError::Storage(why.to_string()));
+            }
+            if queue.done {
+                return Ok(None);
+            }
+            self.cv.wait(&mut queue);
+        }
+    }
+}
+
 struct CallerInner {
     /// The write half. `None` once the connection is abandoned; the mutex
     /// also serializes frames so pipelined writers never interleave lines.
     write: Mutex<Option<Box<dyn Conn>>>,
     /// In-flight requests by id, removed when their response demuxes.
     slots: Mutex<BTreeMap<u64, Sink>>,
+    /// Standing subscriptions by the id their `subscribe` frame went out
+    /// under — every frame tagged with that id (the ack included) routes
+    /// here instead of `slots`, and the entry survives until the terminal
+    /// `unsubscribed` frame. Checked before `slots` in the demux loop.
+    subs: Mutex<BTreeMap<u64, Arc<SubShared>>>,
     next_id: AtomicU64,
     alive: AtomicBool,
 }
@@ -238,6 +309,47 @@ impl CallerInner {
         for sink in drained {
             sink.fulfill(Err(SvqError::Storage(why.to_string())));
         }
+        let subs: Vec<Arc<SubShared>> = {
+            let mut subs = self.subs.lock();
+            std::mem::take(&mut *subs).into_values().collect()
+        };
+        for sub in subs {
+            sub.fail(why);
+        }
+    }
+}
+
+/// Bounded retry for [`Caller::call_retrying`]: how many times to re-issue
+/// a request refused with `shard_unavailable`, and the initial backoff
+/// (doubled per retry). The default is [`RetryPolicy::none`] — retries are
+/// strictly opt-in, because re-issuing is only safe for requests the
+/// caller knows are idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-issues after the first attempt; `0` means fail fast.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: `call_retrying` behaves exactly like `call().wait()`.
+    pub fn none() -> Self {
+        Self {
+            attempts: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `attempts` re-issues with exponential backoff from `backoff`.
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        Self { attempts, backoff }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
     }
 }
 
@@ -280,6 +392,7 @@ impl Caller {
         let inner = Arc::new(CallerInner {
             write: Mutex::new(Some(stream)),
             slots: Mutex::new(BTreeMap::new()),
+            subs: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
             alive: AtomicBool::new(true),
         });
@@ -351,6 +464,98 @@ impl Caller {
         Ok(id)
     }
 
+    /// Like [`Caller::call`] + [`Pending::wait`], but re-issuing the
+    /// request under `policy` when a shard answers `shard_unavailable` —
+    /// the transient state the cluster router reports while it re-dials a
+    /// dead shard. Every other outcome (success, other error frames,
+    /// transport failure) returns immediately; [`RetryPolicy::none`]
+    /// (the default) makes this identical to a plain call.
+    pub fn call_retrying(&self, request: &Request, policy: RetryPolicy) -> SvqResult<Response> {
+        let mut backoff = policy.backoff;
+        for attempt in 0..=policy.attempts {
+            let response = self.call(request)?.wait()?;
+            let transient = matches!(
+                &response,
+                Response::Error {
+                    reason: RejectReason::ShardUnavailable,
+                    ..
+                }
+            );
+            if !transient || attempt == policy.attempts {
+                return Ok(response);
+            }
+            rt::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        unreachable!("the loop returns on its last attempt");
+    }
+
+    /// Open a standing query: send a `subscribe` frame, wait for the
+    /// server's `subscribed` ack, and return a [`Subscription`] whose
+    /// [`Subscription::next`] yields the pushed `event` / `drift` /
+    /// `lagged` frames in arrival order. A server refusal (no live source,
+    /// offline statement, wrong video) surfaces as a typed error here.
+    pub fn subscribe(
+        &self,
+        sql: &str,
+        video: Option<u64>,
+        drift_every: u64,
+    ) -> SvqResult<Subscription> {
+        if !self.is_alive() {
+            return Err(SvqError::Storage(
+                "caller connection is dead; open a fresh one".into(),
+            ));
+        }
+        let shared = SubShared::new();
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.subs.lock().insert(id, shared.clone());
+        let request = Request::Subscribe {
+            sql: sql.to_string(),
+            video,
+            drift_every,
+        };
+        let line = encode_request_line(&request, Some(id));
+        let write_result = {
+            let mut write = self.inner.write.lock();
+            match write.as_mut() {
+                // Same short-frame-under-the-serializing-lock shape as
+                // `submit`. svq-lint: allow(blocking-under-lock)
+                Some(conn) => conn.write_all(line.as_bytes()).map_err(SvqError::Io),
+                None => Err(SvqError::Storage(
+                    "caller connection is dead; open a fresh one".into(),
+                )),
+            }
+        };
+        if let Err(e) = write_result {
+            self.inner.subs.lock().remove(&id);
+            self.inner
+                .fail_all("a request write failed; connection abandoned");
+            return Err(e);
+        }
+        // The ack is the first frame demuxed to the mailbox.
+        match shared.next()? {
+            Some(Response::Subscribed { sub, from_seq }) => Ok(Subscription {
+                caller: self.clone(),
+                shared,
+                id,
+                sub,
+                from_seq,
+            }),
+            Some(Response::Error { reason, message }) => {
+                self.inner.subs.lock().remove(&id);
+                Err(SvqError::Storage(format!(
+                    "server refused the subscription ({reason}): {message}"
+                )))
+            }
+            other => {
+                self.inner.subs.lock().remove(&id);
+                Err(SvqError::Storage(format!(
+                    "expected a subscribed ack, got {other:?}"
+                )))
+            }
+        }
+    }
+
     /// Abandon the connection: shut the socket both ways (the demux thread
     /// exits on the resulting EOF) and fail any in-flight calls. Safe from
     /// any thread except a completion callback; idempotent.
@@ -373,6 +578,60 @@ impl Drop for Caller {
     }
 }
 
+/// One standing query opened with [`Caller::subscribe`].
+///
+/// [`Subscription::next`] blocks for pushed frames in arrival order and
+/// returns `Ok(None)` after the terminal `unsubscribed` frame (which is
+/// itself yielded first, carrying the delivery accounting). Dropping the
+/// handle detaches the mailbox — later pushes for it are discarded — but
+/// does **not** tell the server; call [`Subscription::unsubscribe`] for a
+/// clean close.
+pub struct Subscription {
+    caller: Caller,
+    shared: Arc<SubShared>,
+    /// The id the `subscribe` frame went out under; every push echoes it.
+    id: u64,
+    sub: u64,
+    from_seq: u64,
+}
+
+impl Subscription {
+    /// The server-assigned subscription handle.
+    pub fn sub(&self) -> u64 {
+        self.sub
+    }
+
+    /// Source position at join: every pushed event has `seq > from_seq`.
+    pub fn from_seq(&self) -> u64 {
+        self.from_seq
+    }
+
+    /// Block for the next pushed frame — `event`, `drift`, or `lagged` —
+    /// in arrival order. `Ok(None)` after the terminal `unsubscribed`
+    /// frame; a dead connection is an error once queued frames drain.
+    pub fn next(&self) -> SvqResult<Option<Response>> {
+        self.shared.next()
+    }
+
+    /// Ask the server to close the subscription and return its ack (the
+    /// terminal accounting frame). The same frame is also pushed into the
+    /// mailbox, so a consumer loop on [`Subscription::next`] still sees
+    /// the terminal and then `Ok(None)`.
+    pub fn unsubscribe(&self) -> SvqResult<Response> {
+        self.caller
+            .call(&Request::Unsubscribe { sub: self.sub })?
+            .wait()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Detach the mailbox; the demux loop discards frames for ids it
+        // no longer knows.
+        self.caller.inner.subs.lock().remove(&self.id);
+    }
+}
+
 /// The read loop behind a [`Caller`]: route each id-tagged response to its
 /// registered sink; treat anything else as fatal for the session.
 fn demux(inner: &Arc<CallerInner>, mut reader: BufReader<Box<dyn Conn>>) {
@@ -391,6 +650,21 @@ fn demux(inner: &Arc<CallerInner>, mut reader: BufReader<Box<dyn Conn>>) {
                 };
                 match frame.id {
                     Some(id) => {
+                        // A subscription id routes to its mailbox — ack,
+                        // pushes, and terminal alike — and owns the id
+                        // until the terminal frame retires it.
+                        let sub = inner.subs.lock().get(&id).cloned();
+                        if let Some(sub) = sub {
+                            let terminal = matches!(
+                                frame.response,
+                                Response::Unsubscribed { .. } | Response::Error { .. }
+                            );
+                            sub.push(frame.response, terminal);
+                            if terminal {
+                                inner.subs.lock().remove(&id);
+                            }
+                            continue;
+                        }
                         let sink = inner.slots.lock().remove(&id);
                         // An unknown id is the late response of a call that
                         // already failed (e.g. its write erred): discard.

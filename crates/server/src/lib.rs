@@ -33,6 +33,11 @@
 //!   and merges per-shard top-ks byte-identically to a single process,
 //!   and a dead shard surfaces as a typed `shard_unavailable` frame after
 //!   a bounded reconnect — never a hang (see [`router`]).
+//! * **Standing queries.** `subscribe` registers a continuous query
+//!   against a server-side paced live source; the server *pushes* `event`
+//!   frames as clip indicators fire, `drift` estimator snapshots on a
+//!   configurable cadence, and typed `lagged` notices when a slow
+//!   subscriber's bounded push queue overflows (see [`subscribe`]).
 //!
 //! This crate is a stderr-only daemon: nothing in it may write to stdout
 //! (enforced by `svq-lint`), which belongs to whatever launched it.
@@ -43,9 +48,10 @@ pub mod client;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod subscribe;
 pub mod transport;
 
-pub use client::{Caller, Client, Pending};
+pub use client::{Caller, Client, Pending, RetryPolicy, Subscription};
 pub use protocol::{
     encode_line, encode_request_line, encode_response_line, parse_request, parse_request_frame,
     read_bounded_line, LineEvent, Request, RequestFrame, Response, ResponseFrame, StatsFrame,
@@ -53,4 +59,5 @@ pub use protocol::{
 };
 pub use router::{Connector, RouteConfig, RouteConfigBuilder, Router, TcpConnector};
 pub use server::{ServeConfig, ServeConfigBuilder, ServeReport, Server, ServerHandle};
+pub use subscribe::LiveSourceConfig;
 pub use transport::{mem_pair, Conn, MemConn, MemTransport, TcpTransport, Transport};

@@ -8,10 +8,17 @@
 //! -> {"kind": "query",  "sql": "SELECT …", "video": 3}
 //! -> {"kind": "query",  "sql": "SELECT …", "video": "all"}
 //! -> {"kind": "stream", "sql": "SELECT …", "video": 3}
+//! -> {"kind": "subscribe", "sql": "SELECT …", "drift_every": 16, "id": 1}
+//! -> {"kind": "unsubscribe", "sub": 0, "id": 2}
 //! -> {"kind": "stats"}
 //! -> {"kind": "shutdown"}
 //! <- {"kind": "outcome", "outcome": {…QueryOutcome…}}
 //! <- {"kind": "stats",   "stats": {…StatsFrame…}}
+//! <- {"kind": "subscribed", "sub": 0, "from_seq": 3, "id": 1}
+//! <- {"kind": "event", "sub": 0, "seq": 9, "clip": 41, …, "id": 1}
+//! <- {"kind": "lagged", "sub": 0, "missed": 5, "id": 1}
+//! <- {"kind": "drift", "sub": 0, "backgrounds": […], "criticals": […], "id": 1}
+//! <- {"kind": "unsubscribed", "sub": 0, "delivered": 7, …, "id": 1}
 //! <- {"kind": "bye"}
 //! <- {"kind": "error", "code": "busy", "message": "…"}
 //! ```
@@ -38,6 +45,20 @@
 //! unchanged. The two styles may be mixed on one connection; only the
 //! relative order of the id-less responses is guaranteed. Server-initiated
 //! frames (read-timeout and oversize errors) never carry an `id`.
+//!
+//! **Standing queries.** A `subscribe` frame registers a continuous
+//! monitoring query against the server's live source. It is v2-only: the
+//! frame *must* carry an `id`, because every pushed frame for that
+//! subscription (`event`, `lagged`, `drift`, and the terminal
+//! `unsubscribed`) is tagged with it — that id is how a pipelining client
+//! tells pushes apart from its one-shot responses. The `subscribed` ack
+//! carries the server-assigned `sub` handle used by `unsubscribe` (which
+//! is answered twice: the terminal `unsubscribed` push under the
+//! subscription's id, then the same frame again under the `unsubscribe`
+//! request's own id as its ack). Push delivery is bounded per
+//! subscription: when a slow reader's push queue overflows, events are
+//! counted and a `lagged {missed}` frame marks the gap — never an
+//! unbounded buffer, never a silent drop.
 //!
 //! Malformed input is answered, not dropped: an oversize line, invalid
 //! UTF-8, truncated JSON, or an unknown `kind` each produce a typed error
@@ -97,6 +118,20 @@ pub enum Request {
     /// Online query over one of the served live streams. Streams always
     /// target a single (named or sole) video; `"all"` is rejected.
     Stream { sql: String, video: Option<u64> },
+    /// Register a standing query against the server's paced live source;
+    /// the server pushes `event` frames as clip indicators fire. v2-only:
+    /// the frame must carry an `id` (it tags every pushed frame).
+    Subscribe {
+        sql: String,
+        /// The live-source video this subscription watches (absent: the
+        /// sole served source is inferred).
+        video: Option<u64>,
+        /// Push a `drift` estimator snapshot every this many source clips
+        /// (0 = never).
+        drift_every: u64,
+    },
+    /// Tear one subscription down by its server-assigned handle.
+    Unsubscribe { sub: u64 },
     /// Metrics snapshot.
     Stats,
     /// Ask the server to begin a graceful drain.
@@ -109,6 +144,8 @@ impl Request {
         match self {
             Request::Query { .. } => "query",
             Request::Stream { .. } => "stream",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Unsubscribe { .. } => "unsubscribe",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -132,6 +169,43 @@ pub enum Response {
     Outcome(QueryOutcome),
     /// A `stats` result.
     Stats(StatsFrame),
+    /// Acknowledges a `subscribe`: the server-assigned handle and the
+    /// source position joined at (pushed events carry `seq > from_seq`).
+    Subscribed { sub: u64, from_seq: u64 },
+    /// A pushed standing-query event: source clip number `seq` (1-based
+    /// position in the paced replay) fired an indicator; `clip` is the
+    /// clip id and `[first, last]` the result interval it closed.
+    /// `at` is the server's monotonic-nanosecond stamp at enqueue time,
+    /// for delivery-lag measurement against the same clock domain.
+    Event {
+        sub: u64,
+        seq: u64,
+        clip: u64,
+        first: u64,
+        last: u64,
+        at: u64,
+    },
+    /// A periodic snapshot of the dynamic p(t) estimator: per-predicate
+    /// background activation estimates (objects in query order, then the
+    /// action) and the matching critical run lengths.
+    Drift {
+        sub: u64,
+        backgrounds: Vec<f64>,
+        criticals: Vec<u32>,
+    },
+    /// The subscription's bounded push queue overflowed: `missed` events
+    /// were dropped since the last delivered frame. The gap is counted,
+    /// never silent.
+    Lagged { sub: u64, missed: u64 },
+    /// Terminal frame of a subscription (explicit `unsubscribe`, source
+    /// end, or teardown): final accounting with
+    /// `delivered + missed == total` events since `from_seq`.
+    Unsubscribed {
+        sub: u64,
+        delivered: u64,
+        missed: u64,
+        total: u64,
+    },
     /// Acknowledgement of `shutdown`; the connection closes after it.
     Bye,
     /// A typed refusal. The connection survives unless the reason is
@@ -172,9 +246,25 @@ pub struct StatsFrame {
     pub live_streams: u64,
     pub req_query: u64,
     pub req_stream: u64,
+    pub req_subscribe: u64,
+    pub req_unsubscribe: u64,
     pub req_stats: u64,
     pub req_shutdown: u64,
     pub requests: u64,
+    /// Standing subscriptions currently registered.
+    pub subs_active: u64,
+    /// High-water mark of concurrently registered subscriptions.
+    pub subs_peak: u64,
+    /// Subscriptions ever registered.
+    pub subs_opened: u64,
+    /// `event` frames delivered to subscription push queues.
+    pub subs_events: u64,
+    /// `lagged` gap notices pushed after queue overflow.
+    pub subs_lagged: u64,
+    /// Events dropped (and counted) because a push queue was at budget.
+    pub subs_missed: u64,
+    /// Pushed lines currently resident in connection writers.
+    pub subs_queue_depth: u64,
     pub latency_p50_ms: f64,
     pub latency_p95_ms: f64,
     pub latency_p99_ms: f64,
@@ -213,6 +303,21 @@ impl Serialize for Request {
                     ("video".into(), video.to_value()),
                 ],
             ),
+            Request::Subscribe {
+                sql,
+                video,
+                drift_every,
+            } => tagged(
+                "subscribe",
+                vec![
+                    ("sql".into(), sql.to_value()),
+                    ("video".into(), video.to_value()),
+                    ("drift_every".into(), drift_every.to_value()),
+                ],
+            ),
+            Request::Unsubscribe { sub } => {
+                tagged("unsubscribe", vec![("sub".into(), sub.to_value())])
+            }
             Request::Stats => tagged("stats", vec![]),
             Request::Shutdown => tagged("shutdown", vec![]),
         }
@@ -235,6 +340,64 @@ impl Serialize for Response {
                 tagged("outcome", vec![("outcome".into(), outcome.to_value())])
             }
             Response::Stats(stats) => tagged("stats", vec![("stats".into(), stats.to_value())]),
+            Response::Subscribed { sub, from_seq } => tagged(
+                "subscribed",
+                vec![
+                    ("sub".into(), sub.to_value()),
+                    ("from_seq".into(), from_seq.to_value()),
+                ],
+            ),
+            Response::Event {
+                sub,
+                seq,
+                clip,
+                first,
+                last,
+                at,
+            } => tagged(
+                "event",
+                vec![
+                    ("sub".into(), sub.to_value()),
+                    ("seq".into(), seq.to_value()),
+                    ("clip".into(), clip.to_value()),
+                    ("first".into(), first.to_value()),
+                    ("last".into(), last.to_value()),
+                    ("at".into(), at.to_value()),
+                ],
+            ),
+            Response::Drift {
+                sub,
+                backgrounds,
+                criticals,
+            } => tagged(
+                "drift",
+                vec![
+                    ("sub".into(), sub.to_value()),
+                    ("backgrounds".into(), backgrounds.to_value()),
+                    ("criticals".into(), criticals.to_value()),
+                ],
+            ),
+            Response::Lagged { sub, missed } => tagged(
+                "lagged",
+                vec![
+                    ("sub".into(), sub.to_value()),
+                    ("missed".into(), missed.to_value()),
+                ],
+            ),
+            Response::Unsubscribed {
+                sub,
+                delivered,
+                missed,
+                total,
+            } => tagged(
+                "unsubscribed",
+                vec![
+                    ("sub".into(), sub.to_value()),
+                    ("delivered".into(), delivered.to_value()),
+                    ("missed".into(), missed.to_value()),
+                    ("total".into(), total.to_value()),
+                ],
+            ),
             Response::Bye => tagged("bye", vec![]),
             Response::Error { reason, message } => tagged(
                 "error",
@@ -253,6 +416,11 @@ impl Deserialize for Response {
             Some(Value::Str(k)) => k.as_str(),
             _ => return Err(DeError("response frame without a string `kind`".into())),
         };
+        let field = |name: &'static str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::missing_field("Response", name))
+        };
         match kind {
             "outcome" => value
                 .get("outcome")
@@ -264,6 +432,33 @@ impl Deserialize for Response {
                 .ok_or_else(|| DeError::missing_field("Response", "stats"))
                 .and_then(Deserialize::from_value)
                 .map(Response::Stats),
+            "subscribed" => Ok(Response::Subscribed {
+                sub: field("sub").and_then(u64::from_value)?,
+                from_seq: field("from_seq").and_then(u64::from_value)?,
+            }),
+            "event" => Ok(Response::Event {
+                sub: field("sub").and_then(u64::from_value)?,
+                seq: field("seq").and_then(u64::from_value)?,
+                clip: field("clip").and_then(u64::from_value)?,
+                first: field("first").and_then(u64::from_value)?,
+                last: field("last").and_then(u64::from_value)?,
+                at: field("at").and_then(u64::from_value)?,
+            }),
+            "drift" => Ok(Response::Drift {
+                sub: field("sub").and_then(u64::from_value)?,
+                backgrounds: field("backgrounds").and_then(Deserialize::from_value)?,
+                criticals: field("criticals").and_then(Deserialize::from_value)?,
+            }),
+            "lagged" => Ok(Response::Lagged {
+                sub: field("sub").and_then(u64::from_value)?,
+                missed: field("missed").and_then(u64::from_value)?,
+            }),
+            "unsubscribed" => Ok(Response::Unsubscribed {
+                sub: field("sub").and_then(u64::from_value)?,
+                delivered: field("delivered").and_then(u64::from_value)?,
+                missed: field("missed").and_then(u64::from_value)?,
+                total: field("total").and_then(u64::from_value)?,
+            }),
             "bye" => Ok(Response::Bye),
             "error" => {
                 let code = match value.get("code") {
@@ -423,11 +618,54 @@ fn decode_request(value: &Value) -> Result<Request, (RejectReason, String)> {
                 }
             },
         }),
+        "subscribe" => Ok(Request::Subscribe {
+            sql: sql("subscribe")?,
+            video: match scope()? {
+                VideoScope::Sole => None,
+                VideoScope::One(v) => Some(v),
+                VideoScope::All => {
+                    return Err((
+                        RejectReason::BadRequest,
+                        "`subscribe` requests target a single live source; \
+                         `\"all\"` is only valid for `query`"
+                            .into(),
+                    ))
+                }
+            },
+            drift_every: match value.get("drift_every") {
+                None | Some(Value::Null) => 0,
+                Some(v) => u64::from_value(v).map_err(|e| {
+                    (
+                        RejectReason::BadRequest,
+                        format!("`drift_every` must be a non-negative integer: {e}"),
+                    )
+                })?,
+            },
+        }),
+        "unsubscribe" => Ok(Request::Unsubscribe {
+            sub: match value.get("sub") {
+                Some(v) => u64::from_value(v).map_err(|e| {
+                    (
+                        RejectReason::BadRequest,
+                        format!("`sub` must be a subscription handle: {e}"),
+                    )
+                })?,
+                None => {
+                    return Err((
+                        RejectReason::BadRequest,
+                        "`unsubscribe` requests need a `sub` field".into(),
+                    ))
+                }
+            },
+        }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err((
             RejectReason::UnknownKind,
-            format!("unknown request kind {other:?} (query|stream|stats|shutdown)"),
+            format!(
+                "unknown request kind {other:?} \
+                 (query|stream|subscribe|unsubscribe|stats|shutdown)"
+            ),
         )),
     }
 }
@@ -552,6 +790,17 @@ mod tests {
                 sql: "SELECT".into(),
                 video: Some(7),
             },
+            Request::Subscribe {
+                sql: "SELECT".into(),
+                video: None,
+                drift_every: 0,
+            },
+            Request::Subscribe {
+                sql: "SELECT".into(),
+                video: Some(9),
+                drift_every: 16,
+            },
+            Request::Unsubscribe { sub: 3 },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -651,6 +900,68 @@ mod tests {
         let line = encode_response_line(&Response::Bye, None);
         let frame: ResponseFrame = serde_json::from_str(line.trim_end()).expect("decodes");
         assert_eq!(frame.id, None);
+    }
+
+    #[test]
+    fn subscription_frames_round_trip_and_misfits_are_typed() {
+        // Every push-side frame survives the wire, id-tagged like any
+        // other v2 response.
+        let pushes = [
+            Response::Subscribed {
+                sub: 4,
+                from_seq: 2,
+            },
+            Response::Event {
+                sub: 4,
+                seq: 9,
+                clip: 41,
+                first: 40,
+                last: 41,
+                at: 123_456_789,
+            },
+            Response::Drift {
+                sub: 4,
+                backgrounds: vec![0.25, 0.5],
+                criticals: vec![3, 2],
+            },
+            Response::Lagged { sub: 4, missed: 17 },
+            Response::Unsubscribed {
+                sub: 4,
+                delivered: 10,
+                missed: 17,
+                total: 27,
+            },
+        ];
+        for frame in pushes {
+            let line = encode_response_line(&frame, Some(11));
+            let back: ResponseFrame = serde_json::from_str(line.trim_end()).expect("decodes");
+            assert_eq!(back.id, Some(11));
+            assert_eq!(back.response, frame);
+        }
+        // Request-side misfits are typed, never panics.
+        let cases: [(&[u8], &str); 4] = [
+            (b"{\"kind\": \"subscribe\"}", "sql"),
+            (
+                b"{\"kind\": \"subscribe\", \"sql\": \"S\", \"video\": \"all\"}",
+                "single live source",
+            ),
+            (
+                b"{\"kind\": \"subscribe\", \"sql\": \"S\", \"drift_every\": -1}",
+                "drift_every",
+            ),
+            (b"{\"kind\": \"unsubscribe\"}", "sub"),
+        ];
+        for (raw, needle) in cases {
+            let (reason, message) = parse_request(raw).expect_err("must fail");
+            assert_eq!(reason, RejectReason::BadRequest, "{message}");
+            assert!(message.contains(needle), "{message}");
+        }
+        // A truncated push frame decodes to a typed error, not a panic.
+        let err = Response::from_value(
+            &serde_json::from_str::<Value>("{\"kind\": \"event\", \"sub\": 1}").expect("json"),
+        )
+        .expect_err("missing fields");
+        assert!(err.0.contains("seq"), "{}", err.0);
     }
 
     #[test]

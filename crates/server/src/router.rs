@@ -460,6 +460,18 @@ impl Backend for RouterBackend {
                 }
                 None => self.resolve_sole(sql, pending, SoleKind::Stream),
             },
+            // Standing queries need a push channel pinned to one shard's
+            // live source; cross-shard subscription replication is a
+            // later layer, so the router refuses rather than forwarding
+            // to an arbitrary shard.
+            Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
+                pending.complete(Response::Error {
+                    reason: RejectReason::BadRequest,
+                    message: "the cluster router does not serve standing queries yet; \
+                              subscribe to a shard's own address"
+                        .into(),
+                })
+            }
             Request::Stats => self.stats(pending),
             // The serving core answers `shutdown` itself; never reached.
             Request::Shutdown => pending.complete(Response::Bye),

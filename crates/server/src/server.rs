@@ -44,6 +44,7 @@ use crate::protocol::{
     encode_line, encode_response_line, parse_request_frame, read_bounded_line, LineEvent, Request,
     Response, StatsFrame, VideoScope, MAX_LINE_BYTES,
 };
+use crate::subscribe::{LiveSourceConfig, SubscriptionRegistry};
 use crate::transport::{Conn, TcpTransport, Transport};
 use parking_lot::{rt, Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
@@ -388,9 +389,17 @@ pub(crate) trait Backend: Send + Sync {
     /// the backend — the serving core answers `bye` and drains itself.
     fn dispatch(self: Arc<Self>, conn_id: u64, reqno: u64, request: Request, pending: Pending);
 
-    /// Stop backend-owned machinery (upstream links, sessions) during
-    /// teardown, after the drain settled and before the report latches.
+    /// Stop backend-owned machinery (upstream links, sessions, the live
+    /// source driver) during teardown, after the drain settled and before
+    /// the report latches.
     fn stop(&self) {}
+
+    /// A connection's reader loop ended (EOF, deadline, drain close): the
+    /// backend drops whatever it holds on the connection's behalf —
+    /// standing subscriptions, for the local backend. Runs before the
+    /// connection's writer is told to finish, so nothing enqueues onto a
+    /// retired writer.
+    fn conn_closed(&self, _conn_id: u64) {}
 }
 
 pub(crate) struct Shared {
@@ -477,8 +486,21 @@ impl Server {
         oracles: Vec<Arc<DetectionOracle>>,
         metrics: ExecMetrics,
     ) -> SvqResult<ServerHandle> {
+        Self::start_with_source(config, repo, oracles, None, metrics)
+    }
+
+    /// [`Server::start`] plus an optional live source backing `subscribe`
+    /// requests (see [`LiveSourceConfig`]); without one, `subscribe` is
+    /// answered `bad_request`.
+    pub fn start_with_source(
+        config: ServeConfig,
+        repo: Option<Arc<VideoRepository>>,
+        oracles: Vec<Arc<DetectionOracle>>,
+        source: Option<LiveSourceConfig>,
+        metrics: ExecMetrics,
+    ) -> SvqResult<ServerHandle> {
         let transport = Arc::new(TcpTransport::bind(&config.addr)?);
-        Self::start_on(transport, config, repo, oracles, metrics)
+        Self::start_on_with_source(transport, config, repo, oracles, source, metrics)
     }
 
     /// Serve over an explicit [`Transport`] — the seam `svq-sim` uses to
@@ -492,6 +514,19 @@ impl Server {
         oracles: Vec<Arc<DetectionOracle>>,
         metrics: ExecMetrics,
     ) -> SvqResult<ServerHandle> {
+        Self::start_on_with_source(transport, config, repo, oracles, None, metrics)
+    }
+
+    /// The fully general local server: explicit transport plus an optional
+    /// live source for standing queries.
+    pub fn start_on_with_source(
+        transport: Arc<dyn Transport>,
+        config: ServeConfig,
+        repo: Option<Arc<VideoRepository>>,
+        oracles: Vec<Arc<DetectionOracle>>,
+        source: Option<LiveSourceConfig>,
+        metrics: ExecMetrics,
+    ) -> SvqResult<ServerHandle> {
         let mux = SessionMux::with_options(
             MuxOptions::new(config.workers.max(1)).with_shards(config.shards.max(1)),
             metrics.clone(),
@@ -502,14 +537,21 @@ impl Server {
             .map(|id| (id, Mutex::new(())))
             .collect();
         let oracles = oracles.into_iter().map(|o| (o.truth().video, o)).collect();
+        let live = match source {
+            Some(config) => Some(config.build()?),
+            None => None,
+        };
+        let subs = SubscriptionRegistry::new(live, metrics.clone(), config.mailbox.max(1));
         let backend = Arc::new(LocalBackend {
             repo,
             oracles,
             query_gates,
             mux,
+            subs,
             metrics: metrics.clone(),
             mailbox: config.mailbox.max(1),
         });
+        backend.subs.start_driver(&backend)?;
         Self::start_with_backend(transport, config, backend, metrics)
     }
 
@@ -863,9 +905,21 @@ enum Ticket {
     Unordered,
 }
 
+/// One line in a connection writer's flush queue, with the counter its
+/// flush releases.
+struct OutLine {
+    line: String,
+    /// `None`: a response occupying one of the connection's in-flight
+    /// pipeline slots. `Some(gauge)`: a subscription push, accounted
+    /// against its subscription's bounded `queued` gauge instead — pushes
+    /// never hold pipeline slots, so a connection that only receives
+    /// pushes stays drain-closable.
+    push: Option<Arc<AtomicU64>>,
+}
+
 struct WriterState {
     /// Encoded lines ready to flush, in flush order.
-    ready: VecDeque<String>,
+    ready: VecDeque<OutLine>,
     /// Ordered responses completed early, waiting for their turn.
     held: BTreeMap<u64, String>,
     /// The next ordered sequence number allowed to flush.
@@ -880,7 +934,7 @@ struct WriterState {
 /// The per-connection response writer: reader-side dispatch acquires an
 /// in-flight slot per request, completions enqueue encoded frames, and
 /// one writer thread flushes them (see [`Ticket`] for ordering).
-struct ConnWriter {
+pub(crate) struct ConnWriter {
     state: Mutex<WriterState>,
     /// Signals enqueued lines, in-flight decrements, and close.
     cv: Condvar,
@@ -936,14 +990,14 @@ impl ConnWriter {
     fn enqueue(&self, ticket: Ticket, line: String) {
         let mut state = self.state.lock();
         match ticket {
-            Ticket::Unordered => state.ready.push_back(line),
+            Ticket::Unordered => state.ready.push_back(OutLine { line, push: None }),
             Ticket::Ordered(seq) => {
                 state.held.insert(seq, line);
                 loop {
                     let turn = state.next_ordered;
                     match state.held.remove(&turn) {
                         Some(line) => {
-                            state.ready.push_back(line);
+                            state.ready.push_back(OutLine { line, push: None });
                             state.next_ordered += 1;
                         }
                         None => break,
@@ -951,6 +1005,20 @@ impl ConnWriter {
                 }
             }
         }
+        self.cv.notify_all();
+    }
+
+    /// Push side (standing queries): hand one server-initiated frame to
+    /// the writer without claiming a pipeline slot. `queued` is the
+    /// subscription's resident-line gauge, already incremented by the
+    /// caller's budget claim; the writer decrements it when the line
+    /// flushes (or is consumed after a write failure).
+    pub(crate) fn enqueue_push(&self, line: String, queued: Arc<AtomicU64>) {
+        let mut state = self.state.lock();
+        state.ready.push_back(OutLine {
+            line,
+            push: Some(queued),
+        });
         self.cv.notify_all();
     }
 
@@ -975,11 +1043,11 @@ impl WriterHandle {
 /// last in-flight response has flushed.
 fn writer_loop(writer: &ConnWriter, mut stream: Box<dyn Conn>) {
     loop {
-        let (line, failed) = {
+        let (out, failed) = {
             let mut state = writer.state.lock();
             loop {
-                if let Some(line) = state.ready.pop_front() {
-                    break (Some(line), state.failed);
+                if let Some(out) = state.ready.pop_front() {
+                    break (Some(out), state.failed);
                 }
                 if state.closed && writer.in_flight.load(Ordering::Acquire) == 0 {
                     break (None, state.failed);
@@ -987,10 +1055,10 @@ fn writer_loop(writer: &ConnWriter, mut stream: Box<dyn Conn>) {
                 writer.cv.wait(&mut state);
             }
         };
-        let Some(line) = line else { return };
+        let Some(out) = out else { return };
         if !failed {
             let ok = stream
-                .write_all(line.as_bytes())
+                .write_all(out.line.as_bytes())
                 .and_then(|()| stream.flush())
                 .is_ok();
             if !ok {
@@ -1001,7 +1069,16 @@ fn writer_loop(writer: &ConnWriter, mut stream: Box<dyn Conn>) {
             }
         }
         let state = writer.state.lock();
-        writer.in_flight.fetch_sub(1, Ordering::AcqRel);
+        match out.push {
+            // A flushed (or consumed) push releases its subscription's
+            // budget slot; pipeline slots are untouched.
+            Some(queued) => {
+                queued.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                writer.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
         writer.cv.notify_all();
         drop(state);
     }
@@ -1168,6 +1245,10 @@ fn handle_conn(
             LineEvent::Eof | LineEvent::Failed(_) => break,
         }
     }
+    // The reader is done: drop backend-held per-connection state (standing
+    // subscriptions) before the writer retires, so nothing enqueues onto a
+    // finished writer. Already-enqueued pushes still flush below.
+    shared.backend.conn_closed(conn_id);
     // Let every dispatched request flush its response before the
     // connection closes — a stalled pipeline drains, never vanishes.
     writer.finish();
@@ -1183,7 +1264,9 @@ pub(crate) struct LocalBackend {
     /// Per-catalog gates serializing offline queries so the simulated-disk
     /// delta in one outcome never absorbs a concurrent query's accesses.
     query_gates: BTreeMap<VideoId, Mutex<()>>,
-    mux: SessionMux,
+    pub(crate) mux: SessionMux,
+    /// Standing-query registry (empty, but answerable, without a source).
+    pub(crate) subs: SubscriptionRegistry,
     metrics: ExecMetrics,
     mailbox: usize,
 }
@@ -1196,9 +1279,23 @@ impl Backend for LocalBackend {
             Request::Stream { sql, video } => {
                 self.dispatch_stream(conn_id, reqno, sql, video, pending)
             }
+            Request::Subscribe {
+                sql,
+                video,
+                drift_every,
+            } => self.dispatch_subscribe(conn_id, sql, video, drift_every, pending),
+            Request::Unsubscribe { sub } => self.subs.unsubscribe(conn_id, sub, pending),
             // The serving core answers `shutdown` itself; never reached.
             Request::Shutdown => pending.complete(Response::Bye),
         }
+    }
+
+    fn stop(&self) {
+        self.subs.stop();
+    }
+
+    fn conn_closed(&self, conn_id: u64) {
+        self.subs.conn_closed(conn_id);
     }
 }
 
@@ -1259,6 +1356,38 @@ impl LocalBackend {
                 self.mux.feed_stream(session);
             }
         }
+    }
+
+    /// Validate the v2 requirement and hand a `subscribe` to the registry.
+    /// The registry completes `pending` itself (the ack must flush before
+    /// the subscription becomes visible to the event fan-out).
+    fn dispatch_subscribe(
+        self: Arc<Self>,
+        conn_id: u64,
+        sql: String,
+        video: Option<u64>,
+        drift_every: u64,
+        pending: Pending,
+    ) {
+        let Some(req_id) = pending.id else {
+            return pending.complete(Response::Error {
+                reason: RejectReason::BadRequest,
+                message: "`subscribe` requires a protocol-v2 `id`: every pushed frame is tagged \
+                          with it"
+                    .into(),
+            });
+        };
+        let writer = pending.writer.clone();
+        self.subs.subscribe(
+            &self,
+            conn_id,
+            req_id,
+            &sql,
+            video,
+            drift_every,
+            writer,
+            pending,
+        );
     }
 
     fn do_query(
@@ -1402,7 +1531,9 @@ impl LocalBackend {
             .repo
             .as_ref()
             .map_or(0, |r| r.video_ids().count() as u64);
-        frame.live_streams = self.oracles.len() as u64;
+        frame.live_streams =
+            self.oracles.len() as u64 + u64::from(self.subs.source_video().is_some());
+        frame.subs_queue_depth = self.subs.queue_depth();
         frame
     }
 }
@@ -1412,6 +1543,8 @@ fn record_request(shared: &Shared, kind: &'static str, elapsed: Duration) {
     let counter = match kind {
         "query" => &srv.req_query,
         "stream" => &srv.req_stream,
+        "subscribe" => &srv.req_subscribe,
+        "unsubscribe" => &srv.req_unsubscribe,
         "stats" => &srv.req_stats,
         _ => &srv.req_shutdown,
     };
@@ -1434,7 +1567,7 @@ fn reject_of(err: &SvqError) -> RejectReason {
     }
 }
 
-fn plan_of(sql: &str) -> Result<LogicalPlan, (RejectReason, String)> {
+pub(crate) fn plan_of(sql: &str) -> Result<LogicalPlan, (RejectReason, String)> {
     let statement = parse(sql).map_err(|e| (reject_of(&e), e.to_string()))?;
     LogicalPlan::from_statement(&statement).map_err(|e| (reject_of(&e), e.to_string()))
 }
@@ -1480,9 +1613,18 @@ pub(crate) fn base_stats(metrics: &ExecMetrics) -> StatsFrame {
         live_streams: 0,
         req_query: s.req_query,
         req_stream: s.req_stream,
+        req_subscribe: s.req_subscribe,
+        req_unsubscribe: s.req_unsubscribe,
         req_stats: s.req_stats,
         req_shutdown: s.req_shutdown,
         requests: s.requests,
+        subs_active: s.subs_active,
+        subs_peak: s.subs_peak,
+        subs_opened: s.subs_opened,
+        subs_events: s.subs_events,
+        subs_lagged: s.subs_lagged,
+        subs_missed: s.subs_missed,
+        subs_queue_depth: 0,
         latency_p50_ms: s.latency_p50_ms,
         latency_p95_ms: s.latency_p95_ms,
         latency_p99_ms: s.latency_p99_ms,

@@ -3,9 +3,10 @@
 //! A schedule is named by `(scenario, seed, size, faults)`. [`run_one`]
 //! executes exactly one; [`sweep`] derives per-schedule seeds from a base
 //! seed and runs thousands, shrinking the first failure down to the
-//! smallest `size` that still reproduces it and reporting a one-line repro
-//! command; [`run_corpus_line`] replays one line of the committed seed
-//! corpus (`crates/sim/corpus/seeds.txt`).
+//! smallest `size` — and the fewest fault injectors — that still
+//! reproduces it and reporting a one-line repro command;
+//! [`run_corpus_line`] replays one line of the committed seed corpus
+//! (`crates/sim/corpus/seeds.txt`).
 
 use crate::rng;
 use crate::scenario::{self, FaultPlan, Scenario, ScenarioCtx};
@@ -73,10 +74,12 @@ pub fn run_one(spec: &RunSpec) -> ScheduleOutcome {
     run_world(&config, move || run(ctx))
 }
 
-/// Shrink a failing schedule: repeatedly halve `size` while the failure
-/// still reproduces (the seed and faults stay fixed — they name the
-/// interleaving family). Returns the smallest reproducing spec and its
-/// outcome.
+/// Shrink a failing schedule along two axes. First repeatedly halve
+/// `size` while the failure still reproduces (the seed stays fixed — it
+/// names the interleaving family); then drop enabled fault injectors one
+/// at a time, keeping each drop whose schedule still fails, so the repro
+/// line names only the faults the failure actually needs. Returns the
+/// smallest reproducing spec and its outcome.
 pub fn shrink(failing: &RunSpec) -> (RunSpec, ScheduleOutcome) {
     let mut best = *failing;
     let mut best_outcome = run_one(&best);
@@ -95,6 +98,26 @@ pub fn shrink(failing: &RunSpec) -> (RunSpec, ScheduleOutcome) {
             best_outcome = outcome;
         } else {
             break;
+        }
+    }
+    const CLEARERS: &[fn(&mut FaultPlan)] = &[
+        |f| f.worker_panic = false,
+        |f| f.drop_conn = false,
+        |f| f.stall_client = false,
+        |f| f.crash_sink = false,
+        |f| f.torn_manifest = false,
+        |f| f.stall_shard = false,
+    ];
+    for clear in CLEARERS {
+        let mut candidate = best;
+        clear(&mut candidate.faults);
+        if candidate.faults == best.faults {
+            continue;
+        }
+        let outcome = run_one(&candidate);
+        if outcome.failure.is_some() {
+            best = candidate;
+            best_outcome = outcome;
         }
     }
     (best, best_outcome)
@@ -255,3 +278,51 @@ pub fn run_corpus_line(line: &str) -> Result<Option<(RunSpec, ScheduleOutcome)>,
 /// The committed seed corpus, compiled in so `svqact sim --corpus` and the
 /// corpus test replay the same bytes.
 pub const CORPUS: &str = include_str!("../corpus/seeds.txt");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_prepare(_ctx: ScenarioCtx) {}
+
+    /// Fails whenever `worker_panic` is armed, regardless of size — the
+    /// other five injectors are red herrings the shrinker must discard.
+    fn needs_worker_panic(ctx: ScenarioCtx) {
+        assert!(!ctx.faults.worker_panic, "worker-panic fault tripped");
+    }
+
+    static NEEDY: Scenario = Scenario {
+        name: "test_needs_worker_panic",
+        about: "test fixture: fails iff worker-panic is armed",
+        default_size: 8,
+        prepare: noop_prepare,
+        run: needs_worker_panic,
+    };
+
+    #[test]
+    fn shrink_minimises_size_and_fault_plan() {
+        let spec = RunSpec {
+            scenario: &NEEDY,
+            seed: 7,
+            size: 8,
+            faults: FaultPlan::all(),
+            keep_trace: false,
+        };
+        let (shrunk, outcome) = shrink(&spec);
+        assert!(outcome.failure.is_some(), "the shrunk spec still fails");
+        assert_eq!(shrunk.size, 1, "size halved to the floor");
+        assert_eq!(
+            shrunk.faults,
+            FaultPlan {
+                worker_panic: true,
+                ..FaultPlan::none()
+            },
+            "only the fault the failure needs survives shrinking"
+        );
+        assert!(
+            shrunk.repro_line().ends_with("--faults worker-panic"),
+            "the repro line names the minimal plan: {}",
+            shrunk.repro_line()
+        );
+    }
+}

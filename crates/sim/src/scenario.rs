@@ -36,8 +36,9 @@ use svq_query::{
     execute_offline, execute_offline_all, execute_online, parse, LogicalPlan, QueryOutcome,
 };
 use svq_serve::{
-    encode_line, encode_request_line, Client, Conn, Connector, MemTransport, Request, Response,
-    RouteConfig, Router, ServeConfig, Server, Transport, VideoScope,
+    encode_line, encode_request_line, Caller, Client, Conn, Connector, LiveSourceConfig,
+    MemTransport, Request, Response, RouteConfig, Router, ServeConfig, Server, Transport,
+    VideoScope,
 };
 use svq_storage::{FailingSink, JsonDirSink, VideoRepository};
 use svq_types::{
@@ -239,6 +240,16 @@ pub static SCENARIOS: &[Scenario] = &[
         default_size: 6,
         prepare: serve_mem_prepare,
         run: serve_pipeline,
+    },
+    Scenario {
+        name: "subscribe_fanout",
+        about: "standing queries over the loopback serve stack: a paced live source \
+                fans events to concurrent subscribers with per-subscription ordering \
+                and closed accounting, dropped and stalled connections fail in \
+                isolation, and a drain during active subscriptions terminates",
+        default_size: 6,
+        prepare: no_prepare,
+        run: subscribe_fanout,
     },
     Scenario {
         name: "cluster_router",
@@ -1033,6 +1044,267 @@ fn serve_pipeline(ctx: ScenarioCtx) {
         report.timed_out, expected_timeouts,
         "exactly the stalled client times out"
     );
+}
+
+// ---------------------------------------------------------------------------
+// subscribe_fanout
+// ---------------------------------------------------------------------------
+
+/// Standing queries under the simulated scheduler: an in-memory server
+/// with a paced live source fans events out to `size` concurrent
+/// subscribers while the schedule tears at the registry. Half the
+/// schedules drain the server mid-replay — while subscriptions are still
+/// live — and half let the source exhaust and fan terminal frames first.
+/// Optional faults: a connection that subscribes and then aborts with a
+/// torn `unsubscribe` frame on the wire (`drop_conn`), and a client
+/// silent past the read deadline (`stall_client`). Invariants: event
+/// `seq`s arrive strictly increasing past `from_seq`; every terminal's
+/// accounting closes (`delivered + missed == total`, with every delivered
+/// event received and `lagged` notices within `missed`); a subscription
+/// only loses its stream without a terminal once the drain began; and
+/// shutdown + drain terminate with nothing force-closed even with
+/// subscriptions live.
+fn subscribe_fanout(ctx: ScenarioCtx) {
+    let mut rng = ctx.rng();
+    let subs = ctx.size.max(2) as usize;
+
+    // The episode script is pinned (seed 42, the bench-validated source)
+    // so every schedule replays footage that produces events no matter
+    // the scheduler seed; pacing jitter and interleaving still vary.
+    let source = LiveSourceConfig::parse("action=jumping,objects=car,minutes=10,seed=42,rate=800")
+        .expect("fixture source spec parses");
+    let clips = source.minutes * 30;
+    // Per-clip gaps are jittered within [3/4, 5/4] of the nominal
+    // interval, so this bounds the whole replay in virtual time.
+    let replay_ceiling = Duration::from_nanos(clips * (1_000_000_000 / source.rate) * 5 / 4);
+
+    let transport = MemTransport::new();
+    let read_timeout = Duration::from_secs(2);
+    let config = ServeConfig::builder()
+        .max_conns(subs + 6)
+        .read_timeout(read_timeout)
+        .write_timeout(Duration::from_millis(500))
+        .drain_timeout(Duration::from_secs(2))
+        .workers(1 + rng.below(2))
+        .mailbox(4 + rng.below(8))
+        .build()
+        .expect("config is valid");
+    let handle = Server::start_on_with_source(
+        transport.clone(),
+        config,
+        None,
+        vec![],
+        Some(source),
+        ExecMetrics::new(),
+    )
+    .expect("in-memory server starts with a live source");
+
+    // Set before the shutdown is initiated: losing a subscription stream
+    // without its terminal frame is legal only once this is true.
+    let closing = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(AtomicU64::new(0));
+    let events_total = Arc::new(AtomicU64::new(0));
+    let terminals = Arc::new(AtomicU64::new(0));
+
+    let mut tasks = Vec::new();
+    // At most one subscriber unsubscribes explicitly right after its ack;
+    // the rest hold their subscription until the source exhausts or the
+    // drain closes them.
+    let early_unsub = if rng.chance(1, 2) {
+        Some(rng.below(subs))
+    } else {
+        None
+    };
+    for s in 0..subs {
+        let transport = transport.clone();
+        let closing = closing.clone();
+        let acked = acked.clone();
+        let events_total = events_total.clone();
+        let terminals = terminals.clone();
+        let early = early_unsub == Some(s);
+        let drift_every = if s % 3 == 0 { 25 } else { 0 };
+        tasks.push(
+            rt::spawn(&format!("subscriber{s}"), move || {
+                let caller = Caller::over(Box::new(transport.connect()), Duration::from_secs(5))
+                    .expect("loopback connect");
+                let sub = caller
+                    .subscribe(ONLINE_SQL, None, drift_every)
+                    .expect("subscribe acked before the drain begins");
+                acked.fetch_add(1, Ordering::SeqCst);
+                if early {
+                    match sub.unsubscribe() {
+                        Ok(Response::Unsubscribed {
+                            delivered,
+                            missed,
+                            total,
+                            ..
+                        }) => assert_eq!(
+                            delivered + missed,
+                            total,
+                            "unsubscribe ack accounting closes"
+                        ),
+                        Ok(other) => unreachable!("unsubscribe acked with {other:?}"),
+                        // The drain may beat the unsubscribe frame to the
+                        // server; the mailbox still ends cleanly below.
+                        Err(e) => assert!(
+                            closing.load(Ordering::SeqCst),
+                            "unsubscribe failed outside the drain: {e}"
+                        ),
+                    }
+                }
+                let mut last_seq = sub.from_seq();
+                let (mut events, mut lagged) = (0u64, 0u64);
+                let mut terminal = None;
+                loop {
+                    match sub.next() {
+                        Ok(Some(Response::Event { seq, .. })) => {
+                            assert!(
+                                seq > last_seq,
+                                "event seqs strictly increase past from_seq \
+                                 ({seq} after {last_seq})"
+                            );
+                            last_seq = seq;
+                            events += 1;
+                        }
+                        Ok(Some(Response::Lagged { missed, .. })) => {
+                            assert!(missed > 0, "a lagged notice reports a non-empty gap");
+                            lagged += missed;
+                        }
+                        Ok(Some(Response::Drift { .. })) => {}
+                        Ok(Some(Response::Unsubscribed {
+                            delivered,
+                            missed,
+                            total,
+                            ..
+                        })) => terminal = Some((delivered, missed, total)),
+                        Ok(Some(other)) => unreachable!("unexpected pushed frame: {other:?}"),
+                        Ok(None) => break,
+                        Err(e) => {
+                            assert!(
+                                closing.load(Ordering::SeqCst),
+                                "subscription died outside the drain: {e}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                if let Some((delivered, missed, total)) = terminal {
+                    assert_eq!(
+                        events, delivered,
+                        "every delivered event reached the client (no silent drop)"
+                    );
+                    assert_eq!(delivered + missed, total, "terminal accounting closes");
+                    assert!(
+                        lagged <= missed,
+                        "lagged notices stay within the terminal missed count"
+                    );
+                    terminals.fetch_add(1, Ordering::SeqCst);
+                }
+                events_total.fetch_add(events, Ordering::SeqCst);
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: a connection that subscribes, tears half an `unsubscribe`
+    // frame onto the wire, and aborts. `conn_closed` retires its
+    // subscription without a push; nobody else's stream is disturbed.
+    if ctx.faults.drop_conn {
+        let transport = transport.clone();
+        let whole = encode_request_line(
+            &Request::Subscribe {
+                sql: ONLINE_SQL.into(),
+                video: None,
+                drift_every: 0,
+            },
+            Some(1),
+        );
+        let torn = encode_request_line(&Request::Unsubscribe { sub: 1 }, Some(2));
+        let cut = 1 + rng.below(torn.len() - 2);
+        tasks.push(
+            rt::spawn("dropper", move || {
+                let mut conn = transport.connect();
+                let _ = std::io::Write::write_all(&mut conn, whole.as_bytes());
+                let _ = std::io::Write::write_all(&mut conn, &torn.as_bytes()[..cut]);
+                let _ = conn.shutdown_both();
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Fault: a silent client. It gets the usual typed `timeout` frame —
+    // unless this schedule's drain closes the connection first (the
+    // scenario shuts down while subscriptions are live, so both endings
+    // are legal here, unlike in `serve_mem`).
+    if ctx.faults.stall_client {
+        let transport = transport.clone();
+        let closing = closing.clone();
+        tasks.push(
+            rt::spawn("staller", move || {
+                let mut client =
+                    Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+                        .expect("loopback connect");
+                rt::sleep(read_timeout * 2);
+                match client.read_response() {
+                    Ok(Response::Error { reason, .. }) => {
+                        assert_eq!(reason, RejectReason::Timeout, "stall answered with timeout");
+                    }
+                    Ok(other) => unreachable!("stalled client expected a timeout frame: {other:?}"),
+                    Err(e) => assert!(
+                        closing.load(Ordering::SeqCst),
+                        "stalled connection died outside the drain: {e}"
+                    ),
+                }
+            })
+            .expect("sim spawn cannot fail"),
+        );
+    }
+
+    // Every subscription is live before the shutdown decision, so the
+    // drain — whenever it lands — always races active subscriptions.
+    while acked.load(Ordering::SeqCst) < subs as u64 {
+        rt::sleep(Duration::from_millis(1));
+    }
+    let exhaust_first = rng.chance(1, 2);
+    if exhaust_first {
+        rt::sleep(replay_ceiling * 2);
+    } else {
+        rt::sleep(Duration::from_millis(rng.below(150) as u64));
+    }
+    closing.store(true, Ordering::SeqCst);
+    if rng.chance(1, 2) {
+        let mut client = Client::over(Box::new(transport.connect()), Duration::from_secs(5))
+            .expect("loopback connect");
+        let bye = client
+            .request(&Request::Shutdown)
+            .expect("shutdown answered");
+        assert_eq!(bye, Response::Bye, "wire shutdown acknowledged");
+    } else {
+        handle.shutdown();
+    }
+    for task in tasks {
+        task.join().expect("subscriber task does not panic");
+    }
+    let report = handle.wait();
+    assert!(
+        report.accepted >= subs as u64,
+        "every subscriber connection admitted"
+    );
+    assert!(
+        report.drained_in_deadline && report.forced_closes == 0,
+        "drain terminates with nothing force-closed: {report:?}"
+    );
+    if exhaust_first {
+        assert_eq!(
+            terminals.load(Ordering::SeqCst),
+            subs as u64,
+            "an exhausted source fans a terminal frame to every survivor"
+        );
+        assert!(
+            events_total.load(Ordering::SeqCst) > 0,
+            "the replay produced events for the fleet"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

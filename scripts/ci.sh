@@ -58,6 +58,14 @@ cargo run -q --release -p svq-bench --bin repro -- cluster-throughput \
   --scale 0.02 --out target/ci-results
 grep -q '"killed_shard_typed": true' target/ci-results/cluster-throughput.json
 
+echo "== repro monitor-fanout smoke (subscribers {1,64}, zero silent drops + clean drain)"
+# The experiment internally asserts, for every subscription, strictly
+# increasing event seqs, delivered + missed == total, client tallies
+# matching the server's stats counters, and a clean drain.
+cargo run -q --release -p svq-bench --bin repro -- monitor-fanout \
+  --scale 0.02 --out target/ci-results
+grep -q '"accounting_closed": true' target/ci-results/monitor-fanout.json
+
 echo "== sim smoke (deterministic simulation, \${SIM_SCHEDULES:-40} schedules/scenario)"
 # Fixed base seed + bounded schedule count keeps this slice to seconds of
 # wall time (virtual time does the waiting). A failing schedule prints a
@@ -104,6 +112,32 @@ cargo run -q --release -p svqact -- request --addr "$ADDR" --kind query \
          ORDER BY RANK(act,obj) LIMIT 2"
 cargo run -q --release -p svqact -- request --addr "$ADDR" --kind shutdown
 wait "$SERVE_PID"
+
+echo "== svqact subscribe round trip (live source, one event, explicit unsubscribe, wire shutdown)"
+SUB_DIR=target/ci-subscribe
+rm -rf "$SUB_DIR" && mkdir -p "$SUB_DIR"
+cargo run -q --release -p svqact -- serve \
+  --source action=jumping,objects=car,minutes=10,seed=42,rate=400 \
+  --addr-file "$SUB_DIR/addr" --drain-timeout-ms 10000 &
+SUB_SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SUB_DIR/addr" ] && break
+  sleep 0.1
+done
+[ -s "$SUB_DIR/addr" ] || { echo "source serve never bound"; kill "$SUB_SERVE_PID"; exit 1; }
+SADDR=$(cat "$SUB_DIR/addr")
+# Subscribe, take one pushed event, unsubscribe; the printed frames must
+# include the event and the terminal accounting.
+cargo run -q --release -p svqact -- subscribe --addr "$SADDR" --events 1 \
+  --sql "SELECT MERGE(clipID) AS Sequence \
+         FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, \
+         act USING ActionRecognizer) \
+         WHERE act='jumping' AND obj.include('car')" \
+  | tee "$SUB_DIR/frames.jsonl"
+grep -q '"kind": *"event"' "$SUB_DIR/frames.jsonl"
+grep -q '"kind": *"unsubscribed"' "$SUB_DIR/frames.jsonl"
+cargo run -q --release -p svqact -- request --addr "$SADDR" --kind shutdown
+wait "$SUB_SERVE_PID"
 
 echo "== svqact route round trip (2 hash-sliced shards behind one router, wire shutdown)"
 CLUSTER_DIR=target/ci-cluster

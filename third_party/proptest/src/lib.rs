@@ -2,8 +2,8 @@
 //!
 //! Implements the subset the workspace's property tests use: the
 //! [`Strategy`] trait with `prop_map`, numeric-range and tuple strategies,
-//! `collection::vec`, `any::<T>()`, and the `proptest!` / `prop_assert!` /
-//! `prop_assert_eq!` macros. Cases are generated from a deterministic
+//! `collection::vec`, `sample::select`, `option::of`, `any::<T>()`, and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Cases are generated from a deterministic
 //! per-test PRNG; there is no shrinking — a failing case panics with the
 //! assertion message (the generating seed is derived from the test name, so
 //! failures reproduce exactly).
@@ -207,6 +207,51 @@ pub mod collection {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform pick from a fixed, non-empty set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` half the time, `Some` of the inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
         }
     }
 }
